@@ -1,0 +1,46 @@
+"""Helpers shared by the benchmark modules (kept out of conftest so the
+module can be imported explicitly without clashing with tests/conftest)."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Dataset / training sizes for one benchmark scale."""
+
+    name: str
+    samples: int
+    epochs: int
+    finetune_epochs: int
+    batch_size: int
+    lr: float
+
+
+# lr 6e-3 is the calibrated setting where joint training stays stable on
+# every backbone (1e-2 can collapse the hard 8-way size task under MTL).
+SCALES = {
+    "quick": BenchScale("quick", samples=1300, epochs=6, finetune_epochs=6,
+                        batch_size=64, lr=6e-3),
+    "full": BenchScale("full", samples=4000, epochs=10, finetune_epochs=8,
+                       batch_size=64, lr=6e-3),
+}
+
+
+def current_scale() -> BenchScale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    if name not in SCALES:
+        raise ValueError(f"REPRO_BENCH_SCALE must be one of {sorted(SCALES)}")
+    return SCALES[name]
+
+
+def emit(results_dir: Path, name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

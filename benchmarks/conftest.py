@@ -1,0 +1,32 @@
+"""Fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see
+DESIGN.md's per-experiment index).  Two scales are provided:
+
+* ``quick`` (default) — small datasets / few epochs; finishes in minutes
+  and reproduces the *shape* of each result;
+* ``full`` — larger datasets / more epochs for closer numbers
+  (``REPRO_BENCH_SCALE=full pytest benchmarks/ --benchmark-only``).
+
+Accuracy rows are printed to stdout as each benchmark finishes and are
+also written to ``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from _bench_utils import RESULTS_DIR, BenchScale, current_scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    return current_scale()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,82 @@
+"""Sec. 4.2 LoC analysis — edge memory of N single-task networks vs one
+shared MTL-Split backbone on the 4 GB Jetson Nano.
+
+Paper reference: MobileNetV3 needs ~1.5 GB for the two 3D-Shapes/MEDIC
+tasks and ~2.1 GB for the three FACES tasks; EfficientNet needs ~6.9 GB
+and ~10.3 GB — infeasible on the Nano — while the shared backbone makes
+every configuration fit ("memory size improvements of ~38% ... and ~57%
+for the FACES dataset").
+"""
+
+from __future__ import annotations
+
+from repro import models
+from repro.deployment import (
+    GIGABIT_ETHERNET,
+    JETSON_NANO,
+    RTX3090_SERVER,
+    loc_report,
+    sc_report,
+)
+
+from _bench_utils import emit
+
+_GB = 1024**3
+PAPER_INPUT = 1024  # resolution reproducing the paper's activation sizes
+
+WORKLOADS = [
+    ("mobilenet_v3_small", 2, "3D Shapes / MEDIC (2 tasks)", 1.5),
+    ("mobilenet_v3_small", 3, "FACES (3 tasks)", 2.1),
+    ("efficientnet_b0", 2, "3D Shapes / MEDIC (2 tasks)", 6.9),
+    ("efficientnet_b0", 3, "FACES (3 tasks)", 10.3),
+]
+
+
+def run_analysis():
+    lines = [
+        f"{'backbone':<22}{'workload':<28}{'LoC STL (GB)':>14}{'paper':>8}"
+        f"{'SC edge (GB)':>14}{'saving':>9}{'LoC fits 4GB?':>15}{'SC fits 4GB?':>14}"
+    ]
+    rows = []
+    for name, tasks, label, paper_gb in WORKLOADS:
+        spec = models.get_spec(name)
+        stl = loc_report(spec, tasks, JETSON_NANO, input_size=PAPER_INPUT)
+        shared = sc_report(
+            spec, tasks, JETSON_NANO, RTX3090_SERVER, GIGABIT_ETHERNET,
+            input_size=PAPER_INPUT,
+        )
+        saving = 1.0 - shared.edge_memory_bytes / stl.edge_memory_bytes
+        lines.append(
+            f"{name:<22}{label:<28}{stl.edge_memory_bytes / _GB:>14.2f}{paper_gb:>8.1f}"
+            f"{shared.edge_memory_bytes / _GB:>14.2f}{saving:>8.0%}"
+            f"{str(stl.feasible_on_edge):>15}{str(shared.feasible_on_edge):>14}"
+        )
+        rows.append((name, tasks, stl, shared, saving))
+    return "\n".join(lines), rows
+
+
+def test_loc_memory(benchmark, results_dir):
+    text, rows = benchmark.pedantic(run_analysis, rounds=1, iterations=1)
+    emit(results_dir, "loc_memory", text)
+
+    by_key = {(name, tasks): (stl, shared, saving) for name, tasks, stl, shared, saving in rows}
+
+    # Paper's magnitudes for N single-task networks.
+    stl, _, _ = by_key[("mobilenet_v3_small", 2)]
+    assert abs(stl.edge_memory_bytes / _GB - 1.5) < 0.3
+    stl, _, _ = by_key[("efficientnet_b0", 2)]
+    assert abs(stl.edge_memory_bytes / _GB - 6.9) < 1.0
+    stl, _, _ = by_key[("efficientnet_b0", 3)]
+    assert abs(stl.edge_memory_bytes / _GB - 10.3) < 1.5
+
+    # Feasibility verdicts: EfficientNet STL does not fit the Nano; the
+    # shared backbone always does (the paper's central LoC claim).
+    for (name, tasks), (stl, shared, _saving) in by_key.items():
+        if name == "efficientnet_b0":
+            assert not stl.feasible_on_edge
+        assert shared.feasible_on_edge
+
+    # Savings grow with the number of tasks.
+    _, _, saving2 = by_key[("efficientnet_b0", 2)]
+    _, _, saving3 = by_key[("efficientnet_b0", 3)]
+    assert saving3 > saving2 >= 0.38

@@ -1,0 +1,88 @@
+"""Table 2 — STL vs MTL accuracy on the MEDIC-like disaster workload.
+
+Paper configuration: T1 = damage severity (3 classes), T2 = disaster type
+(4 classes).  Paper reference values (accuracy %):
+
+    model          STL T1   STL T2   MTL T1          MTL T2
+    VGG16          61.78    59.14    62.65 (+0.87)   60.54 (+1.40)
+    MobileNetV3    61.73    52.66    61.90 (+0.17)   52.29 (-0.37)
+    EfficientNet   61.00    53.94    62.42 (+1.42)   55.74 (+1.80)
+
+The reproduced regime: a *hard* dataset with heavy label noise where
+accuracies sit well below ceiling and MTL deltas are small — mostly
+positive, with an occasional harmless negative cell (the paper observes
+one too, -0.37, and argues it is not negative transfer).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import data
+from repro.core import ComparisonTable, TrainConfig, run_stl_mtl_experiment
+from repro.data import train_val_test_split
+
+from _bench_utils import emit
+
+BACKBONES = ("vgg_tiny", "mobilenet_v3_tiny", "efficientnet_tiny")
+TASK_LABELS = {"damage_severity": "T1 (severity)", "disaster_type": "T2 (type)"}
+
+PAPER_REFERENCE = """paper (full-scale models, real MEDIC, RTX 3090):
+VGG16          STL 61.78/59.14  MTL 62.65 (+0.87) / 60.54 (+1.40)
+MobileNetV3    STL 61.73/52.66  MTL 61.90 (+0.17) / 52.29 (-0.37)
+EfficientNet   STL 61.00/53.94  MTL 62.42 (+1.42) / 55.74 (+1.80)"""
+
+
+@pytest.fixture(scope="module")
+def splits(scale):
+    dataset = data.make_medic(scale.samples, seed=21)
+    train, _val, test = train_val_test_split(
+        dataset, val_fraction=0.0, test_fraction=0.25, rng=np.random.default_rng(22)
+    )
+    return train, test
+
+
+@pytest.fixture(scope="module")
+def table():
+    return ComparisonTable(
+        title="Table 2 — MEDIC-like (T1 = damage severity, T2 = disaster type)",
+        task_labels=TASK_LABELS,
+    )
+
+
+@pytest.mark.parametrize("backbone", BACKBONES)
+def test_table2_backbone(benchmark, backbone, splits, table, scale):
+    train, test = splits
+    cfg = TrainConfig(
+        epochs=scale.epochs, batch_size=scale.batch_size, lr=scale.lr, seed=0
+    )
+
+    def run():
+        return run_stl_mtl_experiment(
+            backbone, train, test,
+            task_groups=[
+                ["damage_severity"], ["disaster_type"],
+                ["damage_severity", "disaster_type"],
+            ],
+            config=cfg,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    table.add(result)
+    group = "damage_severity+disaster_type"
+    for task in ("damage_severity", "disaster_type"):
+        assert result.mtl[group][task] > 0.5 * result.stl[task] - 0.02
+
+
+def test_table2_render(benchmark, table, results_dir):
+    assert len(table.results) == len(BACKBONES)
+    text = benchmark.pedantic(
+        lambda: table.render() + "\n\n" + PAPER_REFERENCE, rounds=1, iterations=1
+    )
+    emit(results_dir, "table2_medic", text)
+    # Hard-dataset regime: every accuracy should sit clearly below ceiling
+    # (the label noise caps it) but above chance.
+    for result in table.results:
+        assert result.stl["damage_severity"] < 0.95
+        assert result.stl["disaster_type"] > 0.25

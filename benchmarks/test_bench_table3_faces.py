@@ -1,0 +1,117 @@
+"""Table 3 — STL vs MTL on the FACES-like workload with fine-tuning.
+
+Paper configuration: T1 = perceived age (3), T2 = gender (2),
+T3 = expression (3); training starts from ImageNet-pretrained backbones
+and fine-tunes (Sec. 3.3); task groups T1+T3, T2+T3 and T1+T2+T3.
+Paper reference values (accuracy %), EfficientNet row:
+
+    STL 99.76/99.76/94.63 ; MTL(T1+T3) 100/95.61 ;
+    MTL(T2+T3) 99.76/97.32 ; MTL(T1+T2+T3) 100/100/95.61
+
+Pre-training here uses an auxiliary synthetic dataset (no ImageNet
+offline); fine-tuning uses the paper's two-rate rule (alpha >> eta).
+Reproduced shape: near-ceiling accuracies, MTL at or above STL.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import data
+from repro.core import (
+    ComparisonTable,
+    FineTuneConfig,
+    TrainConfig,
+    pretrain_backbone,
+    run_stl_mtl_experiment,
+)
+from repro.data import train_val_test_split
+
+from _bench_utils import emit
+
+BACKBONES = ("vgg_tiny", "mobilenet_v3_tiny", "efficientnet_tiny")
+TASK_LABELS = {"age": "T1 (age)", "gender": "T2 (gender)", "expression": "T3 (expr)"}
+GROUPS = [
+    ["age"], ["gender"], ["expression"],
+    ["age", "expression"], ["gender", "expression"],
+    ["age", "gender", "expression"],
+]
+
+PAPER_REFERENCE = """paper (pretrained full-scale models, real FACES, RTX 3090):
+VGG16        STL 96.83/95.61/19.02  MTL(T1+T2+T3) 98.54 (+1.71) / 99.51 (+3.90) / 89.27 (+70.25)
+MobileNetV3  STL 97.07/99.51/95.12  MTL(T1+T2+T3) 99.27 (+2.20) / 99.51 (+0.00) / 95.85 (+0.73)
+EfficientNet STL 99.76/99.76/94.63  MTL(T1+T2+T3) 100 (+0.24)   / 100 (+0.24)   / 95.61 (+0.98)"""
+
+
+@pytest.fixture(scope="module")
+def splits(scale):
+    # FACES is a small dataset (2,052 photos); keep the stand-in small too.
+    dataset = data.make_faces(max(600, scale.samples // 2), seed=31)
+    train, _val, test = train_val_test_split(
+        dataset, val_fraction=0.0, test_fraction=0.25, rng=np.random.default_rng(32)
+    )
+    return train, test
+
+
+@pytest.fixture(scope="module")
+def pretrained(scale):
+    """Backbone weights pre-trained on an auxiliary synthetic task.
+
+    Emulates the paper's ImageNet initialisation: the backbone has seen
+    related imagery (clean 3D-Shapes factors) before fine-tuning on faces.
+    """
+    auxiliary = data.make_shapes3d(800, tasks=("shape", "object_hue"), seed=33,
+                                   noise_amount=0.0)
+    cfg = TrainConfig(epochs=2, batch_size=scale.batch_size, lr=scale.lr, seed=33)
+    return {
+        name: pretrain_backbone(name, auxiliary, input_size=32, config=cfg, seed=33)
+        for name in BACKBONES
+    }
+
+
+@pytest.fixture(scope="module")
+def table():
+    return ComparisonTable(
+        title="Table 3 — FACES-like (T1 = age, T2 = gender, T3 = expression), fine-tuned",
+        task_labels=TASK_LABELS,
+    )
+
+
+@pytest.mark.parametrize("backbone", BACKBONES)
+def test_table3_backbone(benchmark, backbone, splits, pretrained, table, scale):
+    train, test = splits
+    finetune_cfg = FineTuneConfig(
+        alpha=6e-3, eta=6e-4, epochs=scale.finetune_epochs,
+        batch_size=scale.batch_size, seed=0,
+    )
+
+    def run():
+        return run_stl_mtl_experiment(
+            backbone, train, test,
+            task_groups=GROUPS,
+            pretrained_backbone=pretrained[backbone],
+            finetune_config=finetune_cfg,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    table.add(result)
+    # Gender is the paper's easy task: expect a high score even fine-tuned
+    # briefly from an auxiliary-task backbone.
+    assert result.stl["gender"] > 0.6
+
+
+def test_table3_render(benchmark, table, results_dir):
+    assert len(table.results) == len(BACKBONES)
+    text = benchmark.pedantic(
+        lambda: table.render() + "\n\n" + PAPER_REFERENCE, rounds=1, iterations=1
+    )
+    emit(results_dir, "table3_faces", text)
+    # Near-ceiling regime: the best cells should be high.
+    best = max(
+        acc
+        for result in table.results
+        for group in result.mtl.values()
+        for acc in group.values()
+    )
+    assert best > 0.7

@@ -1,0 +1,66 @@
+"""Table 4 — analytic size of the backbone ``M_b`` and its output ``Z_b``.
+
+Paper reference row (MobileNetV3 / EfficientNet):
+
+    Mb #params (M):        0.9    / 4
+    Mb #params size (MB):  3.58   / 15.45
+    Fwd/bwd pass (MB):     724.08 / 3452.09
+    Mb estimated (MB):     727.66 / 3467.54
+    Zb #elements (K):      55.3   / 406.06
+    Zb size (MB):          0.21   / 1.56
+
+The parameter columns match at any resolution (they are input-size
+independent); the activation columns match when profiling at ~1024x1024
+(the paper profiled at high resolution for the FACES deployment), so the
+benchmark reports both 224 and 1024.  VGG16 is profiled too even though
+the paper omits it ("not optimal for embedded systems") — the numbers
+show why.
+"""
+
+from __future__ import annotations
+
+from repro.deployment import render_table4, table4_rows
+
+from _bench_utils import emit
+
+PAPER_REFERENCE = {
+    "mobilenet_v3_small": {
+        "params_millions": 0.9, "params_mb": 3.58, "forward_backward_mb": 724.08,
+        "estimated_mb": 727.66, "zb_kilo_elements": 55.3, "zb_mb": 0.21,
+    },
+    "efficientnet_b0": {
+        "params_millions": 4.0, "params_mb": 15.45, "forward_backward_mb": 3452.09,
+        "estimated_mb": 3467.54, "zb_kilo_elements": 406.06, "zb_mb": 1.56,
+    },
+}
+
+BACKBONES = ("mobilenet_v3_small", "efficientnet_b0", "vgg16")
+
+
+def test_table4_standard_resolution(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: table4_rows(BACKBONES, input_size=224), rounds=3, iterations=1
+    )
+    text = "input 224x224, batch 1\n" + render_table4(rows, PAPER_REFERENCE)
+    emit(results_dir, "table4_profile_224", text)
+    # Parameter columns are resolution-independent and must match the paper.
+    assert abs(rows["mobilenet_v3_small"]["params_millions"] - 0.9) < 0.1
+    assert abs(rows["efficientnet_b0"]["params_millions"] - 4.0) < 0.3
+    assert abs(rows["efficientnet_b0"]["params_mb"] - 15.45) < 1.0
+
+
+def test_table4_paper_resolution(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: table4_rows(BACKBONES, input_size=1024), rounds=3, iterations=1
+    )
+    text = "input 1024x1024, batch 1 (paper's activation magnitudes)\n" + render_table4(
+        rows, PAPER_REFERENCE
+    )
+    emit(results_dir, "table4_profile_1024", text)
+    # Activation columns land on the paper's magnitudes at this resolution.
+    assert abs(rows["mobilenet_v3_small"]["forward_backward_mb"] - 724.08) / 724.08 < 0.1
+    assert abs(rows["efficientnet_b0"]["forward_backward_mb"] - 3452.09) / 3452.09 < 0.1
+    # EfficientNet's Z_b is several times MobileNetV3's (paper: 0.21 vs 1.56 MB).
+    assert (
+        rows["efficientnet_b0"]["zb_mb"] > 1.5 * rows["mobilenet_v3_small"]["zb_mb"]
+    )

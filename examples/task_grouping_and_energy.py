@@ -1,0 +1,95 @@
+"""Decide which tasks to co-train and where to split — data-driven.
+
+Two questions every MTL-Split deployment must answer, tackled with the
+library's analysis tooling:
+
+1. **Which tasks should share the backbone?**  Gradient-cosine task
+   affinity (Sec. 2.2's task-relationship question, Taskonomy-style):
+   tasks whose loss gradients on the shared parameters point the same
+   way transfer to each other; conflicting tasks deserve their own
+   backbone.
+2. **Where should the network be cut?**  The Neurosurgeon-style sweep
+   (Kang et al. [15]) over latency *and* edge energy, across channel
+   conditions — showing when MTL-Split's backbone-boundary cut is
+   optimal and when a different cut would pay.
+
+Run:  python examples/task_grouping_and_energy.py
+"""
+
+import numpy as np
+
+from repro import data
+from repro.core import (
+    MTLSplitNet,
+    MultiTaskTrainer,
+    TrainConfig,
+    affinity_matrix,
+    suggest_task_groups,
+)
+from repro.deployment import (
+    GIGABIT_ETHERNET,
+    JETSON_NANO,
+    JETSON_NANO_ENERGY,
+    RTX3090_SERVER,
+    energy_profile,
+    latency_profile,
+    optimal_split_index,
+)
+from repro.models import get_spec
+
+TASKS = ("scale", "shape", "wall_hue", "object_hue")
+
+
+def main() -> None:
+    print("== 1. task affinity: which tasks should share the backbone? ==")
+    dataset = data.make_shapes3d(700, tasks=TASKS, noise_amount=0.1, seed=13)
+    train, _val, _test = data.train_val_test_split(
+        dataset, val_fraction=0.0, test_fraction=0.2, rng=np.random.default_rng(13)
+    )
+    net = MTLSplitNet.from_tasks("mobilenet_v3_tiny", list(train.tasks), 32, seed=13)
+    MultiTaskTrainer(TrainConfig(epochs=2, lr=1e-2, batch_size=64, seed=13)).fit(net, train)
+
+    matrix, names = affinity_matrix(net, train, batch_size=64)
+    print("   gradient-cosine affinity on shared parameters psi:")
+    header = "            " + "".join(f"{n[:10]:>12}" for n in names)
+    print(header)
+    for i, name in enumerate(names):
+        row = "".join(f"{matrix[i, j]:>12.2f}" for j in range(len(names)))
+        print(f"   {name[:10]:>9}{row}")
+    groups = suggest_task_groups(matrix, names, threshold=0.0)
+    print(f"   suggested backbone groups: {groups}")
+
+    print("\n== 2. latency- and energy-optimal split (MobileNetV3-Small @224) ==")
+    spec = get_spec("mobilenet_v3_small")
+    for factor, label in ((1, "gigabit"), (1000, "1 Mbps degraded")):
+        channel = GIGABIT_ETHERNET.degraded(factor) if factor > 1 else GIGABIT_ETHERNET
+        best_latency = optimal_split_index(
+            spec, JETSON_NANO, RTX3090_SERVER, channel, input_size=224
+        )
+        energies = energy_profile(
+            spec, JETSON_NANO, RTX3090_SERVER, channel, JETSON_NANO_ENERGY,
+            input_size=224,
+        )
+        best_energy = min(energies, key=lambda e: e.total_joules)
+        default = latency_profile(
+            spec, JETSON_NANO, RTX3090_SERVER, channel, input_size=224
+        )[-1]
+        print(f"   {label}:")
+        print(
+            f"     latency-optimal cut: {best_latency.stage_name:>12} "
+            f"({best_latency.total_seconds * 1e3:7.2f} ms vs default "
+            f"{default.total_seconds * 1e3:7.2f} ms)"
+        )
+        print(
+            f"     energy-optimal cut:  {best_energy.latency.stage_name:>12} "
+            f"({best_energy.total_joules * 1e3:7.2f} mJ/inference on the edge)"
+        )
+    print(
+        "\n   reading: on a fast LAN an earlier cut (or full offload) wins; as\n"
+        "   the channel degrades both optima migrate to MTL-Split's late cut,\n"
+        "   where the transmitted Z_b is smallest."
+    )
+
+
+if __name__ == "__main__":
+    main()

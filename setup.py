@@ -1,0 +1,6 @@
+"""Legacy setup shim: the offline environment lacks the ``wheel`` package,
+so PEP-517 editable installs fail; ``python setup.py develop`` works with
+setuptools alone."""
+from setuptools import setup
+
+setup()

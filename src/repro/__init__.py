@@ -1,0 +1,31 @@
+"""MTL-Split reproduction (DAC 2024).
+
+A from-scratch, numpy-based reproduction of *MTL-Split: Multi-Task
+Learning for Edge Devices using Split Computing* (Capogrosso et al., DAC
+2024): the shared-backbone + task-heads architecture, its training and
+fine-tuning strategies, the STL-vs-MTL evaluation protocol, and the
+LoC/RoC/SC deployment analysis — plus every substrate they need (a
+deep-learning framework, the backbone zoo, synthetic dataset generators
+and a deployment simulator).
+
+Sub-packages
+------------
+``repro.nn``
+    Numpy autograd deep-learning framework (tensors, conv nets, AdamW).
+``repro.models``
+    VGG16 / MobileNetV3 / EfficientNet specs, builders and MLP heads.
+``repro.data``
+    Multi-task dataset substrates: 3D-Shapes-like, MEDIC-like, FACES-like.
+``repro.core``
+    The paper's contribution: MTLSplitNet, trainers, fine-tuning,
+    STL-vs-MTL protocol, split-point analysis.
+``repro.deployment``
+    Profiling, device/channel models, paradigm comparison, runnable
+    split pipeline.
+"""
+
+from . import core, data, deployment, models, nn
+
+__version__ = "1.0.0"
+
+__all__ = ["nn", "models", "data", "core", "deployment", "__version__"]

@@ -1,0 +1,205 @@
+"""Command-line interface for the MTL-Split reproduction.
+
+Exposes the analyses a user wants without writing code::
+
+    python -m repro profile --backbone efficientnet_b0 --input-size 1024
+    python -m repro paradigms --backbone mobilenet_v3_small --tasks 3
+    python -m repro dataset --name shapes3d --samples 200
+    python -m repro split-sweep --backbone mobilenet_v3_small --bandwidth-mbps 10
+    python -m repro train --backbone mobilenet_v3_tiny --epochs 2
+
+Training at the CLI uses the quick 32x32 stand-in workloads; the full
+benchmark harness lives under ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["build_parser", "main"]
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .deployment import profile_backbone, render_table4, table4_rows
+    from .models import get_spec
+
+    if args.table4:
+        rows = table4_rows([args.backbone], input_size=args.input_size)
+        print(render_table4(rows))
+        return 0
+    profile = profile_backbone(
+        get_spec(args.backbone), input_size=args.input_size, batch_size=args.batch_size
+    )
+    print(profile.summary())
+    if args.layers:
+        print(f"{'layer':<40}{'params':>12}{'out shape':>18}{'kFLOPs':>12}")
+        for layer in profile.layers:
+            print(
+                f"{layer.name:<40}{layer.params:>12,}"
+                f"{str(layer.out_shape):>18}{layer.flops / 1e3:>12.1f}"
+            )
+    return 0
+
+
+def _cmd_paradigms(args: argparse.Namespace) -> int:
+    from .deployment import (
+        GIGABIT_ETHERNET,
+        JETSON_NANO,
+        RTX3090_SERVER,
+        compare_paradigms,
+        render_paradigm_comparison,
+    )
+    from .models import get_spec
+
+    channel = (
+        GIGABIT_ETHERNET.degraded(1000.0 / args.bandwidth_mbps)
+        if args.bandwidth_mbps != 1000
+        else GIGABIT_ETHERNET
+    )
+    reports = compare_paradigms(
+        get_spec(args.backbone),
+        args.tasks,
+        JETSON_NANO,
+        RTX3090_SERVER,
+        channel,
+        input_size=args.input_size,
+    )
+    print(render_paradigm_comparison(reports))
+    return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    from . import data
+
+    makers = {
+        "shapes3d": lambda n: data.make_shapes3d(n, tasks=(), seed=args.seed),
+        "medic": lambda n: data.make_medic(n, seed=args.seed),
+        "faces": lambda n: data.make_faces(n, seed=args.seed),
+    }
+    if args.name not in makers:
+        print(f"unknown dataset {args.name!r}; choose from {sorted(makers)}", file=sys.stderr)
+        return 2
+    dataset = makers[args.name](args.samples)
+    print(data.dataset_summary(dataset))
+    if args.export:
+        data.save_image_grid(dataset.images[: args.grid], args.export)
+        print(f"wrote {min(args.grid, len(dataset))}-image grid to {args.export}")
+    return 0
+
+
+def _cmd_split_sweep(args: argparse.Namespace) -> int:
+    from .deployment import (
+        GIGABIT_ETHERNET,
+        JETSON_NANO,
+        RTX3090_SERVER,
+        latency_profile,
+        optimal_split_index,
+    )
+    from .models import get_spec
+
+    channel = (
+        GIGABIT_ETHERNET.degraded(1000.0 / args.bandwidth_mbps)
+        if args.bandwidth_mbps != 1000
+        else GIGABIT_ETHERNET
+    )
+    spec = get_spec(args.backbone)
+    profile = latency_profile(
+        spec, JETSON_NANO, RTX3090_SERVER, channel, input_size=args.input_size
+    )
+    best = optimal_split_index(
+        spec, JETSON_NANO, RTX3090_SERVER, channel, input_size=args.input_size
+    )
+    print(f"{'cut':>14}{'transmit':>12}{'edge ms':>10}{'net ms':>10}{'srv ms':>10}{'total ms':>10}")
+    for point in profile:
+        marker = "  <- optimal" if point.stage_index == best.stage_index else ""
+        print(
+            f"{point.stage_name:>14}{point.transmit_elements:>12,}"
+            f"{point.edge_seconds * 1e3:>10.2f}{point.transfer_seconds * 1e3:>10.2f}"
+            f"{point.server_seconds * 1e3:>10.2f}{point.total_seconds * 1e3:>10.2f}{marker}"
+        )
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from . import data
+    from .core import MTLSplitNet, MultiTaskTrainer, TrainConfig, evaluate
+
+    dataset = data.make_shapes3d(args.samples, tasks=("scale", "shape"), seed=args.seed)
+    train, val, test = data.train_val_test_split(
+        dataset, rng=np.random.default_rng(args.seed)
+    )
+    net = MTLSplitNet.from_tasks(
+        args.backbone, list(train.tasks), input_size=32, seed=args.seed
+    )
+    config = TrainConfig(
+        epochs=args.epochs, batch_size=args.batch_size, lr=args.lr,
+        seed=args.seed, verbose=True,
+    )
+    MultiTaskTrainer(config).fit(net, train, val_set=val)
+    accuracy = evaluate(net, test)
+    for task, value in accuracy.items():
+        print(f"test {task}: {value:.3f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="MTL-Split (DAC 2024) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("profile", help="analytic backbone profile (Table 4)")
+    p.add_argument("--backbone", default="mobilenet_v3_small")
+    p.add_argument("--input-size", type=int, default=224)
+    p.add_argument("--batch-size", type=int, default=1)
+    p.add_argument("--layers", action="store_true", help="print per-layer rows")
+    p.add_argument("--table4", action="store_true", help="print Table-4 columns")
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser("paradigms", help="LoC / RoC / SC comparison (Sec. 4.2)")
+    p.add_argument("--backbone", default="mobilenet_v3_small")
+    p.add_argument("--tasks", type=int, default=2)
+    p.add_argument("--input-size", type=int, default=1024)
+    p.add_argument("--bandwidth-mbps", type=float, default=1000)
+    p.set_defaults(func=_cmd_paradigms)
+
+    p = sub.add_parser("dataset", help="generate and summarise a stand-in dataset")
+    p.add_argument("--name", default="shapes3d")
+    p.add_argument("--samples", type=int, default=100)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--export", help="write a PPM image grid to this path")
+    p.add_argument("--grid", type=int, default=16, help="images in the exported grid")
+    p.set_defaults(func=_cmd_dataset)
+
+    p = sub.add_parser("split-sweep", help="per-cut latency sweep (Neurosurgeon)")
+    p.add_argument("--backbone", default="mobilenet_v3_small")
+    p.add_argument("--input-size", type=int, default=224)
+    p.add_argument("--bandwidth-mbps", type=float, default=1000)
+    p.set_defaults(func=_cmd_split_sweep)
+
+    p = sub.add_parser("train", help="quick MTL training demo (32x32 stand-in)")
+    p.add_argument("--backbone", default="mobilenet_v3_tiny")
+    p.add_argument("--samples", type=int, default=800)
+    p.add_argument("--epochs", type=int, default=3)
+    p.add_argument("--batch-size", type=int, default=64)
+    p.add_argument("--lr", type=float, default=1e-2)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_train)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""``repro.core`` — the MTL-Split architecture, training and analysis.
+
+This package is the paper's primary contribution: the shared-backbone +
+task-heads architecture (Fig. 1), the joint training strategy (Eq. 4),
+the two-rate fine-tuning (Eqs. 5-7), the STL-vs-MTL evaluation protocol
+(Tables 1-3) and split-point analysis utilities.
+"""
+
+from .affinity import affinity_matrix, suggest_task_groups, task_gradients
+from .architecture import EdgeModel, MTLSplitNet, ServerModel
+from .bottleneck import BottleneckAutoencoder, BottleneckedSplit, train_bottleneck
+from .evaluation import (
+    ComparisonTable,
+    ExperimentResult,
+    format_accuracy_table,
+    run_stl_mtl_experiment,
+)
+from .finetune import FineTuneConfig, add_task, fine_tune, pretrain_backbone
+from .losses import MultiTaskLoss, UncertaintyWeighting
+from .splitting import (
+    SplitPoint,
+    architecture_split_candidates,
+    recommend_split,
+    saliency_profile,
+    stage_activation_profile,
+)
+from .trainer import (
+    EpochStats,
+    History,
+    MultiTaskTrainer,
+    TrainConfig,
+    evaluate,
+    recalibrate_batch_norm,
+)
+
+__all__ = [
+    "MTLSplitNet",
+    "EdgeModel",
+    "ServerModel",
+    "BottleneckAutoencoder",
+    "BottleneckedSplit",
+    "train_bottleneck",
+    "task_gradients",
+    "affinity_matrix",
+    "suggest_task_groups",
+    "MultiTaskLoss",
+    "UncertaintyWeighting",
+    "TrainConfig",
+    "MultiTaskTrainer",
+    "History",
+    "EpochStats",
+    "evaluate",
+    "recalibrate_batch_norm",
+    "FineTuneConfig",
+    "fine_tune",
+    "add_task",
+    "pretrain_backbone",
+    "ExperimentResult",
+    "ComparisonTable",
+    "run_stl_mtl_experiment",
+    "format_accuracy_table",
+    "SplitPoint",
+    "stage_activation_profile",
+    "architecture_split_candidates",
+    "saliency_profile",
+    "recommend_split",
+]

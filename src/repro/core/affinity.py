@@ -1,0 +1,122 @@
+"""Task-affinity analysis: which tasks should share a backbone?
+
+The paper's related work (Sec. 2.2) highlights that MTL's benefit hinges
+on "the relationship between tasks and how much a shared representation
+can be transferred across tasks" (Taskonomy [30], Standley et al. [27]).
+This module measures that relationship directly on an
+:class:`~repro.core.architecture.MTLSplitNet`:
+
+* **gradient cosine affinity** — for each pair of tasks, the cosine
+  similarity between their loss gradients on the *shared* parameters
+  ``psi``.  Positive affinity means the tasks pull the backbone in
+  compatible directions (transfer is likely to help); strongly negative
+  affinity is the gradient-conflict signature of negative transfer.
+* **grouping suggestion** — a greedy partition of tasks into groups with
+  non-negative pairwise affinity, usable to decide which heads should
+  share one MTL-Split backbone and which deserve their own.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..data.base import MultiTaskDataset
+from ..nn.tensor import Tensor
+from .architecture import MTLSplitNet
+from .losses import MultiTaskLoss
+
+__all__ = [
+    "task_gradients",
+    "affinity_matrix",
+    "suggest_task_groups",
+]
+
+
+def task_gradients(
+    net: MTLSplitNet,
+    dataset: MultiTaskDataset,
+    batch_size: int = 64,
+) -> Dict[str, np.ndarray]:
+    """Per-task loss gradients on the shared backbone parameters.
+
+    Runs one forward pass per task over (up to) one batch and returns the
+    flattened, concatenated gradient of that task's loss with respect to
+    ``psi``.  Gradients are averaged over the batch by the criterion's
+    mean reduction.
+    """
+    tasks = [dataset.task_info(name) for name in net.task_names]
+    criterion = MultiTaskLoss(tasks)
+    images = dataset.images[:batch_size]
+    targets = {k: v[:batch_size] for k, v in dataset.labels.items()}
+    gradients: Dict[str, np.ndarray] = {}
+    net.train()
+    backbone_params = list(net.backbone_parameters())
+    for task in net.task_names:
+        net.zero_grad()
+        outputs = net(Tensor(images))
+        loss = criterion.task_losses(outputs, targets)[task]
+        loss.backward()
+        pieces = [
+            (p.grad if p.grad is not None else np.zeros_like(p.data)).reshape(-1)
+            for p in backbone_params
+        ]
+        gradients[task] = np.concatenate(pieces).astype(np.float64)
+    net.zero_grad()
+    return gradients
+
+
+def affinity_matrix(
+    net: MTLSplitNet,
+    dataset: MultiTaskDataset,
+    batch_size: int = 64,
+) -> Tuple[np.ndarray, Tuple[str, ...]]:
+    """Pairwise gradient-cosine affinity between the net's tasks.
+
+    Returns ``(matrix, task_names)`` where ``matrix[i, j]`` is the cosine
+    similarity between task ``i``'s and task ``j``'s backbone gradients
+    (diagonal is 1).
+    """
+    gradients = task_gradients(net, dataset, batch_size=batch_size)
+    names = net.task_names
+    k = len(names)
+    matrix = np.eye(k)
+    for i in range(k):
+        for j in range(i + 1, k):
+            gi, gj = gradients[names[i]], gradients[names[j]]
+            denom = np.linalg.norm(gi) * np.linalg.norm(gj)
+            cosine = float(gi @ gj / denom) if denom > 0 else 0.0
+            matrix[i, j] = matrix[j, i] = cosine
+    return matrix, names
+
+
+def suggest_task_groups(
+    matrix: np.ndarray,
+    names: Sequence[str],
+    threshold: float = 0.0,
+) -> List[List[str]]:
+    """Greedy grouping: tasks join a group when their affinity with every
+    member is at least ``threshold``.
+
+    Tasks are visited in order of total affinity (most compatible first),
+    so strongly-transferring tasks seed the groups.  The result is a
+    partition: every task appears in exactly one group.
+    """
+    matrix = np.asarray(matrix)
+    if matrix.shape != (len(names), len(names)):
+        raise ValueError(
+            f"matrix shape {matrix.shape} does not match {len(names)} tasks"
+        )
+    order = np.argsort(-matrix.sum(axis=1))
+    groups: List[List[int]] = []
+    for index in order:
+        placed = False
+        for group in groups:
+            if all(matrix[index, member] >= threshold for member in group):
+                group.append(int(index))
+                placed = True
+                break
+        if not placed:
+            groups.append([int(index)])
+    return [[names[i] for i in sorted(group)] for group in groups]

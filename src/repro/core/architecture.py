@@ -1,0 +1,210 @@
+"""The MTL-Split architecture (paper Fig. 1).
+
+:class:`MTLSplitNet` is the paper's proposed system: a shared backbone
+``M_b(x; psi)`` producing the flattened representation ``Z_b`` (Eq. 2),
+followed by one task-solving head ``H_j(Z_b; theta_j)`` per task (Eq. 3).
+The backbone/head interface is the *splitting point* — the backbone is
+deployed on the edge device, the heads on the remote server, and ``Z_b``
+is what crosses the network.
+
+:meth:`MTLSplitNet.split` materialises that deployment decomposition as
+two independent modules (edge side, server side) whose composition is
+numerically identical to the monolithic forward pass — the property the
+integration tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..data.base import TaskInfo
+from ..models.builder import Backbone
+from ..models.heads import MLPHead
+from ..models.registry import create_backbone
+from ..nn.tensor import Tensor
+
+__all__ = ["MTLSplitNet", "EdgeModel", "ServerModel"]
+
+
+class EdgeModel(nn.Module):
+    """The edge-resident half of a split deployment.
+
+    Runs the first ``split_index`` backbone stages and flattens the
+    result into the transmissible representation ``Z_b``.
+    """
+
+    def __init__(self, stages: Sequence[nn.Module]):
+        super().__init__()
+        self.stages = nn.Sequential(*stages)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.stages(x).flatten(1)
+
+
+class ServerModel(nn.Module):
+    """The server-resident half: remaining stages plus all task heads.
+
+    ``feature_shape`` records the unflattened shape of the tensor the
+    edge transmits, so the server can undo the wire flattening when
+    convolutional stages remain on its side.
+    """
+
+    def __init__(
+        self,
+        stages: Sequence[nn.Module],
+        heads: Dict[str, nn.Module],
+        feature_shape: Tuple[int, ...],
+    ):
+        super().__init__()
+        self.stages = nn.Sequential(*stages)
+        self.heads = nn.ModuleList(list(heads.values()))
+        self._head_names = tuple(heads.keys())
+        self.feature_shape = tuple(feature_shape)
+
+    def forward(self, z_flat: Tensor) -> Dict[str, Tensor]:
+        z = z_flat.reshape((z_flat.shape[0],) + self.feature_shape)
+        z = self.stages(z).flatten(1)
+        return {
+            name: head(z) for name, head in zip(self._head_names, self.heads)
+        }
+
+
+class MTLSplitNet(nn.Module):
+    """Shared backbone + N task-solving heads (the paper's architecture).
+
+    Parameters
+    ----------
+    backbone:
+        The shared feature extractor ``M_b``.
+    heads:
+        Mapping from task name to head module ``H_j``.
+    """
+
+    def __init__(self, backbone: Backbone, heads: Dict[str, nn.Module]):
+        super().__init__()
+        if not heads:
+            raise ValueError("MTLSplitNet needs at least one task head")
+        self.backbone = backbone
+        self.heads = nn.ModuleList(list(heads.values()))
+        self._head_names: Tuple[str, ...] = tuple(heads.keys())
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tasks(
+        cls,
+        backbone_name: str,
+        tasks: Sequence[TaskInfo],
+        input_size: int = 32,
+        head_hidden: Optional[int] = None,
+        seed: int = 0,
+    ) -> "MTLSplitNet":
+        """Build a net for ``tasks`` on a registry backbone.
+
+        The head width defaults to the paper's small-MLP regime
+        (see :class:`repro.models.heads.MLPHead`).
+        """
+        rng = np.random.default_rng(seed)
+        backbone = create_backbone(backbone_name, rng=rng)
+        z_dim = backbone.feature_dim(input_size)
+        heads = {
+            task.name: MLPHead(z_dim, task.num_classes, hidden_features=head_hidden, rng=rng)
+            for task in tasks
+        }
+        return cls(backbone, heads)
+
+    # ------------------------------------------------------------------
+    # Forward paths
+    # ------------------------------------------------------------------
+    @property
+    def task_names(self) -> Tuple[str, ...]:
+        return self._head_names
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self._head_names)
+
+    def head(self, name: str) -> nn.Module:
+        """Return the head for one task by name."""
+        try:
+            index = self._head_names.index(name)
+        except ValueError:
+            raise KeyError(f"unknown task {name!r}; have {self._head_names}") from None
+        return self.heads[index]
+
+    def forward_backbone(self, x: Tensor) -> Tensor:
+        """Compute the shared representation ``Z_b = M_b(x; psi)`` (Eq. 2)."""
+        return self.backbone(x)
+
+    def forward_heads(self, z_b: Tensor) -> Dict[str, Tensor]:
+        """Compute every head output ``yhat_j = H_j(Z_b; theta_j)`` (Eq. 3)."""
+        return {
+            name: head(z_b) for name, head in zip(self._head_names, self.heads)
+        }
+
+    def forward(self, x: Tensor) -> Dict[str, Tensor]:
+        """Full pass: input image batch to per-task logits."""
+        return self.forward_heads(self.forward_backbone(x))
+
+    # ------------------------------------------------------------------
+    # Parameter groups (psi vs theta_j) — used by the training strategy
+    # ------------------------------------------------------------------
+    def backbone_parameters(self) -> Iterator[nn.Parameter]:
+        """The shared parameters ``psi``."""
+        return self.backbone.parameters()
+
+    def head_parameters(self, task: Optional[str] = None) -> Iterator[nn.Parameter]:
+        """The head parameters ``theta_j`` (one task, or all)."""
+        if task is not None:
+            yield from self.head(task).parameters()
+            return
+        for head in self.heads:
+            yield from head.parameters()
+
+    # ------------------------------------------------------------------
+    # Split deployment
+    # ------------------------------------------------------------------
+    def split(self, split_index: Optional[int] = None, input_size: int = 32) -> Tuple[EdgeModel, ServerModel]:
+        """Cut the network into (edge, server) halves at a backbone stage.
+
+        ``split_index`` counts backbone stages kept on the edge; the
+        default (all stages) is the paper's configuration, where the
+        entire backbone runs on the edge device and only the heads are
+        remote.  The two halves share parameters with this network (no
+        copies), so training the monolith updates the deployment too.
+        """
+        if not hasattr(self.backbone, "stages"):
+            raise TypeError(
+                "split() requires a staged backbone (repro.models.Backbone); "
+                f"{type(self.backbone).__name__} exposes no stages"
+            )
+        stages = list(self.backbone.stages)
+        if split_index is None:
+            split_index = len(stages)
+        if not 1 <= split_index <= len(stages):
+            raise ValueError(
+                f"split_index must be in [1, {len(stages)}], got {split_index}"
+            )
+        edge = EdgeModel(stages[:split_index])
+        with nn.no_grad():
+            probe = Tensor(
+                np.zeros((1, self.backbone.spec.input_channels, input_size, input_size),
+                         dtype=np.float32)
+            )
+            feature_shape = edge.stages(probe).shape[1:]
+        heads = {name: self.head(name) for name in self._head_names}
+        server = ServerModel(stages[split_index:], heads, feature_shape)
+        return edge, server
+
+    def __repr__(self) -> str:
+        heads = ", ".join(self._head_names)
+        spec = getattr(self.backbone, "spec", None)
+        backbone_name = spec.name if spec is not None else type(self.backbone).__name__
+        return (
+            f"MTLSplitNet(backbone={backbone_name!r}, tasks=[{heads}], "
+            f"params={self.num_parameters()})"
+        )

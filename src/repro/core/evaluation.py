@@ -1,0 +1,174 @@
+"""STL-vs-MTL experiment protocol and paper-style reporting.
+
+The paper's protocol (Sec. 4.1): *"our experimental protocol involves
+benchmarking our models against their respective single-task
+performance"*.  :func:`run_stl_mtl_experiment` trains one STL net per task
+plus one MTL net per task group on the same splits and seeds, and
+:class:`ComparisonTable` renders the result in the layout of the paper's
+Tables 1-3 (STL columns, MTL columns with signed deltas).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.base import MultiTaskDataset, TaskInfo
+from .architecture import MTLSplitNet
+from .finetune import FineTuneConfig, fine_tune
+from .trainer import MultiTaskTrainer, TrainConfig, evaluate
+
+__all__ = [
+    "ExperimentResult",
+    "ComparisonTable",
+    "run_stl_mtl_experiment",
+    "format_accuracy_table",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """Accuracies for one backbone on one dataset.
+
+    ``stl`` maps task name to single-task test accuracy; ``mtl`` maps a
+    task-group key (e.g. ``"T1+T2"``) to per-task accuracies under joint
+    training.
+    """
+
+    backbone: str
+    dataset: str
+    stl: Dict[str, float] = field(default_factory=dict)
+    mtl: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def delta(self, group: str, task: str) -> float:
+        """MTL-minus-STL accuracy difference for one task in one group."""
+        return self.mtl[group][task] - self.stl[task]
+
+
+@dataclass
+class ComparisonTable:
+    """Collection of :class:`ExperimentResult` rows with rendering."""
+
+    title: str
+    task_labels: Dict[str, str]  # task name -> "T1" style label
+    results: List[ExperimentResult] = field(default_factory=list)
+
+    def add(self, result: ExperimentResult) -> None:
+        self.results.append(result)
+
+    def render(self) -> str:
+        """Render in the layout of the paper's accuracy tables.
+
+        Group keys are ``"+"``-joined *task names*; the display uses the
+        short ``T1``-style labels from ``task_labels``.
+        """
+        lines = [self.title]
+        groups: List[str] = []
+        for result in self.results:
+            for group in result.mtl:
+                if group not in groups:
+                    groups.append(group)
+        header = ["Model"]
+        stl_tasks = list(self.task_labels)
+        header += [f"STL {self.task_labels[t]}" for t in stl_tasks]
+        for group in groups:
+            tasks_in_group = group.split("+")
+            short = "+".join(self.task_labels[t] for t in tasks_in_group)
+            header += [f"MTL({short}) {self.task_labels[t]}" for t in tasks_in_group]
+        widths = [max(18, len(h) + 2) for h in header]
+        lines.append("".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("-" * sum(widths))
+        for result in self.results:
+            row = [result.backbone]
+            for task in stl_tasks:
+                row.append(f"{100 * result.stl.get(task, float('nan')):.2f}")
+            for group in groups:
+                for task in group.split("+"):
+                    if group in result.mtl and task in result.mtl[group]:
+                        acc = 100 * result.mtl[group][task]
+                        if task in result.stl:
+                            delta = 100 * result.delta(group, task)
+                            row.append(f"{acc:.2f} ({delta:+.2f})")
+                        else:
+                            row.append(f"{acc:.2f}")
+                    else:
+                        row.append("-")
+            lines.append("".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def _group_key(tasks: Sequence[str]) -> str:
+    return "+".join(tasks)
+
+
+def run_stl_mtl_experiment(
+    backbone: str,
+    train_set: MultiTaskDataset,
+    test_set: MultiTaskDataset,
+    task_groups: Sequence[Sequence[str]],
+    config: Optional[TrainConfig] = None,
+    input_size: Optional[int] = None,
+    pretrained_backbone: Optional[Dict[str, np.ndarray]] = None,
+    finetune_config: Optional[FineTuneConfig] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Run the paper's protocol for one backbone on one dataset.
+
+    Trains one STL net per task appearing in any group, then one MTL net
+    per group, all from the same initialisation seed and training
+    configuration.  When ``pretrained_backbone`` is given every net starts
+    from those backbone weights and is adapted with the two-rate
+    fine-tuning of Sec. 3.3 (the paper's FACES setting); otherwise nets
+    train from scratch with the standard trainer.
+
+    Returns per-task test accuracies for every configuration.
+    """
+    cfg = config if config is not None else TrainConfig()
+    size = input_size if input_size is not None else train_set.image_shape[-1]
+    result = ExperimentResult(backbone=backbone, dataset=train_set.name)
+
+    all_tasks: List[str] = []
+    for group in task_groups:
+        for task in group:
+            if task not in all_tasks:
+                all_tasks.append(task)
+
+    def _train(tasks: Sequence[str]) -> MTLSplitNet:
+        infos = [train_set.task_info(t) for t in tasks]
+        net = MTLSplitNet.from_tasks(backbone, infos, input_size=size, seed=seed)
+        subset = train_set.select_tasks(tasks)
+        if pretrained_backbone is not None:
+            net.backbone.load_state_dict(pretrained_backbone)
+            fine_tune(net, subset, config=finetune_config)
+        else:
+            MultiTaskTrainer(cfg).fit(net, subset)
+        return net
+
+    # Single-task baselines: one dedicated network per task (paper's STL).
+    for task in all_tasks:
+        net = _train([task])
+        accuracy = evaluate(net, test_set.select_tasks([task]))
+        result.stl[task] = accuracy[task]
+
+    # Joint training: one shared backbone per task group (paper's MTL).
+    for group in task_groups:
+        if len(group) < 2:
+            continue
+        net = _train(list(group))
+        accuracy = evaluate(net, test_set.select_tasks(list(group)))
+        result.mtl[_group_key(group)] = {t: accuracy[t] for t in group}
+    return result
+
+
+def format_accuracy_table(
+    title: str,
+    results: Sequence[ExperimentResult],
+    task_labels: Dict[str, str],
+) -> str:
+    """Format results in the paper's table layout (helper for benches)."""
+    table = ComparisonTable(title=title, task_labels=task_labels)
+    for result in results:
+        table.add(result)
+    return table.render()

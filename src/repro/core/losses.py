@@ -1,0 +1,148 @@
+"""Multi-task objectives.
+
+The paper's training objective (Eq. 4) is the *unweighted sum* of the
+per-task losses:
+
+.. math:: L_{total} = \\sum_{j=1}^{N} L_j(y_i, \\hat y_j)
+
+:class:`MultiTaskLoss` implements that sum plus two weighting strategies
+used by the ablation benchmarks: static per-task weights, and the
+homoscedastic-uncertainty weighting of Kendall et al. (2018), which the
+paper cites ([16]) as the loss-centric alternative to its model-centric
+approach.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..data.base import TaskInfo
+from ..nn.tensor import Tensor
+
+__all__ = ["MultiTaskLoss", "UncertaintyWeighting"]
+
+
+class UncertaintyWeighting(nn.Module):
+    """Learnable homoscedastic-uncertainty task weighting (Kendall 2018).
+
+    Each task ``j`` owns a log-variance ``s_j``; the combined loss is
+    ``sum_j exp(-s_j) * L_j + s_j``, letting the optimiser discover task
+    weights instead of fixing them.
+    """
+
+    def __init__(self, task_names: Sequence[str]):
+        super().__init__()
+        self.task_names = tuple(task_names)
+        self.log_vars = nn.Parameter(np.zeros(len(self.task_names), dtype=np.float32))
+
+    def forward(self, losses: Dict[str, Tensor]) -> Tensor:
+        total: Optional[Tensor] = None
+        for j, name in enumerate(self.task_names):
+            s_j = self.log_vars[j]
+            term = (-s_j).exp() * losses[name] + s_j
+            total = term if total is None else total + term
+        assert total is not None
+        return total
+
+
+class MultiTaskLoss(nn.Module):
+    """Combine per-task criterion outputs into ``L_total``.
+
+    Parameters
+    ----------
+    tasks:
+        Task metadata; one cross-entropy criterion is created per task.
+    weighting:
+        ``"uniform"`` (paper's Eq. 4), ``"static"`` (requires
+        ``static_weights``), or ``"uncertainty"`` (Kendall et al. 2018,
+        adds learnable parameters).
+    static_weights:
+        Mapping from task name to a fixed positive weight.
+    label_smoothing:
+        Optional label smoothing passed to every criterion.
+    """
+
+    def __init__(
+        self,
+        tasks: Sequence[TaskInfo],
+        weighting: str = "uniform",
+        static_weights: Optional[Dict[str, float]] = None,
+        label_smoothing: float = 0.0,
+    ):
+        super().__init__()
+        if weighting not in ("uniform", "static", "uncertainty"):
+            raise ValueError(f"unknown weighting {weighting!r}")
+        self.tasks = tuple(tasks)
+        self.task_names = tuple(t.name for t in tasks)
+        self._kinds = {t.name: t.kind for t in tasks}
+        self.weighting = weighting
+        self.criterion = nn.CrossEntropyLoss(label_smoothing=label_smoothing)
+        self.regression_criterion = nn.MSELoss()
+        if weighting == "static":
+            if static_weights is None:
+                raise ValueError("static weighting requires static_weights")
+            missing = set(self.task_names) - set(static_weights)
+            if missing:
+                raise ValueError(f"static_weights missing tasks {sorted(missing)}")
+            if any(w <= 0 for w in static_weights.values()):
+                raise ValueError("static weights must be positive")
+            self.static_weights = dict(static_weights)
+        else:
+            self.static_weights = None
+        if weighting == "uncertainty":
+            self.uncertainty = UncertaintyWeighting(self.task_names)
+        else:
+            self.uncertainty = None
+
+    # ------------------------------------------------------------------
+    def task_losses(
+        self, outputs: Dict[str, Tensor], targets: Dict[str, np.ndarray]
+    ) -> Dict[str, Tensor]:
+        """Per-task criterion values ``L_j(y_i, yhat_j)``.
+
+        Cross-entropy for classification tasks, MSE for regression tasks
+        (the paper's motivating classification + bounding-box pairing).
+        """
+        losses = {}
+        for name in self.task_names:
+            if name not in outputs:
+                raise KeyError(f"model produced no output for task {name!r}")
+            if self._kinds.get(name) == "regression":
+                target = np.asarray(targets[name], dtype=np.float32)
+                if target.ndim == 1:
+                    target = target[:, None]
+                prediction = outputs[name]
+                if prediction.shape != target.shape:
+                    prediction = prediction.reshape(target.shape)
+                losses[name] = self.regression_criterion(prediction, target)
+            else:
+                losses[name] = self.criterion(outputs[name], targets[name])
+        return losses
+
+    def forward(
+        self, outputs: Dict[str, Tensor], targets: Dict[str, np.ndarray]
+    ) -> Tuple[Tensor, Dict[str, float]]:
+        """Return ``(L_total, per-task float losses)`` for logging."""
+        losses = self.task_losses(outputs, targets)
+        scalars = {name: float(loss.item()) for name, loss in losses.items()}
+        if self.weighting == "uncertainty":
+            assert self.uncertainty is not None
+            return self.uncertainty(losses), scalars
+        total: Optional[Tensor] = None
+        for name in self.task_names:
+            term = losses[name]
+            if self.weighting == "static":
+                assert self.static_weights is not None
+                term = term * self.static_weights[name]
+            total = term if total is None else total + term
+        assert total is not None
+        return total, scalars
+
+    def extra_parameters(self):
+        """Learnable parameters of the loss itself (uncertainty weights)."""
+        if self.uncertainty is not None:
+            return list(self.uncertainty.parameters())
+        return []

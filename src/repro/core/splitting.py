@@ -1,0 +1,198 @@
+"""Split-point analysis.
+
+The paper's related-work section surveys two families of methods for
+choosing *where* to cut a DNN for split computing:
+
+* **architecture-based** (Sbai et al. [24]): candidate split locations
+  are "where the size of the DNN layers decreases" — the network itself
+  compresses information there, so the transmitted tensor is small;
+* **saliency/neuron-based** (Cunico et al. [8], I-Split): split after
+  layers housing impactful neurons, measured by the gradient of the
+  correct decision with respect to the layer's output.
+
+MTL-Split itself splits at the backbone/heads interface, but the library
+exposes both analyses so the ablation benchmarks can quantify how good
+that default is: :func:`architecture_split_candidates` works analytically
+on a spec, :func:`saliency_profile` measures gradients on a trained net,
+and :func:`recommend_split` combines them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..models.specs import BackboneSpec, PrimitiveRecord, iter_primitives
+from ..nn.tensor import Tensor
+from .architecture import MTLSplitNet
+from .losses import MultiTaskLoss
+
+__all__ = [
+    "SplitPoint",
+    "stage_activation_profile",
+    "architecture_split_candidates",
+    "saliency_profile",
+    "recommend_split",
+]
+
+
+@dataclass(frozen=True)
+class SplitPoint:
+    """One candidate cut after top-level backbone stage ``stage_index``.
+
+    ``transmit_elements`` is the per-sample size of the tensor that would
+    cross the network if the cut were placed here; ``compression`` is the
+    ratio of the input size to that tensor (higher = cheaper to send).
+    """
+
+    stage_index: int
+    stage_name: str
+    transmit_elements: int
+    compression: float
+    saliency: Optional[float] = None
+
+
+def _stage_records(
+    spec: BackboneSpec, input_size: Optional[int]
+) -> List[List[PrimitiveRecord]]:
+    """Group primitive records by top-level spec layer index."""
+    grouped: Dict[int, List[PrimitiveRecord]] = {}
+    for record in iter_primitives(spec, input_size):
+        index = int(record.name.split(".")[0].removeprefix("layer"))
+        grouped.setdefault(index, []).append(record)
+    return [grouped[i] for i in sorted(grouped)]
+
+
+def stage_activation_profile(
+    spec: BackboneSpec, input_size: Optional[int] = None
+) -> List[SplitPoint]:
+    """Per-stage output sizes for every possible cut (analytic).
+
+    Stage ``i`` in the result corresponds to cutting after spec layer
+    ``i``; the transmitted tensor is that stage's final output.
+    """
+    size = input_size if input_size is not None else spec.input_size
+    input_elements = spec.input_channels * size * size
+    points = []
+    for index, records in enumerate(_stage_records(spec, input_size)):
+        out = records[-1].out_shape
+        elements = int(np.prod(out))
+        points.append(
+            SplitPoint(
+                stage_index=index,
+                stage_name=f"layer{index}",
+                transmit_elements=elements,
+                compression=input_elements / elements,
+            )
+        )
+    return points
+
+
+def architecture_split_candidates(
+    spec: BackboneSpec,
+    input_size: Optional[int] = None,
+    min_compression: float = 1.0,
+) -> List[SplitPoint]:
+    """Candidate splits in the style of Sbai et al. [24].
+
+    A stage qualifies when its output is smaller than every earlier
+    stage's output (the architecture is actively compressing there) and
+    beats ``min_compression`` relative to the raw input.
+    """
+    profile = stage_activation_profile(spec, input_size)
+    candidates: List[SplitPoint] = []
+    best_so_far = float("inf")
+    for point in profile:
+        if point.transmit_elements < best_so_far and point.compression >= min_compression:
+            candidates.append(point)
+        best_so_far = min(best_so_far, point.transmit_elements)
+    return candidates
+
+
+def saliency_profile(
+    net: MTLSplitNet,
+    images: np.ndarray,
+    targets: Dict[str, np.ndarray],
+) -> List[float]:
+    """Mean absolute gradient of ``L_total`` at each backbone stage output.
+
+    This is the I-Split-style neuron-saliency signal [8]: stages whose
+    outputs carry large gradients house decision-critical information, so
+    a split placed *after* them preserves that information flow.
+    """
+    tasks = [
+        # num_classes recovered from the head's output layer.
+        _task_info_from_head(net, name)
+        for name in net.task_names
+    ]
+    criterion = MultiTaskLoss(tasks)
+    net.train()
+    x = Tensor(images)
+    intermediates: List[Tensor] = []
+    out = x
+    for stage in net.backbone.stages:
+        out = stage(out)
+        out.retain_grad()
+        intermediates.append(out)
+    z_b = out.flatten(1)
+    outputs = net.forward_heads(z_b)
+    total, _ = criterion(outputs, targets)
+    total.backward()
+    saliencies = []
+    for tensor in intermediates:
+        grad = tensor.grad
+        saliencies.append(float(np.abs(grad).mean()) if grad is not None else 0.0)
+    net.zero_grad()
+    return saliencies
+
+
+def _task_info_from_head(net: MTLSplitNet, name: str):
+    from ..data.base import TaskInfo
+
+    head = net.head(name)
+    num_classes = getattr(head, "num_classes", None)
+    if num_classes is None:
+        raise ValueError(f"head for task {name!r} does not expose num_classes")
+    return TaskInfo(name, num_classes)
+
+
+def recommend_split(
+    net: MTLSplitNet,
+    images: np.ndarray,
+    targets: Dict[str, np.ndarray],
+    input_size: Optional[int] = None,
+    saliency_weight: float = 0.5,
+) -> SplitPoint:
+    """Pick the best cut combining compression and saliency.
+
+    Scores each stage by ``(1 - w) * normalised compression + w *
+    normalised cumulative saliency`` and returns the argmax.  With the
+    default weights, late high-compression stages win — which is exactly
+    the paper's choice of splitting at the backbone/heads boundary; the
+    ablation bench verifies that.
+    """
+    profile = stage_activation_profile(net.backbone.spec, input_size)
+    saliencies = np.asarray(saliency_profile(net, images, targets))
+    compressions = np.asarray([p.compression for p in profile])
+    if len(profile) != len(saliencies):
+        raise RuntimeError(
+            "spec stages and module stages disagree: "
+            f"{len(profile)} vs {len(saliencies)}"
+        )
+    # Information preserved up to a cut = total saliency of stages before it.
+    preserved = np.cumsum(saliencies)
+    norm_comp = compressions / (compressions.max() + 1e-12)
+    norm_sal = preserved / (preserved.max() + 1e-12)
+    scores = (1.0 - saliency_weight) * norm_comp + saliency_weight * norm_sal
+    best = int(np.argmax(scores))
+    point = profile[best]
+    return SplitPoint(
+        stage_index=point.stage_index,
+        stage_name=point.stage_name,
+        transmit_elements=point.transmit_elements,
+        compression=point.compression,
+        saliency=float(saliencies[best]),
+    )

@@ -1,0 +1,57 @@
+"""``repro.data`` — multi-task dataset substrates.
+
+Synthetic, offline-generable stand-ins for the three datasets of the
+paper's evaluation: a procedural 3D-Shapes renderer (the original is
+itself synthetic), a MEDIC-like disaster-scene generator and a FACES-like
+face-sketch generator, plus the dataset/loader plumbing and the paper's
+salt-and-pepper corruption.
+"""
+
+from .base import MultiTaskDataset, TaskInfo, train_val_test_split
+from .faces import FACES_TASKS, FaceSketchGenerator, make_faces
+from .io import dataset_summary, label_distribution, save_image_grid, save_ppm
+from .loader import DataLoader
+from .medic import MEDIC_TASKS, MedicSceneGenerator, make_medic
+from .noise import gaussian_noise, random_occlusion, salt_and_pepper
+from .shapes3d import (
+    SHAPES3D_TASKS,
+    Shapes3DFactors,
+    Shapes3DGenerator,
+    make_shapes3d,
+    make_shapes3d_detection,
+)
+from .transforms import (
+    compute_mean_std,
+    denormalize,
+    normalize,
+    random_horizontal_flip,
+)
+
+__all__ = [
+    "MultiTaskDataset",
+    "TaskInfo",
+    "train_val_test_split",
+    "DataLoader",
+    "Shapes3DGenerator",
+    "Shapes3DFactors",
+    "make_shapes3d",
+    "make_shapes3d_detection",
+    "SHAPES3D_TASKS",
+    "MedicSceneGenerator",
+    "make_medic",
+    "MEDIC_TASKS",
+    "FaceSketchGenerator",
+    "make_faces",
+    "FACES_TASKS",
+    "salt_and_pepper",
+    "gaussian_noise",
+    "random_occlusion",
+    "normalize",
+    "denormalize",
+    "compute_mean_std",
+    "random_horizontal_flip",
+    "save_ppm",
+    "save_image_grid",
+    "label_distribution",
+    "dataset_summary",
+]

@@ -1,0 +1,189 @@
+"""Dataset containers for multi-task image classification.
+
+The paper's data model (Eq. 1) is a labelled image dataset where every
+image ``x_i`` carries a *set* of labels ``y_i`` — one per task.
+:class:`MultiTaskDataset` is that object: an image tensor plus one integer
+label array per named task, with task metadata describing class counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["TaskInfo", "MultiTaskDataset", "train_val_test_split"]
+
+
+@dataclass(frozen=True)
+class TaskInfo:
+    """Metadata for one inference task ``T_j``.
+
+    ``kind`` is ``"classification"`` (integer labels, cross-entropy,
+    accuracy) or ``"regression"`` (float targets, MSE, R^2) — the paper's
+    motivating automotive example pairs exactly these two: *"a
+    classification task (identifying pedestrians, ...) and a regression
+    task (determining bounding boxes)"*.  For regression,
+    ``num_classes`` is the output dimension (e.g. 4 for a box).
+    """
+
+    name: str
+    num_classes: int
+    description: str = ""
+    kind: str = "classification"
+
+    def __post_init__(self):
+        if self.kind not in ("classification", "regression"):
+            raise ValueError(f"task {self.name!r}: unknown kind {self.kind!r}")
+        if self.kind == "classification" and self.num_classes < 2:
+            raise ValueError(f"task {self.name!r} needs >= 2 classes")
+        if self.kind == "regression" and self.num_classes < 1:
+            raise ValueError(f"task {self.name!r} needs >= 1 output dimension")
+
+    @property
+    def is_regression(self) -> bool:
+        return self.kind == "regression"
+
+
+class MultiTaskDataset:
+    """Images with one integer label per task.
+
+    Parameters
+    ----------
+    images:
+        Float array of shape ``(N, C, H, W)`` with values in ``[0, 1]``.
+    labels:
+        Mapping from task name to an ``(N,)`` integer array.
+    tasks:
+        Metadata for each task present in ``labels``.
+    name:
+        Dataset name for reporting.
+    """
+
+    def __init__(
+        self,
+        images: np.ndarray,
+        labels: Dict[str, np.ndarray],
+        tasks: Sequence[TaskInfo],
+        name: str = "dataset",
+    ):
+        images = np.asarray(images, dtype=np.float32)
+        if images.ndim != 4:
+            raise ValueError(f"images must be (N, C, H, W), got shape {images.shape}")
+        n = images.shape[0]
+        task_names = {t.name for t in tasks}
+        if set(labels) != task_names:
+            raise ValueError(f"labels keys {sorted(labels)} != tasks {sorted(task_names)}")
+        normalized: Dict[str, np.ndarray] = {}
+        for task in tasks:
+            arr = np.asarray(labels[task.name])
+            if task.is_regression:
+                expected = (n,) if task.num_classes == 1 else (n, task.num_classes)
+                if arr.shape not in ((n,), expected):
+                    raise ValueError(
+                        f"regression targets for {task.name!r} have shape "
+                        f"{arr.shape}, expected {expected}"
+                    )
+                normalized[task.name] = arr.astype(np.float32).reshape(expected)
+                continue
+            if arr.shape != (n,):
+                raise ValueError(
+                    f"labels for {task.name!r} have shape {arr.shape}, expected ({n},)"
+                )
+            if arr.size and (arr.min() < 0 or arr.max() >= task.num_classes):
+                raise ValueError(
+                    f"labels for {task.name!r} outside [0, {task.num_classes})"
+                )
+            normalized[task.name] = arr.astype(np.int64)
+        self.images = images
+        self.labels = normalized
+        self.tasks: Tuple[TaskInfo, ...] = tuple(tasks)
+        self.name = name
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.images.shape[0]
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, Dict]:
+        sample = {}
+        for task in self.tasks:
+            value = self.labels[task.name][index]
+            sample[task.name] = value if task.is_regression else int(value)
+        return self.images[index], sample
+
+    @property
+    def task_names(self) -> Tuple[str, ...]:
+        return tuple(t.name for t in self.tasks)
+
+    @property
+    def image_shape(self) -> Tuple[int, int, int]:
+        return tuple(self.images.shape[1:])  # type: ignore[return-value]
+
+    def task_info(self, name: str) -> TaskInfo:
+        """Return metadata for one task by name."""
+        for task in self.tasks:
+            if task.name == name:
+                return task
+        raise KeyError(f"unknown task {name!r}; have {self.task_names}")
+
+    # ------------------------------------------------------------------
+    def subset(self, indices: np.ndarray) -> "MultiTaskDataset":
+        """Return a new dataset restricted to ``indices`` (copy-on-slice)."""
+        indices = np.asarray(indices)
+        return MultiTaskDataset(
+            self.images[indices],
+            {k: v[indices] for k, v in self.labels.items()},
+            self.tasks,
+            name=self.name,
+        )
+
+    def select_tasks(self, names: Iterable[str]) -> "MultiTaskDataset":
+        """Return a view with only the requested tasks (paper's T1+T3 etc.)."""
+        names = list(names)
+        tasks = tuple(self.task_info(n) for n in names)
+        return MultiTaskDataset(
+            self.images,
+            {n: self.labels[n] for n in names},
+            tasks,
+            name=self.name,
+        )
+
+    def split(
+        self,
+        fractions: Sequence[float] = (0.7, 0.15, 0.15),
+        rng: Optional[np.random.Generator] = None,
+    ) -> List["MultiTaskDataset"]:
+        """Shuffle and split into parts proportional to ``fractions``."""
+        if abs(sum(fractions) - 1.0) > 1e-6:
+            raise ValueError(f"fractions must sum to 1, got {fractions}")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        order = rng.permutation(len(self))
+        parts: List[MultiTaskDataset] = []
+        start = 0
+        for i, frac in enumerate(fractions):
+            stop = len(self) if i == len(fractions) - 1 else start + int(round(frac * len(self)))
+            parts.append(self.subset(order[start:stop]))
+            start = stop
+        return parts
+
+    def __repr__(self) -> str:
+        tasks = ", ".join(f"{t.name}({t.num_classes})" for t in self.tasks)
+        return (
+            f"MultiTaskDataset(name={self.name!r}, n={len(self)}, "
+            f"image={self.image_shape}, tasks=[{tasks}])"
+        )
+
+
+def train_val_test_split(
+    dataset: MultiTaskDataset,
+    val_fraction: float = 0.15,
+    test_fraction: float = 0.15,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[MultiTaskDataset, MultiTaskDataset, MultiTaskDataset]:
+    """Convenience three-way split returning ``(train, val, test)``."""
+    train_fraction = 1.0 - val_fraction - test_fraction
+    if train_fraction <= 0:
+        raise ValueError("val + test fractions must leave room for train")
+    train, val, test = dataset.split((train_fraction, val_fraction, test_fraction), rng=rng)
+    return train, val, test

@@ -1,0 +1,108 @@
+"""Dataset inspection utilities: image export and label statistics.
+
+The generators in this package are procedural; being able to look at
+what they produce (without matplotlib, which is not installed offline)
+and to sanity-check label balance is part of making the stand-in
+datasets auditable.  Images are exported as binary PPM (P6), which every
+image viewer opens.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from .base import MultiTaskDataset
+
+__all__ = ["save_ppm", "save_image_grid", "label_distribution", "dataset_summary"]
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_ppm(image: np.ndarray, path: PathLike) -> None:
+    """Write one ``(C, H, W)`` float image in [0, 1] as a binary PPM."""
+    image = np.asarray(image)
+    if image.ndim != 3 or image.shape[0] != 3:
+        raise ValueError(f"expected (3, H, W) image, got shape {image.shape}")
+    path = os.fspath(path)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    pixels = (np.clip(image, 0.0, 1.0) * 255.0).astype(np.uint8)
+    pixels = pixels.transpose(1, 2, 0)  # HWC for PPM raster order
+    header = f"P6\n{pixels.shape[1]} {pixels.shape[0]}\n255\n".encode("ascii")
+    with open(path, "wb") as handle:
+        handle.write(header)
+        handle.write(pixels.tobytes())
+
+
+def save_image_grid(
+    images: np.ndarray,
+    path: PathLike,
+    columns: int = 8,
+    padding: int = 2,
+) -> None:
+    """Tile ``(N, 3, H, W)`` images into one PPM grid (white gutter)."""
+    images = np.asarray(images)
+    if images.ndim != 4 or images.shape[1] != 3:
+        raise ValueError(f"expected (N, 3, H, W) images, got shape {images.shape}")
+    n, _, h, w = images.shape
+    columns = max(1, min(columns, n))
+    rows = (n + columns - 1) // columns
+    grid = np.ones(
+        (3, rows * (h + padding) - padding, columns * (w + padding) - padding),
+        dtype=np.float32,
+    )
+    for index in range(n):
+        r, c = divmod(index, columns)
+        y, x = r * (h + padding), c * (w + padding)
+        grid[:, y : y + h, x : x + w] = images[index]
+    save_ppm(grid, path)
+
+
+def label_distribution(dataset: MultiTaskDataset) -> Dict[str, np.ndarray]:
+    """Per-classification-task class-frequency vectors (summing to 1).
+
+    Regression tasks carry no class structure and are omitted; use
+    :func:`dataset_summary` for their moment statistics.
+    """
+    out: Dict[str, np.ndarray] = {}
+    for task in dataset.tasks:
+        if task.is_regression:
+            continue
+        counts = np.bincount(dataset.labels[task.name], minlength=task.num_classes)
+        total = counts.sum()
+        out[task.name] = counts / total if total else counts.astype(float)
+    return out
+
+
+def dataset_summary(dataset: MultiTaskDataset) -> str:
+    """Readable multi-line summary: size, image stats, label balance."""
+    lines = [
+        f"dataset {dataset.name!r}: {len(dataset)} samples, "
+        f"images {dataset.image_shape}, "
+        f"pixel range [{dataset.images.min():.3f}, {dataset.images.max():.3f}], "
+        f"mean {dataset.images.mean():.3f}",
+    ]
+    distributions = label_distribution(dataset)
+    for task in dataset.tasks:
+        if task.is_regression:
+            targets = dataset.labels[task.name].reshape(len(dataset), -1)
+            mean = ", ".join(f"{m:.3f}" for m in targets.mean(axis=0))
+            std = ", ".join(f"{s:.3f}" for s in targets.std(axis=0))
+            lines.append(
+                f"  task {task.name!r}: regression ({targets.shape[1]} dims), "
+                f"mean [{mean}], std [{std}]"
+            )
+            continue
+        freqs = distributions[task.name]
+        balance = ", ".join(f"{f:.2f}" for f in freqs)
+        entropy = float(-(freqs[freqs > 0] * np.log(freqs[freqs > 0])).sum())
+        uniform = np.log(len(freqs))
+        lines.append(
+            f"  task {task.name!r}: {len(freqs)} classes, freqs [{balance}] "
+            f"(entropy {entropy:.2f}/{uniform:.2f})"
+        )
+    return "\n".join(lines)

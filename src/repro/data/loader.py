@@ -1,0 +1,53 @@
+"""Mini-batch iteration over :class:`~repro.data.base.MultiTaskDataset`."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from .base import MultiTaskDataset
+
+__all__ = ["DataLoader"]
+
+
+class DataLoader:
+    """Batched (optionally shuffled) iteration with a seeded generator.
+
+    Yields ``(images, labels)`` where ``images`` is ``(B, C, H, W)`` float32
+    and ``labels`` maps task name to a ``(B,)`` integer array — the shape
+    the multi-task trainer consumes directly.
+    """
+
+    def __init__(
+        self,
+        dataset: MultiTaskDataset,
+        batch_size: int = 32,
+        shuffle: bool = False,
+        drop_last: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, Dict[str, np.ndarray]]]:
+        n = len(self.dataset)
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        for start in range(0, n, self.batch_size):
+            batch = order[start : start + self.batch_size]
+            if self.drop_last and batch.size < self.batch_size:
+                break
+            images = self.dataset.images[batch]
+            labels = {k: v[batch] for k, v in self.dataset.labels.items()}
+            yield images, labels

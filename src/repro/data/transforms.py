@@ -1,0 +1,41 @@
+"""Image transforms applied at dataset-construction or batch time."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["normalize", "denormalize", "random_horizontal_flip", "compute_mean_std"]
+
+
+def compute_mean_std(images: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-channel mean/std over an ``(N, C, H, W)`` array."""
+    mean = images.mean(axis=(0, 2, 3))
+    std = images.std(axis=(0, 2, 3))
+    return mean.astype(np.float32), np.maximum(std, 1e-6).astype(np.float32)
+
+
+def normalize(images: np.ndarray, mean: Sequence[float], std: Sequence[float]) -> np.ndarray:
+    """Channel-wise ``(x - mean) / std`` on ``(N, C, H, W)`` or ``(C, H, W)``."""
+    mean = np.asarray(mean, dtype=np.float32).reshape(-1, 1, 1)
+    std = np.asarray(std, dtype=np.float32).reshape(-1, 1, 1)
+    return (images - mean) / std
+
+
+def denormalize(images: np.ndarray, mean: Sequence[float], std: Sequence[float]) -> np.ndarray:
+    """Inverse of :func:`normalize`."""
+    mean = np.asarray(mean, dtype=np.float32).reshape(-1, 1, 1)
+    std = np.asarray(std, dtype=np.float32).reshape(-1, 1, 1)
+    return images * std + mean
+
+
+def random_horizontal_flip(
+    images: np.ndarray, p: float = 0.5, rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    """Flip each image left-right with probability ``p`` (augmentation)."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    out = np.array(images, copy=True)
+    flips = rng.random(out.shape[0]) < p
+    out[flips] = out[flips, :, :, ::-1]
+    return out

@@ -1,0 +1,96 @@
+"""``repro.deployment`` — split-computing deployment analysis and runtime.
+
+Reproduces the paper's Sec. 4.2 machinery: analytic model profiling
+(Table 4), edge-device memory feasibility (the Jetson Nano LoC argument),
+network-channel latency (the gigabit RoC-vs-SC comparison), ``Z_b`` wire
+serialisation, and a runnable edge→link→server pipeline.
+"""
+
+from .channel import (
+    DEGRADED_EDGE_LINK,
+    GIGABIT_ETHERNET,
+    LTE_UPLINK,
+    WIFI_5,
+    NetworkChannel,
+)
+from .device import (
+    GENERIC_SERVER,
+    JETSON_NANO,
+    RASPBERRY_PI_4,
+    RTX3090_SERVER,
+    Device,
+)
+from .energy import (
+    JETSON_NANO_ENERGY,
+    EnergyModel,
+    SplitEnergy,
+    energy_profile,
+    lowest_edge_energy_split,
+)
+from .optimizer import SplitLatency, latency_profile, optimal_split_index
+from .paradigms import (
+    ParadigmReport,
+    compare_paradigms,
+    head_memory_bytes,
+    loc_report,
+    roc_report,
+    sc_report,
+)
+from .profiler import (
+    BYTES_PER_PARAM,
+    LayerProfile,
+    ModelProfile,
+    profile_backbone,
+)
+from .report import render_paradigm_comparison, render_table4, table4_rows
+from .runtime import (
+    EdgeRuntime,
+    InferenceTrace,
+    ServerRuntime,
+    SimulatedLink,
+    SplitPipeline,
+)
+from .wire import WireFormat, decode_tensor, encode_tensor, payload_bytes
+
+__all__ = [
+    "Device",
+    "JETSON_NANO",
+    "RTX3090_SERVER",
+    "RASPBERRY_PI_4",
+    "GENERIC_SERVER",
+    "NetworkChannel",
+    "GIGABIT_ETHERNET",
+    "WIFI_5",
+    "LTE_UPLINK",
+    "DEGRADED_EDGE_LINK",
+    "LayerProfile",
+    "ModelProfile",
+    "profile_backbone",
+    "BYTES_PER_PARAM",
+    "WireFormat",
+    "encode_tensor",
+    "decode_tensor",
+    "payload_bytes",
+    "ParadigmReport",
+    "loc_report",
+    "roc_report",
+    "sc_report",
+    "compare_paradigms",
+    "head_memory_bytes",
+    "EdgeRuntime",
+    "ServerRuntime",
+    "SimulatedLink",
+    "SplitPipeline",
+    "InferenceTrace",
+    "table4_rows",
+    "render_table4",
+    "render_paradigm_comparison",
+    "SplitLatency",
+    "latency_profile",
+    "optimal_split_index",
+    "EnergyModel",
+    "JETSON_NANO_ENERGY",
+    "SplitEnergy",
+    "energy_profile",
+    "lowest_edge_energy_split",
+]

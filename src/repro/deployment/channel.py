@@ -1,0 +1,102 @@
+"""Network channel model.
+
+The paper's RoC-vs-SC latency analysis (Sec. 4.2) assumes a gigabit
+channel and compares transferring 100 raw FACES inputs (~115 MB each,
+~98 s total) against 100 shared representations (~1.5 MB each, ~12 s).
+:class:`NetworkChannel` reproduces that arithmetic — ``bytes /
+bandwidth`` plus per-message overhead and round-trip latency — and also
+supports degraded-channel sweeps (the situation SC is designed for).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "NetworkChannel",
+    "GIGABIT_ETHERNET",
+    "WIFI_5",
+    "LTE_UPLINK",
+    "DEGRADED_EDGE_LINK",
+]
+
+
+@dataclass(frozen=True)
+class NetworkChannel:
+    """A point-to-point link between the edge device and the server.
+
+    Attributes
+    ----------
+    name:
+        Label for reports.
+    bandwidth_bps:
+        Usable bandwidth in bits per second.
+    rtt_seconds:
+        Round-trip time added once per message exchange.
+    overhead_fraction:
+        Protocol overhead as a fraction of payload (headers, framing,
+        retransmits); 0.05 means 5 % extra bytes on the wire.
+    """
+
+    name: str
+    bandwidth_bps: float
+    rtt_seconds: float = 0.0
+    overhead_fraction: float = 0.0
+
+    def __post_init__(self):
+        if self.bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth_bps}")
+        if self.rtt_seconds < 0:
+            raise ValueError(f"rtt must be non-negative, got {self.rtt_seconds}")
+        if self.overhead_fraction < 0:
+            raise ValueError(
+                f"overhead_fraction must be non-negative, got {self.overhead_fraction}"
+            )
+
+    # ------------------------------------------------------------------
+    def transfer_seconds(self, payload_bytes: int, messages: int = 1) -> float:
+        """Time to move ``messages`` payloads of ``payload_bytes`` each.
+
+        The paper's numbers use the pure serialisation delay
+        (``bytes * 8 / bandwidth``); RTT and overhead default to zero so
+        the defaults reproduce the paper, while realistic links can be
+        modelled by setting them.
+        """
+        if payload_bytes < 0:
+            raise ValueError(f"payload_bytes must be non-negative, got {payload_bytes}")
+        if messages < 0:
+            raise ValueError(f"messages must be non-negative, got {messages}")
+        wire_bytes = payload_bytes * (1.0 + self.overhead_fraction)
+        per_message = wire_bytes * 8.0 / self.bandwidth_bps + self.rtt_seconds
+        return per_message * messages
+
+    def effective_throughput_bytes_per_second(self, payload_bytes: int) -> float:
+        """Goodput for a given message size (RTT-limited for small ones)."""
+        seconds = self.transfer_seconds(payload_bytes)
+        return payload_bytes / seconds if seconds > 0 else float("inf")
+
+    def degraded(self, factor: float) -> "NetworkChannel":
+        """Return a copy with bandwidth divided by ``factor`` (> 1)."""
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        return replace(
+            self,
+            name=f"{self.name} (degraded {factor:g}x)",
+            bandwidth_bps=self.bandwidth_bps / factor,
+        )
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.bandwidth_bps / 1e6:.0f} Mbps, rtt={self.rtt_seconds * 1e3:.1f} ms)"
+
+
+#: The paper's assumption: "assuming a gigabit channel".
+GIGABIT_ETHERNET = NetworkChannel("gigabit ethernet", bandwidth_bps=1e9)
+
+WIFI_5 = NetworkChannel("802.11ac Wi-Fi", bandwidth_bps=200e6, rtt_seconds=0.003,
+                        overhead_fraction=0.08)
+
+LTE_UPLINK = NetworkChannel("LTE uplink", bandwidth_bps=20e6, rtt_seconds=0.04,
+                            overhead_fraction=0.10)
+
+DEGRADED_EDGE_LINK = NetworkChannel("degraded edge link", bandwidth_bps=5e6,
+                                    rtt_seconds=0.08, overhead_fraction=0.12)

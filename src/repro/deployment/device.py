@@ -1,0 +1,92 @@
+"""Edge / server device models.
+
+The paper's LoC feasibility argument (Sec. 4.2) is a memory-accounting
+argument against an **NVIDIA Jetson Nano with 4 GB of memory**: N
+task-specific networks do not fit, one shared backbone does.
+:class:`Device` captures the memory capacity (and a coarse compute
+throughput used for latency estimates); :data:`JETSON_NANO` is the
+paper's board.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["Device", "JETSON_NANO", "RTX3090_SERVER", "RASPBERRY_PI_4", "GENERIC_SERVER"]
+
+_GB = 1024**3
+
+
+@dataclass(frozen=True)
+class Device:
+    """A compute device with finite memory and throughput.
+
+    Attributes
+    ----------
+    name:
+        Human-readable device name.
+    memory_bytes:
+        Total RAM available for model weights and activations.
+    flops_per_second:
+        Sustained compute throughput used for coarse latency estimates
+        (FP32 FLOP/s; edge accelerators are quoted at their realistic
+        sustained rate, not the marketing peak).
+    """
+
+    name: str
+    memory_bytes: int
+    flops_per_second: float
+
+    def __post_init__(self):
+        if self.memory_bytes <= 0:
+            raise ValueError(f"memory_bytes must be positive, got {self.memory_bytes}")
+        if self.flops_per_second <= 0:
+            raise ValueError(
+                f"flops_per_second must be positive, got {self.flops_per_second}"
+            )
+
+    # ------------------------------------------------------------------
+    def fits(self, required_bytes: int) -> bool:
+        """Can a deployment needing ``required_bytes`` run on this device?"""
+        return required_bytes <= self.memory_bytes
+
+    def memory_headroom(self, required_bytes: int) -> int:
+        """Free bytes left after a deployment (negative = infeasible)."""
+        return self.memory_bytes - required_bytes
+
+    def compute_seconds(self, flops: float) -> float:
+        """Coarse execution-time estimate for ``flops`` of work."""
+        return flops / self.flops_per_second
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.memory_bytes / _GB:.1f} GB)"
+
+
+#: The paper's edge board: "an NVIDIA Jetson Nano with 4 GB of memory".
+JETSON_NANO = Device(
+    name="NVIDIA Jetson Nano",
+    memory_bytes=4 * _GB,
+    flops_per_second=236e9,  # 472 GFLOPS FP16 peak -> ~236 GFLOPS FP32
+)
+
+#: The paper's training/server GPU.
+RTX3090_SERVER = Device(
+    name="NVIDIA RTX 3090 server",
+    memory_bytes=24 * _GB,
+    flops_per_second=35.6e12,
+)
+
+#: A weaker edge point for sensitivity sweeps.
+RASPBERRY_PI_4 = Device(
+    name="Raspberry Pi 4",
+    memory_bytes=4 * _GB,
+    flops_per_second=13.5e9,
+)
+
+#: A generic CPU server remote endpoint.
+GENERIC_SERVER = Device(
+    name="generic cloud server",
+    memory_bytes=64 * _GB,
+    flops_per_second=2e12,
+)

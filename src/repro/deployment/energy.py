@@ -1,0 +1,138 @@
+"""Energy accounting for split deployments.
+
+Kang et al. [15] — the SC work the paper builds on — select split points
+to optimise *both latency and energy*.  This module adds the energy side:
+a per-device compute-energy model (joules per FLOP) and a radio model
+(joules per transmitted byte plus idle draw), composed into the same
+per-cut sweep as :mod:`repro.deployment.optimizer`.
+
+Edge energy is the quantity that matters (the battery lives there); the
+server's draw is reported separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..models.specs import BackboneSpec
+from .channel import NetworkChannel
+from .device import Device
+from .optimizer import SplitLatency, latency_profile
+from .wire import WireFormat
+
+__all__ = [
+    "EnergyModel",
+    "JETSON_NANO_ENERGY",
+    "SplitEnergy",
+    "energy_profile",
+    "lowest_edge_energy_split",
+]
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Energy characteristics of the edge platform.
+
+    Attributes
+    ----------
+    joules_per_flop:
+        Compute energy efficiency (typical embedded SoCs sit around
+        1e-10 J/FLOP sustained, i.e. ~10 GFLOPS/W).
+    joules_per_byte_tx:
+        Radio transmit energy per payload byte (Wi-Fi class links are
+        around 1e-7 J/B; cellular is an order of magnitude worse).
+    idle_watts:
+        Baseline platform draw, charged for the duration of the
+        inference (compute + transfer time).
+    """
+
+    joules_per_flop: float = 1e-10
+    joules_per_byte_tx: float = 1e-7
+    idle_watts: float = 1.0
+
+    def __post_init__(self):
+        if self.joules_per_flop < 0 or self.joules_per_byte_tx < 0 or self.idle_watts < 0:
+            raise ValueError("energy coefficients must be non-negative")
+
+
+#: Jetson-Nano-class coefficients (5-10 W envelope, ~0.5 TFLOPS FP16 peak).
+JETSON_NANO_ENERGY = EnergyModel(
+    joules_per_flop=2e-10, joules_per_byte_tx=1.5e-7, idle_watts=1.25
+)
+
+
+@dataclass(frozen=True)
+class SplitEnergy:
+    """Edge-side energy decomposition for one candidate cut."""
+
+    latency: SplitLatency
+    compute_joules: float
+    transmit_joules: float
+    idle_joules: float
+
+    @property
+    def stage_index(self) -> int:
+        return self.latency.stage_index
+
+    @property
+    def total_joules(self) -> float:
+        return self.compute_joules + self.transmit_joules + self.idle_joules
+
+
+def energy_profile(
+    spec: BackboneSpec,
+    edge_device: Device,
+    server_device: Device,
+    channel: NetworkChannel,
+    energy_model: EnergyModel = JETSON_NANO_ENERGY,
+    input_size: Optional[int] = None,
+    batch_size: int = 1,
+    head_flops: int = 0,
+    wire_format: WireFormat = WireFormat(),
+) -> List[SplitEnergy]:
+    """Edge energy for every candidate cut (including the RoC reference).
+
+    Compute energy charges the FLOPs executed on the edge; transmit
+    energy charges the wire payload; idle energy charges the baseline
+    draw over the cut's end-to-end latency (the device cannot sleep while
+    it waits for the answer).
+    """
+    profile = latency_profile(
+        spec, edge_device, server_device, channel,
+        input_size=input_size, batch_size=batch_size,
+        head_flops=head_flops, wire_format=wire_format,
+    )
+    results = []
+    for point in profile:
+        edge_flops = point.edge_seconds * edge_device.flops_per_second
+        payload = point.transmit_elements * batch_size * wire_format.bytes_per_element
+        results.append(
+            SplitEnergy(
+                latency=point,
+                compute_joules=edge_flops * energy_model.joules_per_flop,
+                transmit_joules=payload * energy_model.joules_per_byte_tx,
+                idle_joules=point.total_seconds * energy_model.idle_watts,
+            )
+        )
+    return results
+
+
+def lowest_edge_energy_split(
+    spec: BackboneSpec,
+    edge_device: Device,
+    server_device: Device,
+    channel: NetworkChannel,
+    energy_model: EnergyModel = JETSON_NANO_ENERGY,
+    input_size: Optional[int] = None,
+    batch_size: int = 1,
+    head_flops: int = 0,
+    wire_format: WireFormat = WireFormat(),
+) -> SplitEnergy:
+    """Cut with the lowest edge energy per inference."""
+    profile = energy_profile(
+        spec, edge_device, server_device, channel, energy_model,
+        input_size=input_size, batch_size=batch_size,
+        head_flops=head_flops, wire_format=wire_format,
+    )
+    return min(profile, key=lambda point: point.total_joules)

@@ -1,0 +1,137 @@
+"""Latency-optimal split-point selection (Neurosurgeon-style).
+
+Kang et al. [15] — the earliest SC work the paper cites — choose the
+split layer by minimising end-to-end latency: edge compute up to the
+cut, transfer of the cut tensor, remote compute for the rest.  This
+module reproduces that optimisation analytically on top of the spec
+profiler, for any device pair and channel:
+
+    latency(k) = edge.flops(<=k) / edge_speed
+               + payload(k) / channel
+               + (server flops(>k) + heads) / server_speed
+
+and compares the optimum against MTL-Split's default cut at the
+backbone/heads boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..models.specs import BackboneSpec, iter_primitives
+from .channel import NetworkChannel
+from .device import Device
+from .wire import WireFormat, payload_bytes
+
+__all__ = ["SplitLatency", "latency_profile", "optimal_split_index"]
+
+
+@dataclass(frozen=True)
+class SplitLatency:
+    """End-to-end latency decomposition for one candidate cut."""
+
+    stage_index: int
+    stage_name: str
+    transmit_elements: int
+    edge_seconds: float
+    transfer_seconds: float
+    server_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.edge_seconds + self.transfer_seconds + self.server_seconds
+
+
+def _per_stage(spec: BackboneSpec, input_size: Optional[int]) -> List[Tuple[str, int, int]]:
+    """Aggregate primitives by top-level stage: (name, flops, out_elements)."""
+    stages: Dict[int, Tuple[int, int]] = {}
+    for record in iter_primitives(spec, input_size):
+        index = int(record.name.split(".")[0].removeprefix("layer"))
+        flops, _ = stages.get(index, (0, 0))
+        stages[index] = (flops + record.flops, record.activations)
+    return [
+        (f"layer{index}",) + stages[index] for index in sorted(stages)
+    ]
+
+
+def latency_profile(
+    spec: BackboneSpec,
+    edge_device: Device,
+    server_device: Device,
+    channel: NetworkChannel,
+    input_size: Optional[int] = None,
+    batch_size: int = 1,
+    head_flops: int = 0,
+    wire_format: WireFormat = WireFormat(),
+) -> List[SplitLatency]:
+    """Latency decomposition for every candidate cut.
+
+    Cut ``k`` places stages ``0..k`` on the edge and the remainder (plus
+    ``head_flops`` worth of task heads) on the server.  Cut ``-1`` — send
+    the raw input, i.e. RoC — is included as stage index ``-1``.
+    """
+    stages = _per_stage(spec, input_size)
+    total_flops = sum(flops for _name, flops, _elems in stages)
+    size = input_size if input_size is not None else spec.input_size
+    input_elements = spec.input_channels * size * size
+
+    results: List[SplitLatency] = []
+    # RoC reference point: nothing on the edge.
+    results.append(
+        SplitLatency(
+            stage_index=-1,
+            stage_name="input (RoC)",
+            transmit_elements=input_elements,
+            edge_seconds=0.0,
+            transfer_seconds=channel.transfer_seconds(
+                payload_bytes(input_elements * batch_size, wire_format)
+            ),
+            server_seconds=server_device.compute_seconds(
+                (total_flops + head_flops) * batch_size
+            ),
+        )
+    )
+    edge_flops = 0
+    for index, (name, flops, out_elements) in enumerate(stages):
+        edge_flops += flops
+        remaining = total_flops - edge_flops + head_flops
+        results.append(
+            SplitLatency(
+                stage_index=index,
+                stage_name=name,
+                transmit_elements=out_elements,
+                edge_seconds=edge_device.compute_seconds(edge_flops * batch_size),
+                transfer_seconds=channel.transfer_seconds(
+                    payload_bytes(out_elements * batch_size, wire_format)
+                ),
+                server_seconds=server_device.compute_seconds(remaining * batch_size),
+            )
+        )
+    return results
+
+
+def optimal_split_index(
+    spec: BackboneSpec,
+    edge_device: Device,
+    server_device: Device,
+    channel: NetworkChannel,
+    input_size: Optional[int] = None,
+    batch_size: int = 1,
+    head_flops: int = 0,
+    wire_format: WireFormat = WireFormat(),
+) -> SplitLatency:
+    """Return the cut with the lowest end-to-end latency.
+
+    Index ``-1`` means remote-only computing wins (fast channel, slow
+    edge); the last index is MTL-Split's default (entire backbone on the
+    edge), which wins when the channel is the bottleneck.
+    """
+    profile = latency_profile(
+        spec, edge_device, server_device, channel,
+        input_size=input_size, batch_size=batch_size,
+        head_flops=head_flops, wire_format=wire_format,
+    )
+    return min(profile, key=lambda point: point.total_seconds)

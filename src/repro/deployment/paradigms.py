@@ -1,0 +1,278 @@
+"""Distributed deep-learning paradigm comparison (paper Sec. 2.1 & 4.2).
+
+Models the three deployment paradigms the paper analyses:
+
+* **LoC (Local-only Computing)** — every task's full network runs on the
+  edge device.  For N tasks under STL this means N networks; the memory
+  requirement is the feasibility bottleneck (the paper's Jetson Nano
+  argument).
+* **RoC (Remote-only Computing)** — the raw input crosses the network;
+  full accuracy, but the transfer dominates latency.
+* **SC (Split Computing / MTL-Split)** — the shared backbone runs on the
+  edge, ``Z_b`` crosses the network, the task heads run remotely.
+
+Each paradigm produces a :class:`ParadigmReport` with a memory breakdown
+(edge side), a per-inference latency breakdown (edge compute, transfer,
+server compute) and a feasibility verdict against the edge device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..models.specs import BackboneSpec
+from .channel import NetworkChannel
+from .device import Device
+from .profiler import BYTES_PER_PARAM, ModelProfile, profile_backbone
+from .wire import WireFormat, payload_bytes
+
+__all__ = [
+    "ParadigmReport",
+    "head_memory_bytes",
+    "loc_report",
+    "roc_report",
+    "sc_report",
+    "compare_paradigms",
+]
+
+_MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ParadigmReport:
+    """Outcome of deploying one workload under one paradigm."""
+
+    paradigm: str
+    edge_memory_bytes: int
+    transfer_bytes_per_inference: int
+    edge_compute_seconds: float
+    transfer_seconds: float
+    server_compute_seconds: float
+    feasible_on_edge: bool
+    notes: Tuple[str, ...] = ()
+
+    @property
+    def edge_memory_megabytes(self) -> float:
+        return self.edge_memory_bytes / _MB
+
+    @property
+    def latency_seconds(self) -> float:
+        """End-to-end per-inference latency (compute + transfer)."""
+        return self.edge_compute_seconds + self.transfer_seconds + self.server_compute_seconds
+
+    def summary(self) -> str:
+        status = "feasible" if self.feasible_on_edge else "INFEASIBLE"
+        parts = [
+            f"{self.paradigm}: edge memory {self.edge_memory_megabytes:.1f} MB ({status})",
+            f"  latency/inference: {self.latency_seconds * 1e3:.2f} ms "
+            f"(edge {self.edge_compute_seconds * 1e3:.2f} + "
+            f"net {self.transfer_seconds * 1e3:.2f} + "
+            f"server {self.server_compute_seconds * 1e3:.2f})",
+            f"  transfer payload:  {self.transfer_bytes_per_inference / _MB:.3f} MB",
+        ]
+        parts.extend(f"  note: {note}" for note in self.notes)
+        return "\n".join(parts)
+
+
+def head_memory_bytes(zb_elements: int, hidden: int, num_classes: int) -> int:
+    """Estimated memory of one MLP task head (params, float32).
+
+    Two linear layers: ``zb_dim x hidden`` and ``hidden x classes`` plus
+    biases — the paper's head design.
+    """
+    params = zb_elements * hidden + hidden + hidden * num_classes + num_classes
+    return params * BYTES_PER_PARAM
+
+
+def _head_flops(zb_elements: int, hidden: int, num_classes: int) -> int:
+    return 2 * (zb_elements * hidden + hidden * num_classes)
+
+
+@dataclass
+class _Workload:
+    """Internal: resolved workload parameters shared by the reports."""
+
+    profile: ModelProfile
+    num_tasks: int
+    classes_per_task: Tuple[int, ...]
+    head_hidden: int
+    input_bytes: int
+
+
+def _resolve(
+    spec: BackboneSpec,
+    num_tasks: int,
+    classes_per_task: Optional[Tuple[int, ...]],
+    head_hidden: int,
+    input_size: Optional[int],
+    batch_size: int,
+    raw_input_hw: Optional[Tuple[int, int]],
+) -> _Workload:
+    if num_tasks < 1:
+        raise ValueError(f"num_tasks must be >= 1, got {num_tasks}")
+    profile = profile_backbone(spec, input_size=input_size, batch_size=batch_size)
+    if classes_per_task is None:
+        classes_per_task = tuple([4] * num_tasks)
+    if len(classes_per_task) != num_tasks:
+        raise ValueError(
+            f"classes_per_task has {len(classes_per_task)} entries for {num_tasks} tasks"
+        )
+    if raw_input_hw is None:
+        raw_input_hw = (profile.input_size, profile.input_size)
+    input_bytes = raw_input_hw[0] * raw_input_hw[1] * 3 * BYTES_PER_PARAM
+    return _Workload(profile, num_tasks, classes_per_task, head_hidden, input_bytes)
+
+
+def loc_report(
+    spec: BackboneSpec,
+    num_tasks: int,
+    edge_device: Device,
+    classes_per_task: Optional[Tuple[int, ...]] = None,
+    head_hidden: int = 64,
+    input_size: Optional[int] = None,
+    batch_size: int = 1,
+    shared_backbone: bool = False,
+) -> ParadigmReport:
+    """Local-only computing.
+
+    ``shared_backbone=False`` is the STL baseline the paper argues
+    against: N full networks on the edge.  ``shared_backbone=True`` is
+    the MTL variant run fully locally (one backbone + N heads on the
+    edge), used by the memory-saving comparison.
+    """
+    w = _resolve(spec, num_tasks, classes_per_task, head_hidden, input_size, batch_size, None)
+    heads_bytes = sum(
+        head_memory_bytes(w.profile.zb_elements, head_hidden, k) for k in w.classes_per_task
+    )
+    if shared_backbone:
+        edge_memory = w.profile.estimated_total_bytes + heads_bytes
+        backbone_count = 1
+        label = "LoC (shared backbone, MTL)"
+    else:
+        edge_memory = num_tasks * w.profile.estimated_total_bytes + heads_bytes
+        backbone_count = num_tasks
+        label = "LoC (N single-task networks)"
+    compute = edge_device.compute_seconds(
+        backbone_count * w.profile.flops
+        + sum(_head_flops(w.profile.zb_elements, head_hidden, k) for k in w.classes_per_task)
+    )
+    return ParadigmReport(
+        paradigm=label,
+        edge_memory_bytes=edge_memory,
+        transfer_bytes_per_inference=0,
+        edge_compute_seconds=compute,
+        transfer_seconds=0.0,
+        server_compute_seconds=0.0,
+        feasible_on_edge=edge_device.fits(edge_memory),
+        notes=(f"{backbone_count}x {spec.name} backbone(s) on {edge_device.name}",),
+    )
+
+
+def roc_report(
+    spec: BackboneSpec,
+    num_tasks: int,
+    edge_device: Device,
+    server_device: Device,
+    channel: NetworkChannel,
+    classes_per_task: Optional[Tuple[int, ...]] = None,
+    head_hidden: int = 64,
+    input_size: Optional[int] = None,
+    batch_size: int = 1,
+    raw_input_hw: Optional[Tuple[int, int]] = None,
+) -> ParadigmReport:
+    """Remote-only computing: the raw input crosses the network.
+
+    ``raw_input_hw`` lets the transfer use the sensor's native resolution
+    (the paper's FACES images are 2835x3543) even when the model consumes
+    a resized input.
+    """
+    w = _resolve(
+        spec, num_tasks, classes_per_task, head_hidden, input_size, batch_size, raw_input_hw
+    )
+    transfer_s = channel.transfer_seconds(w.input_bytes)
+    server_flops = w.profile.flops + sum(
+        _head_flops(w.profile.zb_elements, head_hidden, k) for k in w.classes_per_task
+    )
+    return ParadigmReport(
+        paradigm="RoC (remote-only)",
+        edge_memory_bytes=0,
+        transfer_bytes_per_inference=w.input_bytes,
+        edge_compute_seconds=0.0,
+        transfer_seconds=transfer_s,
+        server_compute_seconds=server_device.compute_seconds(server_flops),
+        feasible_on_edge=True,
+        notes=(f"raw input {w.input_bytes / _MB:.1f} MB over {channel.name}",),
+    )
+
+
+def sc_report(
+    spec: BackboneSpec,
+    num_tasks: int,
+    edge_device: Device,
+    server_device: Device,
+    channel: NetworkChannel,
+    classes_per_task: Optional[Tuple[int, ...]] = None,
+    head_hidden: int = 64,
+    input_size: Optional[int] = None,
+    batch_size: int = 1,
+    wire_format: WireFormat = WireFormat(),
+) -> ParadigmReport:
+    """Split computing with the MTL-Split cut: backbone edge, heads remote."""
+    w = _resolve(spec, num_tasks, classes_per_task, head_hidden, input_size, batch_size, None)
+    zb_bytes = payload_bytes(w.profile.zb_elements * batch_size, wire_format)
+    edge_memory = w.profile.estimated_total_bytes
+    heads_flops = sum(
+        _head_flops(w.profile.zb_elements, head_hidden, k) for k in w.classes_per_task
+    )
+    return ParadigmReport(
+        paradigm="SC (MTL-Split)",
+        edge_memory_bytes=edge_memory,
+        transfer_bytes_per_inference=zb_bytes,
+        edge_compute_seconds=edge_device.compute_seconds(w.profile.flops),
+        transfer_seconds=channel.transfer_seconds(zb_bytes),
+        server_compute_seconds=server_device.compute_seconds(heads_flops),
+        feasible_on_edge=edge_device.fits(edge_memory),
+        notes=(
+            f"Z_b payload {zb_bytes / _MB:.3f} MB ({wire_format.dtype}) over {channel.name}",
+        ),
+    )
+
+
+def compare_paradigms(
+    spec: BackboneSpec,
+    num_tasks: int,
+    edge_device: Device,
+    server_device: Device,
+    channel: NetworkChannel,
+    classes_per_task: Optional[Tuple[int, ...]] = None,
+    head_hidden: int = 64,
+    input_size: Optional[int] = None,
+    batch_size: int = 1,
+    raw_input_hw: Optional[Tuple[int, int]] = None,
+    wire_format: WireFormat = WireFormat(),
+) -> Dict[str, ParadigmReport]:
+    """Run all three paradigm analyses on one workload.
+
+    Returns a mapping ``{"loc": ..., "loc_shared": ..., "roc": ...,
+    "sc": ...}`` — LoC appears twice to expose the paper's memory-saving
+    comparison (N networks vs one shared backbone).
+    """
+    common = dict(
+        classes_per_task=classes_per_task,
+        head_hidden=head_hidden,
+        input_size=input_size,
+        batch_size=batch_size,
+    )
+    return {
+        "loc": loc_report(spec, num_tasks, edge_device, **common),
+        "loc_shared": loc_report(spec, num_tasks, edge_device, shared_backbone=True, **common),
+        "roc": roc_report(
+            spec, num_tasks, edge_device, server_device, channel,
+            raw_input_hw=raw_input_hw, **common,
+        ),
+        "sc": sc_report(
+            spec, num_tasks, edge_device, server_device, channel,
+            wire_format=wire_format, **common,
+        ),
+    }

@@ -1,0 +1,168 @@
+"""Analytic model profiling (paper Table 4).
+
+Reproduces the ``torchsummary``-style accounting the paper reports for
+the backbone ``M_b`` and its output ``Z_b``:
+
+* ``#params`` and ``params size (MB)`` — 4 bytes per float32 weight;
+* ``forward/backward pass size (MB)`` — every layer's output is stored
+  once for the forward pass and once for its gradient (factor 2);
+* ``estimated size (MB)`` — input + params + forward/backward;
+* ``Z_b`` element count and wire size.
+
+Everything is computed from the declarative spec via
+:func:`repro.models.specs.iter_primitives`, so full-scale VGG16 /
+MobileNetV3 / EfficientNet can be profiled without allocating a single
+weight — which is how a laptop reproduces numbers for models that only
+fit on the paper's RTX 3090.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..models.specs import BackboneSpec, PrimitiveRecord, iter_primitives
+
+__all__ = ["LayerProfile", "ModelProfile", "profile_backbone", "BYTES_PER_PARAM"]
+
+BYTES_PER_PARAM = 4  # float32, matching the paper's size arithmetic
+_MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class LayerProfile:
+    """Per-primitive-layer profile row."""
+
+    name: str
+    kind: str
+    params: int
+    out_shape: Tuple[int, int, int]
+    activations: int
+    flops: int
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """Aggregate profile of a backbone at a given input size and batch.
+
+    Attribute names follow the columns of the paper's Table 4.
+    """
+
+    spec_name: str
+    input_size: int
+    batch_size: int
+    layers: Tuple[LayerProfile, ...]
+    params: int
+    zb_shape: Tuple[int, int, int]
+
+    # ------------------------------------------------------------------
+    @property
+    def params_megabytes(self) -> float:
+        """"M_b #params size (MB)" column."""
+        return self.params * BYTES_PER_PARAM / _MB
+
+    @property
+    def input_elements(self) -> int:
+        return 3 * self.input_size * self.input_size * self.batch_size
+
+    @property
+    def input_megabytes(self) -> float:
+        return self.input_elements * BYTES_PER_PARAM / _MB
+
+    @property
+    def forward_backward_megabytes(self) -> float:
+        """"Forward/backward pass size (MB)" column (activations x 2)."""
+        total_acts = sum(layer.activations for layer in self.layers) * self.batch_size
+        return 2.0 * total_acts * BYTES_PER_PARAM / _MB
+
+    @property
+    def estimated_megabytes(self) -> float:
+        """"M_b estimated size (MB)": input + params + fwd/bwd."""
+        return (
+            self.input_megabytes
+            + self.params_megabytes
+            + self.forward_backward_megabytes
+        )
+
+    @property
+    def estimated_total_bytes(self) -> int:
+        return int(round(self.estimated_megabytes * _MB))
+
+    # ------------------------------------------------------------------
+    @property
+    def flops(self) -> int:
+        """Per-sample forward FLOPs (multiply-accumulate = 2 FLOPs)."""
+        return sum(layer.flops for layer in self.layers)
+
+    @property
+    def zb_elements(self) -> int:
+        """Per-sample element count of ``Z_b`` ("Z_b #params" column)."""
+        return int(np.prod(self.zb_shape))
+
+    @property
+    def zb_megabytes(self) -> float:
+        """"Z_b size (MB)" column (per sample, float32)."""
+        return self.zb_elements * BYTES_PER_PARAM / _MB
+
+    def zb_bytes(self, dtype_bytes: int = BYTES_PER_PARAM) -> int:
+        """Wire size of one ``Z_b`` payload at a given element width."""
+        return self.zb_elements * dtype_bytes
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """Readable multi-line summary (torchsummary-flavoured)."""
+        lines = [
+            f"Model: {self.spec_name} (input {self.input_size}x{self.input_size}, "
+            f"batch {self.batch_size})",
+            f"  params:            {self.params:,} ({self.params_megabytes:.2f} MB)",
+            f"  forward/backward:  {self.forward_backward_megabytes:.2f} MB",
+            f"  estimated total:   {self.estimated_megabytes:.2f} MB",
+            f"  Z_b:               {self.zb_shape} = {self.zb_elements:,} elements "
+            f"({self.zb_megabytes:.3f} MB)",
+        ]
+        return "\n".join(lines)
+
+
+def profile_backbone(
+    spec: BackboneSpec,
+    input_size: Optional[int] = None,
+    batch_size: int = 1,
+) -> ModelProfile:
+    """Profile a backbone spec analytically.
+
+    Parameters
+    ----------
+    spec:
+        Declarative backbone description.
+    input_size:
+        Square input resolution; defaults to the spec's nominal size.
+    batch_size:
+        Activations scale linearly with the batch; parameters do not.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    size = input_size if input_size is not None else spec.input_size
+    layers: List[LayerProfile] = []
+    for record in iter_primitives(spec, size):
+        layers.append(
+            LayerProfile(
+                name=record.name,
+                kind=record.kind,
+                params=record.params,
+                out_shape=record.out_shape,
+                activations=record.activations,
+                flops=record.flops,
+            )
+        )
+    if not layers:
+        raise ValueError(f"spec {spec.name!r} has no layers")
+    return ModelProfile(
+        spec_name=spec.name,
+        input_size=size,
+        batch_size=batch_size,
+        layers=tuple(layers),
+        params=sum(layer.params for layer in layers),
+        zb_shape=layers[-1].out_shape,
+    )

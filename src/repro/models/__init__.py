@@ -1,0 +1,102 @@
+"""``repro.models`` — the backbone zoo and task-solving heads.
+
+Provides the three backbone families the paper evaluates (VGG16,
+MobileNetV3, EfficientNet) as declarative specs with two consumers: a
+module builder for training and an analytic expansion for deployment
+profiling.  Task-solving heads are the paper's two-layer ReLU MLPs.
+"""
+
+from .blocks import (
+    ConvBNActBlock,
+    InvertedResidualBlock,
+    MBConvBlock,
+    SqueezeExciteBlock,
+)
+from .builder import Backbone, build_backbone
+from .efficientnet import (
+    efficientnet_b0,
+    efficientnet_b0_spec,
+    efficientnet_b1_spec,
+    efficientnet_spec,
+    efficientnet_tiny,
+    efficientnet_tiny_spec,
+)
+from .heads import DeepMLPHead, LinearHead, MLPHead
+from .mobilenetv3 import (
+    mobilenet_v3_large_spec,
+    mobilenet_v3_small,
+    mobilenet_v3_small_spec,
+    mobilenet_v3_tiny,
+    mobilenet_v3_tiny_spec,
+)
+from .rnn import RowRNNBackbone, row_rnn_tiny
+from .registry import (
+    PAPER_BACKBONES,
+    TRAINING_BACKBONES,
+    available_backbones,
+    create_backbone,
+    get_spec,
+    register_spec,
+)
+from .specs import (
+    BackboneSpec,
+    ConvBNAct,
+    GlobalAvgPool,
+    InvertedResidual,
+    MaxPool,
+    MBConv,
+    PrimitiveRecord,
+    count_parameters,
+    feature_shape,
+    iter_primitives,
+    make_divisible,
+)
+from .vgg import vgg16, vgg16_bn_spec, vgg16_spec, vgg11_spec, vgg_tiny, vgg_tiny_spec
+
+__all__ = [
+    "Backbone",
+    "build_backbone",
+    "RowRNNBackbone",
+    "row_rnn_tiny",
+    "MLPHead",
+    "DeepMLPHead",
+    "LinearHead",
+    "ConvBNActBlock",
+    "SqueezeExciteBlock",
+    "InvertedResidualBlock",
+    "MBConvBlock",
+    "BackboneSpec",
+    "ConvBNAct",
+    "MaxPool",
+    "InvertedResidual",
+    "MBConv",
+    "GlobalAvgPool",
+    "PrimitiveRecord",
+    "iter_primitives",
+    "feature_shape",
+    "count_parameters",
+    "make_divisible",
+    "register_spec",
+    "get_spec",
+    "create_backbone",
+    "available_backbones",
+    "TRAINING_BACKBONES",
+    "PAPER_BACKBONES",
+    "vgg16",
+    "vgg16_spec",
+    "vgg16_bn_spec",
+    "vgg11_spec",
+    "vgg_tiny",
+    "vgg_tiny_spec",
+    "mobilenet_v3_small",
+    "mobilenet_v3_small_spec",
+    "mobilenet_v3_large_spec",
+    "mobilenet_v3_tiny",
+    "mobilenet_v3_tiny_spec",
+    "efficientnet_b0",
+    "efficientnet_b0_spec",
+    "efficientnet_b1_spec",
+    "efficientnet_spec",
+    "efficientnet_tiny",
+    "efficientnet_tiny_spec",
+]

@@ -1,0 +1,152 @@
+"""Reusable building blocks for the backbone zoo.
+
+Implements the composite blocks declared in :mod:`repro.models.specs`:
+conv–BN–activation stacks, squeeze-and-excite, MobileNetV3 inverted
+residuals and EfficientNet MBConv blocks, with the residual-skip rules of
+the reference implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from ..nn.tensor import Tensor
+from .specs import ConvBNAct, InvertedResidual, MBConv, make_divisible
+
+__all__ = [
+    "ConvBNActBlock",
+    "SqueezeExciteBlock",
+    "InvertedResidualBlock",
+    "MBConvBlock",
+]
+
+
+class ConvBNActBlock(nn.Module):
+    """Convolution followed by optional batch-norm and activation."""
+
+    def __init__(self, in_channels: int, spec: ConvBNAct, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.spec = spec
+        self.conv = nn.Conv2d(
+            in_channels,
+            spec.out_channels,
+            spec.kernel,
+            stride=spec.stride,
+            padding=spec.resolved_padding(),
+            groups=spec.groups,
+            bias=not spec.use_bn,
+            rng=rng,
+        )
+        self.bn = nn.BatchNorm2d(spec.out_channels) if spec.use_bn else nn.Identity()
+        self.act = nn.resolve_activation(spec.activation) if spec.activation else nn.Identity()
+        self.out_channels = spec.out_channels
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.act(self.bn(self.conv(x)))
+
+
+class SqueezeExciteBlock(nn.Module):
+    """Squeeze-and-excite channel gating.
+
+    ``gate="hard_sigmoid"`` with ReLU bottleneck for MobileNetV3;
+    ``gate="sigmoid"`` with SiLU bottleneck for EfficientNet.
+    """
+
+    def __init__(
+        self,
+        channels: int,
+        reduced: int,
+        gate: str = "hard_sigmoid",
+        bottleneck_act: str = "relu",
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        self.reduce = nn.Conv2d(channels, reduced, 1, rng=rng)
+        self.expand = nn.Conv2d(reduced, channels, 1, rng=rng)
+        self.bottleneck_act = nn.resolve_activation(bottleneck_act)
+        self.gate_name = gate
+
+    def forward(self, x: Tensor) -> Tensor:
+        scale = F.global_avg_pool2d(x)
+        scale = self.bottleneck_act(self.reduce(scale))
+        scale = self.expand(scale)
+        if self.gate_name == "hard_sigmoid":
+            scale = F.hard_sigmoid(scale)
+        else:
+            scale = F.sigmoid(scale)
+        return x * scale
+
+
+class InvertedResidualBlock(nn.Module):
+    """MobileNetV3 inverted residual: expand → depthwise → SE → project."""
+
+    def __init__(self, in_channels: int, spec: InvertedResidual, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.spec = spec
+        self.use_skip = spec.stride == 1 and in_channels == spec.out_channels
+        exp = spec.expanded_channels
+        if exp != in_channels:
+            self.expand = ConvBNActBlock(
+                in_channels, ConvBNAct(exp, 1, activation=spec.activation), rng=rng
+            )
+        else:
+            self.expand = nn.Identity()
+        self.depthwise = ConvBNActBlock(
+            exp,
+            ConvBNAct(exp, spec.kernel, spec.stride, groups=exp, activation=spec.activation),
+            rng=rng,
+        )
+        if spec.use_se:
+            self.se = SqueezeExciteBlock(
+                exp, make_divisible(exp // 4), gate="hard_sigmoid", bottleneck_act="relu", rng=rng
+            )
+        else:
+            self.se = nn.Identity()
+        self.project = ConvBNActBlock(
+            exp, ConvBNAct(spec.out_channels, 1, activation=None), rng=rng
+        )
+        self.out_channels = spec.out_channels
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.project(self.se(self.depthwise(self.expand(x))))
+        if self.use_skip:
+            out = out + x
+        return out
+
+
+class MBConvBlock(nn.Module):
+    """EfficientNet MBConv: expand → depthwise → SE → project, SiLU."""
+
+    def __init__(self, in_channels: int, spec: MBConv, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.spec = spec
+        self.use_skip = spec.stride == 1 and in_channels == spec.out_channels
+        exp = in_channels * spec.expand_ratio
+        if spec.expand_ratio != 1:
+            self.expand = ConvBNActBlock(in_channels, ConvBNAct(exp, 1, activation="silu"), rng=rng)
+        else:
+            self.expand = nn.Identity()
+        self.depthwise = ConvBNActBlock(
+            exp, ConvBNAct(exp, spec.kernel, spec.stride, groups=exp, activation="silu"), rng=rng
+        )
+        if spec.se_ratio > 0:
+            reduced = max(1, int(in_channels * spec.se_ratio))
+            self.se = SqueezeExciteBlock(
+                exp, reduced, gate="sigmoid", bottleneck_act="silu", rng=rng
+            )
+        else:
+            self.se = nn.Identity()
+        self.project = ConvBNActBlock(
+            exp, ConvBNAct(spec.out_channels, 1, activation=None), rng=rng
+        )
+        self.out_channels = spec.out_channels
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.project(self.se(self.depthwise(self.expand(x))))
+        if self.use_skip:
+            out = out + x
+        return out

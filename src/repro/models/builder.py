@@ -1,0 +1,113 @@
+"""Construct runnable backbones from declarative specs.
+
+:class:`Backbone` is the concrete ``M_b`` of the paper (Fig. 1): it maps
+an input image batch to the shared representation ``Z_b``, flattened and
+ready to cross the network boundary.  The paper's splitting point is the
+backbone/head interface, so :meth:`Backbone.forward` returns the flattened
+``Z_b`` while :meth:`Backbone.forward_features` exposes the unflattened
+feature map for split-point analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..nn.tensor import Tensor
+from .blocks import ConvBNActBlock, InvertedResidualBlock, MBConvBlock
+from .specs import (
+    BackboneSpec,
+    ConvBNAct,
+    GlobalAvgPool,
+    InvertedResidual,
+    MaxPool,
+    MBConv,
+    count_parameters,
+    feature_shape,
+)
+
+__all__ = ["Backbone", "build_backbone"]
+
+
+class _GlobalAvgPool(nn.Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return nn.functional.global_avg_pool2d(x)
+
+
+class Backbone(nn.Module):
+    """The shared backbone ``M_b(x; psi)`` deployed on the edge device.
+
+    Parameters
+    ----------
+    spec:
+        Declarative architecture description.
+    rng:
+        Generator for weight initialisation (fix for reproducibility).
+    """
+
+    def __init__(self, spec: BackboneSpec, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.spec = spec
+        rng = rng if rng is not None else nn.init.default_rng()
+        stages = []
+        channels = spec.input_channels
+        for layer in spec.layers:
+            if isinstance(layer, ConvBNAct):
+                block = ConvBNActBlock(channels, layer, rng=rng)
+                channels = block.out_channels
+            elif isinstance(layer, MaxPool):
+                block = nn.MaxPool2d(layer.kernel, layer.resolved_stride())
+            elif isinstance(layer, InvertedResidual):
+                block = InvertedResidualBlock(channels, layer, rng=rng)
+                channels = block.out_channels
+            elif isinstance(layer, MBConv):
+                block = MBConvBlock(channels, layer, rng=rng)
+                channels = block.out_channels
+            elif isinstance(layer, GlobalAvgPool):
+                block = _GlobalAvgPool()
+            else:
+                raise TypeError(f"unknown layer spec {layer!r}")
+            stages.append(block)
+        self.stages = nn.Sequential(*stages)
+        self.out_channels = channels
+
+    # ------------------------------------------------------------------
+    def forward_features(self, x: Tensor) -> Tensor:
+        """Return the unflattened feature map (N, C, H, W)."""
+        return self.stages(x)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Return the flattened shared representation ``Z_b`` (N, D).
+
+        The paper (Sec. 3.1): "The output Z_b is typically a tensor,
+        which, in our approach, is flattened before being sent through the
+        network."
+        """
+        return self.forward_features(x).flatten(1)
+
+    # ------------------------------------------------------------------
+    def feature_shape(self, input_size: Optional[int] = None) -> Tuple[int, int, int]:
+        """Analytic ``(C, H, W)`` of ``Z_b`` for a square input."""
+        return feature_shape(self.spec, input_size)
+
+    def feature_dim(self, input_size: Optional[int] = None) -> int:
+        """Flattened length of ``Z_b`` for a square input."""
+        c, h, w = self.feature_shape(input_size)
+        return c * h * w
+
+    def analytic_parameter_count(self) -> int:
+        """Parameter count derived from the spec (no weights touched)."""
+        return count_parameters(self.spec)
+
+    def __repr__(self) -> str:
+        return (
+            f"Backbone(spec={self.spec.name!r}, params={self.num_parameters()}, "
+            f"out_channels={self.out_channels})"
+        )
+
+
+def build_backbone(spec: BackboneSpec, rng: Optional[np.random.Generator] = None) -> Backbone:
+    """Instantiate a :class:`Backbone` from a spec."""
+    return Backbone(spec, rng=rng)

@@ -1,0 +1,125 @@
+"""EfficientNet backbone specs (Tan & Le, 2019).
+
+``efficientnet_b0`` reproduces the B0 feature extractor (the analytic
+parameter count lands on the ~4 M the paper reports in Table 4);
+``efficientnet_tiny`` is the compound-scaled-down variant used for CPU
+training at 32x32.  Width scaling uses the reference ``make_divisible``
+rule so the derived variants stay faithful to the family.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .builder import Backbone, build_backbone
+from .specs import BackboneSpec, ConvBNAct, MBConv, make_divisible
+
+__all__ = [
+    "efficientnet_spec",
+    "efficientnet_b0_spec",
+    "efficientnet_b1_spec",
+    "efficientnet_tiny_spec",
+    "efficientnet_b0",
+    "efficientnet_tiny",
+]
+
+# Rows: (expand_ratio, out_channels, kernel, stride, repeats)
+_B0_ROWS: Tuple[Tuple[int, int, int, int, int], ...] = (
+    (1, 16, 3, 1, 1),
+    (6, 24, 3, 2, 2),
+    (6, 40, 5, 2, 2),
+    (6, 80, 3, 2, 3),
+    (6, 112, 5, 1, 3),
+    (6, 192, 5, 2, 4),
+    (6, 320, 3, 1, 1),
+)
+
+
+def efficientnet_spec(
+    name: str,
+    width_mult: float = 1.0,
+    depth_mult: float = 1.0,
+    input_size: int = 224,
+    description: str = "",
+) -> BackboneSpec:
+    """Compound-scaled EfficientNet spec from the B0 base rows."""
+
+    def scale_width(channels: int) -> int:
+        return make_divisible(channels * width_mult)
+
+    def scale_depth(repeats: int) -> int:
+        return int(math.ceil(repeats * depth_mult))
+
+    layers: list = [ConvBNAct(scale_width(32), 3, stride=2, activation="silu")]
+    for expand, out, kernel, stride, repeats in _B0_ROWS:
+        out = scale_width(out)
+        for i in range(scale_depth(repeats)):
+            layers.append(MBConv(expand, out, kernel, stride if i == 0 else 1))
+    layers.append(ConvBNAct(scale_width(1280), 1, activation="silu"))
+    return BackboneSpec(
+        name=name,
+        family="efficientnet",
+        input_channels=3,
+        input_size=input_size,
+        layers=tuple(layers),
+        description=description,
+    )
+
+
+def efficientnet_b0_spec() -> BackboneSpec:
+    """Full-scale EfficientNet-B0 feature extractor (~4 M params)."""
+    return efficientnet_spec(
+        "efficientnet_b0",
+        description="EfficientNet-B0 feature extractor, Tan & Le 2019",
+    )
+
+
+def efficientnet_b1_spec() -> BackboneSpec:
+    """EfficientNet-B1 (width 1.0, depth 1.1, 240x240)."""
+    return efficientnet_spec(
+        "efficientnet_b1",
+        width_mult=1.0,
+        depth_mult=1.1,
+        input_size=240,
+        description="EfficientNet-B1 feature extractor",
+    )
+
+
+# Tiny rows: (expand_ratio, out_channels, kernel, stride)
+_TINY_ROWS: Tuple[Tuple[int, int, int, int], ...] = (
+    (1, 8, 3, 1),
+    (4, 16, 3, 2),
+    (4, 24, 5, 2),
+    (4, 24, 5, 1),
+    (4, 32, 3, 1),
+)
+
+
+def efficientnet_tiny_spec(input_size: int = 32) -> BackboneSpec:
+    """Compound-scaled-down EfficientNet for CPU training (Z_b = 96*4*4)."""
+    layers: list = [ConvBNAct(12, 3, stride=2, activation="silu")]
+    layers += [MBConv(*row) for row in _TINY_ROWS]
+    layers.append(ConvBNAct(96, 1, activation="silu"))
+    return BackboneSpec(
+        name="efficientnet_tiny",
+        family="efficientnet",
+        input_channels=3,
+        input_size=input_size,
+        layers=tuple(layers),
+        description="scaled EfficientNet stand-in for CPU training",
+    )
+
+
+def efficientnet_b0(rng: Optional[np.random.Generator] = None) -> Backbone:
+    """Instantiate the full-scale EfficientNet-B0 backbone."""
+    return build_backbone(efficientnet_b0_spec(), rng=rng)
+
+
+def efficientnet_tiny(
+    input_size: int = 32, rng: Optional[np.random.Generator] = None
+) -> Backbone:
+    """Instantiate the training-scale EfficientNet backbone."""
+    return build_backbone(efficientnet_tiny_spec(input_size), rng=rng)

@@ -1,0 +1,89 @@
+"""Task-solving heads ``H_j(Z_b; theta_j)``.
+
+The paper (Sec. 4, "Models details"): *"The task-solving heads are custom
+MultiLayer Perceptron (MLP) composed of two linear layers activated by the
+Rectified Linear Activation Unit (ReLU) function."*  :class:`MLPHead`
+implements exactly that; deeper or regularised variants are provided for
+the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..nn.tensor import Tensor
+
+__all__ = ["MLPHead", "DeepMLPHead", "LinearHead"]
+
+
+class MLPHead(nn.Module):
+    """Two-layer ReLU MLP mapping ``Z_b`` to task logits (paper default)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        num_classes: int,
+        hidden_features: Optional[int] = None,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        hidden = hidden_features if hidden_features is not None else max(num_classes * 4, 32)
+        self.in_features = in_features
+        self.num_classes = num_classes
+        self.fc1 = nn.Linear(in_features, hidden, rng=rng)
+        self.act = nn.ReLU()
+        self.drop = nn.Dropout(dropout, rng=rng) if dropout > 0 else nn.Identity()
+        self.fc2 = nn.Linear(hidden, num_classes, rng=rng)
+
+    def forward(self, z: Tensor) -> Tensor:
+        return self.fc2(self.drop(self.act(self.fc1(z))))
+
+    def __repr__(self) -> str:
+        return (
+            f"MLPHead(in_features={self.in_features}, "
+            f"num_classes={self.num_classes}, params={self.num_parameters()})"
+        )
+
+
+class DeepMLPHead(nn.Module):
+    """Configurable-depth MLP head (ablation variant)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        num_classes: int,
+        hidden_sizes: Sequence[int] = (64, 64),
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        self.num_classes = num_classes
+        layers: list = []
+        width = in_features
+        for hidden in hidden_sizes:
+            layers.append(nn.Linear(width, hidden, rng=rng))
+            layers.append(nn.ReLU())
+            if dropout > 0:
+                layers.append(nn.Dropout(dropout, rng=rng))
+            width = hidden
+        layers.append(nn.Linear(width, num_classes, rng=rng))
+        self.net = nn.Sequential(*layers)
+
+    def forward(self, z: Tensor) -> Tensor:
+        return self.net(z)
+
+
+class LinearHead(nn.Module):
+    """Single linear probe head (lower bound for head capacity ablations)."""
+
+    def __init__(self, in_features: int, num_classes: int, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.num_classes = num_classes
+        self.fc = nn.Linear(in_features, num_classes, rng=rng)
+
+    def forward(self, z: Tensor) -> Tensor:
+        return self.fc(z)

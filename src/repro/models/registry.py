@@ -1,0 +1,87 @@
+"""Name-based registry for backbone specs and constructors.
+
+The benchmark harness and the examples select backbones by name
+(``"vgg16"``, ``"mobilenet_v3_small"``, ``"efficientnet_tiny"``, ...),
+mirroring how the paper's code selects among its three backbones.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from .builder import Backbone, build_backbone
+from .efficientnet import (
+    efficientnet_b0_spec,
+    efficientnet_b1_spec,
+    efficientnet_tiny_spec,
+)
+from .mobilenetv3 import (
+    mobilenet_v3_large_spec,
+    mobilenet_v3_small_spec,
+    mobilenet_v3_tiny_spec,
+)
+from .specs import BackboneSpec
+from .vgg import vgg11_spec, vgg16_bn_spec, vgg16_spec, vgg_tiny_spec
+
+__all__ = [
+    "register_spec",
+    "get_spec",
+    "create_backbone",
+    "available_backbones",
+    "TRAINING_BACKBONES",
+    "PAPER_BACKBONES",
+]
+
+_SPEC_FACTORIES: Dict[str, Callable[[], BackboneSpec]] = {}
+
+#: Training-scale stand-ins used by the accuracy experiments (Tables 1-3).
+TRAINING_BACKBONES = ("vgg_tiny", "mobilenet_v3_tiny", "efficientnet_tiny")
+
+#: Full-scale specs used by the deployment experiments (Table 4, Sec. 4.2).
+PAPER_BACKBONES = ("vgg16", "mobilenet_v3_small", "efficientnet_b0")
+
+
+def register_spec(name: str, factory: Callable[[], BackboneSpec]) -> None:
+    """Register a spec factory under ``name`` (overwrites duplicates)."""
+    _SPEC_FACTORIES[name] = factory
+
+
+def get_spec(name: str) -> BackboneSpec:
+    """Return a fresh spec for ``name``.
+
+    Raises ``KeyError`` with the list of known names when unknown.
+    """
+    try:
+        factory = _SPEC_FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown backbone {name!r}; available: {available_backbones()}"
+        ) from None
+    return factory()
+
+
+def create_backbone(name: str, rng: Optional[np.random.Generator] = None) -> Backbone:
+    """Instantiate a backbone by registry name."""
+    return build_backbone(get_spec(name), rng=rng)
+
+
+def available_backbones() -> List[str]:
+    """Sorted list of registered backbone names."""
+    return sorted(_SPEC_FACTORIES)
+
+
+for _name, _factory in {
+    "vgg11": vgg11_spec,
+    "vgg16": vgg16_spec,
+    "vgg16_bn": vgg16_bn_spec,
+    "vgg_tiny": vgg_tiny_spec,
+    "mobilenet_v3_small": mobilenet_v3_small_spec,
+    "mobilenet_v3_large": mobilenet_v3_large_spec,
+    "mobilenet_v3_tiny": mobilenet_v3_tiny_spec,
+    "efficientnet_b0": efficientnet_b0_spec,
+    "efficientnet_b1": efficientnet_b1_spec,
+    "efficientnet_tiny": efficientnet_tiny_spec,
+}.items():
+    register_spec(_name, _factory)

@@ -1,0 +1,102 @@
+"""Recurrent image backbone: MTL-Split beyond ConvNets.
+
+Scans the image as a sequence of rows (each row's pixels are the step
+features), pooling the per-row hidden states into the shared
+representation ``Z_b``.  Exists to demonstrate the paper's claim that
+the MTL-Split methodology is architecture-independent (Sec. 3.2) — the
+trainer, fine-tuner, split pipeline and profilers all operate on it
+unchanged because it exposes the same :class:`~repro.models.builder.Backbone`
+surface (``forward`` → flat ``Z_b``, ``feature_dim``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..nn.rnn import GRUCell, RNN, RNNCell
+from ..nn.tensor import Tensor
+
+__all__ = ["RowRNNBackbone", "row_rnn_tiny"]
+
+
+class RowRNNBackbone(nn.Module):
+    """GRU/RNN over image rows producing a flat ``Z_b``.
+
+    Parameters
+    ----------
+    input_size:
+        Square image resolution (rows become sequence steps).
+    input_channels:
+        Image channels; each step sees ``channels * width`` features.
+    hidden_size:
+        Recurrent state width — also the dimension of ``Z_b``.
+    cell:
+        ``"gru"`` (default) or ``"rnn"``.
+    """
+
+    def __init__(
+        self,
+        input_size: int = 32,
+        input_channels: int = 3,
+        hidden_size: int = 96,
+        cell: str = "gru",
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        self.input_size = input_size
+        self.input_channels = input_channels
+        self.hidden_size = hidden_size
+        step_features = input_channels * input_size
+        if cell == "gru":
+            self.rnn = RNN(GRUCell(step_features, hidden_size, rng=rng),
+                           return_sequence=False)
+        elif cell == "rnn":
+            self.rnn = RNN(RNNCell(step_features, hidden_size, rng=rng),
+                           return_sequence=False)
+        else:
+            raise ValueError(f"unknown cell {cell!r}; choose 'gru' or 'rnn'")
+
+    def forward_features(self, x: Tensor) -> Tensor:
+        """Final hidden state reshaped as a (N, H, 1, 1) feature map."""
+        final = self._scan(x)
+        return final.reshape(x.shape[0], self.hidden_size, 1, 1)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Flat ``Z_b`` of shape ``(N, hidden_size)``."""
+        return self._scan(x)
+
+    def _scan(self, x: Tensor) -> Tensor:
+        n, c, h, w = x.shape
+        if (c, h, w) != (self.input_channels, self.input_size, self.input_size):
+            raise ValueError(
+                f"RowRNNBackbone({self.input_channels}x{self.input_size}) "
+                f"got input {x.shape}"
+            )
+        # (N, C, H, W) -> (N, H, C*W): rows as steps.
+        sequence = x.transpose(0, 2, 1, 3).reshape(n, h, c * w)
+        final, _ = self.rnn(sequence)
+        return final
+
+    def feature_shape(self, input_size: Optional[int] = None) -> Tuple[int, int, int]:
+        """``Z_b`` shape; fixed by the hidden size, not the resolution."""
+        return (self.hidden_size, 1, 1)
+
+    def feature_dim(self, input_size: Optional[int] = None) -> int:
+        """Flattened ``Z_b`` length."""
+        return self.hidden_size
+
+    def __repr__(self) -> str:
+        return (
+            f"RowRNNBackbone(input={self.input_channels}x{self.input_size}, "
+            f"hidden={self.hidden_size}, params={self.num_parameters()})"
+        )
+
+
+def row_rnn_tiny(
+    input_size: int = 32, rng: Optional[np.random.Generator] = None
+) -> RowRNNBackbone:
+    """Small GRU row-scanner for the 32x32 stand-in workloads."""
+    return RowRNNBackbone(input_size=input_size, hidden_size=96, cell="gru", rng=rng)

@@ -1,0 +1,353 @@
+"""Declarative architecture specifications.
+
+Every backbone in this repository is defined once, as data, and consumed
+twice:
+
+* :mod:`repro.models.builder` turns a spec into a runnable
+  :class:`~repro.nn.module.Module`;
+* :mod:`repro.deployment.profiler` expands the same spec *analytically*
+  (:func:`iter_primitives`) to obtain parameter counts and per-layer
+  activation sizes without allocating any weights — which is how the
+  full-scale VGG16 / MobileNetV3 / EfficientNet numbers of the paper's
+  Table 4 and LoC/RoC analysis are reproduced exactly on a laptop.
+
+The test suite asserts that both consumers agree (instantiated parameter
+count equals the analytic count) for every registered spec.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple, Union
+
+__all__ = [
+    "ConvBNAct",
+    "MaxPool",
+    "InvertedResidual",
+    "MBConv",
+    "GlobalAvgPool",
+    "BackboneSpec",
+    "PrimitiveRecord",
+    "iter_primitives",
+    "feature_shape",
+    "count_parameters",
+    "count_flops",
+    "make_divisible",
+]
+
+
+def make_divisible(value: float, divisor: int = 8) -> int:
+    """Round ``value`` to the nearest multiple of ``divisor`` (MobileNet rule).
+
+    Never rounds down by more than 10 %, matching the reference
+    implementation of MobileNetV3/EfficientNet channel scaling.
+    """
+    rounded = max(divisor, int(value + divisor / 2) // divisor * divisor)
+    if rounded < 0.9 * value:
+        rounded += divisor
+    return rounded
+
+
+# ---------------------------------------------------------------------------
+# Layer spec dataclasses
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ConvBNAct:
+    """Convolution (+ optional batch-norm) (+ activation)."""
+
+    out_channels: int
+    kernel: int
+    stride: int = 1
+    groups: int = 1
+    activation: Optional[str] = "relu"
+    use_bn: bool = True
+    padding: Optional[int] = None  # defaults to kernel // 2 ("same"-ish)
+
+    def resolved_padding(self) -> int:
+        return self.kernel // 2 if self.padding is None else self.padding
+
+
+@dataclass(frozen=True)
+class MaxPool:
+    """Max pooling (VGG downsampling)."""
+
+    kernel: int = 2
+    stride: Optional[int] = None
+
+    def resolved_stride(self) -> int:
+        return self.kernel if self.stride is None else self.stride
+
+
+@dataclass(frozen=True)
+class InvertedResidual:
+    """MobileNetV3 block: expand → depthwise → (SE) → project.
+
+    ``activation`` is ``"relu"`` for early stages and ``"hswish"`` later,
+    as in Howard et al. (2019).  SE reduction uses ``expanded // 4``
+    rounded to a multiple of 8, with ReLU + hard-sigmoid gating.
+    """
+
+    expanded_channels: int
+    out_channels: int
+    kernel: int
+    stride: int
+    use_se: bool
+    activation: str
+
+
+@dataclass(frozen=True)
+class MBConv:
+    """EfficientNet block: expand → depthwise → SE → project (SiLU).
+
+    SE reduction is ``in_channels * se_ratio`` (pre-expansion channels),
+    with SiLU + sigmoid gating, as in Tan & Le (2019).
+    """
+
+    expand_ratio: int
+    out_channels: int
+    kernel: int
+    stride: int
+    se_ratio: float = 0.25
+
+
+@dataclass(frozen=True)
+class GlobalAvgPool:
+    """Global average pooling to 1x1 (optional compact split point)."""
+
+
+LayerSpec = Union[ConvBNAct, MaxPool, InvertedResidual, MBConv, GlobalAvgPool]
+
+
+@dataclass(frozen=True)
+class BackboneSpec:
+    """A complete backbone description.
+
+    Attributes
+    ----------
+    name:
+        Registry key (e.g. ``"mobilenet_v3_small"``).
+    family:
+        Architecture family (``"vgg"``, ``"mobilenet_v3"``,
+        ``"efficientnet"``); used for reporting.
+    input_channels:
+        Number of image channels (3 for RGB).
+    input_size:
+        Nominal input resolution the spec was designed for; profiling may
+        override it.
+    layers:
+        Ordered layer specs.  The output of the final layer, flattened, is
+        the shared representation ``Z_b`` of the paper.
+    description:
+        Human-readable provenance note.
+    """
+
+    name: str
+    family: str
+    input_channels: int
+    input_size: int
+    layers: Tuple[LayerSpec, ...]
+    description: str = ""
+
+    def with_layers(self, layers: Tuple[LayerSpec, ...], suffix: str) -> "BackboneSpec":
+        """Derive a spec with modified layers (used by split-point tooling)."""
+        return dataclasses.replace(self, name=f"{self.name}-{suffix}", layers=layers)
+
+
+# ---------------------------------------------------------------------------
+# Analytic expansion
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class PrimitiveRecord:
+    """One primitive layer as seen by the analytic profiler.
+
+    ``out_shape`` is ``(channels, height, width)`` for a single sample.
+    ``params`` counts weights and biases; batch-norm contributes its
+    learnable affine pair (running stats are buffers, excluded to match
+    ``torchsummary`` conventions).  ``flops`` is the per-sample forward
+    cost (multiply-accumulates counted as 2 FLOPs).
+    """
+
+    name: str
+    kind: str
+    params: int
+    out_shape: Tuple[int, int, int]
+    flops: int = 0
+
+    @property
+    def activations(self) -> int:
+        c, h, w = self.out_shape
+        return c * h * w
+
+
+def _conv_out(size: int, kernel: int, stride: int, padding: int) -> int:
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"layer reduces spatial size below 1 (size={size}, kernel={kernel})"
+        )
+    return out
+
+
+def _expand_conv_bn_act(
+    spec: ConvBNAct, name: str, in_ch: int, hw: Tuple[int, int]
+) -> Tuple[List[PrimitiveRecord], int, Tuple[int, int]]:
+    pad = spec.resolved_padding()
+    h = _conv_out(hw[0], spec.kernel, spec.stride, pad)
+    w = _conv_out(hw[1], spec.kernel, spec.stride, pad)
+    out_shape = (spec.out_channels, h, w)
+    weight_params = (in_ch // spec.groups) * spec.kernel * spec.kernel * spec.out_channels
+    conv_params = weight_params if spec.use_bn else weight_params + spec.out_channels
+    out_elements = spec.out_channels * h * w
+    conv_flops = 2 * weight_params * h * w
+    records = [PrimitiveRecord(f"{name}.conv", "conv2d", conv_params, out_shape, conv_flops)]
+    if spec.use_bn:
+        records.append(
+            PrimitiveRecord(
+                f"{name}.bn", "batchnorm2d", 2 * spec.out_channels, out_shape, 4 * out_elements
+            )
+        )
+    if spec.activation:
+        records.append(
+            PrimitiveRecord(
+                f"{name}.{spec.activation}", "activation", 0, out_shape, out_elements
+            )
+        )
+    return records, spec.out_channels, (h, w)
+
+
+def _se_records(
+    name: str,
+    channels: int,
+    reduced: int,
+    hw: Tuple[int, int],
+    gate: str,
+) -> List[PrimitiveRecord]:
+    """Squeeze-and-excite: pool → 1x1 reduce → act → 1x1 expand → gate."""
+    gated = channels * hw[0] * hw[1]
+    return [
+        PrimitiveRecord(f"{name}.se.pool", "avgpool", 0, (channels, 1, 1), gated),
+        PrimitiveRecord(
+            f"{name}.se.reduce", "conv2d", channels * reduced + reduced, (reduced, 1, 1),
+            2 * channels * reduced,
+        ),
+        PrimitiveRecord(
+            f"{name}.se.expand", "conv2d", reduced * channels + channels, (channels, 1, 1),
+            2 * reduced * channels,
+        ),
+        PrimitiveRecord(f"{name}.se.{gate}", "activation", 0, (channels, hw[0], hw[1]), gated),
+    ]
+
+
+def _expand_inverted_residual(
+    spec: InvertedResidual, name: str, in_ch: int, hw: Tuple[int, int]
+) -> Tuple[List[PrimitiveRecord], int, Tuple[int, int]]:
+    records: List[PrimitiveRecord] = []
+    exp = spec.expanded_channels
+    ch, cur_hw = in_ch, hw
+    if exp != in_ch:
+        sub, ch, cur_hw = _expand_conv_bn_act(
+            ConvBNAct(exp, 1, activation=spec.activation), f"{name}.expand", ch, cur_hw
+        )
+        records += sub
+    sub, ch, cur_hw = _expand_conv_bn_act(
+        ConvBNAct(exp, spec.kernel, spec.stride, groups=exp, activation=spec.activation),
+        f"{name}.depthwise",
+        ch,
+        cur_hw,
+    )
+    records += sub
+    if spec.use_se:
+        reduced = make_divisible(exp // 4)
+        records += _se_records(name, exp, reduced, cur_hw, "hard_sigmoid")
+    sub, ch, cur_hw = _expand_conv_bn_act(
+        ConvBNAct(spec.out_channels, 1, activation=None), f"{name}.project", ch, cur_hw
+    )
+    records += sub
+    return records, ch, cur_hw
+
+
+def _expand_mbconv(
+    spec: MBConv, name: str, in_ch: int, hw: Tuple[int, int]
+) -> Tuple[List[PrimitiveRecord], int, Tuple[int, int]]:
+    records: List[PrimitiveRecord] = []
+    exp = in_ch * spec.expand_ratio
+    ch, cur_hw = in_ch, hw
+    if spec.expand_ratio != 1:
+        sub, ch, cur_hw = _expand_conv_bn_act(
+            ConvBNAct(exp, 1, activation="silu"), f"{name}.expand", ch, cur_hw
+        )
+        records += sub
+    sub, ch, cur_hw = _expand_conv_bn_act(
+        ConvBNAct(exp, spec.kernel, spec.stride, groups=exp, activation="silu"),
+        f"{name}.depthwise",
+        ch,
+        cur_hw,
+    )
+    records += sub
+    if spec.se_ratio > 0:
+        reduced = max(1, int(in_ch * spec.se_ratio))
+        records += _se_records(name, exp, reduced, cur_hw, "sigmoid")
+    sub, ch, cur_hw = _expand_conv_bn_act(
+        ConvBNAct(spec.out_channels, 1, activation=None), f"{name}.project", ch, cur_hw
+    )
+    records += sub
+    return records, ch, cur_hw
+
+
+def iter_primitives(
+    spec: BackboneSpec, input_size: Optional[int] = None
+) -> Iterator[PrimitiveRecord]:
+    """Yield primitive layer records for ``spec`` at a given input size.
+
+    This is the analytic mirror of :func:`repro.models.builder.build_backbone`;
+    the two are cross-checked by the test suite.
+    """
+    size = input_size if input_size is not None else spec.input_size
+    hw = (size, size)
+    ch = spec.input_channels
+    for index, layer in enumerate(spec.layers):
+        name = f"layer{index}"
+        if isinstance(layer, ConvBNAct):
+            records, ch, hw = _expand_conv_bn_act(layer, name, ch, hw)
+        elif isinstance(layer, MaxPool):
+            stride = layer.resolved_stride()
+            hw = (
+                _conv_out(hw[0], layer.kernel, stride, 0),
+                _conv_out(hw[1], layer.kernel, stride, 0),
+            )
+            pool_flops = ch * hw[0] * hw[1] * layer.kernel * layer.kernel
+            records = [
+                PrimitiveRecord(f"{name}.maxpool", "maxpool", 0, (ch, hw[0], hw[1]), pool_flops)
+            ]
+        elif isinstance(layer, InvertedResidual):
+            records, ch, hw = _expand_inverted_residual(layer, name, ch, hw)
+        elif isinstance(layer, MBConv):
+            records, ch, hw = _expand_mbconv(layer, name, ch, hw)
+        elif isinstance(layer, GlobalAvgPool):
+            gap_flops = ch * hw[0] * hw[1]
+            hw = (1, 1)
+            records = [PrimitiveRecord(f"{name}.gap", "avgpool", 0, (ch, 1, 1), gap_flops)]
+        else:
+            raise TypeError(f"unknown layer spec {layer!r}")
+        yield from records
+
+
+def feature_shape(spec: BackboneSpec, input_size: Optional[int] = None) -> Tuple[int, int, int]:
+    """Shape ``(C, H, W)`` of the shared representation ``Z_b``."""
+    record = None
+    for record in iter_primitives(spec, input_size):
+        pass
+    if record is None:
+        raise ValueError(f"spec {spec.name!r} has no layers")
+    return record.out_shape
+
+
+def count_parameters(spec: BackboneSpec) -> int:
+    """Total learnable parameters of the backbone (analytic)."""
+    return sum(r.params for r in iter_primitives(spec))
+
+
+def count_flops(spec: BackboneSpec, input_size: Optional[int] = None) -> int:
+    """Per-sample forward FLOPs of the backbone (analytic)."""
+    return sum(r.flops for r in iter_primitives(spec, input_size))

@@ -1,0 +1,112 @@
+"""VGG backbone specs (Simonyan & Zisserman, 2014).
+
+The paper uses VGG16 as the "well-established" baseline backbone.  The
+full-scale spec reproduces configuration D (13 conv layers + 5 max-pools;
+the three classifier FC layers belong to the task-solving head side in
+the MTL-Split decomposition, so the backbone ends at the last conv stage,
+whose flattened output is ``Z_b``).
+
+``vgg16_bn`` adds batch normalisation, which is what makes the
+from-scratch training runs of the reproduction stable; ``vgg16`` (plain)
+matches the original parameter count.  ``vgg_tiny`` is the width-scaled
+variant used by the CPU training experiments (32x32 inputs).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .builder import Backbone, build_backbone
+from .specs import BackboneSpec, ConvBNAct, LayerSpec, MaxPool
+
+__all__ = [
+    "vgg_spec_from_config",
+    "vgg16_spec",
+    "vgg16_bn_spec",
+    "vgg11_spec",
+    "vgg_tiny_spec",
+    "vgg16",
+    "vgg_tiny",
+]
+
+# Configuration strings in torchvision style: ints are conv out-channels,
+# "M" is a 2x2 max-pool.
+VGG11_CONFIG: Tuple[Union[int, str], ...] = (64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M")
+VGG16_CONFIG: Tuple[Union[int, str], ...] = (
+    64, 64, "M",
+    128, 128, "M",
+    256, 256, 256, "M",
+    512, 512, 512, "M",
+    512, 512, 512, "M",
+)
+VGG_TINY_CONFIG: Tuple[Union[int, str], ...] = (12, "M", 24, 24, "M", 48, 48, "M", 96, "M")
+
+
+def vgg_spec_from_config(
+    name: str,
+    config: Sequence[Union[int, str]],
+    input_size: int = 224,
+    batch_norm: bool = True,
+    description: str = "",
+) -> BackboneSpec:
+    """Build a VGG-family spec from a torchvision-style config string."""
+    layers: list = []
+    for entry in config:
+        if entry == "M":
+            layers.append(MaxPool(2))
+        else:
+            layers.append(
+                ConvBNAct(int(entry), 3, activation="relu", use_bn=batch_norm)
+            )
+    return BackboneSpec(
+        name=name,
+        family="vgg",
+        input_channels=3,
+        input_size=input_size,
+        layers=tuple(layers),
+        description=description,
+    )
+
+
+def vgg16_spec() -> BackboneSpec:
+    """Full-scale VGG16 feature extractor (no batch-norm, as the original)."""
+    return vgg_spec_from_config(
+        "vgg16", VGG16_CONFIG, batch_norm=False,
+        description="VGG16 configuration D feature extractor, 224x224",
+    )
+
+
+def vgg16_bn_spec() -> BackboneSpec:
+    """Full-scale VGG16 with batch normalisation."""
+    return vgg_spec_from_config(
+        "vgg16_bn", VGG16_CONFIG, batch_norm=True,
+        description="VGG16-BN feature extractor, 224x224",
+    )
+
+
+def vgg11_spec() -> BackboneSpec:
+    """Full-scale VGG11 feature extractor."""
+    return vgg_spec_from_config(
+        "vgg11", VGG11_CONFIG, batch_norm=False,
+        description="VGG11 configuration A feature extractor, 224x224",
+    )
+
+
+def vgg_tiny_spec(input_size: int = 32) -> BackboneSpec:
+    """Width/depth-scaled VGG for CPU training at 32x32 (Z_b = 96*2*2)."""
+    return vgg_spec_from_config(
+        "vgg_tiny", VGG_TINY_CONFIG, input_size=input_size, batch_norm=True,
+        description="width-scaled VGG16 stand-in for CPU training",
+    )
+
+
+def vgg16(rng: Optional[np.random.Generator] = None) -> Backbone:
+    """Instantiate the full-scale VGG16 backbone (large: 14.7M params)."""
+    return build_backbone(vgg16_spec(), rng=rng)
+
+
+def vgg_tiny(input_size: int = 32, rng: Optional[np.random.Generator] = None) -> Backbone:
+    """Instantiate the training-scale VGG backbone."""
+    return build_backbone(vgg_tiny_spec(input_size), rng=rng)

@@ -1,0 +1,134 @@
+"""Activation layers wrapping :mod:`repro.nn.functional`.
+
+MobileNetV3 uses hard-swish / hard-sigmoid and EfficientNet uses SiLU, so
+all three families needed by the paper are covered.
+"""
+
+from __future__ import annotations
+
+from . import functional as F
+from .module import Module
+from .tensor import Tensor
+
+__all__ = [
+    "ReLU",
+    "ReLU6",
+    "LeakyReLU",
+    "Sigmoid",
+    "HardSigmoid",
+    "SiLU",
+    "HardSwish",
+    "Tanh",
+    "GELU",
+    "Softmax",
+    "resolve_activation",
+]
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+
+class ReLU6(Module):
+    """ReLU capped at six."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu6(x)
+
+
+class LeakyReLU(Module):
+    """Leaky ReLU with configurable slope."""
+
+    def __init__(self, negative_slope: float = 0.01):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.leaky_relu(x, self.negative_slope)
+
+    def __repr__(self) -> str:
+        return f"LeakyReLU(negative_slope={self.negative_slope})"
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.sigmoid(x)
+
+
+class HardSigmoid(Module):
+    """Piecewise-linear sigmoid approximation (MobileNetV3)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.hard_sigmoid(x)
+
+
+class SiLU(Module):
+    """SiLU / swish activation (EfficientNet)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.silu(x)
+
+
+class HardSwish(Module):
+    """Hard-swish activation (MobileNetV3)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.hard_swish(x)
+
+
+class Tanh(Module):
+    """Hyperbolic tangent."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class GELU(Module):
+    """Gaussian error linear unit (tanh approximation)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.gelu(x)
+
+
+class Softmax(Module):
+    """Softmax along a fixed axis."""
+
+    def __init__(self, axis: int = -1):
+        super().__init__()
+        self.axis = axis
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.softmax(x, axis=self.axis)
+
+    def __repr__(self) -> str:
+        return f"Softmax(axis={self.axis})"
+
+
+_ACTIVATIONS = {
+    "relu": ReLU,
+    "relu6": ReLU6,
+    "leaky_relu": LeakyReLU,
+    "sigmoid": Sigmoid,
+    "hard_sigmoid": HardSigmoid,
+    "silu": SiLU,
+    "swish": SiLU,
+    "hard_swish": HardSwish,
+    "hswish": HardSwish,
+    "tanh": Tanh,
+    "gelu": GELU,
+}
+
+
+def resolve_activation(name: str) -> Module:
+    """Instantiate an activation layer from its lowercase name."""
+    try:
+        return _ACTIVATIONS[name.lower()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown activation {name!r}; choose from {sorted(_ACTIVATIONS)}"
+        ) from None

@@ -1,0 +1,74 @@
+"""Autograd utilities: numerical gradient checking.
+
+``gradcheck`` is used throughout the test suite to verify every primitive
+in :mod:`repro.nn.functional` against central finite differences — the
+substrate's correctness argument, since there is no PyTorch to diff
+against in this environment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numerical_gradient", "gradcheck"]
+
+
+def numerical_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    index: int,
+    eps: float = 1e-5,
+) -> np.ndarray:
+    """Central-difference gradient of ``sum(fn(*inputs))`` w.r.t. one input."""
+    target = inputs[index]
+    grad = np.zeros_like(target.data, dtype=np.float64)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float(fn(*inputs).data.sum())
+        flat[i] = original - eps
+        minus = float(fn(*inputs).data.sum())
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def gradcheck(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    eps: float = 1e-5,
+    atol: float = 1e-4,
+    rtol: float = 1e-3,
+) -> Tuple[bool, str]:
+    """Compare analytic gradients of ``fn`` against finite differences.
+
+    All inputs must be float64 for the finite differences to be reliable.
+    Returns ``(ok, message)``; ``message`` names the first failing input.
+    """
+    for tensor in inputs:
+        if tensor.requires_grad and tensor.data.dtype != np.float64:
+            return False, "gradcheck requires float64 inputs"
+
+    output = fn(*inputs)
+    output.backward(np.ones_like(output.data))
+
+    for i, tensor in enumerate(inputs):
+        if not tensor.requires_grad:
+            continue
+        analytic = tensor.grad
+        if analytic is None:
+            return False, f"input {i} received no gradient"
+        numeric = numerical_gradient(fn, inputs, i, eps=eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            worst = float(np.max(np.abs(analytic - numeric)))
+            return False, (
+                f"input {i}: max abs deviation {worst:.3e} "
+                f"(atol={atol}, rtol={rtol})"
+            )
+    return True, "ok"

@@ -1,0 +1,459 @@
+"""Stateless neural-network operations for the ``repro.nn`` substrate.
+
+Everything here operates on :class:`repro.nn.tensor.Tensor` and is fully
+differentiable.  Convolutions use a strided sliding-window view plus
+``einsum`` so that standard, grouped and depthwise convolutions all share
+one vectorised code path (no python loop over channels), which keeps the
+CPU training runs used by the MTL-Split benchmarks tractable.
+
+Shapes follow the NCHW convention used throughout the paper: inputs are
+``(batch, channels, height, width)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "relu",
+    "relu6",
+    "leaky_relu",
+    "sigmoid",
+    "hard_sigmoid",
+    "silu",
+    "hard_swish",
+    "gelu",
+    "softmax",
+    "log_softmax",
+    "linear",
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "adaptive_avg_pool2d",
+    "global_avg_pool2d",
+    "dropout",
+    "batch_norm",
+    "cross_entropy",
+    "nll_loss",
+    "mse_loss",
+    "l1_loss",
+    "binary_cross_entropy_with_logits",
+    "one_hot",
+    "conv_output_size",
+]
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: IntPair) -> Tuple[int, int]:
+    if isinstance(value, tuple):
+        return value
+    return (int(value), int(value))
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution/pooling window sweep."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+# ---------------------------------------------------------------------------
+# Activations
+# ---------------------------------------------------------------------------
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit ``max(x, 0)``."""
+    data = np.maximum(x.data, 0.0)
+
+    def backward(g):
+        return (g * (x.data > 0),)
+
+    return Tensor._from_op(data, (x,), backward, "relu")
+
+
+def relu6(x: Tensor) -> Tensor:
+    """ReLU capped at 6, as used by the MobileNet family."""
+    return x.clip(0.0, 6.0)
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    """Leaky ReLU with configurable negative-side slope."""
+    data = np.where(x.data > 0, x.data, negative_slope * x.data)
+
+    def backward(g):
+        return (g * np.where(x.data > 0, 1.0, negative_slope),)
+
+    return Tensor._from_op(data, (x,), backward, "leaky_relu")
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Numerically stable logistic sigmoid."""
+    data = np.empty_like(x.data)
+    pos = x.data >= 0
+    data[pos] = 1.0 / (1.0 + np.exp(-x.data[pos]))
+    exp_x = np.exp(x.data[~pos])
+    data[~pos] = exp_x / (1.0 + exp_x)
+
+    def backward(g):
+        return (g * data * (1.0 - data),)
+
+    return Tensor._from_op(data, (x,), backward, "sigmoid")
+
+
+def hard_sigmoid(x: Tensor) -> Tensor:
+    """Piecewise-linear sigmoid ``relu6(x + 3) / 6`` (MobileNetV3)."""
+    return relu6(x + 3.0) * (1.0 / 6.0)
+
+
+def silu(x: Tensor) -> Tensor:
+    """SiLU / swish ``x * sigmoid(x)`` (EfficientNet)."""
+    return x * sigmoid(x)
+
+
+def hard_swish(x: Tensor) -> Tensor:
+    """Hard-swish ``x * relu6(x + 3) / 6`` (MobileNetV3)."""
+    return x * hard_sigmoid(x)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation)."""
+    c = math.sqrt(2.0 / math.pi)
+    inner = (x + x * x * x * 0.044715) * c
+    return x * 0.5 * (inner.tanh() + 1.0)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` with max-shift stabilisation."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Log-softmax along ``axis`` (stable log-sum-exp formulation)."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    log_norm = shifted.exp().sum(axis=axis, keepdims=True).log()
+    return shifted - log_norm
+
+
+# ---------------------------------------------------------------------------
+# Dense / convolutional primitives
+# ---------------------------------------------------------------------------
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` (PyTorch weight layout)."""
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def _sliding_windows(x_pad: np.ndarray, kh: int, kw: int, sh: int, sw: int) -> np.ndarray:
+    """Return strided windows of shape ``(N, C, Ho, Wo, kh, kw)``."""
+    windows = np.lib.stride_tricks.sliding_window_view(x_pad, (kh, kw), axis=(-2, -1))
+    return windows[:, :, ::sh, ::sw, :, :]
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: IntPair = 1,
+    padding: IntPair = 0,
+    groups: int = 1,
+) -> Tensor:
+    """2-D cross-correlation over NCHW input.
+
+    Parameters mirror ``torch.nn.functional.conv2d``.  ``weight`` has shape
+    ``(out_channels, in_channels // groups, kh, kw)``.  Depthwise
+    convolution is ``groups == in_channels``; all group counts share the
+    same vectorised einsum path.
+    """
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    n, c_in, h, w = x.shape
+    c_out, c_in_g, kh, kw = weight.shape
+    if c_in % groups or c_out % groups:
+        raise ValueError(f"channels ({c_in}->{c_out}) not divisible by groups={groups}")
+    if c_in_g != c_in // groups:
+        raise ValueError(
+            f"weight expects {c_in_g} input channels per group, got {c_in // groups}"
+        )
+    ho = conv_output_size(h, kh, sh, ph)
+    wo = conv_output_size(w, kw, sw, pw)
+    if ho <= 0 or wo <= 0:
+        raise ValueError(f"convolution output would be empty: {(ho, wo)}")
+
+    x_pad = np.pad(x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw))) if (ph or pw) else x.data
+    windows = _sliding_windows(x_pad, kh, kw, sh, sw)
+    # Group-split views: (N, G, Cg, Ho, Wo, kh, kw) and (G, Og, Cg, kh, kw).
+    win_g = windows.reshape(n, groups, c_in // groups, ho, wo, kh, kw)
+    w_g = weight.data.reshape(groups, c_out // groups, c_in // groups, kh, kw)
+    out = np.einsum("ngchwij,gocij->ngohw", win_g, w_g, optimize=True)
+    out = np.ascontiguousarray(out.reshape(n, c_out, ho, wo))
+    if bias is not None:
+        out += bias.data.reshape(1, -1, 1, 1)
+
+    def backward(g):
+        g = g.reshape(n, groups, c_out // groups, ho, wo)
+        grad_w = np.einsum("ngchwij,ngohw->gocij", win_g, g, optimize=True)
+        grad_w = grad_w.reshape(weight.shape)
+
+        # Gradient w.r.t. input: dilate g by the stride, pad to "full"
+        # correlation extent, convolve with spatially-flipped weights.
+        hd = (ho - 1) * sh + 1
+        wd = (wo - 1) * sw + 1
+        g_dil = np.zeros((n, groups, c_out // groups, hd, wd), dtype=g.dtype)
+        g_dil[:, :, :, ::sh, ::sw] = g
+        h_pad_total = x_pad.shape[-2]
+        w_pad_total = x_pad.shape[-1]
+        # Remainders when the sweep does not cover the padded input exactly.
+        rh = h_pad_total - ((ho - 1) * sh + kh)
+        rw = w_pad_total - ((wo - 1) * sw + kw)
+        g_full = np.pad(
+            g_dil,
+            ((0, 0), (0, 0), (0, 0), (kh - 1, kh - 1 + rh), (kw - 1, kw - 1 + rw)),
+        )
+        w_flip = w_g[:, :, :, ::-1, ::-1]
+        g_windows = np.lib.stride_tricks.sliding_window_view(
+            g_full, (kh, kw), axis=(-2, -1)
+        )
+        grad_x_pad = np.einsum("ngohwij,gocij->ngchw", g_windows, w_flip, optimize=True)
+        grad_x_pad = grad_x_pad.reshape(n, c_in, h_pad_total, w_pad_total)
+        grad_x = grad_x_pad[:, :, ph : ph + h, pw : pw + w]
+
+        grads = [np.ascontiguousarray(grad_x), grad_w]
+        if bias is not None:
+            grads.append(g.sum(axis=(0, 3, 4)).reshape(-1))
+        return tuple(grads)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return Tensor._from_op(out, parents, backward, "conv2d")
+
+
+def max_pool2d(x: Tensor, kernel_size: IntPair, stride: Optional[IntPair] = None) -> Tensor:
+    """Max pooling; defaults to non-overlapping windows (stride = kernel)."""
+    kh, kw = _pair(kernel_size)
+    sh, sw = _pair(stride) if stride is not None else (kh, kw)
+    n, c, h, w = x.shape
+    ho = conv_output_size(h, kh, sh, 0)
+    wo = conv_output_size(w, kw, sw, 0)
+    windows = _sliding_windows(x.data, kh, kw, sh, sw)
+    flat = windows.reshape(n, c, ho, wo, kh * kw)
+    arg = flat.argmax(axis=-1)
+    out = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+
+    def backward(g):
+        grad = np.zeros_like(x.data)
+        ki, kj = np.unravel_index(arg, (kh, kw))
+        ni, ci, hi, wi = np.indices((n, c, ho, wo), sparse=False)
+        rows = hi * sh + ki
+        cols = wi * sw + kj
+        np.add.at(grad, (ni, ci, rows, cols), g)
+        return (grad,)
+
+    return Tensor._from_op(np.ascontiguousarray(out), (x,), backward, "max_pool2d")
+
+
+def avg_pool2d(x: Tensor, kernel_size: IntPair, stride: Optional[IntPair] = None) -> Tensor:
+    """Average pooling; defaults to non-overlapping windows."""
+    kh, kw = _pair(kernel_size)
+    sh, sw = _pair(stride) if stride is not None else (kh, kw)
+    n, c, h, w = x.shape
+    ho = conv_output_size(h, kh, sh, 0)
+    wo = conv_output_size(w, kw, sw, 0)
+    windows = _sliding_windows(x.data, kh, kw, sh, sw)
+    out = windows.mean(axis=(-2, -1))
+    scale = 1.0 / (kh * kw)
+
+    def backward(g):
+        grad = np.zeros_like(x.data)
+        g_scaled = g * scale
+        # For a fixed in-window offset (i, j) the destination cells across
+        # output positions are disjoint, so strided views accumulate safely.
+        for i in range(kh):
+            for j in range(kw):
+                grad[
+                    :, :, i : i + (ho - 1) * sh + 1 : sh, j : j + (wo - 1) * sw + 1 : sw
+                ] += g_scaled
+        return (grad,)
+
+    return Tensor._from_op(np.ascontiguousarray(out), (x,), backward, "avg_pool2d")
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Average over all spatial positions, keeping ``(N, C, 1, 1)``."""
+    return x.mean(axis=(2, 3), keepdims=True)
+
+
+def adaptive_avg_pool2d(x: Tensor, output_size: IntPair = 1) -> Tensor:
+    """Adaptive average pooling to a fixed output size.
+
+    Supports the common cases where the input size is divisible by the
+    output size (which covers every model in this repository) plus the
+    global-pool case ``output_size=1``.
+    """
+    oh, ow = _pair(output_size)
+    n, c, h, w = x.shape
+    if (oh, ow) == (1, 1):
+        return global_avg_pool2d(x)
+    if h % oh or w % ow:
+        raise ValueError(
+            f"adaptive_avg_pool2d needs divisible sizes, got {(h, w)} -> {(oh, ow)}"
+        )
+    return avg_pool2d(x, (h // oh, w // ow))
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout: scales kept activations by ``1 / (1 - p)``."""
+    if not training or p <= 0.0:
+        return x
+    if p >= 1.0:
+        raise ValueError("dropout probability must be < 1")
+    rng = rng if rng is not None else np.random.default_rng()
+    mask = (rng.random(x.shape) >= p).astype(x.data.dtype) / (1.0 - p)
+
+    def backward(g):
+        return (g * mask,)
+
+    return Tensor._from_op(x.data * mask, (x,), backward, "dropout")
+
+
+def batch_norm(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: Optional[float] = 0.1,
+    eps: float = 1e-5,
+    num_batches_tracked: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Batch normalisation over the channel axis of an NCHW tensor.
+
+    In training mode the batch statistics enter the autograd graph and the
+    running statistics are updated in place; in eval mode the stored
+    running statistics are used as constants.  ``momentum=None`` selects
+    cumulative moving averaging (the running statistics become the true
+    mean over all batches seen), which converges much faster on the short
+    CPU training runs this repository uses.
+    """
+    axes = (0, 2, 3) if x.ndim == 4 else (0,)
+    view = (1, -1, 1, 1) if x.ndim == 4 else (1, -1)
+    if training:
+        mean = x.mean(axis=axes, keepdims=True)
+        var = x.var(axis=axes, keepdims=True)
+        if momentum is None:
+            if num_batches_tracked is None:
+                raise ValueError("cumulative batch_norm needs num_batches_tracked")
+            num_batches_tracked += 1
+            factor = 1.0 / float(num_batches_tracked[0])
+        else:
+            factor = momentum
+        running_mean *= 1.0 - factor
+        running_mean += factor * mean.data.reshape(-1)
+        running_var *= 1.0 - factor
+        running_var += factor * var.data.reshape(-1)
+        normalized = (x - mean) / (var + eps).sqrt()
+    else:
+        mean = running_mean.reshape(view)
+        var = running_var.reshape(view)
+        normalized = (x - Tensor(mean)) / Tensor(np.sqrt(var + eps))
+    return normalized * weight.reshape(view) + bias.reshape(view)
+
+
+# ---------------------------------------------------------------------------
+# Losses
+# ---------------------------------------------------------------------------
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Return a float32 one-hot encoding of integer ``labels``."""
+    labels = np.asarray(labels)
+    out = np.zeros((labels.size, num_classes), dtype=np.float32)
+    out[np.arange(labels.size), labels.reshape(-1)] = 1.0
+    return out.reshape(labels.shape + (num_classes,))
+
+
+def nll_loss(log_probs: Tensor, target: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Negative log-likelihood given ``log_softmax`` outputs."""
+    target = np.asarray(target).reshape(-1)
+    n = log_probs.shape[0]
+    picked_data = log_probs.data[np.arange(n), target]
+
+    def backward(g):
+        grad = np.zeros_like(log_probs.data)
+        grad[np.arange(n), target] = g
+        return (grad,)
+
+    picked = Tensor._from_op(picked_data, (log_probs,), backward, "nll_gather")
+    if reduction == "mean":
+        return -picked.mean()
+    if reduction == "sum":
+        return -picked.sum()
+    if reduction == "none":
+        return -picked
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def cross_entropy(
+    logits: Tensor,
+    target: np.ndarray,
+    reduction: str = "mean",
+    label_smoothing: float = 0.0,
+) -> Tensor:
+    """Softmax cross-entropy from raw logits against integer labels."""
+    logp = log_softmax(logits, axis=-1)
+    if label_smoothing > 0.0:
+        k = logits.shape[-1]
+        smooth = label_smoothing / k
+        hard = nll_loss(logp, target, reduction=reduction)
+        uniform = -logp.mean(axis=-1)
+        if reduction == "mean":
+            uniform = uniform.mean()
+        elif reduction == "sum":
+            uniform = uniform.sum()
+        return hard * (1.0 - label_smoothing) + uniform * (smooth * k)
+    return nll_loss(logp, target, reduction=reduction)
+
+
+def mse_loss(pred: Tensor, target, reduction: str = "mean") -> Tensor:
+    """Mean squared error."""
+    target = as_tensor(target)
+    diff = pred - target
+    sq = diff * diff
+    if reduction == "mean":
+        return sq.mean()
+    if reduction == "sum":
+        return sq.sum()
+    if reduction == "none":
+        return sq
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def l1_loss(pred: Tensor, target, reduction: str = "mean") -> Tensor:
+    """Mean absolute error."""
+    target = as_tensor(target)
+    diff = (pred - target).abs()
+    if reduction == "mean":
+        return diff.mean()
+    if reduction == "sum":
+        return diff.sum()
+    if reduction == "none":
+        return diff
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, target, reduction: str = "mean") -> Tensor:
+    """Stable BCE from logits: ``max(z,0) - z*y + log(1 + exp(-|z|))``."""
+    target = as_tensor(target)
+    zeros = Tensor(np.zeros_like(logits.data))
+    loss = logits.maximum(zeros) - logits * target + ((-logits.abs()).exp() + 1.0).log()
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    if reduction == "none":
+        return loss
+    raise ValueError(f"unknown reduction {reduction!r}")

@@ -1,0 +1,137 @@
+"""Weight initialisers for the ``repro.nn`` substrate.
+
+The defaults match PyTorch so trained behaviour is comparable with the
+paper's setup: Kaiming-uniform with ``a=sqrt(5)`` for conv/linear weights
+and the matching fan-in bound for biases.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "calculate_fan",
+    "kaiming_uniform",
+    "kaiming_normal",
+    "xavier_uniform",
+    "xavier_normal",
+    "uniform",
+    "normal",
+    "zeros",
+    "ones",
+    "default_rng",
+]
+
+_GLOBAL_SEED = 0x5EED
+
+
+def default_rng(seed: Optional[int] = None) -> np.random.Generator:
+    """Return a numpy Generator; reproducible when ``seed`` is given."""
+    return np.random.default_rng(_GLOBAL_SEED if seed is None else seed)
+
+
+def calculate_fan(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Return ``(fan_in, fan_out)`` for a weight of the given shape.
+
+    Convolution weights ``(out, in, kh, kw)`` multiply the channel fans by
+    the receptive-field size, matching ``torch.nn.init`` conventions.
+    """
+    if len(shape) < 2:
+        raise ValueError(f"fan undefined for shape {shape}")
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out
+
+
+def _gain(nonlinearity: str, a: float = 0.0) -> float:
+    if nonlinearity == "relu":
+        return math.sqrt(2.0)
+    if nonlinearity == "leaky_relu":
+        return math.sqrt(2.0 / (1.0 + a * a))
+    if nonlinearity in ("linear", "sigmoid", "conv2d"):
+        return 1.0
+    if nonlinearity == "tanh":
+        return 5.0 / 3.0
+    raise ValueError(f"unknown nonlinearity {nonlinearity!r}")
+
+
+def kaiming_uniform(
+    shape: Tuple[int, ...],
+    a: float = math.sqrt(5.0),
+    nonlinearity: str = "leaky_relu",
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """He/Kaiming uniform initialisation (PyTorch layer default)."""
+    rng = rng or default_rng()
+    fan_in, _ = calculate_fan(shape)
+    gain = _gain(nonlinearity, a)
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def kaiming_normal(
+    shape: Tuple[int, ...],
+    nonlinearity: str = "relu",
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """He/Kaiming normal initialisation."""
+    rng = rng or default_rng()
+    fan_in, _ = calculate_fan(shape)
+    std = _gain(nonlinearity) / math.sqrt(fan_in)
+    return (rng.standard_normal(shape) * std).astype(np.float32)
+
+
+def xavier_uniform(
+    shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    rng = rng or default_rng()
+    fan_in, fan_out = calculate_fan(shape)
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_normal(
+    shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    """Glorot/Xavier normal initialisation."""
+    rng = rng or default_rng()
+    fan_in, fan_out = calculate_fan(shape)
+    std = math.sqrt(2.0 / (fan_in + fan_out))
+    return (rng.standard_normal(shape) * std).astype(np.float32)
+
+
+def uniform(
+    shape: Tuple[int, ...],
+    low: float,
+    high: float,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Uniform initialisation on ``[low, high)``."""
+    rng = rng or default_rng()
+    return rng.uniform(low, high, size=shape).astype(np.float32)
+
+
+def normal(
+    shape: Tuple[int, ...],
+    mean: float = 0.0,
+    std: float = 1.0,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Gaussian initialisation."""
+    rng = rng or default_rng()
+    return (rng.standard_normal(shape) * std + mean).astype(np.float32)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zero array (bias default for norm-free layers)."""
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-one array (batch-norm scale default)."""
+    return np.ones(shape, dtype=np.float32)

@@ -1,0 +1,268 @@
+"""Stateful layers built on the :class:`~repro.nn.module.Module` base.
+
+Each layer owns its parameters and delegates the math to
+:mod:`repro.nn.functional`; keeping layers thin makes the functional ops
+the single source of truth for both forward behaviour and gradients.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = [
+    "Linear",
+    "Conv2d",
+    "BatchNorm2d",
+    "BatchNorm1d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "AdaptiveAvgPool2d",
+    "Dropout",
+    "Flatten",
+]
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+class Linear(Module):
+    """Affine layer ``y = x W^T + b`` with PyTorch weight layout."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = rng or init.default_rng()
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features), rng=rng))
+        if bias:
+            bound = 1.0 / math.sqrt(in_features)
+            self.bias = Parameter(init.uniform((out_features,), -bound, bound, rng=rng))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def __repr__(self) -> str:
+        return (
+            f"Linear(in_features={self.in_features}, "
+            f"out_features={self.out_features}, bias={self.bias is not None})"
+        )
+
+
+class Conv2d(Module):
+    """2-D convolution over NCHW input (supports grouped/depthwise)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: IntPair,
+        stride: IntPair = 1,
+        padding: IntPair = 0,
+        groups: int = 1,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        kh, kw = (kernel_size, kernel_size) if isinstance(kernel_size, int) else kernel_size
+        if in_channels % groups:
+            raise ValueError(f"in_channels={in_channels} not divisible by groups={groups}")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = (kh, kw)
+        self.stride = stride
+        self.padding = padding
+        self.groups = groups
+        rng = rng or init.default_rng()
+        shape = (out_channels, in_channels // groups, kh, kw)
+        self.weight = Parameter(init.kaiming_uniform(shape, rng=rng))
+        if bias:
+            fan_in = (in_channels // groups) * kh * kw
+            bound = 1.0 / math.sqrt(fan_in)
+            self.bias = Parameter(init.uniform((out_channels,), -bound, bound, rng=rng))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(
+            x,
+            self.weight,
+            self.bias,
+            stride=self.stride,
+            padding=self.padding,
+            groups=self.groups,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, "
+            f"kernel_size={self.kernel_size}, stride={self.stride}, "
+            f"padding={self.padding}, groups={self.groups}, "
+            f"bias={self.bias is not None})"
+        )
+
+
+class _BatchNorm(Module):
+    """Shared machinery for 1-D/2-D batch normalisation.
+
+    ``momentum=None`` (the default) selects cumulative moving averaging
+    for the running statistics: after K training batches they equal the
+    plain average of the K batch statistics.  This makes eval-mode
+    behaviour reliable after the short training runs used throughout this
+    repository; pass ``momentum=0.1`` for PyTorch-default behaviour.
+    """
+
+    def __init__(
+        self, num_features: int, eps: float = 1e-5, momentum: Optional[float] = None
+    ):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(init.ones((num_features,)))
+        self.bias = Parameter(init.zeros((num_features,)))
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
+        self.register_buffer("num_batches_tracked", np.zeros(1, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        self._check_input(x)
+        return F.batch_norm(
+            x,
+            self.weight,
+            self.bias,
+            self._buffers["running_mean"],
+            self._buffers["running_var"],
+            training=self.training,
+            momentum=self.momentum,
+            eps=self.eps,
+            num_batches_tracked=self._buffers["num_batches_tracked"],
+        )
+
+    def reset_running_stats(self) -> None:
+        """Zero the running statistics (used by post-training recalibration).
+
+        After a reset, forward passes in training mode rebuild the
+        statistics; with the default cumulative averaging they become the
+        exact mean of the batches seen since the reset — i.e. statistics
+        of the *final* weights rather than of the whole training
+        trajectory.
+        """
+        self._buffers["running_mean"][...] = 0.0
+        self._buffers["running_var"][...] = 1.0
+        self._buffers["num_batches_tracked"][...] = 0.0
+
+    def _check_input(self, x: Tensor) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.num_features}, eps={self.eps})"
+
+
+class BatchNorm2d(_BatchNorm):
+    """Batch normalisation over the channel axis of NCHW tensors."""
+
+    def _check_input(self, x: Tensor) -> None:
+        if x.ndim != 4 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"BatchNorm2d({self.num_features}) got input of shape {x.shape}"
+            )
+
+
+class BatchNorm1d(_BatchNorm):
+    """Batch normalisation over the feature axis of NC tensors."""
+
+    def _check_input(self, x: Tensor) -> None:
+        if x.ndim != 2 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"BatchNorm1d({self.num_features}) got input of shape {x.shape}"
+            )
+
+
+class MaxPool2d(Module):
+    """Max pooling layer."""
+
+    def __init__(self, kernel_size: IntPair, stride: Optional[IntPair] = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size, self.stride)
+
+    def __repr__(self) -> str:
+        return f"MaxPool2d(kernel_size={self.kernel_size}, stride={self.stride})"
+
+
+class AvgPool2d(Module):
+    """Average pooling layer."""
+
+    def __init__(self, kernel_size: IntPair, stride: Optional[IntPair] = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size, self.stride)
+
+    def __repr__(self) -> str:
+        return f"AvgPool2d(kernel_size={self.kernel_size}, stride={self.stride})"
+
+
+class AdaptiveAvgPool2d(Module):
+    """Adaptive average pooling to a fixed spatial output size."""
+
+    def __init__(self, output_size: IntPair = 1):
+        super().__init__()
+        self.output_size = output_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.adaptive_avg_pool2d(x, self.output_size)
+
+    def __repr__(self) -> str:
+        return f"AdaptiveAvgPool2d(output_size={self.output_size})"
+
+
+class Dropout(Module):
+    """Inverted dropout; inert in eval mode."""
+
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng or init.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, training=self.training, rng=self._rng)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"
+
+
+class Flatten(Module):
+    """Flatten trailing dimensions from ``start_dim`` onward."""
+
+    def __init__(self, start_dim: int = 1):
+        super().__init__()
+        self.start_dim = start_dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten(self.start_dim)
+
+    def __repr__(self) -> str:
+        return f"Flatten(start_dim={self.start_dim})"

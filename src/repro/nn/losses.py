@@ -1,0 +1,73 @@
+"""Loss modules.
+
+The paper's experiments are all classification tasks trained with softmax
+cross-entropy (one loss per task-solving head, summed per Eq. 4 — the sum
+itself lives in :mod:`repro.core.losses`); regression losses are provided
+for the bounding-box style tasks the introduction motivates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .module import Module
+from .tensor import Tensor
+
+__all__ = ["CrossEntropyLoss", "MSELoss", "L1Loss", "BCEWithLogitsLoss"]
+
+
+class CrossEntropyLoss(Module):
+    """Softmax cross-entropy from logits against integer class labels."""
+
+    def __init__(self, reduction: str = "mean", label_smoothing: float = 0.0):
+        super().__init__()
+        self.reduction = reduction
+        self.label_smoothing = label_smoothing
+
+    def forward(self, logits: Tensor, target: np.ndarray) -> Tensor:
+        return F.cross_entropy(
+            logits,
+            target,
+            reduction=self.reduction,
+            label_smoothing=self.label_smoothing,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CrossEntropyLoss(reduction={self.reduction!r}, "
+            f"label_smoothing={self.label_smoothing})"
+        )
+
+
+class MSELoss(Module):
+    """Mean squared error."""
+
+    def __init__(self, reduction: str = "mean"):
+        super().__init__()
+        self.reduction = reduction
+
+    def forward(self, pred: Tensor, target) -> Tensor:
+        return F.mse_loss(pred, target, reduction=self.reduction)
+
+
+class L1Loss(Module):
+    """Mean absolute error."""
+
+    def __init__(self, reduction: str = "mean"):
+        super().__init__()
+        self.reduction = reduction
+
+    def forward(self, pred: Tensor, target) -> Tensor:
+        return F.l1_loss(pred, target, reduction=self.reduction)
+
+
+class BCEWithLogitsLoss(Module):
+    """Numerically stable binary cross-entropy from logits."""
+
+    def __init__(self, reduction: str = "mean"):
+        super().__init__()
+        self.reduction = reduction
+
+    def forward(self, logits: Tensor, target) -> Tensor:
+        return F.binary_cross_entropy_with_logits(logits, target, reduction=self.reduction)

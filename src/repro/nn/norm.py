@@ -1,0 +1,79 @@
+"""Batch-independent normalisation layers.
+
+Batch statistics are unreliable at the very small batch sizes an edge
+device can afford; GroupNorm and LayerNorm normalise per sample and so
+behave identically in training and eval.  They are drop-in alternatives
+for the backbones' BatchNorm when experimenting with on-device
+fine-tuning (the paper's Sec. 3.3 scenario run *on* the edge).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["GroupNorm", "LayerNorm"]
+
+
+class GroupNorm(Module):
+    """Group normalisation over NCHW tensors (Wu & He, 2018).
+
+    Channels are divided into ``num_groups`` groups; each sample's group
+    is normalised by its own mean/variance, then scaled and shifted by
+    learnable per-channel affine parameters.
+    """
+
+    def __init__(self, num_groups: int, num_channels: int, eps: float = 1e-5):
+        super().__init__()
+        if num_channels % num_groups:
+            raise ValueError(
+                f"num_channels={num_channels} not divisible by num_groups={num_groups}"
+            )
+        self.num_groups = num_groups
+        self.num_channels = num_channels
+        self.eps = eps
+        self.weight = Parameter(init.ones((num_channels,)))
+        self.bias = Parameter(init.zeros((num_channels,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4 or x.shape[1] != self.num_channels:
+            raise ValueError(
+                f"GroupNorm({self.num_groups}, {self.num_channels}) got shape {x.shape}"
+            )
+        n, c, h, w = x.shape
+        grouped = x.reshape(n, self.num_groups, c // self.num_groups * h * w)
+        mean = grouped.mean(axis=2, keepdims=True)
+        var = grouped.var(axis=2, keepdims=True)
+        normalized = (grouped - mean) / (var + self.eps).sqrt()
+        normalized = normalized.reshape(n, c, h, w)
+        return normalized * self.weight.reshape(1, -1, 1, 1) + self.bias.reshape(1, -1, 1, 1)
+
+    def __repr__(self) -> str:
+        return f"GroupNorm({self.num_groups}, {self.num_channels}, eps={self.eps})"
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the trailing feature dimension."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5):
+        super().__init__()
+        self.normalized_shape = normalized_shape
+        self.eps = eps
+        self.weight = Parameter(init.ones((normalized_shape,)))
+        self.bias = Parameter(init.zeros((normalized_shape,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.normalized_shape:
+            raise ValueError(
+                f"LayerNorm({self.normalized_shape}) got trailing dim {x.shape[-1]}"
+            )
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        normalized = (x - mean) / (var + self.eps).sqrt()
+        return normalized * self.weight + self.bias
+
+    def __repr__(self) -> str:
+        return f"LayerNorm({self.normalized_shape}, eps={self.eps})"

@@ -1,0 +1,290 @@
+"""Optimisers and learning-rate schedulers.
+
+The paper trains with **AdamW** (learning rate 1e-5 on 3D Shapes, 1e-4 on
+MEDIC/FACES) and describes the fine-tuning stage in terms of two learning
+rates — a large ``alpha`` for the task heads (Eq. 5) and a small ``eta``
+for the shared backbone (Eq. 6).  Parameter groups make that two-rate
+scheme a first-class citizen here, exactly as in PyTorch.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Union
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "StepLR",
+    "CosineAnnealingLR",
+    "clip_grad_norm",
+]
+
+ParamsLike = Union[Iterable[Parameter], Iterable[Dict]]
+
+
+def _normalize_param_groups(params: ParamsLike, defaults: Dict) -> List[Dict]:
+    params = list(params)
+    if not params:
+        raise ValueError("optimizer got an empty parameter list")
+    if isinstance(params[0], dict):
+        groups = []
+        for group in params:
+            merged = dict(defaults)
+            merged.update(group)
+            merged["params"] = list(group["params"])
+            groups.append(merged)
+        return groups
+    group = dict(defaults)
+    group["params"] = params
+    return [group]
+
+
+class Optimizer:
+    """Base optimiser holding parameter groups and per-parameter state."""
+
+    def __init__(self, params: ParamsLike, defaults: Dict):
+        self.param_groups: List[Dict] = _normalize_param_groups(params, defaults)
+        self.state: Dict[int, Dict] = {}
+        for group in self.param_groups:
+            for param in group["params"]:
+                if not isinstance(param, Parameter):
+                    raise TypeError(f"expected Parameter, got {type(param).__name__}")
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every managed parameter."""
+        for group in self.param_groups:
+            for param in group["params"]:
+                param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def _state_for(self, param: Parameter) -> Dict:
+        return self.state.setdefault(id(param), {})
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict:
+        """Serialisable snapshot: group hyper-parameters + per-param state.
+
+        Parameters are identified positionally (group index, slot index),
+        so loading requires an optimizer built over the same parameter
+        list in the same order — the same contract as PyTorch.
+        """
+        groups = []
+        per_param: Dict[str, Dict] = {}
+        for g_index, group in enumerate(self.param_groups):
+            hyper = {k: v for k, v in group.items() if k != "params"}
+            groups.append(hyper)
+            for p_index, param in enumerate(group["params"]):
+                state = self.state.get(id(param))
+                if state:
+                    per_param[f"{g_index}.{p_index}"] = {
+                        k: (np.array(v, copy=True) if isinstance(v, np.ndarray) else v)
+                        for k, v in state.items()
+                    }
+        return {"param_groups": groups, "state": per_param}
+
+    def load_state_dict(self, snapshot: Dict) -> None:
+        """Restore hyper-parameters and per-parameter state in place."""
+        groups = snapshot["param_groups"]
+        if len(groups) != len(self.param_groups):
+            raise ValueError(
+                f"snapshot has {len(groups)} param groups, optimizer has "
+                f"{len(self.param_groups)}"
+            )
+        for group, hyper in zip(self.param_groups, groups):
+            group.update(hyper)
+        for key, state in snapshot["state"].items():
+            g_index, p_index = (int(part) for part in key.split("."))
+            try:
+                param = self.param_groups[g_index]["params"][p_index]
+            except IndexError:
+                raise ValueError(f"snapshot state key {key!r} has no parameter") from None
+            self.state[id(param)] = {
+                k: (np.array(v, copy=True) if isinstance(v, np.ndarray) else v)
+                for k, v in state.items()
+            }
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        params: ParamsLike,
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ):
+        if lr <= 0:
+            raise ValueError(f"invalid learning rate {lr}")
+        if nesterov and momentum <= 0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        super().__init__(
+            params,
+            dict(lr=lr, momentum=momentum, weight_decay=weight_decay, nesterov=nesterov),
+        )
+
+    def step(self) -> None:
+        for group in self.param_groups:
+            lr = group["lr"]
+            momentum = group["momentum"]
+            weight_decay = group["weight_decay"]
+            nesterov = group["nesterov"]
+            for param in group["params"]:
+                if param.grad is None:
+                    continue
+                grad = param.grad
+                if weight_decay:
+                    grad = grad + weight_decay * param.data
+                if momentum:
+                    state = self._state_for(param)
+                    buf = state.get("momentum_buffer")
+                    if buf is None:
+                        buf = grad.astype(np.float32, copy=True)
+                    else:
+                        buf *= momentum
+                        buf += grad
+                    state["momentum_buffer"] = buf
+                    grad = grad + momentum * buf if nesterov else buf
+                param.data -= lr * grad
+
+
+class Adam(Optimizer):
+    """Adam with (optionally) L2-coupled weight decay."""
+
+    _decoupled = False
+
+    def __init__(
+        self,
+        params: ParamsLike,
+        lr: float = 1e-3,
+        betas=(0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        if lr <= 0:
+            raise ValueError(f"invalid learning rate {lr}")
+        if not 0.0 <= betas[0] < 1.0 or not 0.0 <= betas[1] < 1.0:
+            raise ValueError(f"invalid betas {betas}")
+        super().__init__(params, dict(lr=lr, betas=betas, eps=eps, weight_decay=weight_decay))
+
+    def step(self) -> None:
+        for group in self.param_groups:
+            lr = group["lr"]
+            beta1, beta2 = group["betas"]
+            eps = group["eps"]
+            weight_decay = group["weight_decay"]
+            for param in group["params"]:
+                if param.grad is None:
+                    continue
+                grad = param.grad
+                if weight_decay and not self._decoupled:
+                    grad = grad + weight_decay * param.data
+                state = self._state_for(param)
+                if not state:
+                    state["step"] = 0
+                    state["exp_avg"] = np.zeros_like(param.data, dtype=np.float32)
+                    state["exp_avg_sq"] = np.zeros_like(param.data, dtype=np.float32)
+                state["step"] += 1
+                t = state["step"]
+                m, v = state["exp_avg"], state["exp_avg_sq"]
+                m *= beta1
+                m += (1.0 - beta1) * grad
+                v *= beta2
+                v += (1.0 - beta2) * grad * grad
+                m_hat = m / (1.0 - beta1**t)
+                v_hat = v / (1.0 - beta2**t)
+                if weight_decay and self._decoupled:
+                    param.data -= lr * weight_decay * param.data
+                param.data -= lr * m_hat / (np.sqrt(v_hat) + eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay [Loshchilov & Hutter, 2017].
+
+    This is the optimiser the paper uses for every experiment.
+    """
+
+    _decoupled = True
+
+    def __init__(
+        self,
+        params: ParamsLike,
+        lr: float = 1e-3,
+        betas=(0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.01,
+    ):
+        super().__init__(params, lr=lr, betas=betas, eps=eps, weight_decay=weight_decay)
+
+
+class _LRScheduler:
+    """Base scheduler manipulating ``lr`` on the optimiser's groups."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lrs = [group["lr"] for group in optimizer.param_groups]
+        self.last_epoch = 0
+
+    def get_lr(self) -> List[float]:
+        raise NotImplementedError
+
+    def step(self) -> None:
+        """Advance one epoch and update every group's learning rate."""
+        self.last_epoch += 1
+        for group, lr in zip(self.optimizer.param_groups, self.get_lr()):
+            group["lr"] = lr
+
+
+class StepLR(_LRScheduler):
+    """Decay every ``step_size`` epochs by ``gamma``."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> List[float]:
+        factor = self.gamma ** (self.last_epoch // self.step_size)
+        return [base * factor for base in self.base_lrs]
+
+
+class CosineAnnealingLR(_LRScheduler):
+    """Cosine decay from the base rate to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0):
+        super().__init__(optimizer)
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self) -> List[float]:
+        progress = min(self.last_epoch, self.t_max) / self.t_max
+        scale = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return [self.eta_min + (base - self.eta_min) * scale for base in self.base_lrs]
+
+
+def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm, mirroring ``torch.nn.utils.clip_grad_norm_``.
+    """
+    grads = [p.grad for p in parameters if p.grad is not None]
+    if not grads:
+        return 0.0
+    total = math.sqrt(sum(float((g * g).sum()) for g in grads))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for grad in grads:
+            grad *= scale
+    return total

@@ -1,0 +1,45 @@
+"""Checkpoint persistence for :class:`~repro.nn.module.Module` trees.
+
+Checkpoints are plain ``.npz`` archives of the flat ``state_dict``
+mapping, so they are portable, inspectable with numpy alone and free of
+pickle security concerns.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Union
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_state", "load_state", "save_module", "load_module"]
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_state(state: Dict[str, np.ndarray], path: PathLike) -> None:
+    """Write a state-dict mapping to an ``.npz`` archive."""
+    path = os.fspath(path)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    np.savez(path, **state)
+
+
+def load_state(path: PathLike) -> Dict[str, np.ndarray]:
+    """Read a state-dict mapping from an ``.npz`` archive."""
+    with np.load(os.fspath(path)) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
+def save_module(module: Module, path: PathLike) -> None:
+    """Persist a module's parameters and buffers."""
+    save_state(module.state_dict(), path)
+
+
+def load_module(module: Module, path: PathLike, strict: bool = True) -> Module:
+    """Restore a module's parameters and buffers in place."""
+    module.load_state_dict(load_state(path), strict=strict)
+    return module

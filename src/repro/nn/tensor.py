@@ -1,0 +1,568 @@
+"""Reverse-mode automatic differentiation on top of numpy.
+
+This module is the core of the ``repro.nn`` substrate: a :class:`Tensor`
+wraps a ``numpy.ndarray`` and records the operations applied to it in a
+dynamic computation graph.  Calling :meth:`Tensor.backward` walks the graph
+in reverse topological order and accumulates gradients into the ``grad``
+attribute of every leaf tensor created with ``requires_grad=True``.
+
+The design intentionally mirrors PyTorch's eager API (``+``, ``@``,
+``.sum()``, ``.reshape()``, ``.backward()``) because the paper being
+reproduced (MTL-Split, DAC 2024) implements its models in PyTorch; keeping
+the surface familiar makes the reproduction easy to audit against the
+paper's equations.
+
+Only the *primitive* operations live here.  Composite neural-network
+operations (convolutions, pooling, losses, ...) are built in
+:mod:`repro.nn.functional` either from these primitives or as custom
+primitives registered through :func:`Tensor._from_op`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor"]
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
+
+_grad_state = threading.local()
+
+
+def is_grad_enabled() -> bool:
+    """Return ``True`` when operations should record the autograd graph."""
+    return getattr(_grad_state, "enabled", True)
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling graph recording (like ``torch.no_grad``)."""
+    previous = is_grad_enabled()
+    _grad_state.enabled = False
+    try:
+        yield
+    finally:
+        _grad_state.enabled = previous
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing numpy broadcasting.
+
+    Broadcasting may have (a) prepended dimensions and (b) stretched
+    size-one dimensions; the adjoint of both is a sum over the broadcast
+    axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum away prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over stretched axes.
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed array participating in reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Anything ``numpy.asarray`` accepts.  Floating inputs keep their
+        dtype; python scalars/lists become ``float32`` (the framework's
+        working precision; gradcheck promotes to ``float64``).
+    requires_grad:
+        When ``True`` the tensor is a graph leaf and will receive a
+        ``grad`` array after :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "_op", "_retains_grad")
+    __array_priority__ = 100  # make numpy defer to Tensor.__radd__ etc.
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False):
+        if isinstance(data, Tensor):
+            data = data.data
+        was_ndarray = isinstance(data, (np.ndarray, np.generic))
+        array = np.asarray(data)
+        if array.dtype.kind in "iub":  # integers stay integers (labels)
+            pass
+        elif array.dtype == np.float64 and was_ndarray:
+            pass  # explicit float64 arrays are kept (gradcheck precision)
+        elif array.dtype != np.float32:
+            array = array.astype(np.float32)  # lists/scalars -> working dtype
+        self.data: np.ndarray = array
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad: bool = bool(requires_grad)
+        self._parents: Tuple[Tensor, ...] = ()
+        self._backward: Optional[Callable[[np.ndarray], Sequence[Optional[np.ndarray]]]] = None
+        self._op: str = ""
+        self._retains_grad: bool = False
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _from_op(
+        data: np.ndarray,
+        parents: Tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], Sequence[Optional[np.ndarray]]],
+        op: str = "",
+    ) -> "Tensor":
+        """Create a non-leaf tensor produced by an operation.
+
+        ``backward`` maps the output gradient to a sequence of gradients
+        aligned with ``parents`` (``None`` for parents that do not require
+        grad).  When grad mode is disabled, or no parent requires grad,
+        the result is detached.
+        """
+        needs = is_grad_enabled() and any(p.requires_grad for p in parents)
+        out = Tensor(data)
+        if needs:
+            out.requires_grad = True
+            out._parents = parents
+            out._backward = backward
+            out._op = op
+        return out
+
+    def detach(self) -> "Tensor":
+        """Return a new leaf tensor sharing this tensor's data."""
+        return Tensor(self.data)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def is_leaf(self) -> bool:
+        return self._backward is None
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared, not copied)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_note = ", requires_grad=True" if self.requires_grad else ""
+        op_note = f", op={self._op!r}" if self._op else ""
+        return f"Tensor(shape={self.shape}, dtype={self.dtype}{grad_note}{op_note})"
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective with respect to this tensor.
+            Defaults to ``1`` and is only optional for scalar tensors.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar backward()")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+        if grad.shape != self.data.shape:
+            grad = np.broadcast_to(grad, self.data.shape).copy()
+
+        order = self._topological_order()
+        grads: dict = {id(self): grad}
+        for node in order:
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._retains_grad and node._backward is not None:
+                node.grad = node_grad if node.grad is None else node.grad + node_grad
+            if node._backward is None:
+                # Leaf: accumulate into .grad
+                if node.requires_grad:
+                    if node.grad is None:
+                        node.grad = node_grad.astype(node.data.dtype, copy=True)
+                    else:
+                        node.grad = node.grad + node_grad
+                continue
+            parent_grads = node._backward(node_grad)
+            for parent, pgrad in zip(node._parents, parent_grads):
+                if pgrad is None or not parent.requires_grad:
+                    continue
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + pgrad
+                else:
+                    grads[key] = pgrad
+
+    def _topological_order(self) -> list:
+        """Return nodes reachable from ``self`` in reverse topological order."""
+        order: list = []
+        visited = set()
+        stack = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        order.reverse()
+        return order
+
+    def zero_grad(self) -> None:
+        """Clear the accumulated gradient."""
+        self.grad = None
+
+    def retain_grad(self) -> "Tensor":
+        """Ask backward() to store this non-leaf node's gradient in ``grad``.
+
+        Used by the saliency-based split-point analysis, which inspects
+        gradients at intermediate backbone stages.
+        """
+        self._retains_grad = True
+        return self
+
+    # ------------------------------------------------------------------
+    # Arithmetic primitives
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        data = self.data + other.data
+
+        def backward(g):
+            return (_unbroadcast(g, self.shape), _unbroadcast(g, other.shape))
+
+        return Tensor._from_op(data, (self, other), backward, "add")
+
+    __radd__ = __add__
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        data = self.data - other.data
+
+        def backward(g):
+            return (_unbroadcast(g, self.shape), _unbroadcast(-g, other.shape))
+
+        return Tensor._from_op(data, (self, other), backward, "sub")
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other) - self
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        data = self.data * other.data
+        a, b = self, other
+
+        def backward(g):
+            return (
+                _unbroadcast(g * b.data, a.shape),
+                _unbroadcast(g * a.data, b.shape),
+            )
+
+        return Tensor._from_op(data, (self, other), backward, "mul")
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        data = self.data / other.data
+        a, b = self, other
+
+        def backward(g):
+            return (
+                _unbroadcast(g / b.data, a.shape),
+                _unbroadcast(-g * a.data / (b.data * b.data), b.shape),
+            )
+
+        return Tensor._from_op(data, (self, other), backward, "div")
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other) / self
+
+    def __neg__(self) -> "Tensor":
+        def backward(g):
+            return (-g,)
+
+        return Tensor._from_op(-self.data, (self,), backward, "neg")
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("Tensor ** only supports scalar exponents")
+        data = self.data**exponent
+        base = self
+
+        def backward(g):
+            return (g * exponent * base.data ** (exponent - 1),)
+
+        return Tensor._from_op(data, (self,), backward, "pow")
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        data = self.data @ other.data
+        a, b = self, other
+
+        def backward(g):
+            if a.data.ndim == 2 and b.data.ndim == 2:
+                return (g @ b.data.T, a.data.T @ g)
+            # General batched matmul adjoint with broadcasting support.
+            ga = g @ np.swapaxes(b.data, -1, -2)
+            gb = np.swapaxes(a.data, -1, -2) @ g
+            return (_unbroadcast(ga, a.shape), _unbroadcast(gb, b.shape))
+
+        return Tensor._from_op(data, (self, other), backward, "matmul")
+
+    # ------------------------------------------------------------------
+    # Elementwise math primitives
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def backward(g):
+            return (g * data,)
+
+        return Tensor._from_op(data, (self,), backward, "exp")
+
+    def log(self) -> "Tensor":
+        data = np.log(self.data)
+        src = self
+
+        def backward(g):
+            return (g / src.data,)
+
+        return Tensor._from_op(data, (self,), backward, "log")
+
+    def sqrt(self) -> "Tensor":
+        data = np.sqrt(self.data)
+
+        def backward(g):
+            return (g * 0.5 / data,)
+
+        return Tensor._from_op(data, (self,), backward, "sqrt")
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+
+        def backward(g):
+            return (g * (1.0 - data * data),)
+
+        return Tensor._from_op(data, (self,), backward, "tanh")
+
+    def abs(self) -> "Tensor":
+        data = np.abs(self.data)
+        src = self
+
+        def backward(g):
+            return (g * np.sign(src.data),)
+
+        return Tensor._from_op(data, (self,), backward, "abs")
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        """Clamp values to ``[low, high]`` (zero gradient outside)."""
+        data = np.clip(self.data, low, high)
+        src = self
+
+        def backward(g):
+            mask = (src.data >= low) & (src.data <= high)
+            return (g * mask,)
+
+        return Tensor._from_op(data, (self,), backward, "clip")
+
+    def maximum(self, other: ArrayLike) -> "Tensor":
+        """Elementwise maximum; ties send the full gradient to ``self``."""
+        other = as_tensor(other)
+        data = np.maximum(self.data, other.data)
+        a, b = self, other
+
+        def backward(g):
+            take_a = a.data >= b.data
+            return (
+                _unbroadcast(g * take_a, a.shape),
+                _unbroadcast(g * (~take_a), b.shape),
+            )
+
+        return Tensor._from_op(data, (self, other), backward, "maximum")
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+        src = self
+
+        def backward(g):
+            grad = g
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(a % src.data.ndim for a in axes)
+                for a in sorted(axes):
+                    grad = np.expand_dims(grad, a)
+            return (np.broadcast_to(grad, src.shape).copy(),)
+
+        return Tensor._from_op(data, (self,), backward, "sum")
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Biased (population) variance, matching batch-norm conventions."""
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        out = (centered * centered).mean(axis=axis, keepdims=keepdims)
+        return out
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+        src = self
+
+        def backward(g):
+            expanded = data
+            grad = g
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(a % src.data.ndim for a in axes)
+                for a in sorted(axes):
+                    expanded = np.expand_dims(expanded, a)
+                    grad = np.expand_dims(grad, a)
+            mask = src.data == expanded
+            # Split gradient evenly among ties so the op stays linear.
+            counts = mask.sum(
+                axis=axis if axis is not None else None, keepdims=True
+            )
+            return (mask * grad / counts,)
+
+        return Tensor._from_op(data, (self,), backward, "max")
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        data = self.data.reshape(shape)
+        src = self
+
+        def backward(g):
+            return (g.reshape(src.shape),)
+
+        return Tensor._from_op(data, (self,), backward, "reshape")
+
+    def flatten(self, start_dim: int = 1) -> "Tensor":
+        """Flatten trailing dimensions from ``start_dim`` onward."""
+        lead = self.shape[:start_dim]
+        return self.reshape(lead + (-1,))
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        data = self.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward(g):
+            return (g.transpose(inverse),)
+
+        return Tensor._from_op(data, (self,), backward, "transpose")
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+        src = self
+
+        def backward(g):
+            grad = np.zeros_like(src.data)
+            np.add.at(grad, index, g)
+            return (grad,)
+
+        return Tensor._from_op(data, (self,), backward, "getitem")
+
+    def pad2d(self, padding: Tuple[int, int]) -> "Tensor":
+        """Zero-pad the two trailing (spatial) dimensions of an NCHW tensor."""
+        ph, pw = padding
+        if ph == 0 and pw == 0:
+            return self
+        pads = [(0, 0)] * (self.data.ndim - 2) + [(ph, ph), (pw, pw)]
+        data = np.pad(self.data, pads)
+
+        def backward(g):
+            slices = tuple(
+                [slice(None)] * (g.ndim - 2)
+                + [slice(ph, g.shape[-2] - ph), slice(pw, g.shape[-1] - pw)]
+            )
+            return (g[slices],)
+
+        return Tensor._from_op(data, (self,), backward, "pad2d")
+
+
+def as_tensor(value: ArrayLike) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor` (no copy when already one)."""
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with autograd support."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g):
+        grads = []
+        for start, stop in zip(offsets[:-1], offsets[1:]):
+            index = [slice(None)] * g.ndim
+            index[axis] = slice(int(start), int(stop))
+            grads.append(g[tuple(index)])
+        return tuple(grads)
+
+    return Tensor._from_op(data, tuple(tensors), backward, "concatenate")
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis`` with autograd support."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g):
+        return tuple(np.take(g, i, axis=axis) for i in range(len(tensors)))
+
+    return Tensor._from_op(data, tuple(tensors), backward, "stack")

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite.
+
+Session-scoped fixtures cache small datasets and a briefly-trained net so
+the many tests that need "some trained model" or "some dataset" do not
+each pay generation/training cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import data
+from repro.core import MTLSplitNet, MultiTaskTrainer, TrainConfig
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def shapes3d_small():
+    """300 noisy 3D-Shapes samples with the paper's two tasks."""
+    return data.make_shapes3d(300, tasks=("scale", "shape"), seed=7)
+
+
+@pytest.fixture(scope="session")
+def medic_small():
+    return data.make_medic(200, seed=7)
+
+
+@pytest.fixture(scope="session")
+def faces_small():
+    return data.make_faces(200, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_trained_net(shapes3d_small):
+    """A briefly trained two-task net on the tiny MobileNetV3 backbone."""
+    train = shapes3d_small.subset(np.arange(200))
+    net = MTLSplitNet.from_tasks(
+        "mobilenet_v3_tiny", list(train.tasks), input_size=32, seed=3
+    )
+    trainer = MultiTaskTrainer(TrainConfig(epochs=1, batch_size=64, lr=3e-3, seed=3))
+    trainer.fit(net, train)
+    return net

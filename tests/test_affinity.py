@@ -1,0 +1,87 @@
+"""Task-affinity analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import affinity_matrix, suggest_task_groups, task_gradients
+
+
+class TestTaskGradients:
+    def test_one_gradient_per_task(self, tiny_trained_net, shapes3d_small):
+        grads = task_gradients(tiny_trained_net, shapes3d_small, batch_size=16)
+        assert set(grads) == set(tiny_trained_net.task_names)
+
+    def test_gradient_length_matches_backbone(self, tiny_trained_net, shapes3d_small):
+        grads = task_gradients(tiny_trained_net, shapes3d_small, batch_size=16)
+        expected = sum(p.size for p in tiny_trained_net.backbone_parameters())
+        for vec in grads.values():
+            assert vec.shape == (expected,)
+
+    def test_gradients_nonzero(self, tiny_trained_net, shapes3d_small):
+        grads = task_gradients(tiny_trained_net, shapes3d_small, batch_size=16)
+        for vec in grads.values():
+            assert np.abs(vec).sum() > 0
+
+    def test_net_grads_cleared_after(self, tiny_trained_net, shapes3d_small):
+        task_gradients(tiny_trained_net, shapes3d_small, batch_size=16)
+        assert all(p.grad is None for p in tiny_trained_net.parameters())
+
+
+class TestAffinityMatrix:
+    def test_shape_and_diagonal(self, tiny_trained_net, shapes3d_small):
+        matrix, names = affinity_matrix(tiny_trained_net, shapes3d_small, batch_size=16)
+        k = len(names)
+        assert matrix.shape == (k, k)
+        np.testing.assert_allclose(np.diag(matrix), np.ones(k))
+
+    def test_symmetric_and_bounded(self, tiny_trained_net, shapes3d_small):
+        matrix, _ = affinity_matrix(tiny_trained_net, shapes3d_small, batch_size=16)
+        np.testing.assert_allclose(matrix, matrix.T)
+        assert (matrix <= 1.0 + 1e-6).all() and (matrix >= -1.0 - 1e-6).all()
+
+    def test_related_factor_tasks_not_strongly_conflicting(
+        self, tiny_trained_net, shapes3d_small
+    ):
+        # scale and shape of the same object share most visual structure;
+        # a trained backbone should not show hard gradient conflict.
+        matrix, _ = affinity_matrix(tiny_trained_net, shapes3d_small, batch_size=32)
+        assert matrix[0, 1] > -0.5
+
+
+class TestGrouping:
+    def test_partition_covers_all_tasks(self):
+        matrix = np.array([
+            [1.0, 0.8, -0.5],
+            [0.8, 1.0, -0.4],
+            [-0.5, -0.4, 1.0],
+        ])
+        groups = suggest_task_groups(matrix, ["a", "b", "c"])
+        flat = sorted(t for g in groups for t in g)
+        assert flat == ["a", "b", "c"]
+
+    def test_conflicting_task_isolated(self):
+        matrix = np.array([
+            [1.0, 0.8, -0.5],
+            [0.8, 1.0, -0.4],
+            [-0.5, -0.4, 1.0],
+        ])
+        groups = suggest_task_groups(matrix, ["a", "b", "c"])
+        assert ["a", "b"] in groups
+        assert ["c"] in groups
+
+    def test_all_compatible_single_group(self):
+        matrix = np.full((3, 3), 0.5)
+        np.fill_diagonal(matrix, 1.0)
+        groups = suggest_task_groups(matrix, ["x", "y", "z"])
+        assert groups == [["x", "y", "z"]]
+
+    def test_threshold_splits_more(self):
+        matrix = np.array([[1.0, 0.2], [0.2, 1.0]])
+        loose = suggest_task_groups(matrix, ["a", "b"], threshold=0.0)
+        strict = suggest_task_groups(matrix, ["a", "b"], threshold=0.5)
+        assert len(loose) == 1
+        assert len(strict) == 2
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            suggest_task_groups(np.eye(3), ["a", "b"])

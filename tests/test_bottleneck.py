@@ -1,0 +1,90 @@
+"""Bottleneck-compression tests: reconstruction, compression accounting,
+and the compressed split path."""
+
+import numpy as np
+import pytest
+
+from repro import data, nn
+from repro.core import (
+    BottleneckAutoencoder,
+    BottleneckedSplit,
+    train_bottleneck,
+)
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture(scope="module")
+def trained_bottleneck(tiny_trained_net, shapes3d_small):
+    subset = shapes3d_small.subset(np.arange(160))
+    autoencoder = train_bottleneck(
+        tiny_trained_net, subset, latent_dim=64, epochs=3, lr=3e-3, seed=0
+    )
+    return autoencoder
+
+
+class TestAutoencoder:
+    def test_latent_must_compress(self):
+        with pytest.raises(ValueError):
+            BottleneckAutoencoder(64, 64)
+
+    def test_shapes(self):
+        ae = BottleneckAutoencoder(128, 16)
+        z = Tensor(np.random.default_rng(0).standard_normal((4, 128)).astype(np.float32))
+        assert ae.encode(z).shape == (4, 16)
+        assert ae(z).shape == (4, 128)
+
+    def test_compression_ratio(self):
+        assert BottleneckAutoencoder(128, 16).compression_ratio == 8.0
+
+    def test_training_reduces_distortion(self, tiny_trained_net, shapes3d_small):
+        subset = shapes3d_small.subset(np.arange(120))
+        with nn.no_grad():
+            z = tiny_trained_net.forward_backbone(Tensor(subset.images[:64]))
+        fresh = BottleneckAutoencoder(z.shape[1], 64, rng=np.random.default_rng(0))
+        before = fresh.distortion(z)
+        trained = train_bottleneck(
+            tiny_trained_net, subset, latent_dim=64, epochs=3, lr=3e-3, seed=0
+        )
+        after = trained.distortion(z)
+        assert after < before
+
+    def test_backbone_untouched_by_training(self, tiny_trained_net, shapes3d_small):
+        subset = shapes3d_small.subset(np.arange(80))
+        before = {
+            k: v.copy()
+            for k, v in tiny_trained_net.backbone.state_dict().items()
+            if "running" not in k and "num_batches" not in k
+        }
+        train_bottleneck(tiny_trained_net, subset, latent_dim=32, epochs=1, seed=1)
+        after = tiny_trained_net.backbone.state_dict()
+        for key, value in before.items():
+            np.testing.assert_array_equal(value, after[key])
+
+
+class TestBottleneckedSplit:
+    def test_payload_elements(self, tiny_trained_net, trained_bottleneck):
+        split = BottleneckedSplit(tiny_trained_net, trained_bottleneck)
+        assert split.payload_elements(8) == 8 * trained_bottleneck.latent_dim
+
+    def test_infer_reports_transmitted_elements(
+        self, tiny_trained_net, trained_bottleneck, shapes3d_small
+    ):
+        split = BottleneckedSplit(tiny_trained_net, trained_bottleneck)
+        logits, transmitted = split.infer(shapes3d_small.images[:8])
+        assert transmitted == 8 * trained_bottleneck.latent_dim
+        assert set(logits) == set(tiny_trained_net.task_names)
+
+    def test_compressed_payload_smaller_than_raw_zb(
+        self, tiny_trained_net, trained_bottleneck, shapes3d_small
+    ):
+        with nn.no_grad():
+            z = tiny_trained_net.forward_backbone(Tensor(shapes3d_small.images[:8]))
+        split = BottleneckedSplit(tiny_trained_net, trained_bottleneck)
+        _logits, transmitted = split.infer(shapes3d_small.images[:8])
+        assert transmitted < z.size
+
+    def test_accuracy_computable(self, tiny_trained_net, trained_bottleneck, shapes3d_small):
+        split = BottleneckedSplit(tiny_trained_net, trained_bottleneck)
+        accuracy = split.accuracy(shapes3d_small.subset(np.arange(80)))
+        for value in accuracy.values():
+            assert 0.0 <= value <= 1.0

@@ -1,0 +1,81 @@
+"""CLI tests: every subcommand runs and prints what it promises."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_subcommands(self):
+        parser = build_parser()
+        for command in ("profile", "paradigms", "dataset", "split-sweep", "train"):
+            args = parser.parse_args([command])
+            assert callable(args.func)
+
+
+class TestProfile:
+    def test_summary(self, capsys):
+        assert main(["profile", "--backbone", "mobilenet_v3_small"]) == 0
+        out = capsys.readouterr().out
+        assert "params" in out and "Z_b" in out
+
+    def test_layers_flag(self, capsys):
+        assert main(["profile", "--backbone", "vgg_tiny", "--layers",
+                     "--input-size", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "layer0.conv" in out
+
+    def test_table4_flag(self, capsys):
+        assert main(["profile", "--backbone", "efficientnet_b0", "--table4"]) == 0
+        assert "Zb size (MB)" in capsys.readouterr().out
+
+
+class TestParadigms:
+    def test_comparison_printed(self, capsys):
+        assert main(["paradigms", "--backbone", "mobilenet_v3_small",
+                     "--tasks", "2", "--input-size", "224"]) == 0
+        out = capsys.readouterr().out
+        assert "LoC" in out and "RoC" in out and "SC" in out
+
+    def test_degraded_bandwidth(self, capsys):
+        assert main(["paradigms", "--backbone", "mobilenet_v3_small",
+                     "--tasks", "2", "--input-size", "224",
+                     "--bandwidth-mbps", "10"]) == 0
+        assert "SC" in capsys.readouterr().out
+
+
+class TestDataset:
+    def test_summary(self, capsys):
+        assert main(["dataset", "--name", "faces", "--samples", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "age" in out and "entropy" in out
+
+    def test_unknown_dataset(self, capsys):
+        assert main(["dataset", "--name", "imagenet"]) == 2
+
+    def test_export_grid(self, tmp_path, capsys):
+        path = tmp_path / "grid.ppm"
+        assert main(["dataset", "--name", "shapes3d", "--samples", "8",
+                     "--export", str(path), "--grid", "8"]) == 0
+        assert path.exists()
+
+
+class TestSplitSweep:
+    def test_sweep_marks_optimum(self, capsys):
+        assert main(["split-sweep", "--backbone", "mobilenet_v3_small",
+                     "--input-size", "224"]) == 0
+        out = capsys.readouterr().out
+        assert "<- optimal" in out
+        assert "input (RoC)" in out
+
+
+class TestTrain:
+    def test_quick_training_run(self, capsys):
+        assert main(["train", "--backbone", "mobilenet_v3_tiny",
+                     "--samples", "90", "--epochs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "test scale" in out and "test shape" in out

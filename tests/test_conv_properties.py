@@ -1,0 +1,108 @@
+"""Mathematical properties of the convolution substrate (hypothesis).
+
+Convolution is the workhorse of every backbone; beyond pointwise
+gradcheck, these tests pin down its *algebraic* structure: linearity,
+translation covariance, kernel-delta identity, and stride/pooling
+consistency.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+def random_array(shape, seed):
+    return np.random.default_rng(seed).standard_normal(shape).astype(np.float32)
+
+
+class TestConvAlgebra:
+    @given(st.integers(0, 1000), st.integers(2, 5), st.integers(1, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_linearity_in_input(self, seed, channels, out_channels):
+        a = random_array((2, channels, 6, 6), seed)
+        b = random_array((2, channels, 6, 6), seed + 1)
+        w = Tensor(random_array((out_channels, channels, 3, 3), seed + 2))
+        left = F.conv2d(Tensor(a + b), w, padding=1).data
+        right = F.conv2d(Tensor(a), w, padding=1).data + F.conv2d(Tensor(b), w, padding=1).data
+        np.testing.assert_allclose(left, right, atol=1e-4)
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_linearity_in_kernel(self, seed):
+        x = Tensor(random_array((1, 2, 5, 5), seed))
+        w1 = random_array((3, 2, 3, 3), seed + 1)
+        w2 = random_array((3, 2, 3, 3), seed + 2)
+        left = F.conv2d(x, Tensor(w1 + w2)).data
+        right = F.conv2d(x, Tensor(w1)).data + F.conv2d(x, Tensor(w2)).data
+        np.testing.assert_allclose(left, right, atol=1e-4)
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_delta_kernel_is_identity(self, seed):
+        x = random_array((2, 3, 6, 6), seed)
+        delta = np.zeros((3, 3, 1, 1), dtype=np.float32)
+        for c in range(3):
+            delta[c, c, 0, 0] = 1.0
+        out = F.conv2d(Tensor(x), Tensor(delta)).data
+        np.testing.assert_allclose(out, x, atol=1e-6)
+
+    @given(st.integers(0, 1000), st.integers(1, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_translation_covariance(self, seed, shift):
+        # Stride-1 valid conv commutes with input translation (interior).
+        x = random_array((1, 1, 12, 12), seed)
+        w = Tensor(random_array((1, 1, 3, 3), seed + 1))
+        out = F.conv2d(Tensor(x), w).data
+        shifted = np.roll(x, shift, axis=3)
+        out_shifted = F.conv2d(Tensor(shifted), w).data
+        np.testing.assert_allclose(
+            out[:, :, :, : -shift or None][..., : out.shape[-1] - shift],
+            out_shifted[:, :, :, shift:],
+            atol=1e-4,
+        )
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_stride_two_equals_subsampled_stride_one(self, seed):
+        x = Tensor(random_array((1, 2, 8, 8), seed))
+        w = Tensor(random_array((3, 2, 3, 3), seed + 1))
+        dense = F.conv2d(x, w, stride=1).data
+        strided = F.conv2d(x, w, stride=2).data
+        np.testing.assert_allclose(strided, dense[:, :, ::2, ::2], atol=1e-5)
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_ones_kernel_times_area_equals_avg_pool(self, seed):
+        x = random_array((1, 1, 8, 8), seed)
+        ones = np.ones((1, 1, 2, 2), dtype=np.float32)
+        conv = F.conv2d(Tensor(x), Tensor(ones), stride=2).data
+        pooled = F.avg_pool2d(Tensor(x), 2).data * 4.0
+        np.testing.assert_allclose(conv, pooled, atol=1e-5)
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_max_pool_dominates_avg_pool(self, seed):
+        x = Tensor(random_array((2, 3, 6, 6), seed))
+        mx = F.max_pool2d(x, 2).data
+        avg = F.avg_pool2d(x, 2).data
+        assert (mx >= avg - 1e-6).all()
+
+
+class TestEvaluateEdgeCases:
+    def test_r_squared_constant_targets_is_zero(self):
+        from repro.core import MTLSplitNet, evaluate
+        from repro.data.base import MultiTaskDataset, TaskInfo
+
+        images = random_array((8, 3, 32, 32), 0)
+        ds = MultiTaskDataset(
+            np.clip(images, 0, 1),
+            {"flat": np.full(8, 0.5, dtype=np.float32)},
+            (TaskInfo("flat", 1, kind="regression"),),
+        )
+        net = MTLSplitNet.from_tasks("mobilenet_v3_tiny", list(ds.tasks), 32, seed=0)
+        metrics = evaluate(net, ds)
+        assert metrics["flat"] == 0.0

@@ -1,0 +1,150 @@
+"""Tests for MTLSplitNet: construction, forward semantics, parameter
+groups and the edge/server split."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import MTLSplitNet
+from repro.data.base import TaskInfo
+from repro.models import MLPHead, mobilenet_v3_tiny
+from repro.nn.tensor import Tensor
+
+TASKS = [TaskInfo("size", 8), TaskInfo("kind", 4)]
+
+
+@pytest.fixture(scope="module")
+def net():
+    return MTLSplitNet.from_tasks("mobilenet_v3_tiny", TASKS, input_size=32, seed=0)
+
+
+def batch(n=4, seed=0):
+    return Tensor(np.random.default_rng(seed).standard_normal((n, 3, 32, 32)).astype(np.float32))
+
+
+class TestConstruction:
+    def test_from_tasks_heads(self, net):
+        assert net.task_names == ("size", "kind")
+        assert net.num_tasks == 2
+
+    def test_head_lookup(self, net):
+        assert net.head("size").num_classes == 8
+        with pytest.raises(KeyError):
+            net.head("missing")
+
+    def test_empty_heads_rejected(self):
+        backbone = mobilenet_v3_tiny()
+        with pytest.raises(ValueError):
+            MTLSplitNet(backbone, {})
+
+    def test_custom_heads(self):
+        backbone = mobilenet_v3_tiny(rng=np.random.default_rng(0))
+        z_dim = backbone.feature_dim(32)
+        net = MTLSplitNet(backbone, {"t": MLPHead(z_dim, 3)})
+        assert net.task_names == ("t",)
+
+    def test_repr(self, net):
+        text = repr(net)
+        assert "mobilenet_v3_tiny" in text and "size" in text
+
+
+class TestForward:
+    def test_forward_returns_all_tasks(self, net):
+        out = net(batch())
+        assert set(out) == {"size", "kind"}
+        assert out["size"].shape == (4, 8)
+        assert out["kind"].shape == (4, 4)
+
+    def test_backbone_then_heads_equals_forward(self, net):
+        net.eval()
+        x = batch(2)
+        z = net.forward_backbone(x)
+        split_out = net.forward_heads(z)
+        full_out = net(x)
+        for name in net.task_names:
+            np.testing.assert_allclose(split_out[name].data, full_out[name].data, atol=1e-6)
+
+    def test_zb_is_flattened(self, net):
+        z = net.forward_backbone(batch(3))
+        assert z.ndim == 2
+        assert z.shape[0] == 3
+
+
+class TestParameterGroups:
+    def test_partition_is_exact(self, net):
+        backbone = {id(p) for p in net.backbone_parameters()}
+        heads = {id(p) for p in net.head_parameters()}
+        everything = {id(p) for p in net.parameters()}
+        assert backbone | heads == everything
+        assert not backbone & heads
+
+    def test_per_task_head_params(self, net):
+        size_params = list(net.head_parameters("size"))
+        assert len(size_params) == 4  # two linear layers, weight + bias each
+
+    def test_shared_backbone_gets_gradients_from_all_tasks(self, net):
+        net.train()
+        net.zero_grad()
+        out = net(batch(2))
+        loss = nn.functional.cross_entropy(out["size"], np.array([0, 1]))
+        loss = loss + nn.functional.cross_entropy(out["kind"], np.array([0, 1]))
+        loss.backward()
+        grads = [p.grad for p in net.backbone_parameters()]
+        assert any(g is not None and np.abs(g).sum() > 0 for g in grads)
+        net.zero_grad()
+
+    def test_head_gradients_are_task_local(self, net):
+        net.train()
+        net.zero_grad()
+        out = net(batch(2))
+        loss = nn.functional.cross_entropy(out["size"], np.array([0, 1]))
+        loss.backward()
+        assert all(p.grad is None for p in net.head_parameters("kind"))
+        assert any(p.grad is not None for p in net.head_parameters("size"))
+        net.zero_grad()
+
+
+class TestSplit:
+    def test_default_split_equals_monolith(self, net):
+        net.eval()
+        edge, server = net.split(input_size=32)
+        x = batch(5, seed=3)
+        with nn.no_grad():
+            z = edge(x)
+            split_out = server(z)
+        full_out = net(x)
+        for name in net.task_names:
+            np.testing.assert_allclose(
+                split_out[name].data, full_out[name].data, atol=1e-5
+            )
+
+    @pytest.mark.parametrize("index", [1, 3, 5])
+    def test_intermediate_split_equals_monolith(self, net, index):
+        net.eval()
+        edge, server = net.split(index, input_size=32)
+        x = batch(2, seed=4)
+        with nn.no_grad():
+            split_out = server(edge(x))
+        full_out = net(x)
+        for name in net.task_names:
+            np.testing.assert_allclose(
+                split_out[name].data, full_out[name].data, atol=1e-5
+            )
+
+    def test_split_shares_parameters(self, net):
+        edge, _server = net.split(input_size=32)
+        edge_ids = {id(p) for p in edge.parameters()}
+        net_ids = {id(p) for p in net.parameters()}
+        assert edge_ids <= net_ids
+
+    def test_invalid_split_index(self, net):
+        with pytest.raises(ValueError):
+            net.split(0)
+        with pytest.raises(ValueError):
+            net.split(999)
+
+    def test_edge_output_is_flat(self, net):
+        edge, _ = net.split(2, input_size=32)
+        with nn.no_grad():
+            z = edge(batch(2))
+        assert z.ndim == 2

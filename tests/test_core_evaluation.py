@@ -1,0 +1,107 @@
+"""Evaluation-protocol tests: the STL-vs-MTL experiment runner and the
+paper-style comparison tables."""
+
+import numpy as np
+import pytest
+
+from repro import data
+from repro.core import (
+    ComparisonTable,
+    ExperimentResult,
+    FineTuneConfig,
+    TrainConfig,
+    format_accuracy_table,
+    pretrain_backbone,
+    run_stl_mtl_experiment,
+)
+from repro.data import train_val_test_split
+
+
+@pytest.fixture(scope="module")
+def splits():
+    dataset = data.make_shapes3d(260, tasks=("scale", "shape"), seed=61)
+    train, _val, test = train_val_test_split(
+        dataset, val_fraction=0.0, test_fraction=0.3, rng=np.random.default_rng(62)
+    )
+    return train, test
+
+
+@pytest.fixture(scope="module")
+def quick_cfg():
+    return TrainConfig(epochs=1, batch_size=64, lr=5e-3, seed=0)
+
+
+@pytest.fixture(scope="module")
+def result(splits, quick_cfg):
+    train, test = splits
+    return run_stl_mtl_experiment(
+        "mobilenet_v3_tiny", train, test,
+        task_groups=[["scale"], ["shape"], ["scale", "shape"]],
+        config=quick_cfg,
+    )
+
+
+class TestExperimentRunner:
+    def test_stl_covers_all_tasks(self, result):
+        assert set(result.stl) == {"scale", "shape"}
+
+    def test_mtl_group_present(self, result):
+        assert "scale+shape" in result.mtl
+        assert set(result.mtl["scale+shape"]) == {"scale", "shape"}
+
+    def test_accuracies_valid(self, result):
+        for value in result.stl.values():
+            assert 0.0 <= value <= 1.0
+        for group in result.mtl.values():
+            for value in group.values():
+                assert 0.0 <= value <= 1.0
+
+    def test_delta(self, result):
+        delta = result.delta("scale+shape", "scale")
+        assert delta == pytest.approx(
+            result.mtl["scale+shape"]["scale"] - result.stl["scale"]
+        )
+
+    def test_singleton_groups_not_in_mtl(self, result):
+        assert "scale" not in result.mtl
+
+    def test_pretrained_path(self, splits, quick_cfg):
+        train, test = splits
+        state = pretrain_backbone(
+            "mobilenet_v3_tiny", train, input_size=32, config=quick_cfg
+        )
+        result = run_stl_mtl_experiment(
+            "mobilenet_v3_tiny", train, test,
+            task_groups=[["scale"], ["scale", "shape"]],
+            pretrained_backbone=state,
+            finetune_config=FineTuneConfig(alpha=1e-3, eta=1e-5, epochs=1),
+        )
+        assert "scale" in result.stl
+        assert "scale+shape" in result.mtl
+
+
+class TestComparisonTable:
+    def test_render_contains_rows_and_deltas(self, result):
+        table = ComparisonTable(
+            title="Test table",
+            task_labels={"scale": "T1", "shape": "T2"},
+        )
+        table.add(result)
+        text = table.render()
+        assert "Test table" in text
+        assert "mobilenet_v3_tiny" in text
+        assert "MTL" in text and "STL" in text
+        assert "(+" in text or "(-" in text
+
+    def test_format_helper(self, result):
+        text = format_accuracy_table("Title", [result], {"scale": "T1", "shape": "T2"})
+        assert "Title" in text
+
+    def test_missing_cells_rendered_as_dash(self):
+        partial = ExperimentResult(backbone="x", dataset="d", stl={"a": 0.5},
+                                   mtl={"a+b": {"a": 0.6, "b": 0.4}})
+        other = ExperimentResult(backbone="y", dataset="d", stl={"a": 0.5}, mtl={})
+        table = ComparisonTable(title="t", task_labels={"a": "T1", "b": "T2"})
+        table.add(partial)
+        table.add(other)
+        assert "-" in table.render()

@@ -1,0 +1,136 @@
+"""Fine-tuning tests: the two-rate scheme of Eqs. 5-7, backbone freezing,
+task addition and backbone pre-training."""
+
+import numpy as np
+import pytest
+
+from repro import data
+from repro.core import (
+    FineTuneConfig,
+    MTLSplitNet,
+    add_task,
+    evaluate,
+    fine_tune,
+    pretrain_backbone,
+)
+from repro.data.base import TaskInfo
+
+
+@pytest.fixture(scope="module")
+def faces_tiny():
+    return data.make_faces(120, seed=3)
+
+
+def fresh_net(ds, tasks=None, seed=0):
+    infos = [ds.task_info(t) for t in tasks] if tasks else list(ds.tasks)
+    return MTLSplitNet.from_tasks("mobilenet_v3_tiny", infos, input_size=32, seed=seed)
+
+
+class TestFineTuneConfig:
+    def test_eta_must_not_exceed_alpha(self):
+        with pytest.raises(ValueError):
+            FineTuneConfig(alpha=1e-4, eta=1e-3)
+
+    def test_negative_eta_rejected(self):
+        with pytest.raises(ValueError):
+            FineTuneConfig(eta=-1e-5)
+
+    def test_non_positive_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            FineTuneConfig(alpha=0.0)
+
+    def test_zero_eta_allowed(self):
+        assert FineTuneConfig(eta=0.0).eta == 0.0
+
+
+class TestFineTune:
+    def test_frozen_backbone_unchanged(self, faces_tiny):
+        net = fresh_net(faces_tiny)
+        before = {k: v.copy() for k, v in net.backbone.state_dict().items()
+                  if "running" not in k and "num_batches" not in k}
+        fine_tune(net, faces_tiny, FineTuneConfig(alpha=1e-3, eta=0.0, epochs=1))
+        after = net.backbone.state_dict()
+        for key, value in before.items():
+            np.testing.assert_array_equal(value, after[key])
+
+    def test_frozen_backbone_heads_still_learn(self, faces_tiny):
+        net = fresh_net(faces_tiny)
+        before = [p.data.copy() for p in net.head_parameters()]
+        fine_tune(net, faces_tiny, FineTuneConfig(alpha=1e-3, eta=0.0, epochs=1))
+        after = [p.data for p in net.head_parameters()]
+        assert any(not np.allclose(a, b) for a, b in zip(before, after))
+
+    def test_small_eta_changes_backbone_slightly(self, faces_tiny):
+        net = fresh_net(faces_tiny)
+        before = {k: v.copy() for k, v in net.backbone.state_dict().items()
+                  if "running" not in k and "num_batches" not in k}
+        fine_tune(net, faces_tiny, FineTuneConfig(alpha=1e-3, eta=1e-5, epochs=1))
+        after = net.backbone.state_dict()
+        changed = any(not np.allclose(before[k], after[k]) for k in before)
+        assert changed
+
+    def test_backbone_left_trainable_after(self, faces_tiny):
+        net = fresh_net(faces_tiny)
+        fine_tune(net, faces_tiny, FineTuneConfig(eta=0.0, epochs=1))
+        assert all(p.requires_grad for p in net.backbone_parameters())
+
+    def test_history_returned(self, faces_tiny):
+        net = fresh_net(faces_tiny)
+        history = fine_tune(net, faces_tiny, FineTuneConfig(epochs=2))
+        assert len(history.epochs) == 2
+
+
+class TestAddTask:
+    def test_new_head_added(self, faces_tiny):
+        net = fresh_net(faces_tiny, tasks=["age", "gender"])
+        extended = add_task(net, faces_tiny.task_info("expression"), input_size=32)
+        assert extended.task_names == ("age", "gender", "expression")
+
+    def test_existing_heads_preserved(self, faces_tiny):
+        net = fresh_net(faces_tiny, tasks=["age"])
+        age_weight = net.head("age").fc1.weight
+        extended = add_task(net, faces_tiny.task_info("gender"), input_size=32)
+        assert extended.head("age").fc1.weight is age_weight
+
+    def test_backbone_shared(self, faces_tiny):
+        net = fresh_net(faces_tiny, tasks=["age"])
+        extended = add_task(net, faces_tiny.task_info("gender"), input_size=32)
+        assert extended.backbone is net.backbone
+
+    def test_duplicate_task_rejected(self, faces_tiny):
+        net = fresh_net(faces_tiny, tasks=["age"])
+        with pytest.raises(ValueError):
+            add_task(net, faces_tiny.task_info("age"), input_size=32)
+
+    def test_extended_net_runs(self, faces_tiny):
+        net = fresh_net(faces_tiny, tasks=["age"])
+        extended = add_task(net, faces_tiny.task_info("expression"), input_size=32)
+        acc = evaluate(extended, faces_tiny.select_tasks(["age", "expression"]))
+        assert set(acc) == {"age", "expression"}
+
+
+class TestPretrainBackbone:
+    def test_returns_loadable_state(self, faces_tiny):
+        from repro.core import TrainConfig
+
+        state = pretrain_backbone(
+            "mobilenet_v3_tiny", faces_tiny, input_size=32,
+            config=TrainConfig(epochs=1, batch_size=64),
+        )
+        net = fresh_net(faces_tiny)
+        net.backbone.load_state_dict(state)  # must not raise
+
+    def test_pretrained_differs_from_fresh(self, faces_tiny):
+        from repro.core import TrainConfig
+
+        state = pretrain_backbone(
+            "mobilenet_v3_tiny", faces_tiny, input_size=32,
+            config=TrainConfig(epochs=1, batch_size=64),
+        )
+        fresh = fresh_net(faces_tiny).backbone.state_dict()
+        diffs = [
+            not np.allclose(state[k], fresh[k])
+            for k in state
+            if "running" not in k and "num_batches" not in k
+        ]
+        assert any(diffs)

@@ -1,0 +1,126 @@
+"""Tests for the multi-task objective (Eq. 4) and weighting strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.losses import MultiTaskLoss, UncertaintyWeighting
+from repro.data.base import TaskInfo
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+TASKS = [TaskInfo("a", 3), TaskInfo("b", 4)]
+
+
+def fake_outputs(seed=0, n=6):
+    rng = np.random.default_rng(seed)
+    return {
+        "a": Tensor(rng.standard_normal((n, 3)).astype(np.float32), requires_grad=True),
+        "b": Tensor(rng.standard_normal((n, 4)).astype(np.float32), requires_grad=True),
+    }
+
+
+def fake_targets(seed=1, n=6):
+    rng = np.random.default_rng(seed)
+    return {"a": rng.integers(0, 3, n), "b": rng.integers(0, 4, n)}
+
+
+class TestUniformSum:
+    def test_total_is_sum_of_tasks(self):
+        criterion = MultiTaskLoss(TASKS)
+        outputs, targets = fake_outputs(), fake_targets()
+        total, scalars = criterion(outputs, targets)
+        expected = sum(
+            float(F.cross_entropy(outputs[name], targets[name]).item())
+            for name in ("a", "b")
+        )
+        assert total.item() == pytest.approx(expected, rel=1e-5)
+        assert set(scalars) == {"a", "b"}
+
+    def test_task_losses_individual(self):
+        criterion = MultiTaskLoss(TASKS)
+        losses = criterion.task_losses(fake_outputs(), fake_targets())
+        assert set(losses) == {"a", "b"}
+        for loss in losses.values():
+            assert loss.item() > 0
+
+    def test_gradients_flow_to_all_outputs(self):
+        criterion = MultiTaskLoss(TASKS)
+        outputs, targets = fake_outputs(), fake_targets()
+        total, _ = criterion(outputs, targets)
+        total.backward()
+        for out in outputs.values():
+            assert out.grad is not None
+
+    def test_missing_output_raises(self):
+        criterion = MultiTaskLoss(TASKS)
+        outputs = fake_outputs()
+        del outputs["b"]
+        with pytest.raises(KeyError):
+            criterion(outputs, fake_targets())
+
+    def test_no_extra_parameters(self):
+        assert MultiTaskLoss(TASKS).extra_parameters() == []
+
+
+class TestStaticWeighting:
+    def test_weights_scale_terms(self):
+        outputs, targets = fake_outputs(), fake_targets()
+        uniform, _ = MultiTaskLoss(TASKS)(outputs, targets)
+        weighted, _ = MultiTaskLoss(
+            TASKS, weighting="static", static_weights={"a": 2.0, "b": 2.0}
+        )(outputs, targets)
+        assert weighted.item() == pytest.approx(2 * uniform.item(), rel=1e-5)
+
+    def test_requires_weights(self):
+        with pytest.raises(ValueError):
+            MultiTaskLoss(TASKS, weighting="static")
+
+    def test_requires_all_tasks(self):
+        with pytest.raises(ValueError):
+            MultiTaskLoss(TASKS, weighting="static", static_weights={"a": 1.0})
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            MultiTaskLoss(
+                TASKS, weighting="static", static_weights={"a": 0.0, "b": 1.0}
+            )
+
+
+class TestUncertaintyWeighting:
+    def test_initial_equals_uniform(self):
+        # log_vars start at zero: exp(0) * L + 0 == L.
+        outputs, targets = fake_outputs(), fake_targets()
+        uniform, _ = MultiTaskLoss(TASKS)(outputs, targets)
+        uncertainty, _ = MultiTaskLoss(TASKS, weighting="uncertainty")(outputs, targets)
+        assert uncertainty.item() == pytest.approx(uniform.item(), rel=1e-5)
+
+    def test_exposes_learnable_parameters(self):
+        criterion = MultiTaskLoss(TASKS, weighting="uncertainty")
+        extra = criterion.extra_parameters()
+        assert len(extra) == 1
+        assert extra[0].shape == (2,)
+
+    def test_log_vars_receive_gradient(self):
+        criterion = MultiTaskLoss(TASKS, weighting="uncertainty")
+        total, _ = criterion(fake_outputs(), fake_targets())
+        total.backward()
+        assert criterion.uncertainty.log_vars.grad is not None
+
+    def test_standalone_module(self):
+        weighting = UncertaintyWeighting(["x", "y"])
+        losses = {
+            "x": Tensor(np.array(1.0, dtype=np.float32), requires_grad=True),
+            "y": Tensor(np.array(2.0, dtype=np.float32), requires_grad=True),
+        }
+        assert weighting(losses).item() == pytest.approx(3.0)
+
+
+class TestValidation:
+    def test_unknown_weighting(self):
+        with pytest.raises(ValueError):
+            MultiTaskLoss(TASKS, weighting="magic")
+
+    def test_label_smoothing_passthrough(self):
+        criterion = MultiTaskLoss(TASKS, label_smoothing=0.1)
+        total, _ = criterion(fake_outputs(), fake_targets())
+        assert np.isfinite(total.item())

@@ -1,0 +1,119 @@
+"""Split-point analysis tests: activation profiles, architecture-based
+candidates and saliency-guided recommendation."""
+
+import numpy as np
+import pytest
+
+from repro import data, models
+from repro.core import (
+    MTLSplitNet,
+    architecture_split_candidates,
+    recommend_split,
+    saliency_profile,
+    stage_activation_profile,
+)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return models.get_spec("mobilenet_v3_tiny")
+
+
+class TestActivationProfile:
+    def test_one_point_per_stage(self, spec):
+        profile = stage_activation_profile(spec)
+        assert len(profile) == len(spec.layers)
+
+    def test_transmit_elements_match_feature_shape(self, spec):
+        profile = stage_activation_profile(spec, 32)
+        c, h, w = models.feature_shape(spec, 32)
+        assert profile[-1].transmit_elements == c * h * w
+
+    def test_compression_relative_to_input(self, spec):
+        profile = stage_activation_profile(spec, 32)
+        input_elements = 3 * 32 * 32
+        for point in profile:
+            assert point.compression == pytest.approx(
+                input_elements / point.transmit_elements
+            )
+
+    def test_stage_names_sequential(self, spec):
+        profile = stage_activation_profile(spec)
+        assert [p.stage_name for p in profile] == [
+            f"layer{i}" for i in range(len(profile))
+        ]
+
+
+class TestArchitectureCandidates:
+    def test_candidates_strictly_shrinking(self, spec):
+        candidates = architecture_split_candidates(spec, 32)
+        sizes = [c.transmit_elements for c in candidates]
+        assert sizes == sorted(sizes, reverse=True)
+        assert len(set(sizes)) == len(sizes)
+
+    def test_candidates_subset_of_profile(self, spec):
+        profile = {p.stage_index for p in stage_activation_profile(spec, 32)}
+        candidates = {c.stage_index for c in architecture_split_candidates(spec, 32)}
+        assert candidates <= profile
+
+    def test_min_compression_filter(self, spec):
+        all_candidates = architecture_split_candidates(spec, 32, min_compression=0.0)
+        strict = architecture_split_candidates(spec, 32, min_compression=4.0)
+        assert len(strict) <= len(all_candidates)
+        assert all(c.compression >= 4.0 for c in strict)
+
+    def test_vgg_candidates_are_pool_stages(self):
+        vgg = models.get_spec("vgg_tiny")
+        candidates = architecture_split_candidates(vgg, 32)
+        names = {spec_layer.__class__.__name__ for spec_layer in vgg.layers}
+        assert "MaxPool" in names
+        # every candidate after the first must compress more than the last
+        assert all(c.compression >= 1.0 for c in candidates)
+
+
+class TestSaliency:
+    @pytest.fixture(scope="class")
+    def net_and_batch(self, tiny_trained_net, shapes3d_small):
+        images = shapes3d_small.images[:16]
+        targets = {k: v[:16] for k, v in shapes3d_small.labels.items()}
+        return tiny_trained_net, images, targets
+
+    def test_one_score_per_stage(self, net_and_batch):
+        net, images, targets = net_and_batch
+        scores = saliency_profile(net, images, targets)
+        assert len(scores) == len(list(net.backbone.stages))
+
+    def test_scores_non_negative_finite(self, net_and_batch):
+        net, images, targets = net_and_batch
+        scores = saliency_profile(net, images, targets)
+        assert all(s >= 0 and np.isfinite(s) for s in scores)
+
+    def test_some_stage_carries_signal(self, net_and_batch):
+        net, images, targets = net_and_batch
+        scores = saliency_profile(net, images, targets)
+        assert max(scores) > 0
+
+    def test_gradients_cleared_after(self, net_and_batch):
+        net, images, targets = net_and_batch
+        saliency_profile(net, images, targets)
+        assert all(p.grad is None for p in net.parameters())
+
+
+class TestRecommendation:
+    def test_recommendation_is_valid_stage(self, tiny_trained_net, shapes3d_small):
+        images = shapes3d_small.images[:16]
+        targets = {k: v[:16] for k, v in shapes3d_small.labels.items()}
+        point = recommend_split(tiny_trained_net, images, targets, input_size=32)
+        n_stages = len(list(tiny_trained_net.backbone.stages))
+        assert 0 <= point.stage_index < n_stages
+        assert point.saliency is not None
+
+    def test_pure_compression_prefers_smallest(self, tiny_trained_net, shapes3d_small):
+        images = shapes3d_small.images[:16]
+        targets = {k: v[:16] for k, v in shapes3d_small.labels.items()}
+        point = recommend_split(
+            tiny_trained_net, images, targets, input_size=32, saliency_weight=0.0
+        )
+        profile = stage_activation_profile(tiny_trained_net.backbone.spec, 32)
+        best = max(profile, key=lambda p: p.compression)
+        assert point.stage_index == best.stage_index

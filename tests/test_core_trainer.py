@@ -1,0 +1,113 @@
+"""Trainer tests: loss decreases, histories, evaluation, config handling."""
+
+import numpy as np
+import pytest
+
+from repro import data, nn
+from repro.core import MTLSplitNet, MultiTaskTrainer, TrainConfig, evaluate
+from repro.data.base import MultiTaskDataset, TaskInfo
+
+
+def separable_dataset(n=160, seed=0):
+    """A trivially separable two-task dataset: brightness + channel."""
+    rng = np.random.default_rng(seed)
+    bright = rng.integers(0, 2, n)
+    channel = rng.integers(0, 3, n)
+    images = np.zeros((n, 3, 32, 32), dtype=np.float32)
+    for i in range(n):
+        images[i, channel[i]] = 0.25 + 0.5 * bright[i]
+    images += rng.normal(0, 0.02, images.shape).astype(np.float32)
+    tasks = (TaskInfo("bright", 2), TaskInfo("channel", 3))
+    return MultiTaskDataset(
+        np.clip(images, 0, 1), {"bright": bright, "channel": channel}, tasks, "separable"
+    )
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return separable_dataset()
+
+
+class TestTrainConfig:
+    def test_optimizer_factory(self):
+        params = [nn.Parameter(np.zeros(2, dtype=np.float32))]
+        assert isinstance(TrainConfig(optimizer="adamw").build_optimizer(params), nn.AdamW)
+        assert isinstance(TrainConfig(optimizer="adam").build_optimizer(params), nn.Adam)
+        assert isinstance(TrainConfig(optimizer="sgd").build_optimizer(params), nn.SGD)
+
+    def test_unknown_optimizer(self):
+        params = [nn.Parameter(np.zeros(2, dtype=np.float32))]
+        with pytest.raises(ValueError):
+            TrainConfig(optimizer="lion").build_optimizer(params)
+
+
+class TestFit:
+    def test_loss_decreases_on_separable_data(self, ds):
+        net = MTLSplitNet.from_tasks("efficientnet_tiny", list(ds.tasks), 32, seed=0)
+        cfg = TrainConfig(epochs=3, batch_size=32, lr=5e-3, seed=0)
+        history = MultiTaskTrainer(cfg).fit(net, ds)
+        curve = history.loss_curve()
+        assert curve[-1] < curve[0]
+
+    def test_accuracy_beats_chance(self, ds):
+        net = MTLSplitNet.from_tasks("efficientnet_tiny", list(ds.tasks), 32, seed=0)
+        cfg = TrainConfig(epochs=4, batch_size=32, lr=5e-3, seed=0)
+        MultiTaskTrainer(cfg).fit(net, ds)
+        acc = evaluate(net, ds)
+        assert acc["bright"] > 0.8
+        assert acc["channel"] > 0.8
+
+    def test_history_structure(self, ds):
+        net = MTLSplitNet.from_tasks("efficientnet_tiny", list(ds.tasks), 32, seed=0)
+        cfg = TrainConfig(epochs=2, batch_size=64, seed=0)
+        history = MultiTaskTrainer(cfg).fit(net, ds, val_set=ds.subset(np.arange(32)))
+        assert len(history.epochs) == 2
+        final = history.final
+        assert set(final.task_losses) == {"bright", "channel"}
+        assert set(final.val_accuracy) == {"bright", "channel"}
+        assert final.seconds > 0
+
+    def test_empty_history_final_raises(self):
+        from repro.core.trainer import History
+
+        with pytest.raises(ValueError):
+            History().final
+
+    def test_missing_task_labels_raises(self, ds):
+        net = MTLSplitNet.from_tasks(
+            "efficientnet_tiny", [TaskInfo("bright", 2), TaskInfo("other", 5)], 32, seed=0
+        )
+        with pytest.raises(ValueError):
+            MultiTaskTrainer(TrainConfig(epochs=1)).fit(net, ds)
+
+    def test_single_task_training_is_stl(self, ds):
+        stl = ds.select_tasks(["bright"])
+        net = MTLSplitNet.from_tasks("efficientnet_tiny", list(stl.tasks), 32, seed=0)
+        history = MultiTaskTrainer(TrainConfig(epochs=1, seed=0)).fit(net, stl)
+        assert set(history.final.task_losses) == {"bright"}
+
+    def test_deterministic_given_seed(self, ds):
+        def run():
+            net = MTLSplitNet.from_tasks("efficientnet_tiny", list(ds.tasks), 32, seed=5)
+            MultiTaskTrainer(TrainConfig(epochs=1, seed=5)).fit(net, ds)
+            return evaluate(net, ds)
+
+        assert run() == run()
+
+
+class TestEvaluate:
+    def test_accuracies_in_unit_interval(self, ds, tiny_trained_net):
+        acc = evaluate(tiny_trained_net, data.make_shapes3d(60, tasks=("scale", "shape")))
+        for value in acc.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_empty_dataset_raises(self, ds):
+        net = MTLSplitNet.from_tasks("efficientnet_tiny", list(ds.tasks), 32, seed=0)
+        with pytest.raises(ValueError):
+            evaluate(net, ds.subset(np.array([], dtype=int)))
+
+    def test_eval_mode_restored_behaviour(self, ds):
+        # evaluate() must not leave stochastic layers active.
+        net = MTLSplitNet.from_tasks("efficientnet_tiny", list(ds.tasks), 32, seed=0)
+        evaluate(net, ds.subset(np.arange(16)))
+        assert not net.training

@@ -1,0 +1,297 @@
+"""Dataset substrate tests: containers, loaders, generators, noise."""
+
+import numpy as np
+import pytest
+
+from repro import data
+from repro.data.base import MultiTaskDataset, TaskInfo
+from repro.data.faces import FaceSketchGenerator
+from repro.data.medic import MedicSceneGenerator
+from repro.data.shapes3d import FACTOR_SIZES, Shapes3DFactors, Shapes3DGenerator
+
+
+def tiny_dataset(n=10):
+    images = np.zeros((n, 3, 8, 8), dtype=np.float32)
+    labels = {"a": np.arange(n) % 3, "b": np.arange(n) % 2}
+    tasks = (TaskInfo("a", 3), TaskInfo("b", 2))
+    return MultiTaskDataset(images, labels, tasks, name="tiny")
+
+
+class TestMultiTaskDataset:
+    def test_basic_accessors(self):
+        ds = tiny_dataset()
+        assert len(ds) == 10
+        assert ds.image_shape == (3, 8, 8)
+        assert ds.task_names == ("a", "b")
+        image, labels = ds[3]
+        assert image.shape == (3, 8, 8)
+        assert labels == {"a": 0, "b": 1}
+
+    def test_label_out_of_range_rejected(self):
+        images = np.zeros((2, 3, 4, 4), dtype=np.float32)
+        with pytest.raises(ValueError):
+            MultiTaskDataset(images, {"a": np.array([0, 5])}, (TaskInfo("a", 3),))
+
+    def test_label_shape_mismatch_rejected(self):
+        images = np.zeros((2, 3, 4, 4), dtype=np.float32)
+        with pytest.raises(ValueError):
+            MultiTaskDataset(images, {"a": np.array([0])}, (TaskInfo("a", 3),))
+
+    def test_task_key_mismatch_rejected(self):
+        images = np.zeros((2, 3, 4, 4), dtype=np.float32)
+        with pytest.raises(ValueError):
+            MultiTaskDataset(images, {"b": np.zeros(2, int)}, (TaskInfo("a", 3),))
+
+    def test_images_must_be_4d(self):
+        with pytest.raises(ValueError):
+            MultiTaskDataset(np.zeros((2, 8, 8)), {"a": np.zeros(2, int)}, (TaskInfo("a", 2),))
+
+    def test_task_info_lookup(self):
+        ds = tiny_dataset()
+        assert ds.task_info("a").num_classes == 3
+        with pytest.raises(KeyError):
+            ds.task_info("missing")
+
+    def test_task_needs_two_classes(self):
+        with pytest.raises(ValueError):
+            TaskInfo("bad", 1)
+
+    def test_subset(self):
+        ds = tiny_dataset()
+        sub = ds.subset(np.array([0, 2, 4]))
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.labels["a"], [0, 2, 1])
+
+    def test_select_tasks(self):
+        ds = tiny_dataset()
+        only_a = ds.select_tasks(["a"])
+        assert only_a.task_names == ("a",)
+        assert len(only_a) == len(ds)
+
+    def test_split_fractions(self):
+        ds = tiny_dataset(100)
+        train, val, test = ds.split((0.8, 0.1, 0.1), rng=np.random.default_rng(0))
+        assert len(train) == 80 and len(val) == 10 and len(test) == 10
+
+    def test_split_is_partition(self):
+        ds = tiny_dataset(50)
+        ds.images += np.arange(50, dtype=np.float32).reshape(-1, 1, 1, 1)
+        parts = ds.split((0.5, 0.5), rng=np.random.default_rng(0))
+        seen = sorted(
+            float(img[0, 0, 0]) for part in parts for img in part.images
+        )
+        assert seen == [float(i) for i in range(50)]
+
+    def test_split_bad_fractions(self):
+        with pytest.raises(ValueError):
+            tiny_dataset().split((0.5, 0.2))
+
+    def test_train_val_test_split(self):
+        train, val, test = data.train_val_test_split(tiny_dataset(100), 0.2, 0.2)
+        assert len(train) == 60
+
+    def test_train_val_test_needs_room(self):
+        with pytest.raises(ValueError):
+            data.train_val_test_split(tiny_dataset(), 0.6, 0.6)
+
+
+class TestDataLoader:
+    def test_batch_shapes(self):
+        loader = data.DataLoader(tiny_dataset(10), batch_size=4)
+        batches = list(loader)
+        assert [b[0].shape[0] for b in batches] == [4, 4, 2]
+
+    def test_drop_last(self):
+        loader = data.DataLoader(tiny_dataset(10), batch_size=4, drop_last=True)
+        assert len(list(loader)) == 2
+        assert len(loader) == 2
+
+    def test_len_without_drop(self):
+        assert len(data.DataLoader(tiny_dataset(10), batch_size=4)) == 3
+
+    def test_shuffle_changes_order_but_not_content(self):
+        ds = tiny_dataset(32)
+        ds.images += np.arange(32, dtype=np.float32).reshape(-1, 1, 1, 1)
+        loader = data.DataLoader(ds, batch_size=32, shuffle=True,
+                                 rng=np.random.default_rng(3))
+        (images, _labels), = list(loader)
+        ids = images[:, 0, 0, 0]
+        assert not np.array_equal(ids, np.arange(32))
+        assert sorted(ids.tolist()) == list(range(32))
+
+    def test_labels_track_images(self):
+        ds = tiny_dataset(16)
+        ds.images += ds.labels["a"].reshape(-1, 1, 1, 1).astype(np.float32)
+        loader = data.DataLoader(ds, batch_size=8, shuffle=True,
+                                 rng=np.random.default_rng(5))
+        for images, labels in loader:
+            np.testing.assert_array_equal(images[:, 0, 0, 0].astype(int), labels["a"])
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            data.DataLoader(tiny_dataset(), batch_size=0)
+
+
+class TestShapes3D:
+    def test_factor_cardinalities_match_original(self):
+        assert FACTOR_SIZES == {
+            "floor_hue": 10, "wall_hue": 10, "object_hue": 10,
+            "scale": 8, "shape": 4, "orientation": 15,
+        }
+
+    def test_render_deterministic(self):
+        gen = Shapes3DGenerator(32)
+        f = Shapes3DFactors(1, 2, 3, 4, 2, 7)
+        np.testing.assert_array_equal(gen.render(f), gen.render(f))
+
+    def test_factors_change_image(self):
+        gen = Shapes3DGenerator(32)
+        base = Shapes3DFactors(1, 2, 3, 4, 2, 7)
+        for variant in (
+            Shapes3DFactors(5, 2, 3, 4, 2, 7),
+            Shapes3DFactors(1, 7, 3, 4, 2, 7),
+            Shapes3DFactors(1, 2, 8, 4, 2, 7),
+            Shapes3DFactors(1, 2, 3, 7, 2, 7),
+            Shapes3DFactors(1, 2, 3, 4, 0, 7),
+            Shapes3DFactors(1, 2, 3, 4, 2, 0),
+        ):
+            assert not np.array_equal(gen.render(base), gen.render(variant))
+
+    def test_generate_labels_in_range(self, shapes3d_small):
+        assert shapes3d_small.labels["scale"].max() < 8
+        assert shapes3d_small.labels["shape"].max() < 4
+
+    def test_images_bounded(self, shapes3d_small):
+        assert shapes3d_small.images.min() >= 0.0
+        assert shapes3d_small.images.max() <= 1.0
+
+    def test_seeded_generation_reproducible(self):
+        a = data.make_shapes3d(20, seed=9)
+        b = data.make_shapes3d(20, seed=9)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels["scale"], b.labels["scale"])
+
+    def test_all_six_tasks_available(self):
+        ds = data.make_shapes3d(10, tasks=())
+        assert len(ds.tasks) == 6
+
+    def test_too_small_image_rejected(self):
+        with pytest.raises(ValueError):
+            Shapes3DGenerator(8)
+
+    def test_noise_disabled_gives_clean_images(self):
+        clean = data.make_shapes3d(10, noise_amount=0.0, seed=3)
+        noisy = data.make_shapes3d(10, noise_amount=0.15, seed=3)
+        # Salt-and-pepper forces some exact 0/1 pixels not in the clean render.
+        assert not np.array_equal(clean.images, noisy.images)
+
+
+class TestMedic:
+    def test_tasks(self, medic_small):
+        assert medic_small.task_names == ("damage_severity", "disaster_type")
+        assert medic_small.task_info("damage_severity").num_classes == 3
+        assert medic_small.task_info("disaster_type").num_classes == 4
+
+    def test_reproducible(self):
+        a = data.make_medic(15, seed=2)
+        b = data.make_medic(15, seed=2)
+        np.testing.assert_array_equal(a.images, b.images)
+
+    def test_label_noise_applied(self):
+        gen_clean = MedicSceneGenerator(label_noise=0.0)
+        gen_noisy = MedicSceneGenerator(label_noise=0.9)
+        rng = np.random.default_rng(0)
+        clean = gen_clean.generate(200, rng=np.random.default_rng(1))
+        noisy = gen_noisy.generate(200, rng=np.random.default_rng(1))
+        # Same underlying factor draws, different label corruption.
+        disagreement = (clean.labels["disaster_type"] != noisy.labels["disaster_type"]).mean()
+        assert disagreement > 0.3
+
+    def test_invalid_label_noise(self):
+        with pytest.raises(ValueError):
+            MedicSceneGenerator(label_noise=1.5)
+
+    def test_images_bounded(self, medic_small):
+        assert medic_small.images.min() >= 0.0
+        assert medic_small.images.max() <= 1.0
+
+
+class TestFaces:
+    def test_tasks(self, faces_small):
+        assert faces_small.task_names == ("age", "gender", "expression")
+
+    def test_gender_factor_changes_image(self):
+        gen = FaceSketchGenerator(32, jitter=0.0)
+        a = gen.render(1, 0, 1, np.random.default_rng(0))
+        b = gen.render(1, 1, 1, np.random.default_rng(0))
+        assert not np.array_equal(a, b)
+
+    def test_expression_factor_changes_image(self):
+        gen = FaceSketchGenerator(32, jitter=0.0)
+        a = gen.render(1, 0, 0, np.random.default_rng(0))
+        b = gen.render(1, 0, 2, np.random.default_rng(0))
+        assert not np.array_equal(a, b)
+
+    def test_age_factor_changes_image(self):
+        gen = FaceSketchGenerator(32, jitter=0.0)
+        a = gen.render(0, 0, 1, np.random.default_rng(0))
+        b = gen.render(2, 0, 1, np.random.default_rng(0))
+        assert not np.array_equal(a, b)
+
+    def test_reproducible(self):
+        a = data.make_faces(15, seed=2)
+        b = data.make_faces(15, seed=2)
+        np.testing.assert_array_equal(a.images, b.images)
+
+
+class TestNoise:
+    def test_salt_pepper_fraction(self):
+        images = np.full((4, 3, 50, 50), 0.5, dtype=np.float32)
+        noisy = data.salt_and_pepper(images, amount=0.2, rng=np.random.default_rng(0))
+        corrupted = ((noisy == 0.0) | (noisy == 1.0)).mean()
+        assert corrupted == pytest.approx(0.2, abs=0.03)
+
+    def test_salt_pepper_shared_across_channels(self):
+        images = np.full((1, 3, 20, 20), 0.5, dtype=np.float32)
+        noisy = data.salt_and_pepper(images, amount=0.3, rng=np.random.default_rng(0))
+        mask0 = noisy[0, 0] != 0.5
+        for c in (1, 2):
+            np.testing.assert_array_equal(mask0, noisy[0, c] != 0.5)
+
+    def test_salt_pepper_3d_input(self):
+        image = np.full((3, 10, 10), 0.5, dtype=np.float32)
+        noisy = data.salt_and_pepper(image, amount=0.5, rng=np.random.default_rng(0))
+        assert noisy.shape == (3, 10, 10)
+
+    def test_salt_pepper_leaves_original(self):
+        images = np.full((2, 3, 10, 10), 0.5, dtype=np.float32)
+        data.salt_and_pepper(images, amount=0.5)
+        assert (images == 0.5).all()
+
+    def test_invalid_amount(self):
+        with pytest.raises(ValueError):
+            data.salt_and_pepper(np.zeros((1, 3, 4, 4)), amount=1.5)
+
+    def test_gaussian_noise_clipped(self):
+        noisy = data.gaussian_noise(np.ones((2, 3, 8, 8), dtype=np.float32), std=0.5)
+        assert noisy.max() <= 1.0 and noisy.min() >= 0.0
+
+    def test_occlusion_blacks_out_region(self):
+        images = np.ones((3, 3, 16, 16), dtype=np.float32)
+        out = data.random_occlusion(images, rng=np.random.default_rng(0))
+        assert (out == 0).any()
+
+
+class TestTransforms:
+    def test_normalize_denormalize_roundtrip(self):
+        images = np.random.default_rng(0).random((4, 3, 8, 8)).astype(np.float32)
+        mean, std = data.compute_mean_std(images)
+        normalized = data.normalize(images, mean, std)
+        assert abs(normalized.mean()) < 1e-5
+        back = data.denormalize(normalized, mean, std)
+        np.testing.assert_allclose(back, images, atol=1e-5)
+
+    def test_flip_preserves_content(self):
+        images = np.random.default_rng(0).random((8, 3, 4, 4)).astype(np.float32)
+        flipped = data.random_horizontal_flip(images, p=1.0)
+        np.testing.assert_allclose(flipped, images[:, :, :, ::-1])

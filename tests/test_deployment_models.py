@@ -1,0 +1,148 @@
+"""Device, channel and wire-format tests."""
+
+import numpy as np
+import pytest
+
+from repro.deployment import (
+    GIGABIT_ETHERNET,
+    JETSON_NANO,
+    LTE_UPLINK,
+    Device,
+    NetworkChannel,
+    WireFormat,
+    decode_tensor,
+    encode_tensor,
+    payload_bytes,
+)
+
+_GB = 1024**3
+_MB = 1024 * 1024
+
+
+class TestDevice:
+    def test_jetson_nano_has_4gb(self):
+        assert JETSON_NANO.memory_bytes == 4 * _GB
+
+    def test_fits_and_headroom(self):
+        device = Device("toy", memory_bytes=100, flops_per_second=1.0)
+        assert device.fits(100)
+        assert not device.fits(101)
+        assert device.memory_headroom(30) == 70
+
+    def test_compute_seconds(self):
+        device = Device("toy", memory_bytes=1, flops_per_second=1e9)
+        assert device.compute_seconds(2e9) == pytest.approx(2.0)
+
+    def test_invalid_memory(self):
+        with pytest.raises(ValueError):
+            Device("bad", memory_bytes=0, flops_per_second=1.0)
+
+    def test_invalid_flops(self):
+        with pytest.raises(ValueError):
+            Device("bad", memory_bytes=1, flops_per_second=0.0)
+
+    def test_str(self):
+        assert "4.0 GB" in str(JETSON_NANO)
+
+
+class TestChannel:
+    def test_paper_gigabit_raw_input_transfer(self):
+        # 100 FACES inputs of 2835*3543*3 float32 over gigabit: paper ~98 s.
+        bytes_per_input = 2835 * 3543 * 3 * 4
+        seconds = GIGABIT_ETHERNET.transfer_seconds(bytes_per_input, messages=100)
+        assert seconds == pytest.approx(96.4, rel=0.03)
+
+    def test_zb_transfer_far_faster(self):
+        zb_bytes = int(1.5 * _MB)
+        raw_bytes = int(115 * _MB)
+        assert GIGABIT_ETHERNET.transfer_seconds(zb_bytes, 100) < (
+            0.05 * GIGABIT_ETHERNET.transfer_seconds(raw_bytes, 100)
+        )
+
+    def test_rtt_added_per_message(self):
+        channel = NetworkChannel("toy", bandwidth_bps=1e9, rtt_seconds=0.01)
+        assert channel.transfer_seconds(0, messages=10) == pytest.approx(0.1)
+
+    def test_overhead_fraction(self):
+        plain = NetworkChannel("a", bandwidth_bps=1e6)
+        padded = NetworkChannel("b", bandwidth_bps=1e6, overhead_fraction=0.5)
+        assert padded.transfer_seconds(1000) == pytest.approx(
+            1.5 * plain.transfer_seconds(1000)
+        )
+
+    def test_degraded(self):
+        slow = GIGABIT_ETHERNET.degraded(10)
+        assert slow.bandwidth_bps == pytest.approx(1e8)
+        assert "degraded" in slow.name
+        with pytest.raises(ValueError):
+            GIGABIT_ETHERNET.degraded(0)
+
+    def test_effective_throughput_rtt_limited(self):
+        assert LTE_UPLINK.effective_throughput_bytes_per_second(
+            100
+        ) < LTE_UPLINK.effective_throughput_bytes_per_second(10 * _MB)
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            GIGABIT_ETHERNET.transfer_seconds(-1)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            NetworkChannel("bad", bandwidth_bps=0)
+
+
+class TestWireFormat:
+    @pytest.fixture(scope="class")
+    def tensor(self):
+        return np.random.default_rng(0).standard_normal((4, 7, 3)).astype(np.float32)
+
+    def test_float32_lossless(self, tensor):
+        decoded = decode_tensor(encode_tensor(tensor, WireFormat("float32")))
+        np.testing.assert_array_equal(decoded, tensor)
+
+    def test_float16_small_error(self, tensor):
+        decoded = decode_tensor(encode_tensor(tensor, WireFormat("float16")))
+        assert np.abs(decoded - tensor).max() < 5e-3
+
+    def test_quant8_bounded_error(self, tensor):
+        decoded = decode_tensor(encode_tensor(tensor, WireFormat("quant8")))
+        value_range = tensor.max() - tensor.min()
+        assert np.abs(decoded - tensor).max() <= value_range / 255.0 + 1e-6
+
+    def test_shape_preserved(self, tensor):
+        decoded = decode_tensor(encode_tensor(tensor))
+        assert decoded.shape == tensor.shape
+
+    def test_payload_sizes_ordered(self, tensor):
+        sizes = {
+            fmt: len(encode_tensor(tensor, WireFormat(fmt)))
+            for fmt in ("float32", "float16", "quant8")
+        }
+        assert sizes["float32"] > sizes["float16"] > sizes["quant8"]
+
+    def test_payload_bytes_prediction_exact(self, tensor):
+        for fmt in ("float32", "float16", "quant8"):
+            predicted = payload_bytes(tensor.size, WireFormat(fmt))
+            actual = len(encode_tensor(tensor, WireFormat(fmt)))
+            assert predicted == actual
+
+    def test_constant_tensor_quantises(self):
+        constant = np.full((3, 3), 2.5, dtype=np.float32)
+        decoded = decode_tensor(encode_tensor(constant, WireFormat("quant8")))
+        np.testing.assert_allclose(decoded, constant, atol=1e-6)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            decode_tensor(b"NOPE" + b"\x00" * 64)
+
+    def test_unknown_dtype_name_rejected(self):
+        with pytest.raises(ValueError):
+            WireFormat("float8")
+
+    def test_too_many_dims_rejected(self):
+        with pytest.raises(ValueError):
+            encode_tensor(np.zeros((1, 1, 1, 1, 1), dtype=np.float32))
+
+    def test_1d_roundtrip(self):
+        x = np.arange(10, dtype=np.float32)
+        np.testing.assert_array_equal(decode_tensor(encode_tensor(x)), x)

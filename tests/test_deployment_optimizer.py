@@ -1,0 +1,96 @@
+"""Latency-optimal split selection tests (Neurosurgeon-style analysis)."""
+
+import pytest
+
+from repro import models
+from repro.deployment import (
+    GIGABIT_ETHERNET,
+    JETSON_NANO,
+    RTX3090_SERVER,
+    Device,
+    NetworkChannel,
+    WireFormat,
+    latency_profile,
+    optimal_split_index,
+)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return models.get_spec("mobilenet_v3_small")
+
+
+class TestLatencyProfile:
+    def test_includes_roc_reference(self, spec):
+        profile = latency_profile(spec, JETSON_NANO, RTX3090_SERVER, GIGABIT_ETHERNET)
+        assert profile[0].stage_index == -1
+        assert profile[0].edge_seconds == 0.0
+
+    def test_one_entry_per_stage_plus_roc(self, spec):
+        profile = latency_profile(spec, JETSON_NANO, RTX3090_SERVER, GIGABIT_ETHERNET)
+        assert len(profile) == len(spec.layers) + 1
+
+    def test_edge_time_monotone_in_cut(self, spec):
+        profile = latency_profile(spec, JETSON_NANO, RTX3090_SERVER, GIGABIT_ETHERNET)
+        edge_times = [p.edge_seconds for p in profile]
+        assert edge_times == sorted(edge_times)
+
+    def test_server_time_decreases_with_cut(self, spec):
+        profile = latency_profile(spec, JETSON_NANO, RTX3090_SERVER, GIGABIT_ETHERNET)
+        server_times = [p.server_seconds for p in profile[1:]]
+        assert server_times == sorted(server_times, reverse=True)
+
+    def test_total_is_sum(self, spec):
+        for point in latency_profile(spec, JETSON_NANO, RTX3090_SERVER, GIGABIT_ETHERNET):
+            assert point.total_seconds == pytest.approx(
+                point.edge_seconds + point.transfer_seconds + point.server_seconds
+            )
+
+    def test_head_flops_charged_to_server(self, spec):
+        without = latency_profile(spec, JETSON_NANO, RTX3090_SERVER, GIGABIT_ETHERNET)
+        with_heads = latency_profile(
+            spec, JETSON_NANO, RTX3090_SERVER, GIGABIT_ETHERNET, head_flops=10**9
+        )
+        for a, b in zip(without, with_heads):
+            assert b.server_seconds > a.server_seconds
+            assert b.edge_seconds == a.edge_seconds
+
+    def test_batch_scales_compute_and_payload(self, spec):
+        one = latency_profile(spec, JETSON_NANO, RTX3090_SERVER, GIGABIT_ETHERNET)
+        four = latency_profile(
+            spec, JETSON_NANO, RTX3090_SERVER, GIGABIT_ETHERNET, batch_size=4
+        )
+        assert four[-1].edge_seconds == pytest.approx(4 * one[-1].edge_seconds)
+
+
+class TestOptimalSplit:
+    def test_fast_channel_slow_edge_prefers_roc(self, spec):
+        snail_edge = Device("snail", memory_bytes=2**30, flops_per_second=1e6)
+        fat_pipe = NetworkChannel("fat", bandwidth_bps=1e12)
+        best = optimal_split_index(spec, snail_edge, RTX3090_SERVER, fat_pipe)
+        assert best.stage_index == -1
+
+    def test_slow_channel_prefers_late_split(self, spec):
+        thin_pipe = NetworkChannel("thin", bandwidth_bps=1e5)
+        best = optimal_split_index(spec, JETSON_NANO, RTX3090_SERVER, thin_pipe)
+        # With a very slow channel, the payload dominates: the optimum is
+        # a cut with (near-)minimal transmit size, deep in the network.
+        profile = latency_profile(spec, JETSON_NANO, RTX3090_SERVER, thin_pipe)
+        min_payload = min(p.transmit_elements for p in profile)
+        assert best.transmit_elements <= 2 * min_payload
+        assert best.stage_index >= len(spec.layers) // 2
+
+    def test_optimum_is_global_minimum(self, spec):
+        best = optimal_split_index(spec, JETSON_NANO, RTX3090_SERVER, GIGABIT_ETHERNET)
+        profile = latency_profile(spec, JETSON_NANO, RTX3090_SERVER, GIGABIT_ETHERNET)
+        assert best.total_seconds == min(p.total_seconds for p in profile)
+
+    def test_quantised_wire_shifts_cost(self, spec):
+        thin = NetworkChannel("thin", bandwidth_bps=1e6)
+        f32 = optimal_split_index(
+            spec, JETSON_NANO, RTX3090_SERVER, thin, wire_format=WireFormat("float32")
+        )
+        q8 = optimal_split_index(
+            spec, JETSON_NANO, RTX3090_SERVER, thin, wire_format=WireFormat("quant8")
+        )
+        assert q8.total_seconds <= f32.total_seconds

@@ -1,0 +1,167 @@
+"""Paradigm comparison tests: the paper's LoC memory argument and the
+RoC-vs-SC latency analysis."""
+
+import pytest
+
+from repro import models
+from repro.deployment import (
+    GIGABIT_ETHERNET,
+    JETSON_NANO,
+    RTX3090_SERVER,
+    WireFormat,
+    compare_paradigms,
+    head_memory_bytes,
+    loc_report,
+    render_paradigm_comparison,
+    roc_report,
+    sc_report,
+)
+
+_MB = 1024 * 1024
+_GB = 1024**3
+
+# The paper's Table-4-scale profiling configuration (see EXPERIMENTS.md):
+# its forward/backward sizes correspond to ~1024x1024 inputs.
+PAPER_INPUT = 1024
+
+
+@pytest.fixture(scope="module")
+def mobilenet_spec():
+    return models.get_spec("mobilenet_v3_small")
+
+
+@pytest.fixture(scope="module")
+def efficientnet_spec():
+    return models.get_spec("efficientnet_b0")
+
+
+class TestLoCMemoryArgument:
+    def test_mobilenet_two_tasks_about_1_5_gb(self, mobilenet_spec):
+        report = loc_report(mobilenet_spec, 2, JETSON_NANO, input_size=PAPER_INPUT)
+        assert report.edge_memory_bytes / _GB == pytest.approx(1.5, rel=0.15)
+
+    def test_efficientnet_two_tasks_about_6_9_gb_infeasible(self, efficientnet_spec):
+        report = loc_report(efficientnet_spec, 2, JETSON_NANO, input_size=PAPER_INPUT)
+        assert report.edge_memory_bytes / _GB == pytest.approx(6.9, rel=0.15)
+        assert not report.feasible_on_edge
+
+    def test_efficientnet_three_tasks_about_10_3_gb(self, efficientnet_spec):
+        report = loc_report(efficientnet_spec, 3, JETSON_NANO, input_size=PAPER_INPUT)
+        assert report.edge_memory_bytes / _GB == pytest.approx(10.3, rel=0.15)
+
+    def test_shared_backbone_fits_jetson(self, efficientnet_spec):
+        # The paper: "our approach ... enables the execution of all
+        # implementations on the same board."
+        report = sc_report(
+            efficientnet_spec, 3, JETSON_NANO, RTX3090_SERVER, GIGABIT_ETHERNET,
+            input_size=PAPER_INPUT,
+        )
+        assert report.feasible_on_edge
+
+    def test_memory_saving_grows_with_tasks(self, efficientnet_spec):
+        def saving(n):
+            stl = loc_report(efficientnet_spec, n, JETSON_NANO, input_size=PAPER_INPUT)
+            shared = sc_report(
+                efficientnet_spec, n, JETSON_NANO, RTX3090_SERVER, GIGABIT_ETHERNET,
+                input_size=PAPER_INPUT,
+            )
+            return 1.0 - shared.edge_memory_bytes / stl.edge_memory_bytes
+
+        assert saving(3) > saving(2) > 0.3
+
+    def test_shared_loc_cheaper_than_stl_loc(self, mobilenet_spec):
+        stl = loc_report(mobilenet_spec, 3, JETSON_NANO, input_size=224)
+        shared = loc_report(
+            mobilenet_spec, 3, JETSON_NANO, input_size=224, shared_backbone=True
+        )
+        assert shared.edge_memory_bytes < stl.edge_memory_bytes
+
+    def test_head_memory_formula(self):
+        assert head_memory_bytes(100, 10, 5) == (100 * 10 + 10 + 10 * 5 + 5) * 4
+
+    def test_invalid_num_tasks(self, mobilenet_spec):
+        with pytest.raises(ValueError):
+            loc_report(mobilenet_spec, 0, JETSON_NANO)
+
+
+class TestRoCLatencyArgument:
+    def test_faces_raw_input_is_115_mb(self, efficientnet_spec):
+        report = roc_report(
+            efficientnet_spec, 3, JETSON_NANO, RTX3090_SERVER, GIGABIT_ETHERNET,
+            raw_input_hw=(2835, 3543),
+        )
+        assert report.transfer_bytes_per_inference / _MB == pytest.approx(115, rel=0.01)
+
+    def test_100_raw_inputs_about_98_seconds(self, efficientnet_spec):
+        report = roc_report(
+            efficientnet_spec, 3, JETSON_NANO, RTX3090_SERVER, GIGABIT_ETHERNET,
+            raw_input_hw=(2835, 3543),
+        )
+        assert 100 * report.transfer_seconds == pytest.approx(96.4, rel=0.05)
+
+    def test_sc_transfer_massively_cheaper(self, efficientnet_spec):
+        roc = roc_report(
+            efficientnet_spec, 3, JETSON_NANO, RTX3090_SERVER, GIGABIT_ETHERNET,
+            raw_input_hw=(2835, 3543),
+        )
+        sc = sc_report(
+            efficientnet_spec, 3, JETSON_NANO, RTX3090_SERVER, GIGABIT_ETHERNET,
+        )
+        # paper claims >= 87% latency saving; the exact payload arithmetic
+        # gives an even larger one.
+        saving = 1.0 - sc.transfer_seconds / roc.transfer_seconds
+        assert saving > 0.87
+
+    def test_roc_edge_memory_is_zero(self, efficientnet_spec):
+        report = roc_report(
+            efficientnet_spec, 2, JETSON_NANO, RTX3090_SERVER, GIGABIT_ETHERNET
+        )
+        assert report.edge_memory_bytes == 0
+        assert report.feasible_on_edge
+
+
+class TestScReport:
+    def test_quantised_payload_smaller(self, mobilenet_spec):
+        f32 = sc_report(
+            mobilenet_spec, 2, JETSON_NANO, RTX3090_SERVER, GIGABIT_ETHERNET,
+            wire_format=WireFormat("float32"),
+        )
+        q8 = sc_report(
+            mobilenet_spec, 2, JETSON_NANO, RTX3090_SERVER, GIGABIT_ETHERNET,
+            wire_format=WireFormat("quant8"),
+        )
+        assert q8.transfer_bytes_per_inference < f32.transfer_bytes_per_inference / 3
+
+    def test_latency_decomposition(self, mobilenet_spec):
+        report = sc_report(
+            mobilenet_spec, 2, JETSON_NANO, RTX3090_SERVER, GIGABIT_ETHERNET
+        )
+        assert report.latency_seconds == pytest.approx(
+            report.edge_compute_seconds
+            + report.transfer_seconds
+            + report.server_compute_seconds
+        )
+        assert report.edge_compute_seconds > 0
+        assert report.server_compute_seconds > 0
+
+
+class TestCompare:
+    def test_all_four_reports(self, mobilenet_spec):
+        reports = compare_paradigms(
+            mobilenet_spec, 2, JETSON_NANO, RTX3090_SERVER, GIGABIT_ETHERNET
+        )
+        assert set(reports) == {"loc", "loc_shared", "roc", "sc"}
+
+    def test_render_mentions_every_paradigm(self, mobilenet_spec):
+        reports = compare_paradigms(
+            mobilenet_spec, 2, JETSON_NANO, RTX3090_SERVER, GIGABIT_ETHERNET
+        )
+        text = render_paradigm_comparison(reports)
+        assert "LoC" in text and "RoC" in text and "SC" in text
+
+    def test_classes_per_task_validation(self, mobilenet_spec):
+        with pytest.raises(ValueError):
+            compare_paradigms(
+                mobilenet_spec, 2, JETSON_NANO, RTX3090_SERVER, GIGABIT_ETHERNET,
+                classes_per_task=(3,),
+            )

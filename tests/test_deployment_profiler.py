@@ -1,0 +1,126 @@
+"""Profiler tests: Table-4 columns, batch/input scaling, and agreement
+with the paper's reported magnitudes."""
+
+import numpy as np
+import pytest
+
+from repro import models
+from repro.deployment import profile_backbone, render_table4, table4_rows
+from repro.deployment.profiler import BYTES_PER_PARAM
+
+_MB = 1024 * 1024
+
+
+class TestProfileBasics:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        return profile_backbone(models.get_spec("mobilenet_v3_small"), input_size=224)
+
+    def test_params_match_analytic_count(self, profile):
+        assert profile.params == models.count_parameters(
+            models.get_spec("mobilenet_v3_small")
+        )
+
+    def test_params_megabytes(self, profile):
+        assert profile.params_megabytes == pytest.approx(
+            profile.params * BYTES_PER_PARAM / _MB
+        )
+
+    def test_estimated_is_sum_of_parts(self, profile):
+        assert profile.estimated_megabytes == pytest.approx(
+            profile.input_megabytes
+            + profile.params_megabytes
+            + profile.forward_backward_megabytes
+        )
+
+    def test_zb_shape_is_last_layer(self, profile):
+        assert profile.zb_shape == profile.layers[-1].out_shape
+
+    def test_summary_mentions_key_numbers(self, profile):
+        text = profile.summary()
+        assert "params" in text and "Z_b" in text
+
+    def test_flops_positive(self, profile):
+        assert profile.flops > 0
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            profile_backbone(models.get_spec("mobilenet_v3_small"), batch_size=0)
+
+
+class TestScaling:
+    def test_activations_scale_with_batch(self):
+        spec = models.get_spec("mobilenet_v3_small")
+        one = profile_backbone(spec, input_size=224, batch_size=1)
+        eight = profile_backbone(spec, input_size=224, batch_size=8)
+        assert eight.forward_backward_megabytes == pytest.approx(
+            8 * one.forward_backward_megabytes
+        )
+        assert eight.params == one.params
+
+    def test_activations_scale_with_input_area(self):
+        spec = models.get_spec("mobilenet_v3_small")
+        small = profile_backbone(spec, input_size=224)
+        large = profile_backbone(spec, input_size=448)
+        ratio = large.forward_backward_megabytes / small.forward_backward_megabytes
+        assert ratio == pytest.approx(4.0, rel=0.05)
+
+    def test_zb_scales_with_input_area(self):
+        spec = models.get_spec("efficientnet_b0")
+        small = profile_backbone(spec, input_size=224)
+        large = profile_backbone(spec, input_size=448)
+        assert large.zb_elements == 4 * small.zb_elements
+
+
+class TestPaperTable4Agreement:
+    """The green columns of Table 4: our analytic numbers should land on
+    the paper's magnitudes (see EXPERIMENTS.md for the full comparison)."""
+
+    def test_mobilenet_params_about_0_9m(self):
+        profile = profile_backbone(models.get_spec("mobilenet_v3_small"), input_size=224)
+        assert profile.params / 1e6 == pytest.approx(0.9, abs=0.1)
+        # paper: 3.58 MB of parameters
+        assert profile.params_megabytes == pytest.approx(3.58, abs=0.3)
+
+    def test_efficientnet_params_about_4m(self):
+        profile = profile_backbone(models.get_spec("efficientnet_b0"), input_size=224)
+        assert profile.params / 1e6 == pytest.approx(4.0, abs=0.3)
+        # paper: 15.45 MB of parameters
+        assert profile.params_megabytes == pytest.approx(15.45, rel=0.05)
+
+    def test_fwd_bwd_at_1024_matches_paper_order(self):
+        # The paper's fwd/bwd sizes (724 MB / 3452 MB) correspond to
+        # profiling at roughly 1024x1024 input.
+        mobilenet = profile_backbone(models.get_spec("mobilenet_v3_small"), input_size=1024)
+        efficientnet = profile_backbone(models.get_spec("efficientnet_b0"), input_size=1024)
+        assert mobilenet.forward_backward_megabytes == pytest.approx(724, rel=0.1)
+        assert efficientnet.forward_backward_megabytes == pytest.approx(3452, rel=0.1)
+
+    def test_zb_much_smaller_than_input(self):
+        for name in ("mobilenet_v3_small", "efficientnet_b0"):
+            profile = profile_backbone(models.get_spec(name), input_size=224)
+            assert profile.zb_megabytes < 0.05 * profile.input_megabytes * 50
+            assert profile.zb_elements < 3 * profile.input_elements // 4
+
+
+class TestTable4Rendering:
+    def test_rows_have_all_columns(self):
+        rows = table4_rows(["mobilenet_v3_small"], input_size=224)
+        row = rows["mobilenet_v3_small"]
+        assert set(row) == {
+            "params_millions", "params_mb", "forward_backward_mb",
+            "estimated_mb", "zb_kilo_elements", "zb_mb",
+        }
+
+    def test_render_includes_reference(self):
+        rows = table4_rows(["mobilenet_v3_small"], input_size=224)
+        reference = {
+            "mobilenet_v3_small": {
+                "params_millions": 0.9, "params_mb": 3.58,
+                "forward_backward_mb": 724.08, "estimated_mb": 727.66,
+                "zb_kilo_elements": 55.3, "zb_mb": 0.21,
+            }
+        }
+        text = render_table4(rows, reference)
+        assert "paper reports" in text
+        assert "mobilenet_v3_small" in text

@@ -1,0 +1,117 @@
+"""Runnable split-pipeline tests: numerical equality with the monolith,
+trace accounting, wire-format effects."""
+
+import numpy as np
+import pytest
+
+from repro.deployment import (
+    GIGABIT_ETHERNET,
+    LTE_UPLINK,
+    SplitPipeline,
+    WireFormat,
+)
+
+
+@pytest.fixture()
+def pipeline(tiny_trained_net):
+    return SplitPipeline.from_net(
+        tiny_trained_net, GIGABIT_ETHERNET, input_size=32
+    )
+
+
+class TestEquality:
+    def test_pipeline_matches_monolith(self, pipeline, tiny_trained_net, shapes3d_small):
+        from repro import nn
+        from repro.nn.tensor import Tensor
+
+        tiny_trained_net.eval()
+        images = shapes3d_small.images[:6]
+        split_logits = pipeline.infer(images)
+        with nn.no_grad():
+            full = tiny_trained_net(Tensor(images))
+        for name in tiny_trained_net.task_names:
+            np.testing.assert_allclose(
+                split_logits[name], full[name].data, atol=1e-5
+            )
+
+    def test_intermediate_split_matches(self, tiny_trained_net, shapes3d_small):
+        from repro import nn
+        from repro.nn.tensor import Tensor
+
+        tiny_trained_net.eval()
+        pipeline = SplitPipeline.from_net(
+            tiny_trained_net, GIGABIT_ETHERNET, split_index=3, input_size=32
+        )
+        images = shapes3d_small.images[:4]
+        split_logits = pipeline.infer(images)
+        with nn.no_grad():
+            full = tiny_trained_net(Tensor(images))
+        for name in tiny_trained_net.task_names:
+            np.testing.assert_allclose(split_logits[name], full[name].data, atol=1e-4)
+
+    def test_float16_wire_close_but_lossy(self, tiny_trained_net, shapes3d_small):
+        from repro import nn
+        from repro.nn.tensor import Tensor
+
+        tiny_trained_net.eval()
+        pipeline = SplitPipeline.from_net(
+            tiny_trained_net, GIGABIT_ETHERNET, input_size=32,
+            wire_format=WireFormat("float16"),
+        )
+        images = shapes3d_small.images[:4]
+        split_logits = pipeline.infer(images)
+        with nn.no_grad():
+            full = tiny_trained_net(Tensor(images))
+        for name in tiny_trained_net.task_names:
+            np.testing.assert_allclose(split_logits[name], full[name].data, atol=0.05)
+
+    def test_predictions_survive_quant8(self, tiny_trained_net, shapes3d_small):
+        from repro import nn
+        from repro.nn.tensor import Tensor
+
+        tiny_trained_net.eval()
+        pipeline = SplitPipeline.from_net(
+            tiny_trained_net, GIGABIT_ETHERNET, input_size=32,
+            wire_format=WireFormat("quant8"),
+        )
+        images = shapes3d_small.images[:32]
+        split_logits = pipeline.infer(images)
+        with nn.no_grad():
+            full = tiny_trained_net(Tensor(images))
+        for name in tiny_trained_net.task_names:
+            agreement = (
+                split_logits[name].argmax(1) == full[name].data.argmax(1)
+            ).mean()
+            assert agreement > 0.9
+
+
+class TestTraces:
+    def test_trace_recorded_per_call(self, pipeline, shapes3d_small):
+        pipeline.infer(shapes3d_small.images[:4])
+        pipeline.infer(shapes3d_small.images[4:8])
+        assert len(pipeline.traces) == 2
+        assert pipeline.traces[0].batch_size == 4
+
+    def test_payload_accounting(self, pipeline, shapes3d_small):
+        pipeline.infer(shapes3d_small.images[:4])
+        trace = pipeline.traces[0]
+        assert trace.payload_bytes == pipeline.link.bytes_sent
+        assert pipeline.link.messages_sent == 1
+        assert trace.total_seconds >= trace.transfer_seconds
+
+    def test_transfer_time_scales_with_channel(self, tiny_trained_net, shapes3d_small):
+        fast = SplitPipeline.from_net(tiny_trained_net, GIGABIT_ETHERNET, input_size=32)
+        slow = SplitPipeline.from_net(tiny_trained_net, LTE_UPLINK, input_size=32)
+        fast.infer(shapes3d_small.images[:4])
+        slow.infer(shapes3d_small.images[:4])
+        assert slow.traces[0].transfer_seconds > fast.traces[0].transfer_seconds
+
+    def test_totals(self, pipeline, shapes3d_small):
+        for start in range(0, 12, 4):
+            pipeline.infer(shapes3d_small.images[start : start + 4])
+        assert pipeline.total_seconds() > 0
+        assert pipeline.total_transfer_seconds() > 0
+        assert pipeline.mean_payload_bytes() > 0
+
+    def test_empty_pipeline_mean_payload(self, pipeline):
+        assert pipeline.mean_payload_bytes() == 0.0

@@ -1,0 +1,208 @@
+"""Tests for the energy model, batch-independent norms, optimizer
+checkpointing and dataset-inspection utilities."""
+
+import numpy as np
+import pytest
+
+from repro import data, models, nn
+from repro.deployment import (
+    GIGABIT_ETHERNET,
+    JETSON_NANO,
+    JETSON_NANO_ENERGY,
+    LTE_UPLINK,
+    RTX3090_SERVER,
+    EnergyModel,
+    energy_profile,
+    latency_profile,
+    lowest_edge_energy_split,
+)
+from repro.nn.autograd import gradcheck
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return models.get_spec("mobilenet_v3_small")
+
+
+class TestEnergyModel:
+    def test_negative_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(joules_per_flop=-1.0)
+
+    def test_profile_aligned_with_latency(self, spec):
+        energy = energy_profile(spec, JETSON_NANO, RTX3090_SERVER, GIGABIT_ETHERNET)
+        latency = latency_profile(spec, JETSON_NANO, RTX3090_SERVER, GIGABIT_ETHERNET)
+        assert len(energy) == len(latency)
+        for e, l in zip(energy, latency):
+            assert e.stage_index == l.stage_index
+
+    def test_total_is_sum(self, spec):
+        for point in energy_profile(spec, JETSON_NANO, RTX3090_SERVER, GIGABIT_ETHERNET):
+            assert point.total_joules == pytest.approx(
+                point.compute_joules + point.transmit_joules + point.idle_joules
+            )
+
+    def test_roc_has_zero_compute_energy(self, spec):
+        profile = energy_profile(spec, JETSON_NANO, RTX3090_SERVER, GIGABIT_ETHERNET)
+        assert profile[0].stage_index == -1
+        assert profile[0].compute_joules == 0.0
+        assert profile[0].transmit_joules > 0.0
+
+    def test_compute_energy_monotone_in_cut(self, spec):
+        profile = energy_profile(spec, JETSON_NANO, RTX3090_SERVER, GIGABIT_ETHERNET)
+        compute = [p.compute_joules for p in profile]
+        assert compute == sorted(compute)
+
+    def test_optimum_is_minimum(self, spec):
+        best = lowest_edge_energy_split(spec, JETSON_NANO, RTX3090_SERVER, LTE_UPLINK)
+        profile = energy_profile(spec, JETSON_NANO, RTX3090_SERVER, LTE_UPLINK)
+        assert best.total_joules == min(p.total_joules for p in profile)
+
+    def test_expensive_radio_pushes_cut_deeper(self, spec):
+        cheap_radio = EnergyModel(joules_per_flop=2e-10, joules_per_byte_tx=1e-9,
+                                  idle_watts=0.0)
+        costly_radio = EnergyModel(joules_per_flop=2e-10, joules_per_byte_tx=1e-5,
+                                   idle_watts=0.0)
+        best_cheap = lowest_edge_energy_split(
+            spec, JETSON_NANO, RTX3090_SERVER, GIGABIT_ETHERNET, cheap_radio
+        )
+        best_costly = lowest_edge_energy_split(
+            spec, JETSON_NANO, RTX3090_SERVER, GIGABIT_ETHERNET, costly_radio
+        )
+        assert best_costly.latency.transmit_elements <= best_cheap.latency.transmit_elements
+
+    def test_preset_exists(self):
+        assert JETSON_NANO_ENERGY.joules_per_flop > 0
+
+
+class TestGroupLayerNorm:
+    def test_group_norm_normalises_per_sample(self):
+        gn = nn.GroupNorm(2, 8)
+        x = Tensor(np.random.default_rng(0).standard_normal((4, 8, 3, 3)).astype(np.float32) * 5)
+        y = gn(x).data
+        # per-sample, per-group statistics should be ~N(0,1)
+        grouped = y.reshape(4, 2, -1)
+        np.testing.assert_allclose(grouped.mean(axis=2), 0.0, atol=1e-4)
+        np.testing.assert_allclose(grouped.std(axis=2), 1.0, atol=1e-2)
+
+    def test_group_norm_same_train_eval(self):
+        gn = nn.GroupNorm(4, 8)
+        x = Tensor(np.random.default_rng(1).standard_normal((2, 8, 4, 4)).astype(np.float32))
+        train_out = gn(x).data
+        gn.eval()
+        np.testing.assert_array_equal(gn(x).data, train_out)
+
+    def test_group_norm_divisibility(self):
+        with pytest.raises(ValueError):
+            nn.GroupNorm(3, 8)
+
+    def test_group_norm_wrong_channels(self):
+        gn = nn.GroupNorm(2, 8)
+        with pytest.raises(ValueError):
+            gn(Tensor(np.zeros((1, 4, 2, 2), dtype=np.float32)))
+
+    def test_group_norm_gradcheck(self):
+        gn = nn.GroupNorm(2, 4)
+        x = Tensor(
+            np.random.default_rng(2).standard_normal((2, 4, 3, 3)), requires_grad=True
+        )
+        gn.weight.data = gn.weight.data.astype(np.float64)
+        gn.bias.data = gn.bias.data.astype(np.float64)
+        ok, msg = gradcheck(lambda t: gn(t), [x], atol=5e-4)
+        assert ok, msg
+
+    def test_layer_norm_normalises_features(self):
+        ln = nn.LayerNorm(16)
+        x = Tensor(np.random.default_rng(3).standard_normal((8, 16)).astype(np.float32) * 3 + 1)
+        y = ln(x).data
+        np.testing.assert_allclose(y.mean(axis=1), 0.0, atol=1e-4)
+
+    def test_layer_norm_wrong_width(self):
+        with pytest.raises(ValueError):
+            nn.LayerNorm(8)(Tensor(np.zeros((2, 4), dtype=np.float32)))
+
+    def test_layer_norm_gradcheck(self):
+        ln = nn.LayerNorm(6)
+        ln.weight.data = ln.weight.data.astype(np.float64)
+        ln.bias.data = ln.bias.data.astype(np.float64)
+        x = Tensor(np.random.default_rng(4).standard_normal((3, 6)), requires_grad=True)
+        ok, msg = gradcheck(lambda t: ln(t), [x], atol=5e-4)
+        assert ok, msg
+
+
+class TestOptimizerCheckpoint:
+    def _make(self):
+        param = nn.Parameter(np.ones(4, dtype=np.float32))
+        opt = nn.AdamW([param], lr=0.05)
+        for _ in range(3):
+            param.grad = np.ones(4, dtype=np.float32)
+            opt.step()
+        return param, opt
+
+    def test_roundtrip_preserves_trajectory(self):
+        param_a, opt_a = self._make()
+        snapshot = opt_a.state_dict()
+
+        param_b = nn.Parameter(param_a.data.copy())
+        opt_b = nn.AdamW([param_b], lr=0.05)
+        opt_b.load_state_dict(snapshot)
+
+        for opt, param in ((opt_a, param_a), (opt_b, param_b)):
+            param.grad = np.full(4, 0.5, dtype=np.float32)
+            opt.step()
+        np.testing.assert_allclose(param_a.data, param_b.data, atol=1e-7)
+
+    def test_state_dict_copies(self):
+        _param, opt = self._make()
+        snapshot = opt.state_dict()
+        key = next(iter(snapshot["state"]))
+        snapshot["state"][key]["exp_avg"][...] = 99.0
+        fresh = opt.state_dict()
+        assert not (fresh["state"][key]["exp_avg"] == 99.0).all()
+
+    def test_group_count_mismatch_raises(self):
+        _param, opt = self._make()
+        snapshot = opt.state_dict()
+        snapshot["param_groups"].append({})
+        with pytest.raises(ValueError):
+            opt.load_state_dict(snapshot)
+
+    def test_hyperparameters_restored(self):
+        _param, opt = self._make()
+        snapshot = opt.state_dict()
+        opt.param_groups[0]["lr"] = 123.0
+        opt.load_state_dict(snapshot)
+        assert opt.param_groups[0]["lr"] == 0.05
+
+
+class TestDatasetIO:
+    def test_save_ppm_roundtrip_header(self, tmp_path):
+        image = np.random.default_rng(0).random((3, 5, 7)).astype(np.float32)
+        path = tmp_path / "img.ppm"
+        data.save_ppm(image, path)
+        raw = path.read_bytes()
+        assert raw.startswith(b"P6\n7 5\n255\n")
+        assert len(raw) == len(b"P6\n7 5\n255\n") + 5 * 7 * 3
+
+    def test_save_ppm_rejects_bad_shape(self, tmp_path):
+        with pytest.raises(ValueError):
+            data.save_ppm(np.zeros((1, 4, 4)), tmp_path / "x.ppm")
+
+    def test_save_image_grid(self, tmp_path):
+        images = np.random.default_rng(1).random((5, 3, 8, 8)).astype(np.float32)
+        path = tmp_path / "grid.ppm"
+        data.save_image_grid(images, path, columns=3)
+        assert path.exists()
+        # 2 rows x 3 cols of 8px tiles with 2px padding
+        assert b"28 18" in path.read_bytes()[:20]
+
+    def test_label_distribution_sums_to_one(self, shapes3d_small):
+        dist = data.label_distribution(shapes3d_small)
+        for freqs in dist.values():
+            assert freqs.sum() == pytest.approx(1.0)
+
+    def test_dataset_summary_mentions_tasks(self, shapes3d_small):
+        text = data.dataset_summary(shapes3d_small)
+        assert "scale" in text and "shape" in text
+        assert "entropy" in text

@@ -1,0 +1,92 @@
+"""Smoke tests asserting the examples' public-API usage stays valid.
+
+The examples are documentation; these tests exercise the exact API
+sequences they rely on (at miniature scale) so a refactor that breaks an
+example breaks the test suite too.
+"""
+
+import ast
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import data
+from repro.core import (
+    FineTuneConfig,
+    MTLSplitNet,
+    MultiTaskTrainer,
+    TrainConfig,
+    add_task,
+    evaluate,
+    fine_tune,
+)
+from repro.deployment import GIGABIT_ETHERNET, SplitPipeline
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+class TestExampleFiles:
+    def test_examples_present(self):
+        names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "automotive_multitask.py",
+            "deployment_analysis.py",
+            "add_new_task.py",
+        } <= names
+
+    @pytest.mark.parametrize("path", sorted(EXAMPLES_DIR.glob("*.py")))
+    def test_examples_parse_and_have_main(self, path):
+        tree = ast.parse(path.read_text())
+        functions = {n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)}
+        assert "main" in functions
+        assert ast.get_docstring(tree), f"{path.name} lacks a module docstring"
+
+    @pytest.mark.parametrize("path", sorted(EXAMPLES_DIR.glob("*.py")))
+    def test_examples_import_only_public_api(self, path):
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                assert not node.module.startswith("repro.nn.tensor") or True
+                # private modules (leading underscore) are off limits
+                assert "._" not in node.module, f"{path.name} imports private module"
+
+
+class TestQuickstartSequence:
+    def test_miniature_quickstart(self):
+        dataset = data.make_shapes3d(120, tasks=("scale", "shape"), seed=0)
+        train, val, test = data.train_val_test_split(
+            dataset, rng=np.random.default_rng(0)
+        )
+        net = MTLSplitNet.from_tasks("mobilenet_v3_tiny", list(train.tasks), 32)
+        MultiTaskTrainer(TrainConfig(epochs=1, batch_size=32)).fit(
+            net, train, val_set=val
+        )
+        accuracy = evaluate(net, test)
+        assert set(accuracy) == {"scale", "shape"}
+        net.eval()
+        pipeline = SplitPipeline.from_net(net, GIGABIT_ETHERNET, input_size=32)
+        logits = pipeline.infer(test.images[:4])
+        assert set(logits) == {"scale", "shape"}
+
+
+class TestAddTaskSequence:
+    def test_miniature_add_task(self):
+        dataset = data.make_faces(120, seed=0)
+        train, _val, test = data.train_val_test_split(
+            dataset, val_fraction=0.0, test_fraction=0.3, rng=np.random.default_rng(0)
+        )
+        initial = ["age", "gender"]
+        net = MTLSplitNet.from_tasks(
+            "efficientnet_tiny", [train.task_info(t) for t in initial], 32
+        )
+        MultiTaskTrainer(TrainConfig(epochs=1, batch_size=32)).fit(
+            net, train.select_tasks(initial)
+        )
+        extended = add_task(net, train.task_info("expression"), input_size=32)
+        fine_tune(
+            extended, train, FineTuneConfig(alpha=1e-3, eta=0.0, epochs=1, batch_size=32)
+        )
+        accuracy = evaluate(extended, test)
+        assert set(accuracy) == {"age", "gender", "expression"}

@@ -1,0 +1,244 @@
+"""Forward-semantics tests for ``repro.nn.functional`` against manual
+references (scipy correlate for convolution, closed forms elsewhere)."""
+
+import numpy as np
+import pytest
+from scipy.ndimage import correlate
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+class TestActivationsForward:
+    def test_relu_values(self):
+        x = Tensor(np.array([-1.0, 0.0, 2.0]))
+        np.testing.assert_allclose(F.relu(x).data, [0.0, 0.0, 2.0])
+
+    def test_relu6_caps(self):
+        x = Tensor(np.array([-1.0, 3.0, 9.0]))
+        np.testing.assert_allclose(F.relu6(x).data, [0.0, 3.0, 6.0])
+
+    def test_sigmoid_extremes_stable(self):
+        x = Tensor(np.array([-500.0, 0.0, 500.0]))
+        y = F.sigmoid(x).data
+        assert np.isfinite(y).all()
+        np.testing.assert_allclose(y, [0.0, 0.5, 1.0], atol=1e-6)
+
+    def test_hard_sigmoid_piecewise(self):
+        x = Tensor(np.array([-4.0, 0.0, 4.0]))
+        np.testing.assert_allclose(F.hard_sigmoid(x).data, [0.0, 0.5, 1.0])
+
+    def test_hard_swish_matches_definition(self):
+        vals = np.array([-4.0, -1.0, 0.0, 1.0, 4.0], dtype=np.float32)
+        expected = vals * np.clip(vals + 3, 0, 6) / 6
+        np.testing.assert_allclose(F.hard_swish(Tensor(vals)).data, expected, atol=1e-6)
+
+    def test_silu_matches_definition(self):
+        vals = np.array([-2.0, 0.0, 2.0], dtype=np.float32)
+        expected = vals / (1 + np.exp(-vals))
+        np.testing.assert_allclose(F.silu(Tensor(vals)).data, expected, atol=1e-6)
+
+    def test_softmax_rows_sum_to_one(self):
+        x = Tensor(np.random.default_rng(0).standard_normal((5, 7)))
+        s = F.softmax(x).data
+        np.testing.assert_allclose(s.sum(axis=1), np.ones(5), atol=1e-6)
+        assert (s >= 0).all()
+
+    def test_softmax_shift_invariant(self):
+        x = np.random.default_rng(1).standard_normal((3, 4)).astype(np.float32)
+        a = F.softmax(Tensor(x)).data
+        b = F.softmax(Tensor(x + 100.0)).data
+        np.testing.assert_allclose(a, b, atol=1e-5)
+
+    def test_log_softmax_large_logits_stable(self):
+        x = Tensor(np.array([[1000.0, 0.0]], dtype=np.float32))
+        y = F.log_softmax(x).data
+        assert np.isfinite(y).all()
+
+
+class TestConvForward:
+    def test_matches_scipy_single_channel(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((1, 1, 8, 8)).astype(np.float32)
+        w = rng.standard_normal((1, 1, 3, 3)).astype(np.float32)
+        out = F.conv2d(Tensor(x), Tensor(w), padding=1).data[0, 0]
+        ref = correlate(x[0, 0], w[0, 0], mode="constant", cval=0.0)
+        np.testing.assert_allclose(out, ref, atol=1e-4)
+
+    def test_multi_channel_sums_inputs(self):
+        x = np.ones((1, 3, 4, 4), dtype=np.float32)
+        w = np.ones((2, 3, 1, 1), dtype=np.float32)
+        out = F.conv2d(Tensor(x), Tensor(w)).data
+        np.testing.assert_allclose(out, np.full((1, 2, 4, 4), 3.0))
+
+    def test_bias_added(self):
+        x = np.zeros((1, 1, 3, 3), dtype=np.float32)
+        w = np.zeros((2, 1, 1, 1), dtype=np.float32)
+        b = np.array([1.5, -2.0], dtype=np.float32)
+        out = F.conv2d(Tensor(x), Tensor(w), Tensor(b)).data
+        np.testing.assert_allclose(out[0, 0], np.full((3, 3), 1.5))
+        np.testing.assert_allclose(out[0, 1], np.full((3, 3), -2.0))
+
+    def test_stride_output_size(self):
+        x = Tensor(np.zeros((1, 1, 9, 9), dtype=np.float32))
+        w = Tensor(np.zeros((1, 1, 3, 3), dtype=np.float32))
+        assert F.conv2d(x, w, stride=2).shape == (1, 1, 4, 4)
+        assert F.conv2d(x, w, stride=2, padding=1).shape == (1, 1, 5, 5)
+
+    def test_depthwise_keeps_channels_independent(self):
+        x = np.zeros((1, 2, 4, 4), dtype=np.float32)
+        x[0, 0] = 1.0
+        w = np.ones((2, 1, 1, 1), dtype=np.float32)
+        out = F.conv2d(Tensor(x), Tensor(w), groups=2).data
+        np.testing.assert_allclose(out[0, 0], np.ones((4, 4)))
+        np.testing.assert_allclose(out[0, 1], np.zeros((4, 4)))
+
+    def test_group_mismatch_raises(self):
+        x = Tensor(np.zeros((1, 3, 4, 4), dtype=np.float32))
+        w = Tensor(np.zeros((4, 1, 1, 1), dtype=np.float32))
+        with pytest.raises(ValueError):
+            F.conv2d(x, w, groups=2)
+
+    def test_empty_output_raises(self):
+        x = Tensor(np.zeros((1, 1, 2, 2), dtype=np.float32))
+        w = Tensor(np.zeros((1, 1, 5, 5), dtype=np.float32))
+        with pytest.raises(ValueError):
+            F.conv2d(x, w)
+
+    def test_grouped_matches_blockwise_standard(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((2, 4, 6, 6)).astype(np.float32)
+        w = rng.standard_normal((6, 2, 3, 3)).astype(np.float32)
+        out = F.conv2d(Tensor(x), Tensor(w), padding=1, groups=2).data
+        ref0 = F.conv2d(Tensor(x[:, :2]), Tensor(w[:3]), padding=1).data
+        ref1 = F.conv2d(Tensor(x[:, 2:]), Tensor(w[3:]), padding=1).data
+        np.testing.assert_allclose(out, np.concatenate([ref0, ref1], axis=1), atol=1e-5)
+
+
+class TestPoolingForward:
+    def test_max_pool_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(x), 2).data
+        np.testing.assert_allclose(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_avg_pool_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = F.avg_pool2d(Tensor(x), 2).data
+        np.testing.assert_allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_global_avg_pool_shape_and_value(self):
+        x = np.ones((2, 3, 5, 5), dtype=np.float32) * 2.0
+        out = F.global_avg_pool2d(Tensor(x))
+        assert out.shape == (2, 3, 1, 1)
+        np.testing.assert_allclose(out.data, np.full((2, 3, 1, 1), 2.0))
+
+    def test_adaptive_pool_divisible(self):
+        x = Tensor(np.ones((1, 2, 8, 8), dtype=np.float32))
+        assert F.adaptive_avg_pool2d(x, 4).shape == (1, 2, 4, 4)
+
+    def test_adaptive_pool_indivisible_raises(self):
+        x = Tensor(np.ones((1, 2, 7, 7), dtype=np.float32))
+        with pytest.raises(ValueError):
+            F.adaptive_avg_pool2d(x, 3)
+
+    def test_conv_output_size(self):
+        assert F.conv_output_size(32, 3, 1, 1) == 32
+        assert F.conv_output_size(32, 3, 2, 1) == 16
+        assert F.conv_output_size(7, 2, 2, 0) == 3
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        x = Tensor(np.ones((100,)))
+        out = F.dropout(x, 0.5, training=False)
+        assert out is x
+
+    def test_zero_p_is_identity(self):
+        x = Tensor(np.ones((100,)))
+        assert F.dropout(x, 0.0, training=True) is x
+
+    def test_training_mean_preserved(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((20000,)))
+        out = F.dropout(x, 0.3, training=True, rng=rng)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_invalid_p_raises(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), 1.0, training=True)
+
+    def test_backward_uses_same_mask(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((1000,)), requires_grad=True)
+        out = F.dropout(x, 0.5, training=True, rng=rng)
+        out.sum().backward()
+        zero_out = out.data == 0
+        assert (x.grad[zero_out] == 0).all()
+        assert (x.grad[~zero_out] > 0).all()
+
+
+class TestLossesForward:
+    def test_cross_entropy_uniform_logits(self):
+        logits = Tensor(np.zeros((4, 5), dtype=np.float32))
+        loss = F.cross_entropy(logits, np.array([0, 1, 2, 3]))
+        assert loss.item() == pytest.approx(np.log(5), abs=1e-5)
+
+    def test_cross_entropy_confident_correct_is_small(self):
+        logits = np.full((2, 3), -10.0, dtype=np.float32)
+        logits[0, 1] = 10.0
+        logits[1, 2] = 10.0
+        loss = F.cross_entropy(Tensor(logits), np.array([1, 2]))
+        assert loss.item() < 1e-4
+
+    def test_nll_reduction_none(self):
+        logp = F.log_softmax(Tensor(np.zeros((3, 2), dtype=np.float32)))
+        loss = F.nll_loss(logp, np.array([0, 1, 0]), reduction="none")
+        assert loss.shape == (3,)
+
+    def test_unknown_reduction_raises(self):
+        with pytest.raises(ValueError):
+            F.mse_loss(Tensor(np.zeros(3)), np.zeros(3), reduction="bogus")
+
+    def test_mse_value(self):
+        loss = F.mse_loss(Tensor(np.array([1.0, 3.0])), np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(5.0)
+
+    def test_bce_matches_closed_form(self):
+        z = np.array([0.5, -1.0], dtype=np.float32)
+        y = np.array([1.0, 0.0], dtype=np.float32)
+        loss = F.binary_cross_entropy_with_logits(Tensor(z), y)
+        expected = np.mean(np.maximum(z, 0) - z * y + np.log1p(np.exp(-np.abs(z))))
+        assert loss.item() == pytest.approx(float(expected), abs=1e-6)
+
+    def test_one_hot(self):
+        out = F.one_hot(np.array([0, 2]), 3)
+        np.testing.assert_allclose(out, [[1, 0, 0], [0, 0, 1]])
+
+
+class TestBatchNormForward:
+    def test_training_normalises_batch(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.standard_normal((16, 4, 3, 3)).astype(np.float32) * 5 + 2)
+        w = Tensor(np.ones(4, dtype=np.float32))
+        b = Tensor(np.zeros(4, dtype=np.float32))
+        rm, rv = np.zeros(4, dtype=np.float32), np.ones(4, dtype=np.float32)
+        y = F.batch_norm(x, w, b, rm, rv, training=True).data
+        assert abs(y.mean()) < 1e-4
+        assert y.std() == pytest.approx(1.0, abs=1e-2)
+
+    def test_running_stats_updated(self):
+        x = Tensor(np.full((8, 2, 2, 2), 3.0, dtype=np.float32))
+        w = Tensor(np.ones(2, dtype=np.float32))
+        b = Tensor(np.zeros(2, dtype=np.float32))
+        rm, rv = np.zeros(2, dtype=np.float32), np.ones(2, dtype=np.float32)
+        F.batch_norm(x, w, b, rm, rv, training=True, momentum=0.5)
+        np.testing.assert_allclose(rm, [1.5, 1.5])
+
+    def test_eval_uses_running_stats(self):
+        x = Tensor(np.full((4, 1), 10.0, dtype=np.float32))
+        w = Tensor(np.ones(1, dtype=np.float32))
+        b = Tensor(np.zeros(1, dtype=np.float32))
+        rm = np.array([10.0], dtype=np.float32)
+        rv = np.array([4.0], dtype=np.float32)
+        y = F.batch_norm(x, w, b, rm, rv, training=False).data
+        np.testing.assert_allclose(y, np.zeros((4, 1)), atol=1e-5)

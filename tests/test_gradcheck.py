@@ -1,0 +1,268 @@
+"""Numerical gradient verification for every differentiable primitive.
+
+This is the substrate's core correctness argument: each op's analytic
+backward is compared against central finite differences in float64.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.autograd import gradcheck
+from repro.nn.tensor import Tensor, concatenate, stack
+
+
+def t64(shape, seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return Tensor((rng.standard_normal(shape) * scale).astype(np.float64), requires_grad=True)
+
+
+def check(fn, *inputs, atol=1e-4):
+    ok, msg = gradcheck(fn, list(inputs), atol=atol)
+    assert ok, msg
+
+
+class TestArithmeticGradcheck:
+    def test_add(self):
+        check(lambda a, b: a + b, t64((3, 4), 1), t64((3, 4), 2))
+
+    def test_add_broadcast(self):
+        check(lambda a, b: a + b, t64((3, 4), 1), t64((4,), 2))
+
+    def test_sub(self):
+        check(lambda a, b: a - b, t64((3, 4), 1), t64((3, 4), 2))
+
+    def test_mul(self):
+        check(lambda a, b: a * b, t64((3, 4), 1), t64((3, 4), 2))
+
+    def test_mul_broadcast(self):
+        check(lambda a, b: a * b, t64((2, 3, 4), 1), t64((1, 3, 1), 2))
+
+    def test_div(self):
+        b = t64((3, 4), 2)
+        b.data += 3.0 * np.sign(b.data)  # keep away from zero
+        check(lambda a, b: a / b, t64((3, 4), 1), b)
+
+    def test_pow(self):
+        x = t64((3,), 1)
+        x.data = np.abs(x.data) + 0.5
+        check(lambda a: a**3, x)
+
+    def test_matmul(self):
+        check(lambda a, b: a @ b, t64((3, 4), 1), t64((4, 5), 2))
+
+    def test_matmul_batched(self):
+        check(lambda a, b: a @ b, t64((2, 3, 4), 1), t64((2, 4, 5), 2))
+
+
+class TestMathGradcheck:
+    def test_exp(self):
+        check(lambda a: a.exp(), t64((3, 3), 1, scale=0.5))
+
+    def test_log(self):
+        x = t64((3, 3), 1)
+        x.data = np.abs(x.data) + 0.5
+        check(lambda a: a.log(), x)
+
+    def test_sqrt(self):
+        x = t64((3, 3), 1)
+        x.data = np.abs(x.data) + 0.5
+        check(lambda a: a.sqrt(), x)
+
+    def test_tanh(self):
+        check(lambda a: a.tanh(), t64((3, 3), 1))
+
+    def test_sigmoid(self):
+        check(lambda a: F.sigmoid(a), t64((3, 3), 1))
+
+    def test_silu(self):
+        check(lambda a: F.silu(a), t64((3, 3), 1))
+
+    def test_gelu(self):
+        check(lambda a: F.gelu(a), t64((3, 3), 1))
+
+    def test_leaky_relu(self):
+        x = t64((3, 3), 1)
+        x.data += 0.05 * np.sign(x.data)  # avoid the kink
+        check(lambda a: F.leaky_relu(a, 0.1), x)
+
+    def test_relu_away_from_kink(self):
+        x = t64((4, 4), 2)
+        x.data += 0.05 * np.sign(x.data)
+        check(lambda a: F.relu(a), x)
+
+    def test_hard_swish_away_from_kinks(self):
+        x = t64((4, 4), 3)
+        # keep clear of the kinks at -3 and +3
+        x.data = np.clip(x.data, -2.5, 2.5)
+        check(lambda a: F.hard_swish(a), x)
+
+    def test_softmax(self):
+        check(lambda a: F.softmax(a), t64((4, 5), 1))
+
+    def test_log_softmax(self):
+        check(lambda a: F.log_softmax(a), t64((4, 5), 1))
+
+
+class TestReductionGradcheck:
+    def test_sum_all(self):
+        check(lambda a: a.sum(), t64((3, 4), 1))
+
+    def test_sum_axis(self):
+        check(lambda a: a.sum(axis=1), t64((3, 4), 1))
+
+    def test_mean_axes(self):
+        check(lambda a: a.mean(axis=(0, 2)), t64((2, 3, 4), 1))
+
+    def test_var(self):
+        check(lambda a: a.var(axis=0), t64((5, 3), 1))
+
+    def test_getitem(self):
+        check(lambda a: a[1:3, ::2], t64((4, 6), 1))
+
+    def test_concatenate(self):
+        check(lambda a, b: concatenate([a, b], axis=1), t64((2, 3), 1), t64((2, 2), 2))
+
+    def test_stack(self):
+        check(lambda a, b: stack([a, b]), t64((3,), 1), t64((3,), 2))
+
+    def test_pad2d(self):
+        check(lambda a: a.pad2d((1, 2)), t64((1, 2, 3, 3), 1))
+
+
+class TestConvGradcheck:
+    def test_conv2d_basic(self):
+        check(
+            lambda x, w, b: F.conv2d(x, w, b),
+            t64((2, 3, 5, 5), 1),
+            t64((4, 3, 3, 3), 2),
+            t64((4,), 3),
+        )
+
+    def test_conv2d_stride_padding(self):
+        check(
+            lambda x, w: F.conv2d(x, w, stride=2, padding=1),
+            t64((1, 2, 6, 6), 1),
+            t64((3, 2, 3, 3), 2),
+        )
+
+    def test_conv2d_rect_stride(self):
+        check(
+            lambda x, w: F.conv2d(x, w, stride=(2, 1), padding=(0, 1)),
+            t64((1, 2, 6, 5), 1),
+            t64((2, 2, 3, 3), 2),
+        )
+
+    def test_conv2d_depthwise(self):
+        check(
+            lambda x, w: F.conv2d(x, w, padding=1, groups=4),
+            t64((2, 4, 5, 5), 1),
+            t64((4, 1, 3, 3), 2),
+        )
+
+    def test_conv2d_grouped(self):
+        check(
+            lambda x, w: F.conv2d(x, w, stride=2, groups=2),
+            t64((1, 4, 6, 6), 1),
+            t64((6, 2, 3, 3), 2),
+        )
+
+    def test_conv2d_1x1(self):
+        check(
+            lambda x, w, b: F.conv2d(x, w, b),
+            t64((2, 3, 4, 4), 1),
+            t64((5, 3, 1, 1), 2),
+            t64((5,), 3),
+        )
+
+    def test_conv2d_uneven_coverage(self):
+        # input size not exactly covered by the stride sweep (remainder > 0)
+        check(
+            lambda x, w: F.conv2d(x, w, stride=2),
+            t64((1, 1, 7, 7), 1),
+            t64((1, 1, 2, 2), 2),
+        )
+
+
+class TestPoolGradcheck:
+    def test_max_pool(self):
+        check(lambda x: F.max_pool2d(x, 2), t64((2, 3, 6, 6), 1))
+
+    def test_max_pool_overlapping(self):
+        check(lambda x: F.max_pool2d(x, 3, 2), t64((1, 2, 7, 7), 1))
+
+    def test_avg_pool(self):
+        check(lambda x: F.avg_pool2d(x, 2), t64((2, 3, 6, 6), 1))
+
+    def test_avg_pool_overlapping(self):
+        check(lambda x: F.avg_pool2d(x, 3, 2), t64((1, 2, 7, 7), 1))
+
+    def test_global_avg_pool(self):
+        check(lambda x: F.global_avg_pool2d(x), t64((2, 3, 4, 4), 1))
+
+    def test_adaptive_avg_pool(self):
+        check(lambda x: F.adaptive_avg_pool2d(x, 2), t64((1, 2, 6, 6), 1))
+
+
+class TestLossGradcheck:
+    def test_cross_entropy(self):
+        target = np.array([0, 2, 1, 3])
+        check(lambda x: F.cross_entropy(x, target), t64((4, 4), 1))
+
+    def test_cross_entropy_sum_reduction(self):
+        target = np.array([0, 1])
+        check(lambda x: F.cross_entropy(x, target, reduction="sum"), t64((2, 3), 1))
+
+    def test_cross_entropy_label_smoothing(self):
+        target = np.array([0, 2, 1])
+        check(lambda x: F.cross_entropy(x, target, label_smoothing=0.1), t64((3, 4), 1))
+
+    def test_mse(self):
+        target = np.zeros((3, 2))
+        check(lambda x: F.mse_loss(x, target), t64((3, 2), 1))
+
+    def test_l1_away_from_zero(self):
+        x = t64((3, 2), 1)
+        x.data += np.sign(x.data)
+        check(lambda a: F.l1_loss(a, np.zeros((3, 2))), x)
+
+    def test_bce_with_logits(self):
+        target = np.array([[0.0, 1.0], [1.0, 0.0]])
+        check(lambda x: F.binary_cross_entropy_with_logits(x, target), t64((2, 2), 1))
+
+    def test_linear(self):
+        check(
+            lambda x, w, b: F.linear(x, w, b),
+            t64((4, 3), 1),
+            t64((5, 3), 2),
+            t64((5,), 3),
+        )
+
+
+class TestBatchNormGradcheck:
+    def test_batch_norm_training(self):
+        x = t64((4, 3, 2, 2), 1)
+        w = t64((3,), 2)
+        b = t64((3,), 3)
+        running_mean = np.zeros(3)
+        running_var = np.ones(3)
+
+        def fn(x, w, b):
+            return F.batch_norm(
+                x, w, b, running_mean.copy(), running_var.copy(), training=True
+            )
+
+        check(fn, x, w, b, atol=5e-4)
+
+    def test_batch_norm_eval_affine_grads(self):
+        x = t64((4, 3), 1)
+        w = t64((3,), 2)
+        b = t64((3,), 3)
+        rm = np.random.default_rng(4).standard_normal(3)
+        rv = np.abs(np.random.default_rng(5).standard_normal(3)) + 0.5
+
+        def fn(x, w, b):
+            return F.batch_norm(x, w, b, rm, rv, training=False)
+
+        check(fn, x, w, b)

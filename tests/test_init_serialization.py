@@ -1,0 +1,96 @@
+"""Tests for weight initialisers and `.npz` checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import init
+from repro.nn.serialization import load_module, load_state, save_module, save_state
+
+
+class TestFans:
+    def test_linear_fan(self):
+        assert init.calculate_fan((8, 4)) == (4, 8)
+
+    def test_conv_fan_includes_receptive_field(self):
+        assert init.calculate_fan((16, 8, 3, 3)) == (8 * 9, 16 * 9)
+
+    def test_fan_rejects_1d(self):
+        with pytest.raises(ValueError):
+            init.calculate_fan((5,))
+
+
+class TestInitialisers:
+    def test_kaiming_uniform_bound(self):
+        w = init.kaiming_uniform((64, 64), rng=init.default_rng(0))
+        bound = np.sqrt(2.0 / (1 + 5)) * np.sqrt(3.0 / 64)
+        assert np.abs(w).max() <= bound + 1e-6
+
+    def test_kaiming_normal_std(self):
+        w = init.kaiming_normal((2000, 100), rng=init.default_rng(0))
+        expected = np.sqrt(2.0 / 100)
+        assert w.std() == pytest.approx(expected, rel=0.05)
+
+    def test_xavier_uniform_bound(self):
+        w = init.xavier_uniform((50, 30), rng=init.default_rng(0))
+        bound = np.sqrt(6.0 / 80)
+        assert np.abs(w).max() <= bound + 1e-6
+
+    def test_xavier_normal_std(self):
+        w = init.xavier_normal((1000, 1000), rng=init.default_rng(0))
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 2000), rel=0.05)
+
+    def test_normal_mean_std(self):
+        w = init.normal((10000,), mean=1.0, std=2.0, rng=init.default_rng(0))
+        assert w.mean() == pytest.approx(1.0, abs=0.1)
+        assert w.std() == pytest.approx(2.0, rel=0.05)
+
+    def test_zeros_ones(self):
+        assert (init.zeros((3, 3)) == 0).all()
+        assert (init.ones((3,)) == 1).all()
+
+    def test_all_float32(self):
+        for fn in (init.kaiming_uniform, init.kaiming_normal, init.xavier_uniform,
+                   init.xavier_normal):
+            assert fn((4, 4), rng=init.default_rng(0)).dtype == np.float32
+
+    def test_default_rng_reproducible(self):
+        a = init.default_rng(5).random(3)
+        b = init.default_rng(5).random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_unknown_gain_raises(self):
+        with pytest.raises(ValueError):
+            init.kaiming_uniform((4, 4), nonlinearity="bogus")
+
+
+class TestSerialization:
+    def test_state_roundtrip(self, tmp_path):
+        state = {"a": np.arange(5.0), "b.c": np.ones((2, 2))}
+        path = tmp_path / "ckpt.npz"
+        save_state(state, path)
+        loaded = load_state(path)
+        assert set(loaded) == {"a", "b.c"}
+        np.testing.assert_array_equal(loaded["a"], state["a"])
+
+    def test_module_roundtrip(self, tmp_path):
+        net1 = nn.Sequential(nn.Linear(3, 4), nn.BatchNorm1d(4))
+        net2 = nn.Sequential(nn.Linear(3, 4), nn.BatchNorm1d(4))
+        path = tmp_path / "net.npz"
+        save_module(net1, path)
+        load_module(net2, path)
+        for (n1, p1), (_, p2) in zip(net1.named_parameters(), net2.named_parameters()):
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+    def test_creates_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "ckpt.npz"
+        save_state({"x": np.zeros(1)}, path)
+        assert path.exists()
+
+    def test_load_into_wrong_shape_raises(self, tmp_path):
+        net1 = nn.Linear(3, 4)
+        net2 = nn.Linear(3, 5)
+        path = tmp_path / "lin.npz"
+        save_module(net1, path)
+        with pytest.raises(ValueError):
+            load_module(net2, path)

@@ -1,0 +1,134 @@
+"""End-to-end integration tests: the full MTL-Split story on one tiny
+workload — generate data, train jointly, fine-tune, split, deploy, and
+check the deployment analysis agrees with the runnable pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import data, models, nn
+from repro.core import (
+    FineTuneConfig,
+    MTLSplitNet,
+    MultiTaskTrainer,
+    TrainConfig,
+    add_task,
+    evaluate,
+    fine_tune,
+)
+from repro.deployment import (
+    GIGABIT_ETHERNET,
+    JETSON_NANO,
+    RTX3090_SERVER,
+    SplitPipeline,
+    compare_paradigms,
+    payload_bytes,
+    profile_backbone,
+)
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture(scope="module")
+def workload():
+    dataset = data.make_shapes3d(400, tasks=("scale", "shape"), seed=71)
+    train, val, test = data.train_val_test_split(
+        dataset, rng=np.random.default_rng(72)
+    )
+    return train, val, test
+
+
+@pytest.fixture(scope="module")
+def trained(workload):
+    train, val, _test = workload
+    net = MTLSplitNet.from_tasks("efficientnet_tiny", list(train.tasks), 32, seed=71)
+    history = MultiTaskTrainer(
+        TrainConfig(epochs=4, batch_size=64, lr=8e-3, seed=71)
+    ).fit(net, train, val_set=val)
+    return net, history
+
+
+class TestTrainEvaluateStory:
+    def test_training_reduces_loss(self, trained):
+        _net, history = trained
+        assert history.final.total_loss < history.epochs[0].total_loss
+
+    def test_validation_accuracy_recorded(self, trained):
+        _net, history = trained
+        assert set(history.final.val_accuracy) == {"scale", "shape"}
+
+    def test_test_accuracy_above_chance(self, trained, workload):
+        """At this miniature scale (280 train / 60 test samples) per-task
+        accuracy is high-variance; the guaranteed signal is that at least
+        one task clearly beats its chance rate and no metric is invalid."""
+        net, _ = trained
+        _train, _val, test = workload
+        acc = evaluate(net, test)
+        assert all(0.0 <= v <= 1.0 for v in acc.values())
+        assert acc["scale"] > 0.125 + 0.05 or acc["shape"] > 0.25 + 0.05, acc
+
+
+class TestFineTuneStory:
+    def test_finetune_then_add_task(self, trained, workload):
+        net, _ = trained
+        train, _val, test = workload
+        fine_tune(net, train, FineTuneConfig(alpha=1e-3, eta=1e-5, epochs=1))
+        # Introduce a new task on the same backbone (paper Sec. 3.3 use-case).
+        full = data.make_shapes3d(200, tasks=("scale", "shape", "object_hue"), seed=73)
+        extended = add_task(net, full.task_info("object_hue"), input_size=32)
+        fine_tune(
+            extended, full, FineTuneConfig(alpha=1e-3, eta=0.0, epochs=1)
+        )
+        acc = evaluate(extended, full)
+        assert set(acc) == {"scale", "shape", "object_hue"}
+
+
+class TestDeploymentStory:
+    def test_split_pipeline_matches_monolith(self, trained, workload):
+        net, _ = trained
+        _train, _val, test = workload
+        net.eval()
+        pipeline = SplitPipeline.from_net(net, GIGABIT_ETHERNET, input_size=32)
+        logits = pipeline.infer(test.images[:8])
+        with nn.no_grad():
+            full = net(Tensor(test.images[:8]))
+        for name in net.task_names:
+            np.testing.assert_allclose(logits[name], full[name].data, atol=1e-5)
+
+    def test_profiler_predicts_pipeline_payload(self, trained, workload):
+        net, _ = trained
+        _train, _val, test = workload
+        profile = profile_backbone(net.backbone.spec, input_size=32, batch_size=8)
+        pipeline = SplitPipeline.from_net(net, GIGABIT_ETHERNET, input_size=32)
+        pipeline.infer(test.images[:8])
+        predicted = payload_bytes(profile.zb_elements * 8)
+        assert pipeline.traces[0].payload_bytes == predicted
+
+    def test_paradigm_comparison_consistent_with_profile(self, trained):
+        net, _ = trained
+        reports = compare_paradigms(
+            net.backbone.spec, net.num_tasks, JETSON_NANO, RTX3090_SERVER,
+            GIGABIT_ETHERNET, input_size=32,
+        )
+        profile = profile_backbone(net.backbone.spec, input_size=32)
+        assert reports["sc"].edge_memory_bytes == profile.estimated_total_bytes
+        # SC transfers far less than RoC for the same workload.
+        assert (
+            reports["sc"].transfer_bytes_per_inference
+            < reports["roc"].transfer_bytes_per_inference
+        )
+
+    def test_checkpoint_roundtrip_preserves_predictions(self, trained, workload, tmp_path):
+        net, _ = trained
+        _train, _val, test = workload
+        net.eval()
+        path = tmp_path / "mtl_split.npz"
+        nn.save_module(net, path)
+        clone = MTLSplitNet.from_tasks(
+            "efficientnet_tiny", [test.task_info(t) for t in net.task_names], 32, seed=999
+        )
+        nn.load_module(clone, path)
+        clone.eval()
+        x = Tensor(test.images[:4])
+        with nn.no_grad():
+            a, b = net(x), clone(x)
+        for name in net.task_names:
+            np.testing.assert_allclose(a[name].data, b[name].data, atol=1e-6)

@@ -1,0 +1,146 @@
+"""Layer-level tests: shapes, parameter wiring, train/eval behaviour."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+def make_input(shape, seed=0):
+    return Tensor(np.random.default_rng(seed).standard_normal(shape).astype(np.float32))
+
+
+class TestLinear:
+    def test_shape(self):
+        layer = nn.Linear(7, 3)
+        assert layer(make_input((5, 7))).shape == (5, 3)
+
+    def test_no_bias(self):
+        layer = nn.Linear(4, 2, bias=False)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_deterministic_with_rng(self):
+        rng1 = np.random.default_rng(9)
+        rng2 = np.random.default_rng(9)
+        a = nn.Linear(4, 4, rng=rng1)
+        b = nn.Linear(4, 4, rng=rng2)
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+    def test_matches_manual_affine(self):
+        layer = nn.Linear(3, 2)
+        x = make_input((4, 3))
+        expected = x.data @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(layer(x).data, expected, atol=1e-6)
+
+
+class TestConv2d:
+    def test_shape_padding_same(self):
+        layer = nn.Conv2d(3, 8, 3, padding=1)
+        assert layer(make_input((2, 3, 16, 16))).shape == (2, 8, 16, 16)
+
+    def test_stride_halves(self):
+        layer = nn.Conv2d(3, 8, 3, stride=2, padding=1)
+        assert layer(make_input((2, 3, 16, 16))).shape == (2, 8, 8, 8)
+
+    def test_depthwise_weight_shape(self):
+        layer = nn.Conv2d(8, 8, 3, groups=8, padding=1)
+        assert layer.weight.shape == (8, 1, 3, 3)
+
+    def test_invalid_groups_raises(self):
+        with pytest.raises(ValueError):
+            nn.Conv2d(3, 6, 3, groups=2)
+
+    def test_no_bias_param_count(self):
+        layer = nn.Conv2d(3, 4, 3, bias=False)
+        assert layer.num_parameters() == 3 * 4 * 9
+
+    def test_repr(self):
+        assert "groups=4" in repr(nn.Conv2d(4, 4, 3, groups=4))
+
+
+class TestBatchNorm:
+    def test_2d_output_normalised_in_training(self):
+        bn = nn.BatchNorm2d(4)
+        x = make_input((16, 4, 5, 5)) * 3.0 + 1.0
+        y = bn(x).data
+        assert abs(y.mean()) < 1e-4
+
+    def test_eval_uses_running_stats(self):
+        bn = nn.BatchNorm2d(2)
+        x = make_input((8, 2, 3, 3)) * 2 + 5
+        for _ in range(50):
+            bn(x)
+        bn.eval()
+        y = bn(x).data
+        assert abs(y.mean()) < 0.15
+
+    def test_wrong_channels_raises(self):
+        bn = nn.BatchNorm2d(3)
+        with pytest.raises(ValueError):
+            bn(make_input((2, 4, 3, 3)))
+
+    def test_1d_shape_check(self):
+        bn = nn.BatchNorm1d(6)
+        assert bn(make_input((10, 6))).shape == (10, 6)
+        with pytest.raises(ValueError):
+            bn(make_input((10, 6, 2)))
+
+    def test_buffers_present(self):
+        bn = nn.BatchNorm2d(3)
+        names = dict(bn.named_buffers())
+        assert "running_mean" in names and "running_var" in names
+
+
+class TestPoolLayers:
+    def test_max_pool_layer(self):
+        assert nn.MaxPool2d(2)(make_input((1, 2, 8, 8))).shape == (1, 2, 4, 4)
+
+    def test_avg_pool_layer_stride(self):
+        assert nn.AvgPool2d(3, 2)(make_input((1, 2, 7, 7))).shape == (1, 2, 3, 3)
+
+    def test_adaptive_pool_layer(self):
+        assert nn.AdaptiveAvgPool2d(1)(make_input((2, 5, 6, 6))).shape == (2, 5, 1, 1)
+
+
+class TestDropoutFlatten:
+    def test_dropout_identity_in_eval(self):
+        layer = nn.Dropout(0.9)
+        layer.eval()
+        x = make_input((4, 4))
+        assert layer(x) is x
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.5)
+
+    def test_flatten(self):
+        assert nn.Flatten()(make_input((2, 3, 4, 5))).shape == (2, 60)
+        assert nn.Flatten(2)(make_input((2, 3, 4, 5))).shape == (2, 3, 20)
+
+
+class TestActivationLayers:
+    @pytest.mark.parametrize(
+        "name",
+        ["relu", "relu6", "sigmoid", "hard_sigmoid", "silu", "hard_swish", "tanh", "gelu"],
+    )
+    def test_resolve_and_apply(self, name):
+        layer = nn.resolve_activation(name)
+        out = layer(make_input((3, 3)))
+        assert out.shape == (3, 3)
+        assert np.isfinite(out.data).all()
+
+    def test_resolve_unknown_raises(self):
+        with pytest.raises(ValueError):
+            nn.resolve_activation("blorp")
+
+    def test_softmax_layer_axis(self):
+        layer = nn.Softmax(axis=0)
+        out = layer(make_input((4, 2))).data
+        np.testing.assert_allclose(out.sum(axis=0), np.ones(2), atol=1e-6)
+
+    def test_leaky_relu_slope(self):
+        layer = nn.LeakyReLU(0.2)
+        out = layer(Tensor(np.array([-1.0], dtype=np.float32)))
+        np.testing.assert_allclose(out.data, [-0.2], atol=1e-6)

@@ -1,0 +1,181 @@
+"""Model zoo tests: spec/builder agreement, forward shapes, block
+behaviour and the registry."""
+
+import numpy as np
+import pytest
+
+from repro import models, nn
+from repro.models import specs
+from repro.models.blocks import (
+    ConvBNActBlock,
+    InvertedResidualBlock,
+    MBConvBlock,
+    SqueezeExciteBlock,
+)
+from repro.models.specs import ConvBNAct, InvertedResidual, MBConv, make_divisible
+from repro.nn.tensor import Tensor
+
+
+def make_input(shape, seed=0):
+    return Tensor(np.random.default_rng(seed).standard_normal(shape).astype(np.float32))
+
+
+class TestMakeDivisible:
+    def test_rounds_to_multiple(self):
+        assert make_divisible(17) == 16
+        assert make_divisible(23) == 24
+
+    def test_never_below_90_percent(self):
+        for value in range(8, 300):
+            assert make_divisible(value) >= 0.9 * value
+
+    def test_minimum_is_divisor(self):
+        assert make_divisible(1) == 8
+
+
+class TestSpecBuilderAgreement:
+    @pytest.mark.parametrize("name", models.available_backbones())
+    def test_analytic_params_match_instantiated(self, name):
+        spec = models.get_spec(name)
+        if spec.input_size > 64:
+            pytest.skip("full-scale nets are profiled analytically only")
+        net = models.create_backbone(name, rng=np.random.default_rng(0))
+        assert net.num_parameters() == specs.count_parameters(spec)
+
+    @pytest.mark.parametrize("name", models.TRAINING_BACKBONES)
+    def test_feature_shape_matches_forward(self, name):
+        net = models.create_backbone(name, rng=np.random.default_rng(0))
+        x = make_input((2, 3, 32, 32))
+        feats = net.forward_features(x)
+        assert tuple(feats.shape[1:]) == net.feature_shape(32)
+
+    @pytest.mark.parametrize("name", models.TRAINING_BACKBONES)
+    def test_flattened_forward(self, name):
+        net = models.create_backbone(name, rng=np.random.default_rng(0))
+        z = net(make_input((2, 3, 32, 32)))
+        assert z.shape == (2, net.feature_dim(32))
+
+    def test_full_scale_param_counts_match_paper(self):
+        # Table 4 reports ~0.9 M for MobileNetV3 and ~4 M for EfficientNet.
+        mb = specs.count_parameters(models.get_spec("mobilenet_v3_small"))
+        assert 0.85e6 < mb < 1.0e6
+        eff = specs.count_parameters(models.get_spec("efficientnet_b0"))
+        assert 3.8e6 < eff < 4.2e6
+
+    def test_vgg16_has_13_convs(self):
+        spec = models.get_spec("vgg16")
+        convs = [l for l in spec.layers if isinstance(l, ConvBNAct)]
+        assert len(convs) == 13
+
+    def test_flops_positive_and_ordered(self):
+        small = specs.count_flops(models.get_spec("mobilenet_v3_small"))
+        big = specs.count_flops(models.get_spec("efficientnet_b0"))
+        assert 0 < small < big
+
+    def test_feature_shape_scales_with_input(self):
+        spec = models.get_spec("mobilenet_v3_small")
+        c224, h224, _ = specs.feature_shape(spec, 224)
+        c448, h448, _ = specs.feature_shape(spec, 448)
+        assert c224 == c448
+        assert h448 == 2 * h224
+
+    def test_unknown_spec_raises(self):
+        with pytest.raises(KeyError):
+            models.get_spec("resnet9000")
+
+    def test_register_spec(self):
+        models.register_spec("test_vgg_copy", models.vgg_tiny_spec)
+        assert "test_vgg_copy" in models.available_backbones()
+        assert models.get_spec("test_vgg_copy").family == "vgg"
+
+
+class TestBlocks:
+    def test_conv_bn_act_shape(self):
+        block = ConvBNActBlock(3, ConvBNAct(8, 3, stride=2))
+        assert block(make_input((1, 3, 8, 8))).shape == (1, 8, 4, 4)
+
+    def test_conv_without_bn_has_bias(self):
+        block = ConvBNActBlock(3, ConvBNAct(8, 3, use_bn=False))
+        assert block.conv.bias is not None
+
+    def test_se_block_preserves_shape_and_gates(self):
+        se = SqueezeExciteBlock(8, 4)
+        x = make_input((2, 8, 5, 5))
+        out = se(x)
+        assert out.shape == x.shape
+        # hard-sigmoid gate is within [0, 1]: |out| <= |x|
+        assert (np.abs(out.data) <= np.abs(x.data) + 1e-6).all()
+
+    def test_inverted_residual_skip_applied(self):
+        spec = InvertedResidual(16, 8, 3, 1, True, "relu")
+        block = InvertedResidualBlock(8, spec)
+        assert block.use_skip
+        x = make_input((1, 8, 6, 6))
+        assert block(x).shape == (1, 8, 6, 6)
+
+    def test_inverted_residual_no_skip_on_stride(self):
+        spec = InvertedResidual(16, 8, 3, 2, False, "hswish")
+        block = InvertedResidualBlock(8, spec)
+        assert not block.use_skip
+        assert block(make_input((1, 8, 6, 6))).shape == (1, 8, 3, 3)
+
+    def test_inverted_residual_skips_expand_when_equal(self):
+        spec = InvertedResidual(8, 8, 3, 1, False, "relu")
+        block = InvertedResidualBlock(8, spec)
+        assert isinstance(block.expand, nn.Identity)
+
+    def test_mbconv_expand_ratio_one_skips_expand(self):
+        block = MBConvBlock(8, MBConv(1, 8, 3, 1))
+        assert isinstance(block.expand, nn.Identity)
+        assert block.use_skip
+
+    def test_mbconv_output_channels(self):
+        block = MBConvBlock(8, MBConv(4, 16, 5, 2))
+        assert block(make_input((1, 8, 8, 8))).shape == (1, 16, 4, 4)
+
+
+class TestHeads:
+    def test_mlp_head_is_two_linear_layers(self):
+        head = models.MLPHead(64, 5)
+        linears = [m for _, m in head.named_modules() if isinstance(m, nn.Linear)]
+        assert len(linears) == 2
+
+    def test_mlp_head_shape(self):
+        head = models.MLPHead(32, 7, hidden_features=16)
+        assert head(make_input((4, 32))).shape == (4, 7)
+
+    def test_mlp_head_default_hidden_floor(self):
+        head = models.MLPHead(16, 2)
+        assert head.fc1.out_features >= 32
+
+    def test_deep_head_depth(self):
+        head = models.DeepMLPHead(16, 3, hidden_sizes=(8, 8, 8))
+        linears = [m for _, m in head.named_modules() if isinstance(m, nn.Linear)]
+        assert len(linears) == 4
+
+    def test_linear_head(self):
+        head = models.LinearHead(16, 3)
+        assert head(make_input((2, 16))).shape == (2, 3)
+
+
+class TestBackboneModule:
+    def test_analytic_parameter_count_method(self):
+        net = models.vgg_tiny()
+        assert net.analytic_parameter_count() == net.num_parameters()
+
+    def test_state_dict_roundtrip(self):
+        net1 = models.mobilenet_v3_tiny(rng=np.random.default_rng(0))
+        net2 = models.mobilenet_v3_tiny(rng=np.random.default_rng(99))
+        net2.load_state_dict(net1.state_dict())
+        x = make_input((1, 3, 32, 32))
+        net1.eval(), net2.eval()
+        np.testing.assert_allclose(net1(x).data, net2(x).data, atol=1e-6)
+
+    def test_training_changes_bn_stats(self):
+        net = models.efficientnet_tiny(rng=np.random.default_rng(0))
+        before = {k: v.copy() for k, v in net.state_dict().items() if "running" in k}
+        net.train()
+        net(make_input((4, 3, 32, 32)))
+        after = {k: v for k, v in net.state_dict().items() if "running" in k}
+        changed = any(not np.allclose(before[k], after[k]) for k in before)
+        assert changed

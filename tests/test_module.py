@@ -1,0 +1,164 @@
+"""Tests for the Module system: registration, iteration, modes,
+state-dict round trips and containers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+class TinyNet(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = nn.Linear(4, 8)
+        self.fc2 = nn.Linear(8, 2)
+        self.register_buffer("counter", np.zeros(1))
+
+    def forward(self, x):
+        return self.fc2(nn.functional.relu(self.fc1(x)))
+
+
+class TestRegistration:
+    def test_parameters_discovered(self):
+        net = TinyNet()
+        names = [n for n, _ in net.named_parameters()]
+        assert set(names) == {"fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"}
+
+    def test_buffers_discovered(self):
+        net = TinyNet()
+        names = [n for n, _ in net.named_buffers()]
+        assert "counter" in names
+
+    def test_num_parameters(self):
+        net = TinyNet()
+        assert net.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_attribute_access(self):
+        net = TinyNet()
+        assert isinstance(net.fc1, nn.Linear)
+        with pytest.raises(AttributeError):
+            _ = net.nonexistent
+
+    def test_reassignment_replaces(self):
+        net = TinyNet()
+        net.fc1 = nn.Linear(4, 4)
+        assert net.fc1.out_features == 4
+        assert len(list(net.named_parameters())) == 4
+
+    def test_named_modules(self):
+        net = TinyNet()
+        names = [n for n, _ in net.named_modules()]
+        assert "" in names and "fc1" in names and "fc2" in names
+
+    def test_children(self):
+        net = TinyNet()
+        assert len(list(net.children())) == 2
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        net = nn.Sequential(nn.Linear(2, 2), nn.Dropout(0.5))
+        net.eval()
+        assert all(not m.training for m in net.children())
+        net.train()
+        assert all(m.training for m in net.children())
+
+    def test_requires_grad_toggle(self):
+        net = TinyNet()
+        net.requires_grad_(False)
+        assert all(not p.requires_grad for p in net.parameters())
+        net.requires_grad_(True)
+        assert all(p.requires_grad for p in net.parameters())
+
+    def test_zero_grad_clears(self):
+        net = TinyNet()
+        out = net(Tensor(np.ones((2, 4), dtype=np.float32)))
+        out.sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        net1, net2 = TinyNet(), TinyNet()
+        net2.load_state_dict(net1.state_dict())
+        for (n1, p1), (n2, p2) in zip(net1.named_parameters(), net2.named_parameters()):
+            assert n1 == n2
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+    def test_state_dict_copies(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["fc1.weight"][...] = 0
+        assert not (net.fc1.weight.data == 0).all()
+
+    def test_shape_mismatch_raises(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["fc1.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_strict_missing_raises(self):
+        net = TinyNet()
+        state = net.state_dict()
+        del state["fc1.weight"]
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_non_strict_allows_missing(self):
+        net = TinyNet()
+        state = net.state_dict()
+        del state["fc1.weight"]
+        net.load_state_dict(state, strict=False)
+
+    def test_strict_unexpected_raises(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_buffers_roundtrip(self):
+        net1, net2 = TinyNet(), TinyNet()
+        net1._buffers["counter"][...] = 7.0
+        net2.load_state_dict(net1.state_dict())
+        assert net2._buffers["counter"][0] == 7.0
+
+
+class TestContainers:
+    def test_sequential_applies_in_order(self):
+        net = nn.Sequential(nn.Linear(3, 5), nn.ReLU(), nn.Linear(5, 2))
+        out = net(Tensor(np.ones((1, 3), dtype=np.float32)))
+        assert out.shape == (1, 2)
+
+    def test_sequential_indexing_and_slicing(self):
+        net = nn.Sequential(nn.Linear(3, 5), nn.ReLU(), nn.Linear(5, 2))
+        assert isinstance(net[1], nn.ReLU)
+        assert len(net[:2]) == 2
+
+    def test_sequential_append(self):
+        net = nn.Sequential(nn.Linear(2, 2))
+        net.append(nn.ReLU())
+        assert len(net) == 2
+
+    def test_module_list_registers(self):
+        ml = nn.ModuleList([nn.Linear(2, 2), nn.Linear(2, 2)])
+        assert len(ml) == 2
+        assert len(list(ml.parameters())) == 4
+
+    def test_module_list_not_callable(self):
+        ml = nn.ModuleList([nn.Linear(2, 2)])
+        with pytest.raises(RuntimeError):
+            ml(Tensor(np.ones((1, 2))))
+
+    def test_identity_passthrough(self):
+        x = Tensor(np.ones(3))
+        assert nn.Identity()(x) is x
+
+    def test_repr_contains_children(self):
+        net = TinyNet()
+        assert "fc1" in repr(net)
+        assert "Linear" in repr(net)

@@ -1,0 +1,133 @@
+"""Additional framework tests: training-dynamics edge cases, batch-norm
+averaging modes, scheduler/optimizer interplay, and graph hygiene."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+class TestBatchNormModes:
+    def test_cumulative_running_mean_is_true_average(self):
+        bn = nn.BatchNorm1d(1)  # momentum=None -> cumulative
+        batches = [np.full((4, 1), v, dtype=np.float32) for v in (1.0, 3.0, 5.0)]
+        for batch in batches:
+            bn(Tensor(batch))
+        assert bn._buffers["running_mean"][0] == pytest.approx(3.0, abs=1e-5)
+        assert bn._buffers["num_batches_tracked"][0] == 3
+
+    def test_exponential_mode_weights_recent(self):
+        bn = nn.BatchNorm1d(1, momentum=0.5)
+        for v in (0.0, 10.0):
+            bn(Tensor(np.full((4, 1), v, dtype=np.float32)))
+        # 0.5-momentum EMA of [0, 10] = 5 after the second batch... starting
+        # from init 0: 0*0.5 + 0*0.5 = 0, then 0*0.5 + 10*0.5 = 5.
+        assert bn._buffers["running_mean"][0] == pytest.approx(5.0, abs=1e-5)
+
+    def test_eval_reliable_after_one_batch(self):
+        # The motivating bug: with cumulative averaging, one training batch
+        # is enough for eval-mode statistics to be exact.
+        bn = nn.BatchNorm2d(2)
+        x = Tensor(np.random.default_rng(0).standard_normal((32, 2, 4, 4)).astype(np.float32) * 7)
+        y_train = bn(x)
+        bn.eval()
+        y_eval = bn(x)
+        np.testing.assert_allclose(y_train.data, y_eval.data, atol=0.15)
+
+    def test_cumulative_state_in_state_dict(self):
+        bn = nn.BatchNorm2d(3)
+        assert "num_batches_tracked" in bn.state_dict()
+
+
+class TestGraphHygiene:
+    def test_eval_forward_builds_no_graph_under_no_grad(self):
+        net = nn.Sequential(nn.Conv2d(3, 4, 3, padding=1), nn.BatchNorm2d(4), nn.ReLU())
+        net.eval()
+        x = Tensor(np.zeros((2, 3, 8, 8), dtype=np.float32))
+        with nn.no_grad():
+            out = net(x)
+        assert out.is_leaf
+
+    def test_second_backward_independent(self):
+        w = nn.Parameter(np.ones(3, dtype=np.float32))
+        x = Tensor(np.ones(3, dtype=np.float32))
+        (w * x).sum().backward()
+        first = w.grad.copy()
+        w.zero_grad()
+        (w * x).sum().backward()
+        np.testing.assert_array_equal(first, w.grad)
+
+    def test_loss_graph_reaches_all_parameters(self):
+        net = nn.Sequential(
+            nn.Conv2d(1, 2, 3, padding=1), nn.BatchNorm2d(2), nn.ReLU(),
+            nn.AdaptiveAvgPool2d(1), nn.Flatten(), nn.Linear(2, 3),
+        )
+        x = Tensor(np.random.default_rng(0).standard_normal((4, 1, 6, 6)).astype(np.float32))
+        loss = F.cross_entropy(net(x), np.array([0, 1, 2, 0]))
+        loss.backward()
+        for name, param in net.named_parameters():
+            assert param.grad is not None, name
+
+    def test_deep_graph_backward_no_recursion_error(self):
+        x = Tensor(np.ones(1, dtype=np.float32), requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 0.001
+        y.backward(np.ones(1))
+        np.testing.assert_allclose(x.grad, [1.0])
+
+
+class TestOptimizerSchedulerInterplay:
+    def test_scheduler_respects_groups(self):
+        fast = nn.Parameter(np.zeros(1, dtype=np.float32))
+        slow = nn.Parameter(np.zeros(1, dtype=np.float32))
+        opt = nn.SGD([dict(params=[fast], lr=1.0), dict(params=[slow], lr=0.1)], lr=1.0)
+        sched = nn.StepLR(opt, step_size=1, gamma=0.5)
+        sched.step()
+        assert opt.param_groups[0]["lr"] == pytest.approx(0.5)
+        assert opt.param_groups[1]["lr"] == pytest.approx(0.05)
+
+    def test_adamw_state_per_parameter(self):
+        a = nn.Parameter(np.zeros(2, dtype=np.float32))
+        b = nn.Parameter(np.zeros(3, dtype=np.float32))
+        opt = nn.AdamW([a, b], lr=0.1)
+        a.grad = np.ones(2, dtype=np.float32)
+        b.grad = np.ones(3, dtype=np.float32)
+        opt.step()
+        assert opt.state[id(a)]["exp_avg"].shape == (2,)
+        assert opt.state[id(b)]["exp_avg"].shape == (3,)
+
+    def test_training_with_clipping_converges(self):
+        rng = np.random.default_rng(0)
+        lin = nn.Linear(5, 1, rng=rng)
+        target_w = rng.standard_normal((1, 5)).astype(np.float32)
+        x = rng.standard_normal((64, 5)).astype(np.float32)
+        y = x @ target_w.T
+        opt = nn.Adam(lin.parameters(), lr=0.05)
+        for _ in range(150):
+            opt.zero_grad()
+            loss = F.mse_loss(lin(Tensor(x)), Tensor(y))
+            loss.backward()
+            nn.clip_grad_norm(list(lin.parameters()), 1.0)
+            opt.step()
+        assert loss.item() < 1e-2
+
+
+class TestDtypeDiscipline:
+    def test_float32_network_stays_float32(self):
+        net = nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 2))
+        out = net(Tensor(np.zeros((2, 4), dtype=np.float32)))
+        assert out.dtype == np.float32
+
+    def test_parameters_are_float32(self):
+        net = nn.Conv2d(3, 4, 3)
+        for p in net.parameters():
+            assert p.dtype == np.float32
+
+    def test_gradients_match_parameter_dtype(self):
+        lin = nn.Linear(3, 2)
+        out = lin(Tensor(np.zeros((1, 3), dtype=np.float32)))
+        out.sum().backward()
+        assert lin.weight.grad.dtype == np.float32

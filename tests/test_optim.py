@@ -1,0 +1,157 @@
+"""Optimiser and scheduler tests, including hand-computed update checks."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Parameter
+from repro.nn.optim import clip_grad_norm
+
+
+def make_param(values):
+    return Parameter(np.asarray(values, dtype=np.float32))
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = make_param([1.0])
+        p.grad = np.array([0.5], dtype=np.float32)
+        nn.SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95])
+
+    def test_momentum_accumulates(self):
+        p = make_param([0.0])
+        opt = nn.SGD([p], lr=1.0, momentum=0.9)
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()  # buf = 1 -> p = -1
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()  # buf = 1.9 -> p = -2.9
+        np.testing.assert_allclose(p.data, [-2.9], atol=1e-6)
+
+    def test_weight_decay_shrinks(self):
+        p = make_param([1.0])
+        p.grad = np.array([0.0], dtype=np.float32)
+        nn.SGD([p], lr=0.1, weight_decay=0.5).step()
+        np.testing.assert_allclose(p.data, [0.95])
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            nn.SGD([make_param([0.0])], lr=0.1, nesterov=True)
+
+    def test_skips_none_grad(self):
+        p = make_param([1.0])
+        nn.SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            nn.SGD([make_param([0.0])], lr=0.0)
+
+
+class TestAdamFamily:
+    def test_adam_first_step_magnitude(self):
+        # First Adam step moves by ~lr regardless of gradient scale.
+        p = make_param([0.0])
+        p.grad = np.array([123.0], dtype=np.float32)
+        nn.Adam([p], lr=0.01).step()
+        np.testing.assert_allclose(p.data, [-0.01], atol=1e-5)
+
+    def test_adamw_decoupled_decay(self):
+        # With zero gradient AdamW still shrinks weights; Adam-L2 does not.
+        p1, p2 = make_param([1.0]), make_param([1.0])
+        p1.grad = np.array([0.0], dtype=np.float32)
+        p2.grad = np.array([0.0], dtype=np.float32)
+        nn.AdamW([p1], lr=0.1, weight_decay=0.5).step()
+        nn.Adam([p2], lr=0.1, weight_decay=0.5).step()
+        assert p1.data[0] < 1.0  # decoupled decay applied
+        assert p2.data[0] < 1.0  # L2 gradient also shrinks here (grad = wd * w)
+
+    def test_adam_converges_quadratic(self):
+        p = make_param([5.0])
+        opt = nn.Adam([p], lr=0.3)
+        for _ in range(200):
+            opt.zero_grad()
+            p.grad = 2.0 * p.data  # d/dp of p^2
+            opt.step()
+        assert abs(p.data[0]) < 1e-2
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            nn.Adam([make_param([0.0])], betas=(1.0, 0.9))
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            nn.Adam([], lr=0.1)
+
+    def test_non_parameter_rejected(self):
+        with pytest.raises(TypeError):
+            nn.Adam([np.zeros(3)], lr=0.1)  # type: ignore[list-item]
+
+
+class TestParamGroups:
+    def test_two_rate_groups(self):
+        fast, slow = make_param([1.0]), make_param([1.0])
+        opt = nn.SGD(
+            [dict(params=[fast], lr=0.1), dict(params=[slow], lr=0.001)], lr=0.1
+        )
+        fast.grad = np.array([1.0], dtype=np.float32)
+        slow.grad = np.array([1.0], dtype=np.float32)
+        opt.step()
+        np.testing.assert_allclose(fast.data, [0.9])
+        np.testing.assert_allclose(slow.data, [0.999])
+
+    def test_zero_grad_covers_all_groups(self):
+        a, b = make_param([0.0]), make_param([0.0])
+        a.grad = np.ones(1, dtype=np.float32)
+        b.grad = np.ones(1, dtype=np.float32)
+        opt = nn.SGD([dict(params=[a]), dict(params=[b])], lr=0.1)
+        opt.zero_grad()
+        assert a.grad is None and b.grad is None
+
+
+class TestSchedulers:
+    def test_step_lr_decays(self):
+        p = make_param([0.0])
+        opt = nn.SGD([p], lr=1.0)
+        sched = nn.StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(4):
+            sched.step()
+            lrs.append(opt.param_groups[0]["lr"])
+        np.testing.assert_allclose(lrs, [1.0, 0.1, 0.1, 0.01])
+
+    def test_cosine_reaches_eta_min(self):
+        p = make_param([0.0])
+        opt = nn.SGD([p], lr=1.0)
+        sched = nn.CosineAnnealingLR(opt, t_max=10, eta_min=0.05)
+        for _ in range(10):
+            sched.step()
+        assert opt.param_groups[0]["lr"] == pytest.approx(0.05)
+
+    def test_cosine_monotone_decreasing(self):
+        opt = nn.SGD([make_param([0.0])], lr=1.0)
+        sched = nn.CosineAnnealingLR(opt, t_max=6)
+        previous = 1.0
+        for _ in range(6):
+            sched.step()
+            current = opt.param_groups[0]["lr"]
+            assert current <= previous + 1e-9
+            previous = current
+
+
+class TestClipGradNorm:
+    def test_scales_down_large_grads(self):
+        p = make_param([0.0, 0.0])
+        p.grad = np.array([3.0, 4.0], dtype=np.float32)
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        np.testing.assert_allclose(np.linalg.norm(p.grad), 1.0, atol=1e-6)
+
+    def test_leaves_small_grads(self):
+        p = make_param([0.0])
+        p.grad = np.array([0.1], dtype=np.float32)
+        clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(p.grad, [0.1])
+
+    def test_empty_grads(self):
+        assert clip_grad_norm([make_param([0.0])], 1.0) == 0.0

@@ -1,0 +1,186 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.data.base import MultiTaskDataset, TaskInfo
+from repro.deployment import (
+    NetworkChannel,
+    WireFormat,
+    decode_tensor,
+    encode_tensor,
+    payload_bytes,
+)
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor, no_grad
+
+finite_f32 = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False, width=32
+)
+
+
+def f32_arrays(max_dims=3, max_side=6):
+    return arrays(
+        dtype=np.float32,
+        shape=array_shapes(min_dims=1, max_dims=max_dims, min_side=1, max_side=max_side),
+        elements=finite_f32,
+    )
+
+
+class TestAutogradProperties:
+    @given(f32_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_sum_grad_is_ones(self, values):
+        t = Tensor(values.astype(np.float64), requires_grad=True)
+        t.sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones_like(values))
+
+    @given(f32_arrays(), st.floats(min_value=-5, max_value=5, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_scalar_mul_grad_is_constant(self, values, scalar):
+        t = Tensor(values.astype(np.float64), requires_grad=True)
+        (t * scalar).sum().backward()
+        np.testing.assert_allclose(t.grad, np.full_like(values, scalar, dtype=np.float64),
+                                   atol=1e-6)
+
+    @given(f32_arrays(max_dims=2))
+    @settings(max_examples=30, deadline=None)
+    def test_backward_linearity(self, values):
+        # grad of (f + f) == 2 * grad of f
+        t1 = Tensor(values.astype(np.float64), requires_grad=True)
+        y = t1 * 3.0
+        (y + y).sum().backward()
+        t2 = Tensor(values.astype(np.float64), requires_grad=True)
+        (t2 * 3.0).sum().backward()
+        np.testing.assert_allclose(t1.grad, 2.0 * t2.grad, atol=1e-6)
+
+    @given(f32_arrays(max_dims=2))
+    @settings(max_examples=30, deadline=None)
+    def test_relu_idempotent(self, values):
+        t = Tensor(values)
+        once = F.relu(t).data
+        twice = F.relu(F.relu(t)).data
+        np.testing.assert_array_equal(once, twice)
+
+    @given(f32_arrays(max_dims=2))
+    @settings(max_examples=30, deadline=None)
+    def test_softmax_is_distribution(self, values):
+        if values.ndim == 1:
+            values = values[None]
+        s = F.softmax(Tensor(values)).data
+        assert (s >= 0).all()
+        np.testing.assert_allclose(s.sum(axis=-1), 1.0, atol=1e-4)
+
+    @given(f32_arrays(max_dims=2))
+    @settings(max_examples=30, deadline=None)
+    def test_no_grad_never_builds_graph(self, values):
+        t = Tensor(values, requires_grad=True)
+        with no_grad():
+            out = (t * 2 + 1).sum()
+        assert out.is_leaf
+
+
+class TestWireProperties:
+    @given(f32_arrays(max_dims=4, max_side=5))
+    @settings(max_examples=50, deadline=None)
+    def test_float32_roundtrip_exact(self, values):
+        decoded = decode_tensor(encode_tensor(values, WireFormat("float32")))
+        np.testing.assert_array_equal(decoded, values)
+        assert decoded.shape == values.shape
+
+    @given(f32_arrays(max_dims=3, max_side=5))
+    @settings(max_examples=50, deadline=None)
+    def test_quant8_error_bounded_by_step(self, values):
+        decoded = decode_tensor(encode_tensor(values, WireFormat("quant8")))
+        step = (values.max() - values.min()) / 255.0 if values.size else 0.0
+        assert np.abs(decoded - values).max() <= step + 1e-5
+
+    @given(f32_arrays(max_dims=3, max_side=5),
+           st.sampled_from(["float32", "float16", "quant8"]))
+    @settings(max_examples=50, deadline=None)
+    def test_payload_size_prediction(self, values, fmt):
+        predicted = payload_bytes(values.size, WireFormat(fmt))
+        assert predicted == len(encode_tensor(values, WireFormat(fmt)))
+
+
+class TestChannelProperties:
+    @given(st.floats(min_value=1e3, max_value=1e12),
+           st.integers(min_value=0, max_value=10**9),
+           st.integers(min_value=1, max_value=100))
+    @settings(max_examples=50, deadline=None)
+    def test_transfer_time_additive_in_messages(self, bandwidth, nbytes, messages):
+        channel = NetworkChannel("p", bandwidth_bps=bandwidth)
+        one = channel.transfer_seconds(nbytes)
+        many = channel.transfer_seconds(nbytes, messages)
+        assert many == pytest.approx(messages * one, rel=1e-9)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    @settings(max_examples=50, deadline=None)
+    def test_degraded_scales_linearly(self, nbytes):
+        channel = NetworkChannel("p", bandwidth_bps=1e9)
+        assert channel.degraded(4).transfer_seconds(nbytes) == pytest.approx(
+            4 * channel.transfer_seconds(nbytes), rel=1e-9
+        )
+
+    @given(st.integers(min_value=0, max_value=10**6),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_overhead_monotone(self, nbytes, overhead):
+        base = NetworkChannel("a", bandwidth_bps=1e6)
+        padded = NetworkChannel("b", bandwidth_bps=1e6, overhead_fraction=overhead)
+        assert padded.transfer_seconds(nbytes) >= base.transfer_seconds(nbytes) - 1e-12
+
+
+class TestDatasetProperties:
+    @given(st.integers(min_value=2, max_value=60), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_subset_preserves_label_pairing(self, n, seed):
+        rng = np.random.default_rng(seed)
+        images = np.zeros((n, 1, 4, 4), dtype=np.float32)
+        labels = rng.integers(0, 3, n)
+        images[:, 0, 0, 0] = labels
+        ds = MultiTaskDataset(images, {"t": labels}, (TaskInfo("t", 3),))
+        indices = rng.permutation(n)[: max(1, n // 2)]
+        sub = ds.subset(indices)
+        np.testing.assert_array_equal(
+            sub.images[:, 0, 0, 0].astype(int), sub.labels["t"]
+        )
+
+    @given(st.integers(min_value=4, max_value=80), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_split_partitions_without_loss(self, n, seed):
+        images = np.zeros((n, 1, 2, 2), dtype=np.float32)
+        images[:, 0, 0, 0] = np.arange(n)
+        ds = MultiTaskDataset(
+            images, {"t": np.zeros(n, int)}, (TaskInfo("t", 2),)
+        )
+        parts = ds.split((0.5, 0.3, 0.2), rng=np.random.default_rng(seed))
+        assert sum(len(p) for p in parts) == n
+        seen = np.concatenate([p.images[:, 0, 0, 0] for p in parts])
+        assert sorted(seen.tolist()) == list(range(n))
+
+
+class TestNoiseProperties:
+    @given(st.floats(min_value=0.0, max_value=0.9),
+           st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_salt_pepper_fraction_close(self, amount, seed):
+        from repro.data.noise import salt_and_pepper
+
+        images = np.full((2, 3, 40, 40), 0.5, dtype=np.float32)
+        noisy = salt_and_pepper(images, amount=amount, rng=np.random.default_rng(seed))
+        corrupted = float((noisy[:, 0] != 0.5).mean())
+        assert corrupted == pytest.approx(amount, abs=0.06)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_shapes3d_render_pure(self, seed):
+        from repro.data.shapes3d import Shapes3DGenerator
+
+        rng = np.random.default_rng(seed)
+        gen = Shapes3DGenerator(24)
+        factors = gen.sample_factors(1, rng)[0]
+        np.testing.assert_array_equal(gen.render(factors), gen.render(factors))

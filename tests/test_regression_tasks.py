@@ -1,0 +1,158 @@
+"""Mixed classification + regression MTL — the paper's motivating
+automotive pairing ("identify the pedestrian" + "find the bounding box")."""
+
+import numpy as np
+import pytest
+
+from repro import data
+from repro.core import MTLSplitNet, MultiTaskLoss, MultiTaskTrainer, TrainConfig, evaluate
+from repro.data.base import MultiTaskDataset, TaskInfo
+from repro.nn.tensor import Tensor
+
+
+class TestTaskInfoKinds:
+    def test_classification_default(self):
+        task = TaskInfo("t", 3)
+        assert task.kind == "classification"
+        assert not task.is_regression
+
+    def test_regression_allows_dim_one(self):
+        assert TaskInfo("r", 1, kind="regression").is_regression
+
+    def test_classification_rejects_one_class(self):
+        with pytest.raises(ValueError):
+            TaskInfo("t", 1)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            TaskInfo("t", 3, kind="ranking")
+
+
+class TestRegressionDatasetValidation:
+    def test_float_targets_accepted(self):
+        images = np.zeros((4, 3, 8, 8), dtype=np.float32)
+        targets = np.random.default_rng(0).random((4, 3)).astype(np.float32)
+        ds = MultiTaskDataset(
+            images, {"box": targets}, (TaskInfo("box", 3, kind="regression"),)
+        )
+        assert ds.labels["box"].dtype == np.float32
+        _image, sample = ds[0]
+        assert sample["box"].shape == (3,)
+
+    def test_dim_one_targets_reshaped(self):
+        images = np.zeros((4, 3, 8, 8), dtype=np.float32)
+        ds = MultiTaskDataset(
+            images, {"depth": np.ones(4)}, (TaskInfo("depth", 1, kind="regression"),)
+        )
+        assert ds.labels["depth"].shape == (4,)
+
+    def test_wrong_dim_rejected(self):
+        images = np.zeros((4, 3, 8, 8), dtype=np.float32)
+        with pytest.raises(ValueError):
+            MultiTaskDataset(
+                images, {"box": np.zeros((4, 2))},
+                (TaskInfo("box", 3, kind="regression"),),
+            )
+
+    def test_subset_preserves_regression_labels(self):
+        images = np.zeros((6, 3, 8, 8), dtype=np.float32)
+        targets = np.arange(18, dtype=np.float32).reshape(6, 3)
+        ds = MultiTaskDataset(
+            images, {"box": targets}, (TaskInfo("box", 3, kind="regression"),)
+        )
+        sub = ds.subset(np.array([1, 4]))
+        np.testing.assert_array_equal(sub.labels["box"], targets[[1, 4]])
+
+
+class TestMixedLoss:
+    def test_regression_task_uses_mse(self):
+        tasks = [TaskInfo("cls", 3), TaskInfo("box", 2, kind="regression")]
+        criterion = MultiTaskLoss(tasks)
+        outputs = {
+            "cls": Tensor(np.zeros((4, 3), dtype=np.float32), requires_grad=True),
+            "box": Tensor(np.ones((4, 2), dtype=np.float32), requires_grad=True),
+        }
+        targets = {"cls": np.zeros(4, dtype=np.int64), "box": np.zeros((4, 2))}
+        losses = criterion.task_losses(outputs, targets)
+        # MSE of constant-1 prediction vs 0 target is exactly 1.
+        assert losses["box"].item() == pytest.approx(1.0)
+        # CE of uniform logits is log(3).
+        assert losses["cls"].item() == pytest.approx(np.log(3), abs=1e-5)
+
+    def test_total_sums_both_kinds(self):
+        tasks = [TaskInfo("cls", 3), TaskInfo("box", 2, kind="regression")]
+        criterion = MultiTaskLoss(tasks)
+        outputs = {
+            "cls": Tensor(np.zeros((4, 3), dtype=np.float32), requires_grad=True),
+            "box": Tensor(np.ones((4, 2), dtype=np.float32), requires_grad=True),
+        }
+        targets = {"cls": np.zeros(4, dtype=np.int64), "box": np.zeros((4, 2))}
+        total, scalars = criterion(outputs, targets)
+        assert total.item() == pytest.approx(scalars["cls"] + scalars["box"], rel=1e-6)
+
+    def test_gradients_flow_to_regression_head(self):
+        tasks = [TaskInfo("box", 2, kind="regression")]
+        criterion = MultiTaskLoss(tasks)
+        out = Tensor(np.ones((4, 2), dtype=np.float32), requires_grad=True)
+        total, _ = criterion({"box": out}, {"box": np.zeros((4, 2))})
+        total.backward()
+        assert out.grad is not None
+
+
+class TestDetectionWorkload:
+    @pytest.fixture(scope="class")
+    def detection(self):
+        return data.make_shapes3d_detection(240, seed=5)
+
+    @pytest.fixture(scope="class")
+    def detection_clean(self):
+        # Localisation needs the position signal unburied: no noise,
+        # larger offsets (see test_joint_training docstring).
+        return data.make_shapes3d_detection(
+            640, noise_amount=0.0, max_offset=0.2, seed=5
+        )
+
+    def test_tasks(self, detection):
+        assert detection.task_info("shape").kind == "classification"
+        assert detection.task_info("bbox").kind == "regression"
+        assert detection.labels["bbox"].shape == (240, 3)
+
+    def test_bbox_targets_normalised(self, detection):
+        boxes = detection.labels["bbox"]
+        assert boxes.min() >= 0.0 and boxes.max() <= 1.0
+
+    def test_offsets_give_positional_variance(self, detection):
+        # centre-x must actually vary or localisation is degenerate
+        assert detection.labels["bbox"][:, 1].std() > 0.02
+
+    def test_reproducible(self):
+        a = data.make_shapes3d_detection(20, seed=9)
+        b = data.make_shapes3d_detection(20, seed=9)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels["bbox"], b.labels["bbox"])
+
+    def test_joint_training_classify_and_localise(self, detection_clean):
+        """Joint classification + localisation, with loss balancing.
+
+        The MSE of normalised box coordinates is ~100x smaller than the
+        cross-entropy, so the paper's plain sum (Eq. 4) gradient-starves
+        the regression head; static weighting — one of the library's
+        weighting strategies — restores the balance.  Verified behaviour:
+        the box head beats the mean predictor by a wide margin (R^2).
+        """
+        train = detection_clean.subset(np.arange(512))
+        test = detection_clean.subset(np.arange(512, 640))
+        net = MTLSplitNet.from_tasks(
+            "mobilenet_v3_tiny", list(detection_clean.tasks), input_size=32, seed=5
+        )
+        trainer = MultiTaskTrainer(
+            TrainConfig(
+                epochs=10, batch_size=64, lr=6e-3, seed=5, weighting="static",
+                static_weights={"shape": 1.0, "bbox": 60.0},
+            )
+        )
+        history = trainer.fit(net, train)
+        assert history.final.total_loss < history.epochs[0].total_loss
+        metrics = evaluate(net, test)
+        assert metrics["bbox"] > 0.2, f"localisation failed: R^2={metrics['bbox']:.3f}"
+        assert metrics["shape"] > 0.25  # above 4-way chance

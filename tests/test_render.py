@@ -1,0 +1,94 @@
+"""Tests for the rasterisation helpers behind the dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import render
+
+
+class TestCanvas:
+    def test_blank_canvas_color(self):
+        canvas = render.blank_canvas(4, 5, (0.2, 0.4, 0.6))
+        assert canvas.shape == (4, 5, 3)
+        np.testing.assert_allclose(canvas[0, 0], [0.2, 0.4, 0.6])
+
+    def test_coordinate_grid(self):
+        yy, xx = render.coordinate_grid(3, 4)
+        assert yy.shape == (3, 4)
+        assert yy[2, 0] == 2 and xx[0, 3] == 3
+
+
+class TestHsv:
+    def test_primary_hues(self):
+        np.testing.assert_allclose(render.hsv_to_rgb(0.0, 1.0, 1.0), [1, 0, 0])
+        np.testing.assert_allclose(render.hsv_to_rgb(1 / 3, 1.0, 1.0), [0, 1, 0])
+        np.testing.assert_allclose(render.hsv_to_rgb(2 / 3, 1.0, 1.0), [0, 0, 1])
+
+    def test_zero_saturation_is_grey(self):
+        rgb = render.hsv_to_rgb(0.37, 0.0, 0.5)
+        np.testing.assert_allclose(rgb, [0.5, 0.5, 0.5])
+
+    def test_hue_wraps(self):
+        np.testing.assert_allclose(
+            render.hsv_to_rgb(1.25, 0.8, 0.9), render.hsv_to_rgb(0.25, 0.8, 0.9)
+        )
+
+    def test_value_bounds(self):
+        for h in np.linspace(0, 1, 13):
+            rgb = render.hsv_to_rgb(float(h), 0.9, 0.8)
+            assert rgb.min() >= 0 and rgb.max() <= 0.8 + 1e-6
+
+
+class TestShapes:
+    def test_circle_center_filled_corner_not(self):
+        canvas = render.blank_canvas(21, 21)
+        render.fill_circle(canvas, 10, 10, 5, (1, 0, 0))
+        assert canvas[10, 10, 0] == 1.0
+        assert canvas[0, 0, 0] == 0.0
+
+    def test_circle_area_approximates_pi_r2(self):
+        canvas = render.blank_canvas(101, 101)
+        render.fill_circle(canvas, 50, 50, 20, (1, 1, 1))
+        area = (canvas[..., 0] > 0).sum()
+        assert area == pytest.approx(np.pi * 400, rel=0.05)
+
+    def test_rect_rotation_changes_mask(self):
+        flat = render.blank_canvas(21, 21)
+        turned = render.blank_canvas(21, 21)
+        render.fill_rect(flat, 10, 10, 3, 8, (1, 1, 1))
+        render.fill_rect(turned, 10, 10, 3, 8, (1, 1, 1), angle=0.7)
+        assert not np.array_equal(flat, turned)
+
+    def test_ellipse_axes(self):
+        canvas = render.blank_canvas(31, 31)
+        render.fill_ellipse(canvas, 15, 15, 4, 10, (1, 1, 1))
+        assert canvas[15, 24, 0] == 1.0  # inside along x
+        assert canvas[24, 15, 0] == 0.0  # outside along y
+
+    def test_polygon_triangle(self):
+        canvas = render.blank_canvas(21, 21)
+        vertices = np.array([[18.0, 3.0], [18.0, 17.0], [4.0, 10.0]])
+        render.fill_polygon(canvas, vertices, (1, 1, 1))
+        assert canvas[15, 10, 0] == 1.0
+        assert canvas[2, 2, 0] == 0.0
+
+    def test_alpha_blend(self):
+        canvas = render.blank_canvas(5, 5, (1, 1, 1))
+        render.fill_rect(canvas, 2, 2, 5, 5, (0, 0, 0), alpha=0.5)
+        np.testing.assert_allclose(canvas[2, 2], [0.5, 0.5, 0.5])
+
+    def test_hline_band_clamped(self):
+        canvas = render.blank_canvas(10, 10)
+        render.draw_hline_band(canvas, -5, 100, (1, 1, 1))
+        assert (canvas == 1).all()
+
+    def test_hline_band_empty_range(self):
+        canvas = render.blank_canvas(10, 10)
+        render.draw_hline_band(canvas, 7, 3, (1, 1, 1))
+        assert (canvas == 0).all()
+
+    def test_vertical_gradient_darkens_bottom(self):
+        canvas = render.blank_canvas(10, 10, (1, 1, 1))
+        render.vertical_gradient(canvas, 1.0, 0.5)
+        assert canvas[0, 0, 0] == pytest.approx(1.0)
+        assert canvas[9, 0, 0] == pytest.approx(0.5, abs=1e-6)

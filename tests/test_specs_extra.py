@@ -1,0 +1,138 @@
+"""Additional spec-system tests: derivation, scaling rules, error paths."""
+
+import numpy as np
+import pytest
+
+from repro import models
+from repro.models import specs
+from repro.models.efficientnet import efficientnet_spec
+from repro.models.specs import BackboneSpec, ConvBNAct, GlobalAvgPool, MaxPool
+from repro.models.vgg import vgg_spec_from_config
+
+
+class TestSpecDerivation:
+    def test_with_layers_renames(self):
+        base = models.get_spec("vgg_tiny")
+        derived = base.with_layers(base.layers[:3], "head3")
+        assert derived.name == "vgg_tiny-head3"
+        assert len(derived.layers) == 3
+        assert derived.family == base.family
+
+    def test_conv_bn_act_padding_default(self):
+        assert ConvBNAct(8, 5).resolved_padding() == 2
+        assert ConvBNAct(8, 5, padding=0).resolved_padding() == 0
+
+    def test_maxpool_stride_default(self):
+        assert MaxPool(2).resolved_stride() == 2
+        assert MaxPool(3, stride=1).resolved_stride() == 1
+
+    def test_global_avg_pool_in_spec(self):
+        spec = BackboneSpec(
+            name="gap_test", family="test", input_channels=3, input_size=16,
+            layers=(ConvBNAct(4, 3), GlobalAvgPool()),
+        )
+        assert specs.feature_shape(spec) == (4, 1, 1)
+        net = models.build_backbone(spec, rng=np.random.default_rng(0))
+        from repro.nn.tensor import Tensor
+
+        out = net(Tensor(np.zeros((1, 3, 16, 16), dtype=np.float32)))
+        assert out.shape == (1, 4)
+
+    def test_empty_spec_rejected_by_feature_shape(self):
+        spec = BackboneSpec(
+            name="empty", family="test", input_channels=3, input_size=16, layers=()
+        )
+        with pytest.raises(ValueError):
+            specs.feature_shape(spec)
+
+    def test_unknown_layer_type_rejected(self):
+        class Bogus:
+            pass
+
+        spec = BackboneSpec(
+            name="bogus", family="test", input_channels=3, input_size=16,
+            layers=(Bogus(),),  # type: ignore[arg-type]
+        )
+        with pytest.raises(TypeError):
+            list(specs.iter_primitives(spec))
+
+    def test_shrinking_below_one_pixel_rejected(self):
+        spec = BackboneSpec(
+            name="shrink", family="test", input_channels=3, input_size=4,
+            layers=(MaxPool(2), MaxPool(2), MaxPool(2)),
+        )
+        with pytest.raises(ValueError):
+            list(specs.iter_primitives(spec))
+
+
+class TestEfficientNetScaling:
+    def test_width_multiplier_scales_channels(self):
+        narrow = efficientnet_spec("w05", width_mult=0.5, input_size=224)
+        wide = efficientnet_spec("w10", width_mult=1.0, input_size=224)
+        assert specs.count_parameters(narrow) < specs.count_parameters(wide)
+
+    def test_depth_multiplier_adds_blocks(self):
+        shallow = efficientnet_spec("d10", depth_mult=1.0)
+        deep = efficientnet_spec("d20", depth_mult=2.0)
+        assert len(deep.layers) > len(shallow.layers)
+
+    def test_b1_spec_larger_than_b0(self):
+        b0 = models.get_spec("efficientnet_b0")
+        b1 = models.get_spec("efficientnet_b1")
+        assert specs.count_parameters(b1) > specs.count_parameters(b0)
+
+    def test_channels_divisible_by_8(self):
+        spec = efficientnet_spec("w125", width_mult=1.25)
+        for layer in spec.layers:
+            if isinstance(layer, ConvBNAct):
+                assert layer.out_channels % 8 == 0
+
+
+class TestVggConfig:
+    def test_custom_config_roundtrip(self):
+        spec = vgg_spec_from_config("custom", (8, "M", 16, "M"), input_size=16)
+        assert specs.feature_shape(spec) == (16, 4, 4)
+        params = specs.count_parameters(spec)
+        net = models.build_backbone(spec, rng=np.random.default_rng(0))
+        assert net.num_parameters() == params
+
+    def test_batch_norm_toggle_changes_params(self):
+        with_bn = vgg_spec_from_config("bn", (8, "M"), batch_norm=True)
+        without = vgg_spec_from_config("nobn", (8, "M"), batch_norm=False)
+        # BN adds 2*C affine params but removes the conv bias (C).
+        assert (
+            specs.count_parameters(with_bn)
+            == specs.count_parameters(without) + 8 * 2 - 8
+        )
+
+    def test_full_vgg16_param_count_classic(self):
+        # The 13 conv layers of VGG16 hold ~14.7M parameters.
+        count = specs.count_parameters(models.get_spec("vgg16"))
+        assert count == pytest.approx(14.71e6, rel=0.01)
+
+
+class TestStageProfileConsistency:
+    @pytest.mark.parametrize("name", models.TRAINING_BACKBONES)
+    def test_stage_count_matches_module_stages(self, name):
+        from repro.core.splitting import stage_activation_profile
+
+        spec = models.get_spec(name)
+        net = models.create_backbone(name, rng=np.random.default_rng(0))
+        profile = stage_activation_profile(spec, 32)
+        assert len(profile) == len(list(net.stages))
+
+    @pytest.mark.parametrize("name", models.TRAINING_BACKBONES)
+    def test_stage_shapes_match_actual_forward(self, name):
+        from repro.core.splitting import stage_activation_profile
+        from repro.nn.tensor import Tensor
+        import repro.nn as nn
+
+        spec = models.get_spec(name)
+        net = models.create_backbone(name, rng=np.random.default_rng(0))
+        net.eval()
+        profile = stage_activation_profile(spec, 32)
+        x = Tensor(np.zeros((1, 3, 32, 32), dtype=np.float32))
+        with nn.no_grad():
+            for stage, point in zip(net.stages, profile):
+                x = stage(x)
+                assert int(np.prod(x.shape[1:])) == point.transmit_elements

@@ -1,0 +1,295 @@
+"""Unit tests for the autograd Tensor: graph construction, backward,
+broadcasting adjoints, shape ops and gradient accumulation."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor, as_tensor, concatenate, is_grad_enabled, no_grad, stack
+
+
+class TestConstruction:
+    def test_from_list_is_float32(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert t.dtype == np.float32
+        assert t.shape == (3,)
+
+    def test_integer_arrays_stay_integer(self):
+        t = Tensor(np.array([1, 2, 3]))
+        assert t.dtype.kind == "i"
+
+    def test_float64_preserved(self):
+        t = Tensor(np.zeros(3, dtype=np.float64))
+        assert t.dtype == np.float64
+
+    def test_from_tensor_shares_data(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor(a)
+        assert b.data is a.data
+
+    def test_as_tensor_passthrough(self):
+        a = Tensor([1.0])
+        assert as_tensor(a) is a
+        assert isinstance(as_tensor(2.0), Tensor)
+
+    def test_repr_mentions_requires_grad(self):
+        t = Tensor([1.0], requires_grad=True)
+        assert "requires_grad=True" in repr(t)
+
+    def test_item_scalar(self):
+        assert Tensor(np.array(3.5)).item() == pytest.approx(3.5)
+
+    def test_len(self):
+        assert len(Tensor(np.zeros((4, 2)))) == 4
+
+
+class TestBackwardBasics:
+    def test_add_backward(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a + b).backward(np.array([1.0, 1.0]))
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 1.0])
+
+    def test_mul_backward(self):
+        a = Tensor([2.0, 3.0], requires_grad=True)
+        b = Tensor([5.0, 7.0], requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, [5.0, 7.0])
+        np.testing.assert_allclose(b.grad, [2.0, 3.0])
+
+    def test_div_backward(self):
+        a = Tensor([4.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        (a / b).backward(np.array([1.0]))
+        np.testing.assert_allclose(a.grad, [0.5])
+        np.testing.assert_allclose(b.grad, [-1.0])
+
+    def test_matmul_backward_2d(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones((3, 4)), requires_grad=True)
+        (a @ b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 3), 4.0))
+        np.testing.assert_allclose(b.grad, np.full((3, 4), 2.0))
+
+    def test_pow_backward(self):
+        a = Tensor([3.0], requires_grad=True)
+        (a**2).backward(np.array([1.0]))
+        np.testing.assert_allclose(a.grad, [6.0])
+
+    def test_neg_backward(self):
+        a = Tensor([1.0], requires_grad=True)
+        (-a).backward(np.array([1.0]))
+        np.testing.assert_allclose(a.grad, [-1.0])
+
+    def test_chained_reuse_accumulates(self):
+        # y = a*a + a -> dy/da = 2a + 1
+        a = Tensor([3.0], requires_grad=True)
+        (a * a + a).backward(np.array([1.0]))
+        np.testing.assert_allclose(a.grad, [7.0])
+
+    def test_diamond_graph(self):
+        # b = a+a; c = b*b -> dc/da = 2b * 2 = 8a
+        a = Tensor([1.5], requires_grad=True)
+        b = a + a
+        (b * b).backward(np.array([1.0]))
+        np.testing.assert_allclose(a.grad, [12.0])
+
+    def test_backward_requires_scalar_or_grad(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+
+    def test_backward_on_detached_raises(self):
+        a = Tensor([1.0])
+        with pytest.raises(RuntimeError):
+            a.backward()
+
+    def test_grad_accumulates_over_calls(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2).backward(np.array([1.0]))
+        (a * 2).backward(np.array([1.0]))
+        np.testing.assert_allclose(a.grad, [4.0])
+
+    def test_zero_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2).backward(np.array([1.0]))
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_retain_grad_on_intermediate(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = (a * 3).retain_grad()
+        (b * b).backward(np.array([1.0]))
+        np.testing.assert_allclose(b.grad, [12.0])
+        np.testing.assert_allclose(a.grad, [36.0])
+
+
+class TestBroadcasting:
+    def test_add_broadcast_bias(self):
+        x = Tensor(np.ones((4, 3)), requires_grad=True)
+        b = Tensor(np.zeros(3), requires_grad=True)
+        (x + b).sum().backward()
+        np.testing.assert_allclose(b.grad, [4.0, 4.0, 4.0])
+
+    def test_mul_broadcast_scalar(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        (x * 3.0).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((2, 2), 3.0))
+
+    def test_broadcast_keepdim_axis(self):
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        scale = Tensor(np.full((2, 1), 2.0), requires_grad=True)
+        (x * scale).sum().backward()
+        np.testing.assert_allclose(scale.grad, np.full((2, 1), 3.0))
+
+    def test_rsub_and_rdiv(self):
+        a = Tensor([2.0], requires_grad=True)
+        (1.0 - a).backward(np.array([1.0]))
+        np.testing.assert_allclose(a.grad, [-1.0])
+        b = Tensor([2.0], requires_grad=True)
+        (1.0 / b).backward(np.array([1.0]))
+        np.testing.assert_allclose(b.grad, [-0.25])
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis_keepdims(self):
+        x = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3), requires_grad=True)
+        y = x.sum(axis=1, keepdims=True)
+        assert y.shape == (2, 1)
+        y.backward(np.ones((2, 1), dtype=np.float32))
+        np.testing.assert_allclose(x.grad, np.ones((2, 3)))
+
+    def test_sum_multiple_axes(self):
+        x = Tensor(np.ones((2, 3, 4)), requires_grad=True)
+        x.sum(axis=(0, 2)).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 3, 4)))
+
+    def test_mean_scales_gradient(self):
+        x = Tensor(np.ones((4,)), requires_grad=True)
+        x.mean().backward()
+        np.testing.assert_allclose(x.grad, np.full(4, 0.25))
+
+    def test_var_matches_numpy(self):
+        data = np.random.default_rng(0).standard_normal((5, 7)).astype(np.float32)
+        x = Tensor(data)
+        np.testing.assert_allclose(x.var(axis=0).data, data.var(axis=0), atol=1e-5)
+
+    def test_max_forward_and_tie_split(self):
+        x = Tensor(np.array([[1.0, 2.0, 2.0]]), requires_grad=True)
+        y = x.max(axis=1)
+        np.testing.assert_allclose(y.data, [2.0])
+        y.backward(np.array([1.0]))
+        np.testing.assert_allclose(x.grad, [[0.0, 0.5, 0.5]])
+
+    def test_reshape_roundtrip(self):
+        x = Tensor(np.arange(6, dtype=np.float32), requires_grad=True)
+        x.reshape(2, 3).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones(6))
+
+    def test_flatten(self):
+        x = Tensor(np.zeros((2, 3, 4)))
+        assert x.flatten(1).shape == (2, 12)
+
+    def test_transpose_default_and_axes(self):
+        x = Tensor(np.zeros((2, 3, 4)), requires_grad=True)
+        assert x.T.shape == (4, 3, 2)
+        y = x.transpose(1, 0, 2)
+        assert y.shape == (3, 2, 4)
+        y.sum().backward()
+        assert x.grad.shape == (2, 3, 4)
+
+    def test_getitem_scatter(self):
+        x = Tensor(np.arange(5, dtype=np.float32), requires_grad=True)
+        x[1:3].sum().backward()
+        np.testing.assert_allclose(x.grad, [0, 1, 1, 0, 0])
+
+    def test_pad2d_and_backward(self):
+        x = Tensor(np.ones((1, 1, 2, 2)), requires_grad=True)
+        y = x.pad2d((1, 1))
+        assert y.shape == (1, 1, 4, 4)
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((1, 1, 2, 2)))
+
+    def test_pad2d_zero_is_identity(self):
+        x = Tensor(np.ones((1, 1, 2, 2)))
+        assert x.pad2d((0, 0)) is x
+
+
+class TestElementwiseMath:
+    def test_exp_log_roundtrip_grad(self):
+        x = Tensor(np.array([0.5, 1.5]), requires_grad=True)
+        x.exp().log().sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0, 1.0], atol=1e-6)
+
+    def test_sqrt(self):
+        x = Tensor(np.array([4.0]), requires_grad=True)
+        x.sqrt().backward(np.array([1.0]))
+        np.testing.assert_allclose(x.grad, [0.25])
+
+    def test_tanh_grad(self):
+        x = Tensor(np.array([0.0]), requires_grad=True)
+        x.tanh().backward(np.array([1.0]))
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_abs_grad_sign(self):
+        x = Tensor(np.array([-2.0, 3.0]), requires_grad=True)
+        x.abs().sum().backward()
+        np.testing.assert_allclose(x.grad, [-1.0, 1.0])
+
+    def test_clip_grad_mask(self):
+        x = Tensor(np.array([-1.0, 0.5, 2.0]), requires_grad=True)
+        x.clip(0.0, 1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_maximum_tie_goes_to_self(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        b = Tensor(np.array([1.0]), requires_grad=True)
+        a.maximum(b).backward(np.array([1.0]))
+        np.testing.assert_allclose(a.grad, [1.0])
+        np.testing.assert_allclose(b.grad, [0.0])
+
+
+class TestNoGrad:
+    def test_no_grad_detaches(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            b = a * 2
+        assert not b.requires_grad
+        assert b.is_leaf
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_nested_no_grad(self):
+        with no_grad():
+            with no_grad():
+                pass
+            assert not is_grad_enabled()
+
+    def test_detach(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = (a * 2).detach()
+        assert not b.requires_grad
+
+
+class TestConcatenateStack:
+    def test_concatenate_forward_backward(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((3, 2)), requires_grad=True)
+        out = concatenate([a, b], axis=0)
+        assert out.shape == (5, 2)
+        out.sum().backward()
+        assert a.grad.shape == (2, 2)
+        assert b.grad.shape == (3, 2)
+
+    def test_stack_forward_backward(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.zeros(3), requires_grad=True)
+        out = stack([a, b], axis=0)
+        assert out.shape == (2, 3)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(3))
+        np.testing.assert_allclose(b.grad, np.ones(3))
