@@ -3,9 +3,11 @@ module can be imported explicitly without clashing with tests/conftest)."""
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Optional
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -39,8 +41,18 @@ def current_scale() -> BenchScale:
     return SCALES[name]
 
 
-def emit(results_dir: Path, name: str, text: str) -> None:
-    """Print a result block and persist it under benchmarks/results/."""
+def emit(results_dir: Path, name: str, text: str, data: Optional[dict] = None) -> None:
+    """Print a result block and persist it under benchmarks/results/.
+
+    When ``data`` is given, a machine-readable ``BENCH_<name>.json`` is
+    written alongside the text block so successive PRs can diff the perf
+    trajectory without parsing the prose.
+    """
     banner = f"\n===== {name} =====\n{text}\n"
     print(banner)
     (results_dir / f"{name}.txt").write_text(text + "\n")
+    if data is not None:
+        payload = {"benchmark": name, "scale": current_scale().name, **data}
+        (results_dir / f"BENCH_{name}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )

@@ -33,36 +33,60 @@ def build_net():
 def test_pipeline_end_to_end(benchmark, results_dir):
     net, dataset = build_net()
     images = dataset.images[: _BATCHES * _BATCH_SIZE]
+    batches = [
+        images[start : start + _BATCH_SIZE]
+        for start in range(0, len(images), _BATCH_SIZE)
+    ]
 
     def run():
         pipeline = SplitPipeline.from_net(net, GIGABIT_ETHERNET, input_size=32)
-        outputs = []
-        for start in range(0, len(images), _BATCH_SIZE):
-            outputs.append(pipeline.infer(images[start : start + _BATCH_SIZE]))
-        return pipeline, outputs
+        pipeline.warmup(batches[0])
+        outputs, report = pipeline.infer_stream(batches)
+        return pipeline, outputs, report
 
-    pipeline, outputs = benchmark.pedantic(run, rounds=1, iterations=1)
+    pipeline, outputs, report = benchmark.pedantic(run, rounds=1, iterations=1)
 
-    # Predictions identical to the monolith.
+    # Predictions match the monolith (fused/compiled halves, atol 1e-4).
     with nn.no_grad():
         full = net(Tensor(images[:_BATCH_SIZE]))
     for name in net.task_names:
-        np.testing.assert_allclose(outputs[0][name], full[name].data, atol=1e-5)
+        np.testing.assert_allclose(outputs[0][name], full[name].data, atol=1e-4)
 
     edge = sum(t.edge_seconds for t in pipeline.traces)
     transfer = pipeline.total_transfer_seconds()
     server = sum(t.server_seconds for t in pipeline.traces)
     text = (
         f"{_BATCHES} batches x {_BATCH_SIZE} images, mobilenet_v3_tiny @32px, "
-        f"{GIGABIT_ETHERNET.name}\n"
+        f"{GIGABIT_ETHERNET.name}, fused/compiled halves, overlapped stages\n"
         f"  edge compute:   {edge * 1e3:8.2f} ms (measured)\n"
         f"  Z_b transfer:   {transfer * 1e3:8.2f} ms (modelled, "
         f"{pipeline.mean_payload_bytes() / 1024:.1f} KiB/batch)\n"
         f"  server compute: {server * 1e3:8.2f} ms (measured)\n"
-        f"  total:          {pipeline.total_seconds() * 1e3:8.2f} ms"
+        f"  serial total:   {pipeline.total_seconds() * 1e3:8.2f} ms\n"
+        f"  pipelined:      {report.pipelined_seconds * 1e3:8.2f} ms "
+        f"({report.overlap_speedup:.2f}x overlap, "
+        f"{report.batches_per_second:.1f} batches/s, "
+        f"critical stage: {report.critical_stage})"
     )
-    emit(results_dir, "pipeline_end_to_end", text)
+    emit(
+        results_dir,
+        "pipeline_end_to_end",
+        text,
+        data={
+            "edge_ms": edge * 1e3,
+            "transfer_ms": transfer * 1e3,
+            "server_ms": server * 1e3,
+            "serial_ms": pipeline.total_seconds() * 1e3,
+            "pipelined_ms": report.pipelined_seconds * 1e3,
+            "batches_per_second": report.batches_per_second,
+            "images_per_second": report.images_per_second,
+            "critical_stage": report.critical_stage,
+            "payload_bytes_per_batch": pipeline.mean_payload_bytes(),
+        },
+    )
     assert pipeline.link.messages_sent == _BATCHES
+    # Overlap must beat strictly serial execution on multi-batch runs.
+    assert report.pipelined_seconds < report.serial_seconds
 
 
 def test_pipeline_split_point_sweep(benchmark, results_dir):

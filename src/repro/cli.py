@@ -7,6 +7,7 @@ Exposes the analyses a user wants without writing code::
     python -m repro dataset --name shapes3d --samples 200
     python -m repro split-sweep --backbone mobilenet_v3_small --bandwidth-mbps 10
     python -m repro train --backbone mobilenet_v3_tiny --epochs 2
+    python -m repro pipeline --backbone mobilenet_v3_tiny --batches 8
 
 Training at the CLI uses the quick 32x32 stand-in workloads; the full
 benchmark harness lives under ``benchmarks/``.
@@ -146,6 +147,63 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    from . import data
+    from .core import MTLSplitNet, MultiTaskTrainer, TrainConfig
+    from .deployment import (
+        GIGABIT_ETHERNET,
+        SplitPipeline,
+        WireFormat,
+        render_throughput,
+    )
+
+    if args.batches < 1 or args.batch_size < 1:
+        print("pipeline needs --batches >= 1 and --batch-size >= 1", file=sys.stderr)
+        return 2
+    if args.bandwidth_mbps <= 0:
+        print("pipeline needs --bandwidth-mbps > 0", file=sys.stderr)
+        return 2
+    channel = (
+        GIGABIT_ETHERNET.degraded(1000.0 / args.bandwidth_mbps)
+        if args.bandwidth_mbps != 1000
+        else GIGABIT_ETHERNET
+    )
+    samples = args.batches * args.batch_size
+    dataset = data.make_shapes3d(
+        max(samples, 128), tasks=("scale", "shape"), seed=args.seed
+    )
+    net = MTLSplitNet.from_tasks(
+        args.backbone, list(dataset.tasks), input_size=32, seed=args.seed
+    )
+    if args.epochs > 0:
+        MultiTaskTrainer(
+            TrainConfig(epochs=args.epochs, batch_size=64, seed=args.seed)
+        ).fit(net, dataset)
+    net.eval()
+    pipeline = SplitPipeline.from_net(
+        net,
+        channel,
+        split_index=args.split_index,
+        input_size=32,
+        wire_format=WireFormat(args.wire),
+        compiled=not args.no_compiled,
+    )
+    images = dataset.images[:samples]
+    batches = [
+        images[start : start + args.batch_size]
+        for start in range(0, samples, args.batch_size)
+    ]
+    pipeline.warmup(batches[0])
+    _, report = pipeline.infer_stream(batches)
+    mode = "fused/compiled" if pipeline.edge.compiled else "eval-mode"
+    print(
+        f"{args.backbone} @32px, {mode} halves, wire={args.wire}, "
+        f"{channel.name}, payload {pipeline.mean_payload_bytes() / 1024:.1f} KiB/batch"
+    )
+    print(render_throughput(report))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -181,6 +239,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--input-size", type=int, default=224)
     p.add_argument("--bandwidth-mbps", type=float, default=1000)
     p.set_defaults(func=_cmd_split_sweep)
+
+    p = sub.add_parser(
+        "pipeline", help="overlapped split-pipeline throughput (fused inference)"
+    )
+    p.add_argument("--backbone", default="mobilenet_v3_tiny")
+    p.add_argument("--batches", type=int, default=8)
+    p.add_argument("--batch-size", type=int, default=16)
+    p.add_argument("--split-index", type=int, default=None)
+    p.add_argument("--wire", default="float32",
+                   choices=("float32", "float16", "quant8"))
+    p.add_argument("--bandwidth-mbps", type=float, default=1000)
+    p.add_argument("--epochs", type=int, default=1,
+                   help="quick training epochs before deployment (0 = raw init)")
+    p.add_argument("--no-compiled", action="store_true",
+                   help="run the eval-mode forward instead of the fused engine")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_pipeline)
 
     p = sub.add_parser("train", help="quick MTL training demo (32x32 stand-in)")
     p.add_argument("--backbone", default="mobilenet_v3_tiny")

@@ -24,6 +24,7 @@ from ..data.base import TaskInfo
 from ..models.builder import Backbone
 from ..models.heads import MLPHead
 from ..models.registry import create_backbone
+from ..nn import fuse
 from ..nn.tensor import Tensor
 
 __all__ = ["MTLSplitNet", "EdgeModel", "ServerModel"]
@@ -208,3 +209,34 @@ class MTLSplitNet(nn.Module):
             f"MTLSplitNet(backbone={backbone_name!r}, tasks=[{heads}], "
             f"params={self.num_parameters()})"
         )
+
+
+# ---------------------------------------------------------------------------
+# Inference-compiler lowering rules (see repro.nn.fuse)
+# ---------------------------------------------------------------------------
+@fuse.register_lowerer(EdgeModel)
+def _lower_edge_model(model: EdgeModel):
+    return fuse.lower_module(model.stages) + [fuse.FlattenOp(1)]
+
+
+def _compiled_heads(names, heads) -> dict:
+    return {name: fuse.compile_ops(head) for name, head in zip(names, heads)}
+
+
+@fuse.register_lowerer(ServerModel)
+def _build_server_session(model: ServerModel) -> fuse.InferenceSession:
+    trunk = (
+        [fuse.ReshapeOp(model.feature_shape)]
+        + fuse.lower_module(model.stages)
+        + [fuse.FlattenOp(1)]
+    )
+    return fuse.InferenceSession(
+        fuse.optimise_ops(trunk), _compiled_heads(model._head_names, model.heads)
+    )
+
+
+@fuse.register_lowerer(MTLSplitNet)
+def _build_mtl_session(net: MTLSplitNet) -> fuse.InferenceSession:
+    return fuse.InferenceSession(
+        fuse.compile_ops(net.backbone), _compiled_heads(net._head_names, net.heads)
+    )

@@ -42,13 +42,14 @@ from .profiler import (
     ModelProfile,
     profile_backbone,
 )
-from .report import render_paradigm_comparison, render_table4, table4_rows
+from .report import render_paradigm_comparison, render_table4, render_throughput, table4_rows
 from .runtime import (
     EdgeRuntime,
     InferenceTrace,
     ServerRuntime,
     SimulatedLink,
     SplitPipeline,
+    ThroughputReport,
 )
 from .wire import WireFormat, decode_tensor, encode_tensor, payload_bytes
 
@@ -82,9 +83,11 @@ __all__ = [
     "SimulatedLink",
     "SplitPipeline",
     "InferenceTrace",
+    "ThroughputReport",
     "table4_rows",
     "render_table4",
     "render_paradigm_comparison",
+    "render_throughput",
     "SplitLatency",
     "latency_profile",
     "optimal_split_index",

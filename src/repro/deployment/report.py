@@ -9,8 +9,14 @@ from .channel import NetworkChannel
 from .device import Device
 from .paradigms import ParadigmReport, compare_paradigms
 from .profiler import ModelProfile, profile_backbone
+from .runtime import ThroughputReport
 
-__all__ = ["table4_rows", "render_table4", "render_paradigm_comparison"]
+__all__ = [
+    "table4_rows",
+    "render_table4",
+    "render_paradigm_comparison",
+    "render_throughput",
+]
 
 _MB = 1024 * 1024
 
@@ -71,3 +77,30 @@ def render_paradigm_comparison(reports: Dict[str, ParadigmReport]) -> str:
     order = ["loc", "loc_shared", "roc", "sc"]
     blocks = [reports[key].summary() for key in order if key in reports]
     return "\n".join(blocks)
+
+
+def render_throughput(report: ThroughputReport) -> str:
+    """Render an overlapped-pipeline throughput report."""
+    util = report.stage_utilisation
+    lines = [
+        f"{report.batches} batches / {report.images} images",
+        f"  serial (sum of stages): {report.serial_seconds * 1e3:8.2f} ms",
+        f"  pipelined makespan:     {report.pipelined_seconds * 1e3:8.2f} ms "
+        f"({report.overlap_speedup:.2f}x overlap speedup)",
+        f"  measured wall:          {report.wall_seconds * 1e3:8.2f} ms "
+        f"(transfer modelled, not slept)",
+        f"  throughput:             {report.batches_per_second:8.1f} batches/s "
+        f"({report.images_per_second:.0f} images/s)",
+        "  stage busy / utilisation:",
+    ]
+    busy = {
+        "edge": report.edge_seconds,
+        "transfer": report.transfer_seconds,
+        "server": report.server_seconds,
+    }
+    for stage, seconds in busy.items():
+        marker = "  <- critical path" if stage == report.critical_stage else ""
+        lines.append(
+            f"    {stage:<9} {seconds * 1e3:8.2f} ms  ({util[stage]:5.1%}){marker}"
+        )
+    return "\n".join(lines)

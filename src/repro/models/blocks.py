@@ -14,6 +14,7 @@ import numpy as np
 
 from .. import nn
 from ..nn import functional as F
+from ..nn import fuse
 from ..nn.tensor import Tensor
 from .specs import ConvBNAct, InvertedResidual, MBConv, make_divisible
 
@@ -118,6 +119,37 @@ class InvertedResidualBlock(nn.Module):
         return out
 
 
+fuse.register_chain(ConvBNActBlock, lambda m: [m.conv, m.bn, m.act])
+
+
+@fuse.register_lowerer(SqueezeExciteBlock)
+def _lower_squeeze_excite(block: SqueezeExciteBlock):
+    act_ops = fuse.lower_module(block.bottleneck_act)
+    bottleneck = act_ops[0].name if act_ops else "relu"
+    if bottleneck not in fuse._ACT_KERNELS or block.gate_name not in fuse._ACT_KERNELS:
+        return [fuse.FallbackOp(block)]  # exotic activation: stay correct
+    return [
+        fuse.SqueezeExciteOp(
+            block.reduce.weight.data,
+            block.reduce.bias.data,
+            block.expand.weight.data,
+            block.expand.bias.data,
+            bottleneck=bottleneck,
+            gate=block.gate_name,
+        )
+    ]
+
+
+@fuse.register_lowerer(InvertedResidualBlock)
+def _lower_residual_block(block):
+    """Shared lowering for the expand→depthwise→SE→project blocks."""
+    inner = []
+    for stage in (block.expand, block.depthwise, block.se, block.project):
+        inner.extend(fuse.lower_module(stage))
+    inner = fuse.optimise_ops(inner)
+    return [fuse.ResidualOp(inner)] if block.use_skip else inner
+
+
 class MBConvBlock(nn.Module):
     """EfficientNet MBConv: expand → depthwise → SE → project, SiLU."""
 
@@ -150,3 +182,6 @@ class MBConvBlock(nn.Module):
         if self.use_skip:
             out = out + x
         return out
+
+
+fuse.register_lowerer(MBConvBlock)(_lower_residual_block)

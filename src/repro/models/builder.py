@@ -15,6 +15,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from .. import nn
+from ..nn import fuse
 from ..nn.tensor import Tensor
 from .blocks import ConvBNActBlock, InvertedResidualBlock, MBConvBlock
 from .specs import (
@@ -34,6 +35,9 @@ __all__ = ["Backbone", "build_backbone"]
 class _GlobalAvgPool(nn.Module):
     def forward(self, x: Tensor) -> Tensor:
         return nn.functional.global_avg_pool2d(x)
+
+
+fuse.register_lowerer(_GlobalAvgPool)(lambda m: [fuse.GlobalAvgPoolOp()])
 
 
 class Backbone(nn.Module):
@@ -111,3 +115,8 @@ class Backbone(nn.Module):
 def build_backbone(spec: BackboneSpec, rng: Optional[np.random.Generator] = None) -> Backbone:
     """Instantiate a :class:`Backbone` from a spec."""
     return Backbone(spec, rng=rng)
+
+
+@fuse.register_lowerer(Backbone)
+def _lower_backbone(backbone: Backbone):
+    return fuse.lower_module(backbone.stages) + [fuse.FlattenOp(1)]

@@ -14,6 +14,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from .. import nn
+from ..nn import fuse
 from ..nn.tensor import Tensor
 
 __all__ = ["MLPHead", "DeepMLPHead", "LinearHead"]
@@ -87,3 +88,8 @@ class LinearHead(nn.Module):
 
     def forward(self, z: Tensor) -> Tensor:
         return self.fc(z)
+
+
+fuse.register_chain(MLPHead, lambda m: [m.fc1, m.act, m.drop, m.fc2])
+fuse.register_chain(DeepMLPHead, lambda m: [m.net])
+fuse.register_chain(LinearHead, lambda m: [m.fc])

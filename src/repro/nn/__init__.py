@@ -42,6 +42,8 @@ from .rnn import GRUCell, RNN, RNNCell
 from .optim import SGD, Adam, AdamW, CosineAnnealingLR, StepLR, clip_grad_norm
 from .serialization import load_module, load_state, save_module, save_state
 from .tensor import Tensor, as_tensor, concatenate, is_grad_enabled, no_grad, stack
+from . import fuse
+from .fuse import InferenceSession, compile_module
 
 __all__ = [
     "Tensor",
@@ -51,7 +53,10 @@ __all__ = [
     "no_grad",
     "is_grad_enabled",
     "functional",
+    "fuse",
     "init",
+    "InferenceSession",
+    "compile_module",
     "gradcheck",
     "numerical_gradient",
     "Parameter",

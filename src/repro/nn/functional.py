@@ -20,6 +20,7 @@ import numpy as np
 from .tensor import Tensor, as_tensor
 
 __all__ = [
+    "cached_einsum",
     "relu",
     "relu6",
     "leaky_relu",
@@ -59,6 +60,22 @@ def _pair(value: IntPair) -> Tuple[int, int]:
 def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
     """Spatial output size of a convolution/pooling window sweep."""
     return (size + 2 * padding - kernel) // stride + 1
+
+
+# Contraction plans from ``np.einsum_path`` keyed by (spec, operand shapes).
+# Path optimisation is pure-python work that would otherwise be repeated on
+# every conv2d call with identical shapes — i.e. every batch of every epoch.
+_EINSUM_PATHS: dict = {}
+
+
+def cached_einsum(spec: str, *operands: np.ndarray) -> np.ndarray:
+    """``np.einsum`` with the contraction path memoised per (spec, shapes)."""
+    key = (spec,) + tuple(op.shape for op in operands)
+    path = _EINSUM_PATHS.get(key)
+    if path is None:
+        path = np.einsum_path(spec, *operands, optimize=True)[0]
+        _EINSUM_PATHS[key] = path
+    return np.einsum(spec, *operands, optimize=path)
 
 
 # ---------------------------------------------------------------------------
@@ -191,14 +208,14 @@ def conv2d(
     # Group-split views: (N, G, Cg, Ho, Wo, kh, kw) and (G, Og, Cg, kh, kw).
     win_g = windows.reshape(n, groups, c_in // groups, ho, wo, kh, kw)
     w_g = weight.data.reshape(groups, c_out // groups, c_in // groups, kh, kw)
-    out = np.einsum("ngchwij,gocij->ngohw", win_g, w_g, optimize=True)
+    out = cached_einsum("ngchwij,gocij->ngohw", win_g, w_g)
     out = np.ascontiguousarray(out.reshape(n, c_out, ho, wo))
     if bias is not None:
         out += bias.data.reshape(1, -1, 1, 1)
 
     def backward(g):
         g = g.reshape(n, groups, c_out // groups, ho, wo)
-        grad_w = np.einsum("ngchwij,ngohw->gocij", win_g, g, optimize=True)
+        grad_w = cached_einsum("ngchwij,ngohw->gocij", win_g, g)
         grad_w = grad_w.reshape(weight.shape)
 
         # Gradient w.r.t. input: dilate g by the stride, pad to "full"
@@ -220,7 +237,7 @@ def conv2d(
         g_windows = np.lib.stride_tricks.sliding_window_view(
             g_full, (kh, kw), axis=(-2, -1)
         )
-        grad_x_pad = np.einsum("ngohwij,gocij->ngchw", g_windows, w_flip, optimize=True)
+        grad_x_pad = cached_einsum("ngohwij,gocij->ngchw", g_windows, w_flip)
         grad_x_pad = grad_x_pad.reshape(n, c_in, h_pad_total, w_pad_total)
         grad_x = grad_x_pad[:, :, ph : ph + h, pw : pw + w]
 
@@ -269,16 +286,21 @@ def avg_pool2d(x: Tensor, kernel_size: IntPair, stride: Optional[IntPair] = None
     scale = 1.0 / (kh * kw)
 
     def backward(g):
-        grad = np.zeros_like(x.data)
-        g_scaled = g * scale
-        # For a fixed in-window offset (i, j) the destination cells across
-        # output positions are disjoint, so strided views accumulate safely.
-        for i in range(kh):
-            for j in range(kw):
-                grad[
-                    :, :, i : i + (ho - 1) * sh + 1 : sh, j : j + (wo - 1) * sw + 1 : sw
-                ] += g_scaled
-        return (grad,)
+        # Same strided-window adjoint as conv2d's input gradient with an
+        # implicit all-ones kernel: dilate g by the stride, pad to the full
+        # correlation extent, and sum each (kh, kw) window.
+        hd = (ho - 1) * sh + 1
+        wd = (wo - 1) * sw + 1
+        g_dil = np.zeros((n, c, hd, wd), dtype=g.dtype)
+        g_dil[:, :, ::sh, ::sw] = g
+        rh = h - ((ho - 1) * sh + kh)
+        rw = w - ((wo - 1) * sw + kw)
+        g_full = np.pad(g_dil, ((0, 0), (0, 0), (kh - 1, kh - 1 + rh), (kw - 1, kw - 1 + rw)))
+        g_windows = np.lib.stride_tricks.sliding_window_view(
+            g_full, (kh, kw), axis=(-2, -1)
+        )
+        grad = g_windows.sum(axis=(-2, -1)) * scale
+        return (np.ascontiguousarray(grad),)
 
     return Tensor._from_op(np.ascontiguousarray(out), (x,), backward, "avg_pool2d")
 

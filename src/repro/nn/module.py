@@ -135,6 +135,27 @@ class Module:
         return self
 
     # ------------------------------------------------------------------
+    # Inference compilation
+    # ------------------------------------------------------------------
+    def compile_for_inference(self, sample_input=None, atol: float = 1e-4):
+        """Compile this module's eval-mode forward into an autograd-free
+        :class:`~repro.nn.fuse.InferenceSession`.
+
+        Batch-norm parameters are folded into preceding conv/linear
+        weights and activations are fused into their producers; module
+        types without a lowering rule fall back to the normal forward.
+        The session snapshots the current weights — recompile after
+        further training.  When ``sample_input`` is given, the compiled
+        outputs are verified against the eval forward within ``atol``.
+        """
+        from .fuse import compile_module, verify_session
+
+        session = compile_module(self)
+        if sample_input is not None:
+            verify_session(self, session, sample_input, atol=atol)
+        return session
+
+    # ------------------------------------------------------------------
     # Serialisation
     # ------------------------------------------------------------------
     def state_dict(self) -> Dict[str, np.ndarray]:

@@ -12,7 +12,8 @@ class TestParser:
 
     def test_known_subcommands(self):
         parser = build_parser()
-        for command in ("profile", "paradigms", "dataset", "split-sweep", "train"):
+        for command in ("profile", "paradigms", "dataset", "split-sweep", "train",
+                        "pipeline"):
             args = parser.parse_args([command])
             assert callable(args.func)
 
@@ -71,6 +72,27 @@ class TestSplitSweep:
         out = capsys.readouterr().out
         assert "<- optimal" in out
         assert "input (RoC)" in out
+
+
+class TestPipeline:
+    def test_throughput_report_printed(self, capsys):
+        assert main(["pipeline", "--backbone", "mobilenet_v3_tiny",
+                     "--batches", "2", "--batch-size", "8", "--epochs", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "fused/compiled halves" in out
+        assert "pipelined makespan" in out
+        assert "critical path" in out
+
+    def test_rejects_degenerate_arguments(self, capsys):
+        assert main(["pipeline", "--batches", "0"]) == 2
+        assert main(["pipeline", "--bandwidth-mbps", "0"]) == 2
+
+    def test_uncompiled_fallback(self, capsys):
+        assert main(["pipeline", "--batches", "2", "--batch-size", "4",
+                     "--epochs", "0", "--no-compiled", "--wire", "float16"]) == 0
+        out = capsys.readouterr().out
+        assert "eval-mode halves" in out
+        assert "batches/s" in out
 
 
 class TestTrain:

@@ -1,5 +1,5 @@
 """Runnable split-pipeline tests: numerical equality with the monolith,
-trace accounting, wire-format effects."""
+trace accounting, wire-format effects, overlapped streaming execution."""
 
 import numpy as np
 import pytest
@@ -8,6 +8,7 @@ from repro.deployment import (
     GIGABIT_ETHERNET,
     LTE_UPLINK,
     SplitPipeline,
+    ThroughputReport,
     WireFormat,
 )
 
@@ -114,4 +115,87 @@ class TestTraces:
         assert pipeline.mean_payload_bytes() > 0
 
     def test_empty_pipeline_mean_payload(self, pipeline):
-        assert pipeline.mean_payload_bytes() == 0.0
+        # Regression: must return 0.0 (not nan / numpy warning) on no traces.
+        value = pipeline.mean_payload_bytes()
+        assert isinstance(value, float)
+        assert value == 0.0
+
+    def test_mean_payload_is_plain_average(self, pipeline, shapes3d_small):
+        pipeline.infer(shapes3d_small.images[:4])
+        pipeline.infer(shapes3d_small.images[4:8])
+        sizes = [t.payload_bytes for t in pipeline.traces]
+        assert pipeline.mean_payload_bytes() == sum(sizes) / len(sizes)
+
+    def test_warmup_records_no_trace(self, pipeline, shapes3d_small):
+        pipeline.warmup(shapes3d_small.images[:4])
+        assert pipeline.traces == []
+        assert pipeline.link.messages_sent == 0
+
+
+class TestStreaming:
+    def test_stream_matches_sequential(self, tiny_trained_net, shapes3d_small):
+        tiny_trained_net.eval()
+        batches = [shapes3d_small.images[s : s + 4] for s in (0, 4, 8)]
+        streamed = SplitPipeline.from_net(tiny_trained_net, GIGABIT_ETHERNET, input_size=32)
+        sequential = SplitPipeline.from_net(tiny_trained_net, GIGABIT_ETHERNET, input_size=32)
+        results, report = streamed.infer_stream(batches)
+        assert len(results) == 3
+        for batch, streamed_logits in zip(batches, results):
+            expected = sequential.infer(batch)
+            for name in tiny_trained_net.task_names:
+                np.testing.assert_allclose(
+                    streamed_logits[name], expected[name], atol=1e-5
+                )
+
+    def test_stream_traces_in_order(self, pipeline, shapes3d_small):
+        batches = [shapes3d_small.images[s : s + 4] for s in (0, 4, 8)]
+        _, report = pipeline.infer_stream(batches)
+        assert [t.batch_size for t in pipeline.traces] == [4, 4, 4]
+        assert pipeline.link.messages_sent == 3
+        assert report.batches == 3
+        assert report.images == 12
+
+    def test_report_accounting(self, pipeline, shapes3d_small):
+        batches = [shapes3d_small.images[s : s + 4] for s in (0, 4, 8, 12)]
+        _, report = pipeline.infer_stream(batches)
+        edge = sum(t.edge_seconds for t in pipeline.traces)
+        transfer = sum(t.transfer_seconds for t in pipeline.traces)
+        server = sum(t.server_seconds for t in pipeline.traces)
+        assert report.edge_seconds == pytest.approx(edge)
+        assert report.serial_seconds == pytest.approx(edge + transfer + server)
+        # Overlap wins on multi-batch runs; the makespan still covers the
+        # busiest stage entirely.
+        assert report.pipelined_seconds < report.serial_seconds
+        assert report.pipelined_seconds >= max(edge, transfer, server)
+        assert report.overlap_speedup > 1.0
+        assert report.batches_per_second > 0
+        assert report.critical_stage in ("edge", "transfer", "server")
+        util = report.stage_utilisation
+        assert set(util) == {"edge", "transfer", "server"}
+        assert all(0.0 <= value <= 1.0 for value in util.values())
+
+    def test_empty_stream(self, pipeline):
+        results, report = pipeline.infer_stream([])
+        assert results == []
+        assert report.batches == 0
+        assert report.serial_seconds == 0.0
+        assert report.batches_per_second == 0.0
+        assert report.stage_utilisation["edge"] == 0.0
+
+    def test_schedule_overlaps_stages(self):
+        # Deterministic schedule check: 3 batches, each stage busy 1s.
+        report = ThroughputReport.from_stage_times(
+            [1, 1, 1], [1.0, 1.0, 1.0], [1.0, 1.0, 1.0], [1.0, 1.0, 1.0], 0.0
+        )
+        assert report.serial_seconds == pytest.approx(9.0)
+        # Pipeline fills: makespan = 3 (first batch) + 2 stalls per stage.
+        assert report.pipelined_seconds == pytest.approx(5.0)
+        assert report.overlap_speedup == pytest.approx(9.0 / 5.0)
+
+    def test_compiled_flag_roundtrip(self, tiny_trained_net):
+        compiled = SplitPipeline.from_net(tiny_trained_net, GIGABIT_ETHERNET, input_size=32)
+        eager = SplitPipeline.from_net(
+            tiny_trained_net, GIGABIT_ETHERNET, input_size=32, compiled=False
+        )
+        assert compiled.edge.compiled and compiled.server.compiled
+        assert not eager.edge.compiled and not eager.server.compiled
