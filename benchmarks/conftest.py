@@ -21,6 +21,14 @@ import pytest
 from _bench_utils import RESULTS_DIR, BenchScale, current_scale
 
 
+def pytest_collection_modifyitems(config, items):
+    """Every benchmark trains models and runs minutes-long measurements;
+    mark them all ``slow`` so CI's default lane (-m "not slow") skips them."""
+    for item in items:
+        if "benchmarks" in str(item.fspath):
+            item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture(scope="session")
 def scale() -> BenchScale:
     return current_scale()

@@ -57,7 +57,10 @@ def test_pipeline_end_to_end(benchmark, results_dir):
     server = sum(t.server_seconds for t in pipeline.traces)
     text = (
         f"{_BATCHES} batches x {_BATCH_SIZE} images, mobilenet_v3_tiny @32px, "
-        f"{GIGABIT_ETHERNET.name}, fused/compiled halves, overlapped stages\n"
+        f"{GIGABIT_ETHERNET.name}, planned engine "
+        f"({report.num_workers} worker(s), "
+        f"{report.arena_bytes / 1024:.0f} KiB arena, "
+        f"{report.steady_state_allocs} allocs/batch), overlapped stages\n"
         f"  edge compute:   {edge * 1e3:8.2f} ms (measured)\n"
         f"  Z_b transfer:   {transfer * 1e3:8.2f} ms (modelled, "
         f"{pipeline.mean_payload_bytes() / 1024:.1f} KiB/batch)\n"
@@ -82,6 +85,9 @@ def test_pipeline_end_to_end(benchmark, results_dir):
             "images_per_second": report.images_per_second,
             "critical_stage": report.critical_stage,
             "payload_bytes_per_batch": pipeline.mean_payload_bytes(),
+            "num_workers": report.num_workers,
+            "arena_bytes": report.arena_bytes,
+            "steady_state_allocs": report.steady_state_allocs,
         },
     )
     assert pipeline.link.messages_sent == _BATCHES

@@ -163,6 +163,9 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     if args.bandwidth_mbps <= 0:
         print("pipeline needs --bandwidth-mbps > 0", file=sys.stderr)
         return 2
+    if args.num_workers < 1:
+        print("pipeline needs --num-workers >= 1", file=sys.stderr)
+        return 2
     channel = (
         GIGABIT_ETHERNET.degraded(1000.0 / args.bandwidth_mbps)
         if args.bandwidth_mbps != 1000
@@ -187,6 +190,8 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         input_size=32,
         wire_format=WireFormat(args.wire),
         compiled=not args.no_compiled,
+        planned=not args.no_plan,
+        num_workers=args.num_workers,
     )
     images = dataset.images[:samples]
     batches = [
@@ -195,7 +200,12 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     ]
     pipeline.warmup(batches[0])
     _, report = pipeline.infer_stream(batches)
-    mode = "fused/compiled" if pipeline.edge.compiled else "eval-mode"
+    if pipeline.edge.planned:
+        mode = f"planned engine ({args.num_workers} worker(s))"
+    elif pipeline.edge.compiled:
+        mode = "fused/compiled"
+    else:
+        mode = "eval-mode"
     print(
         f"{args.backbone} @32px, {mode} halves, wire={args.wire}, "
         f"{channel.name}, payload {pipeline.mean_payload_bytes() / 1024:.1f} KiB/batch"
@@ -254,6 +264,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="quick training epochs before deployment (0 = raw init)")
     p.add_argument("--no-compiled", action="store_true",
                    help="run the eval-mode forward instead of the fused engine")
+    p.add_argument("--no-plan", action="store_true",
+                   help="skip the arena-planned execution engine "
+                        "(run the plain fused session)")
+    p.add_argument("--num-workers", type=int, default=1,
+                   help="batch shards run by the planned engine's thread pool")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_pipeline)
 

@@ -103,4 +103,10 @@ def render_throughput(report: ThroughputReport) -> str:
         lines.append(
             f"    {stage:<9} {seconds * 1e3:8.2f} ms  ({util[stage]:5.1%}){marker}"
         )
+    if report.arena_bytes:
+        lines.append(
+            f"  engine: {report.arena_bytes / 1024:.0f} KiB arena preallocated, "
+            f"{report.steady_state_allocs} allocs/batch steady-state, "
+            f"{report.num_workers} worker(s)"
+        )
     return "\n".join(lines)

@@ -12,8 +12,12 @@ where inference time goes.
 
 Both runtimes execute through the fused inference compiler
 (:mod:`repro.nn.fuse`) by default: batch-norm folded into conv weights,
-activations fused, no autograd graph.  Pass ``compiled=False`` to fall
-back to the eval-mode ``Tensor`` forward.
+activations fused, no autograd graph.  On top of that, the arena-planned
+execution engine (:mod:`repro.nn.engine`) is enabled by default: a static
+per-batch-shape plan with preallocated buffers and sparse-lowered
+convolutions, optionally batch-sharded across ``num_workers`` threads.
+Pass ``planned=False`` for the plain fused session or ``compiled=False``
+for the eval-mode ``Tensor`` forward.
 
 :meth:`SplitPipeline.infer_stream` additionally *overlaps* the stages:
 a double-buffered server worker consumes payloads while the edge computes
@@ -34,6 +38,7 @@ import numpy as np
 
 from .. import nn
 from ..core.architecture import EdgeModel, MTLSplitNet, ServerModel
+from ..nn.engine import PlanStats, PlannedExecutor
 from ..nn.tensor import Tensor
 from .channel import NetworkChannel
 from .wire import WireFormat, decode_tensor, encode_tensor
@@ -63,13 +68,42 @@ class InferenceTrace:
         return self.edge_seconds + self.transfer_seconds + self.server_seconds
 
 
-class EdgeRuntime:
+def _build_session(model, compiled, planned, num_workers, copy_outputs, reuse_buffers):
+    """Shared session-selection ladder for the two runtimes."""
+    if not compiled:
+        return None
+    if planned:  # planned=False wins even when num_workers was raised
+        return model.compile_for_inference(
+            plan=True, num_workers=num_workers, copy_outputs=copy_outputs
+        )
+    session = model.compile_for_inference()
+    return session.enable_buffer_reuse() if reuse_buffers else session
+
+
+class _PlannedSessionMixin:
+    """``planned`` / ``plan_stats`` introspection shared by the runtimes."""
+
+    @property
+    def planned(self) -> bool:
+        return isinstance(self.session, PlannedExecutor) and self.session.planned
+
+    @property
+    def plan_stats(self) -> Optional[PlanStats]:
+        if isinstance(self.session, PlannedExecutor):
+            return self.session.stats
+        return None
+
+
+class EdgeRuntime(_PlannedSessionMixin):
     """Runs the edge half and serialises ``Z_b`` for transmission.
 
     With ``compiled=True`` (the default) the half executes through a
-    fused :class:`~repro.nn.fuse.InferenceSession` with reusable conv
-    buffers — safe here because every ``Z_b`` is serialised to bytes
-    before the next batch runs.
+    fused :class:`~repro.nn.fuse.InferenceSession`; with ``planned=True``
+    (also the default) that session is additionally wrapped in a
+    :class:`~repro.nn.engine.PlannedExecutor` — a static, arena-backed
+    execution plan per batch shape, optionally batch-sharded across
+    ``num_workers`` worker threads.  Executor-owned outputs are safe here
+    because every ``Z_b`` is serialised to bytes before the next batch.
     """
 
     def __init__(
@@ -77,12 +111,15 @@ class EdgeRuntime:
         model: EdgeModel,
         wire_format: WireFormat = WireFormat(),
         compiled: bool = True,
+        planned: bool = True,
+        num_workers: int = 1,
     ):
         self.model = model
         self.wire_format = wire_format
         self.model.eval()
-        self.session = (
-            model.compile_for_inference().enable_buffer_reuse() if compiled else None
+        self.session = _build_session(
+            model, compiled, planned, num_workers,
+            copy_outputs=False, reuse_buffers=True,
         )
 
     @property
@@ -101,11 +138,12 @@ class EdgeRuntime:
         return payload, time.perf_counter() - start
 
 
-class ServerRuntime:
+class ServerRuntime(_PlannedSessionMixin):
     """Decodes ``Z_b`` payloads and runs the remaining stages + heads.
 
-    The compiled session here does *not* reuse buffers: the per-task
-    logits are handed back to the caller and must stay valid.
+    The planned executor here copies its outputs out of the arena
+    (``copy_outputs=True``): the per-task logits are handed back to the
+    caller and must stay valid across batches.
     """
 
     def __init__(
@@ -113,11 +151,16 @@ class ServerRuntime:
         model: ServerModel,
         task_names: Tuple[str, ...],
         compiled: bool = True,
+        planned: bool = True,
+        num_workers: int = 1,
     ):
         self.model = model
         self.task_names = task_names
         self.model.eval()
-        self.session = model.compile_for_inference() if compiled else None
+        self.session = _build_session(
+            model, compiled, planned, num_workers,
+            copy_outputs=True, reuse_buffers=False,
+        )
 
     @property
     def compiled(self) -> bool:
@@ -167,6 +210,12 @@ class ThroughputReport:
     is in flight and batch *i−1* is on the server); ``wall_seconds`` is
     the measured wall time of the double-buffered run (transfer is
     modelled, not slept, so it does not appear in the wall clock).
+
+    When the runtimes execute through the planned engine, the report also
+    carries the allocation accounting: ``num_workers`` (batch shards per
+    stage), ``arena_bytes`` (preallocated buffer arenas across both
+    stages) and ``steady_state_allocs`` (per-batch allocations planning
+    could not remove — zero for fully planned programs).
     """
 
     batches: int
@@ -176,6 +225,9 @@ class ThroughputReport:
     transfer_seconds: float
     server_seconds: float
     pipelined_seconds: float
+    num_workers: int = 1
+    arena_bytes: int = 0
+    steady_state_allocs: int = 0
 
     @property
     def serial_seconds(self) -> float:
@@ -223,6 +275,9 @@ class ThroughputReport:
         transfer: Sequence[float],
         server: Sequence[float],
         wall_seconds: float,
+        num_workers: int = 1,
+        arena_bytes: int = 0,
+        steady_state_allocs: int = 0,
     ) -> "ThroughputReport":
         """Build a report, scheduling the three stages as a pipeline.
 
@@ -243,6 +298,9 @@ class ThroughputReport:
             transfer_seconds=float(sum(transfer)),
             server_seconds=float(sum(server)),
             pipelined_seconds=server_done,
+            num_workers=num_workers,
+            arena_bytes=arena_bytes,
+            steady_state_allocs=steady_state_allocs,
         )
 
 
@@ -269,14 +327,40 @@ class SplitPipeline:
         input_size: int = 32,
         wire_format: WireFormat = WireFormat(),
         compiled: bool = True,
+        planned: bool = True,
+        num_workers: int = 1,
     ) -> "SplitPipeline":
-        """Split ``net`` and wire the halves through a simulated channel."""
+        """Split ``net`` and wire the halves through a simulated channel.
+
+        ``planned`` runs both halves through the arena-backed execution
+        engine; ``num_workers`` shards each stage's batch across that
+        many worker threads (see :mod:`repro.nn.engine`).
+        """
         edge_model, server_model = net.split(split_index, input_size=input_size)
         return cls(
-            EdgeRuntime(edge_model, wire_format, compiled=compiled),
+            EdgeRuntime(
+                edge_model, wire_format, compiled=compiled,
+                planned=planned, num_workers=num_workers,
+            ),
             SimulatedLink(channel),
-            ServerRuntime(server_model, net.task_names, compiled=compiled),
+            ServerRuntime(
+                server_model, net.task_names, compiled=compiled,
+                planned=planned, num_workers=num_workers,
+            ),
         )
+
+    def _plan_accounting(self) -> Tuple[int, int, int]:
+        """(num_workers, arena_bytes, steady-state allocs) across stages."""
+        num_workers = 1
+        arena_bytes = 0
+        allocs = 0
+        for runtime in (self.edge, self.server):
+            stats = getattr(runtime, "plan_stats", None)
+            if stats is not None:
+                num_workers = max(num_workers, stats.num_workers)
+                arena_bytes += stats.arena_bytes
+                allocs += stats.steady_state_allocs
+        return num_workers, arena_bytes, allocs
 
     def warmup(self, images: np.ndarray) -> "SplitPipeline":
         """Prime both halves (kernel auto-tuning, contraction plans).
@@ -371,8 +455,11 @@ class SplitPipeline:
                     server_seconds=server_times[i],
                 )
             )
+        num_workers, arena_bytes, allocs = self._plan_accounting()
         report = ThroughputReport.from_stage_times(
-            batch_sizes, edge_times, transfer_times, server_times, wall
+            batch_sizes, edge_times, transfer_times, server_times, wall,
+            num_workers=num_workers, arena_bytes=arena_bytes,
+            steady_state_allocs=allocs,
         )
         return list(results), report  # type: ignore[arg-type]
 

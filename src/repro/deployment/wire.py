@@ -54,7 +54,11 @@ def payload_bytes(num_elements: int, wire_format: WireFormat = WireFormat()) -> 
 
 def encode_tensor(array: np.ndarray, wire_format: WireFormat = WireFormat()) -> bytes:
     """Serialise an array (up to 4 dims) into a self-describing payload."""
-    array = np.ascontiguousarray(array, dtype=np.float32)
+    array = np.asarray(array, dtype=np.float32)
+    if not array.flags["C_CONTIGUOUS"]:
+        # Not ascontiguousarray unconditionally: that would silently
+        # promote 0-dim scalars to shape (1,) and break the round-trip.
+        array = np.ascontiguousarray(array)
     if array.ndim > 4:
         raise ValueError(f"wire format supports <= 4 dims, got {array.ndim}")
     shape = list(array.shape) + [0] * (4 - array.ndim)
@@ -64,11 +68,20 @@ def encode_tensor(array: np.ndarray, wire_format: WireFormat = WireFormat()) -> 
     elif wire_format.dtype == "float16":
         body = array.astype(np.float16).tobytes()
     else:  # quant8: affine map to uint8
+        if array.size and not np.isfinite(array).all():
+            raise ValueError(
+                "quant8 encoding requires finite values; input contains NaN/Inf "
+                "(they would wrap silently through the affine uint8 map)"
+            )
         lo = float(array.min()) if array.size else 0.0
         hi = float(array.max()) if array.size else 0.0
         scale = (hi - lo) / 255.0 if hi > lo else 1.0
         zero = lo
-        quantised = np.round((array - zero) / scale).astype(np.uint8)
+        # Clip before the uint8 cast: rounding can land on 256.0 at the top
+        # of the range, and a bare astype would wrap it to 0.
+        quantised = np.clip(np.round((array - zero) / scale), 0.0, 255.0).astype(
+            np.uint8
+        )
         body = quantised.tobytes()
     header = (
         _MAGIC

@@ -44,6 +44,8 @@ from .serialization import load_module, load_state, save_module, save_state
 from .tensor import Tensor, as_tensor, concatenate, is_grad_enabled, no_grad, stack
 from . import fuse
 from .fuse import InferenceSession, compile_module
+from . import engine
+from .engine import ExecutionPlan, PlannedExecutor, plan_session
 
 __all__ = [
     "Tensor",
@@ -57,6 +59,10 @@ __all__ = [
     "init",
     "InferenceSession",
     "compile_module",
+    "engine",
+    "ExecutionPlan",
+    "PlannedExecutor",
+    "plan_session",
     "gradcheck",
     "numerical_gradient",
     "Parameter",

@@ -1,0 +1,1095 @@
+"""Arena-planned, multicore execution engine for compiled inference.
+
+:mod:`repro.nn.fuse` removed the autograd graph from deployment forward
+passes; this module removes the remaining steady-state costs.  PR 1's
+pipeline benchmark showed the edge stage is the critical path and that it
+is *not* FLOP-bound: the fused op list still allocated a fresh output per
+op, re-padded and re-gathered convolution windows on every call, and fed
+numpy kernels whose strided access patterns run far below GEMM speed.
+
+:class:`ExecutionPlan` compiles a fused
+:class:`~repro.nn.fuse.InferenceSession` for one fixed batch shape into a
+straight-line list of buffer-bound steps:
+
+* **shape inference** — a one-time dry trace through the op list records
+  every intermediate shape (including :class:`~repro.nn.fuse.FallbackOp`
+  outputs, which have no static shape rule);
+* **column-major layout** — every value is stored ``(features..., batch)``
+  so pointwise convolutions, linear layers and squeeze-excite gates are
+  single contiguous GEMMs executed with ``out=`` into plan-owned buffers;
+* **sparse-lowered convolutions** — padded/strided/grouped convolutions
+  become CSR matrices built once at plan time (weights inlined for
+  depthwise/grouped kernels; a 0/1 im2col gather matrix followed by one
+  GEMM for large dense kernels), executed allocation-free through
+  ``scipy.sparse``'s C kernels.  Padding is baked into the matrix, so no
+  padded copy of the input is ever materialised;
+* **liveness-based buffer arena** — every output and scratch buffer is
+  acquired from a :class:`BufferArena` while the plan is built and
+  released at its last use, so steady-state inference reuses a small set
+  of preallocated blocks and performs **zero large allocations** per
+  batch (``PlanStats.steady_state_allocs`` counts the exceptions, e.g.
+  fallback ops).
+
+:class:`PlannedExecutor` wraps plans behind the ``InferenceSession.run``
+API, caches one plan per observed batch shape, and — with
+``num_workers > 1`` — shards the batch across a persistent thread pool,
+one plan and one arena per worker, so multi-core hosts run shards in
+parallel (the GEMM/sparse kernels release the GIL).
+
+Planned outputs match the unplanned compiled forward within 1e-6 — the
+property the engine tests assert across backbones, split indices, batch
+sizes and worker counts.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from . import fuse
+from .fuse import (
+    ActOp,
+    AffineOp,
+    AvgPoolOp,
+    ConvOp,
+    FallbackOp,
+    FlattenOp,
+    GlobalAvgPoolOp,
+    InferenceSession,
+    LinearOp,
+    MaxPoolOp,
+    ReshapeOp,
+    ResidualOp,
+    SqueezeExciteOp,
+    _Op,
+)
+
+try:  # scipy ships in the supported environments; degrade gracefully without
+    from scipy import sparse as _sparse
+    from scipy.sparse import _sparsetools
+except ImportError:  # pragma: no cover - exercised only on scipy-less hosts
+    _sparse = None
+    _sparsetools = None
+
+_HAVE_SPARSE = _sparse is not None
+
+__all__ = [
+    "BufferArena",
+    "ExecutionPlan",
+    "PlanStats",
+    "PlannedExecutor",
+    "plan_session",
+]
+
+# Grouped/depthwise convolutions lower to a weight-valued CSR (each output
+# row touches only c_in_g*kh*kw inputs, so the matrix is genuinely sparse);
+# dense-kernel convolutions keep their contraction in BLAS via a 0/1 im2col
+# gather matrix followed by one GEMM — sparse kernels run dense FLOPs far
+# below GEMM speed.
+
+
+# ---------------------------------------------------------------------------
+# Zero-allocation sparse matmul
+# ---------------------------------------------------------------------------
+def _spmm(matrix, x2d: np.ndarray, out2d: np.ndarray) -> None:
+    """``out2d[...] = matrix @ x2d`` without allocating the result.
+
+    ``scipy.sparse`` has no ``out=`` interface, but its C kernel
+    ``csr_matvecs`` accumulates ``Y += A @ X`` into caller-owned storage.
+    """
+    out2d.fill(0.0)
+    _sparsetools.csr_matvecs(
+        matrix.shape[0],
+        matrix.shape[1],
+        x2d.shape[1],
+        matrix.indptr,
+        matrix.indices,
+        matrix.data,
+        x2d.reshape(-1),
+        out2d.reshape(-1),
+    )
+
+
+# ---------------------------------------------------------------------------
+# In-place activations with explicit scratch (the fuse kernels for silu /
+# hard_swish / gelu / leaky_relu allocate temporaries; the planned engine
+# may not)
+# ---------------------------------------------------------------------------
+_SCRATCH_ACTS = frozenset({"silu", "hard_swish", "gelu", "leaky_relu"})
+
+
+def _apply_act_planned(
+    name: str, y: np.ndarray, scratch: Optional[np.ndarray], slope: float = 0.01
+) -> None:
+    """Run activation ``name`` in place on ``y`` using ``scratch`` if needed."""
+    if name == "silu":
+        np.copyto(scratch, y)
+        fuse._sigmoid_(scratch)
+        y *= scratch
+    elif name == "hard_swish":
+        np.add(y, 3.0, out=scratch)
+        np.clip(scratch, 0.0, 6.0, out=scratch)
+        scratch *= 1.0 / 6.0
+        y *= scratch
+    elif name == "gelu":
+        np.multiply(y, y, out=scratch)
+        scratch *= y
+        scratch *= 0.044715
+        scratch += y
+        scratch *= 0.7978845608028654  # sqrt(2/pi)
+        np.tanh(scratch, out=scratch)
+        scratch += 1.0
+        scratch *= 0.5
+        y *= scratch
+    elif name == "leaky_relu":
+        # leaky(y) = max(y, 0) + slope * min(y, 0), allocation-free.
+        np.maximum(y, 0.0, out=scratch)
+        np.minimum(y, 0.0, out=y)
+        y *= slope
+        y += scratch
+    else:
+        fuse._ACT_KERNELS[name](y)
+
+
+def _leaky_slope(op: _Op) -> float:
+    """Recover ``negative_slope`` from a lowered leaky-relu kernel."""
+    kernel = getattr(op, "kernel", None) or op.act
+    slope = getattr(kernel, "negative_slope", None)
+    if slope is None:
+        raise _Unplannable(f"leaky_relu kernel on {op.describe()!r} has no slope")
+    return float(slope)
+
+
+# ---------------------------------------------------------------------------
+# The arena
+# ---------------------------------------------------------------------------
+class _Block:
+    __slots__ = ("data", "free")
+
+    def __init__(self, nelems: int):
+        self.data = np.empty(nelems, dtype=np.float32)
+        self.free = False
+
+
+class BufferArena:
+    """Pool of float32 blocks with liveness-based reuse at plan time.
+
+    ``acquire`` is only ever called while a plan is being *built*: it
+    returns a view over a free block large enough for the request (or
+    grows the arena by one block).  ``release`` marks a block reusable for
+    ops later in the program.  After planning, the arena is frozen — the
+    compiled steps hold views into its blocks and steady-state execution
+    allocates nothing.
+    """
+
+    def __init__(self):
+        self._blocks: List[_Block] = []
+        self.requested_bytes = 0
+
+    def acquire(self, shape: Tuple[int, ...]) -> Tuple[int, np.ndarray]:
+        nelems = max(1, int(np.prod(shape)))
+        self.requested_bytes += nelems * 4
+        best = None
+        for index, block in enumerate(self._blocks):
+            if block.free and block.data.size >= nelems:
+                if best is None or block.data.size < self._blocks[best].data.size:
+                    best = index
+        if best is None:
+            self._blocks.append(_Block(nelems))
+            best = len(self._blocks) - 1
+        block = self._blocks[best]
+        block.free = False
+        return best, block.data[:nelems].reshape(shape)
+
+    def release(self, block_id: int) -> None:
+        self._blocks[block_id].free = True
+
+    @property
+    def nbytes(self) -> int:
+        return sum(block.data.nbytes for block in self._blocks)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._blocks)
+
+
+@dataclass
+class PlanStats:
+    """Accounting for one plan (or the aggregate of an executor's plans)."""
+
+    arena_bytes: int = 0
+    arena_blocks: int = 0
+    requested_bytes: int = 0
+    steady_state_allocs: int = 0  # per-run allocations planning could not remove
+    num_steps: int = 0
+    sparse_ops: int = 0
+    gemm_ops: int = 0
+    fallback_ops: int = 0
+    num_plans: int = 0
+    num_workers: int = 1
+
+    @property
+    def reuse_ratio(self) -> float:
+        """Fraction of buffer demand the arena served from reused blocks."""
+        if not self.requested_bytes:
+            return 0.0
+        return 1.0 - self.arena_bytes / self.requested_bytes
+
+    def merged(self, other: "PlanStats") -> "PlanStats":
+        return PlanStats(
+            arena_bytes=self.arena_bytes + other.arena_bytes,
+            arena_blocks=self.arena_blocks + other.arena_blocks,
+            requested_bytes=self.requested_bytes + other.requested_bytes,
+            steady_state_allocs=self.steady_state_allocs + other.steady_state_allocs,
+            num_steps=self.num_steps + other.num_steps,
+            sparse_ops=self.sparse_ops + other.sparse_ops,
+            gemm_ops=self.gemm_ops + other.gemm_ops,
+            fallback_ops=self.fallback_ops + other.fallback_ops,
+            num_plans=self.num_plans + other.num_plans,
+            num_workers=max(self.num_workers, other.num_workers),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Values flowing through a plan
+# ---------------------------------------------------------------------------
+class _Value:
+    """A planned intermediate: column-major storage plus its row shape."""
+
+    __slots__ = ("array", "row_shape", "block_id")
+
+    def __init__(self, array: np.ndarray, row_shape: Tuple[int, ...], block_id: Optional[int]):
+        self.array = array  # shape row_shape[1:] + (batch,)
+        self.row_shape = tuple(row_shape)
+        self.block_id = block_id
+
+    def as2d(self) -> np.ndarray:
+        """View as (features, batch)."""
+        return self.array.reshape(-1, self.row_shape[0])
+
+
+class _Unplannable(Exception):
+    """Raised at build time when a program cannot be statically planned."""
+
+
+class _PlanContext:
+    """Build-time state: arena with block refcounts, step list, stats.
+
+    Ownership protocol: every planner *consumes* its input value exactly
+    once after binding its steps (view ops pass the block through
+    instead).  A planner that needs the input beyond its own steps — the
+    residual skip, the shared trunk feeding several heads — takes an
+    extra reference with :meth:`hold` and consumes it when done.  Blocks
+    return to the arena when their refcount reaches zero, which makes
+    double-frees (the dangerous failure: a block reused while a later
+    step still reads it) structurally impossible.
+    """
+
+    def __init__(self, arena: BufferArena, stats: PlanStats, batch: int):
+        self.arena = arena
+        self.stats = stats
+        self.batch = batch
+        self.steps: List[Tuple[str, Callable[[], None]]] = []
+        self._refs: Dict[int, int] = {}
+
+    # -- buffers -------------------------------------------------------
+    def acquire(self, row_shape: Tuple[int, ...]) -> _Value:
+        col_shape = tuple(row_shape[1:]) + (row_shape[0],)
+        block_id, array = self.arena.acquire(col_shape)
+        self._refs[block_id] = 1
+        return _Value(array, row_shape, block_id)
+
+    def scratch(self, shape: Tuple[int, ...]) -> Tuple[int, np.ndarray]:
+        block_id, array = self.arena.acquire(shape)
+        self._refs[block_id] = 1
+        return block_id, array
+
+    def hold(self, value: _Value) -> None:
+        if value.block_id is not None:
+            self._refs[value.block_id] += 1
+
+    def consume(self, value_or_id: Union[_Value, int, None]) -> None:
+        block_id = (
+            value_or_id.block_id if isinstance(value_or_id, _Value) else value_or_id
+        )
+        if block_id is None:
+            return
+        count = self._refs[block_id] - 1
+        if count < 0:
+            raise AssertionError(f"block {block_id} over-released during planning")
+        self._refs[block_id] = count
+        if count == 0:
+            self.arena.release(block_id)
+
+    def step(self, label: str, fn: Callable[[], None]) -> None:
+        self.steps.append((label, fn))
+        self.stats.num_steps += 1
+
+
+# ---------------------------------------------------------------------------
+# Sparse lowering of convolutions
+# ---------------------------------------------------------------------------
+def _weight_csr(op: ConvOp, c_in: int, h: int, w: int, ho: int, wo: int):
+    """CSR of the full linear map (c_out*ho*wo, c_in*h*w), weights inlined.
+
+    Entries that would read padding are simply dropped (they multiply
+    implicit zeros), so the matrix consumes the *unpadded* input and no
+    padded copy of the activation is ever materialised.
+    """
+    cig, kh, kw = op.c_in_g, op.kh, op.kw
+    cog = op.c_out // op.groups
+    o = np.arange(op.c_out).reshape(-1, 1, 1, 1, 1, 1)
+    oi = np.arange(ho).reshape(1, -1, 1, 1, 1, 1)
+    oj = np.arange(wo).reshape(1, 1, -1, 1, 1, 1)
+    q = np.arange(cig).reshape(1, 1, 1, -1, 1, 1)
+    ki = np.arange(kh).reshape(1, 1, 1, 1, -1, 1)
+    kj = np.arange(kw).reshape(1, 1, 1, 1, 1, -1)
+    in_i = oi * op.sh + ki - op.ph
+    in_j = oj * op.sw + kj - op.pw
+    ci = (o // cog) * cig + q
+    shape6 = (op.c_out, ho, wo, cig, kh, kw)
+    valid = np.broadcast_to(
+        (in_i >= 0) & (in_i < h) & (in_j >= 0) & (in_j < w), shape6
+    )
+    rows = np.broadcast_to((o * ho + oi) * wo + oj, shape6)[valid]
+    cols = np.broadcast_to((ci * h + in_i) * w + in_j, shape6)[valid]
+    data = np.broadcast_to(op.weight[:, None, None, :, :, :], shape6)[valid]
+    matrix = _sparse.csr_matrix(
+        (data.astype(np.float32), (rows, cols)),
+        shape=(op.c_out * ho * wo, c_in * h * w),
+        dtype=np.float32,
+    )
+    matrix.sort_indices()
+    return matrix
+
+
+def _gather_csr(op: ConvOp, c_in: int, h: int, w: int, ho: int, wo: int):
+    """0/1 CSR gathering im2col rows: (c_in*kh*kw*ho*wo, c_in*h*w)."""
+    kh, kw = op.kh, op.kw
+    ci = np.arange(c_in).reshape(-1, 1, 1, 1, 1)
+    ki = np.arange(kh).reshape(1, -1, 1, 1, 1)
+    kj = np.arange(kw).reshape(1, 1, -1, 1, 1)
+    oi = np.arange(ho).reshape(1, 1, 1, -1, 1)
+    oj = np.arange(wo).reshape(1, 1, 1, 1, -1)
+    in_i = oi * op.sh + ki - op.ph
+    in_j = oj * op.sw + kj - op.pw
+    shape5 = (c_in, kh, kw, ho, wo)
+    valid = np.broadcast_to(
+        (in_i >= 0) & (in_i < h) & (in_j >= 0) & (in_j < w), shape5
+    )
+    rows = np.broadcast_to(
+        (((ci * kh + ki) * kw + kj) * ho + oi) * wo + oj, shape5
+    )[valid]
+    cols = np.broadcast_to((ci * h + in_i) * w + in_j, shape5)[valid]
+    matrix = _sparse.csr_matrix(
+        (np.ones(rows.size, dtype=np.float32), (rows, cols)),
+        shape=(c_in * kh * kw * ho * wo, c_in * h * w),
+        dtype=np.float32,
+    )
+    matrix.sort_indices()
+    return matrix
+
+
+def _conv_csr_cached(op: ConvOp, kind: str, builder, c_in, h, w, ho, wo):
+    """Build (or fetch) a conv's CSR.  The matrices are independent of the
+    batch size, so worker shards and re-plans for new batch sizes share
+    one matrix per input geometry."""
+    cache = getattr(op, "_engine_csr_cache", None)
+    if cache is None:
+        cache = {}
+        op._engine_csr_cache = cache
+    key = (kind, h, w)
+    matrix = cache.get(key)
+    if matrix is None:
+        matrix = builder(op, c_in, h, w, ho, wo)
+        cache[key] = matrix
+    return matrix
+
+
+# ---------------------------------------------------------------------------
+# Per-op planners
+# ---------------------------------------------------------------------------
+def _plan_act_inplace(ctx: _PlanContext, op: _Op, name: str, out: _Value) -> None:
+    """Append a step running activation ``name`` in place on ``out``."""
+    if name in _SCRATCH_ACTS:
+        sid, scratch = ctx.scratch(out.array.shape)
+        slope = _leaky_slope(op) if name == "leaky_relu" else 0.01
+        ctx.step(
+            f"act:{name}",
+            lambda y=out.array, s=scratch, nm=name, sl=slope: _apply_act_planned(
+                nm, y, s, sl
+            ),
+        )
+        ctx.consume(sid)
+    else:
+        kernel = fuse._ACT_KERNELS[name]
+        ctx.step(f"act:{name}", lambda y=out.array, k=kernel: k(y))
+
+
+def _plan_fused_act(ctx: _PlanContext, op: _Op, out: _Value) -> None:
+    """Append the op's fused activation (if any) running in place on ``out``."""
+    if op.act_name is not None:
+        _plan_act_inplace(ctx, op, op.act_name, out)
+
+
+def _plan_conv(ctx: _PlanContext, op: ConvOp, value: _Value, out_row) -> _Value:
+    c_in, h, w = value.row_shape[1:]
+    c_out, ho, wo = out_row[1:]
+    n = ctx.batch
+    out = ctx.acquire(out_row)
+    pointwise = (
+        op.kh == 1 and op.kw == 1 and op.groups == 1
+        and not (op.ph or op.pw) and op.sh == 1 and op.sw == 1
+    )
+    if pointwise:
+        weight = np.ascontiguousarray(op.weight.reshape(c_out, c_in))
+        x2 = value.array.reshape(c_in, h * w * n)
+        y2 = out.array.reshape(c_out, ho * wo * n)
+        ctx.step("conv:gemm", lambda W=weight, x=x2, y=y2: np.matmul(W, x, out=y))
+        ctx.stats.gemm_ops += 1
+    elif not _HAVE_SPARSE:
+        # scipy-less fallback: run the fused kernel in row layout.  The op
+        # applies its own bias and activation, so return straight away.
+        in_col, out_col = value.array, out.array
+
+        def run_rowwise(op=op, x=in_col, y=out_col, shape=value.row_shape):
+            row = np.ascontiguousarray(np.moveaxis(x, -1, 0)).reshape(shape)
+            np.copyto(y, np.moveaxis(op(row), 0, -1))
+
+        ctx.step("conv:rowwise", run_rowwise)
+        ctx.stats.fallback_ops += 1
+        ctx.stats.steady_state_allocs += 2
+        ctx.consume(value)
+        return out
+    else:
+        if op.groups > 1:
+            matrix = _conv_csr_cached(op, "weight", _weight_csr, c_in, h, w, ho, wo)
+            ctx.step(
+                "conv:spmm",
+                lambda S=matrix, x=value.as2d(), y=out.as2d(): _spmm(S, x, y),
+            )
+            ctx.stats.sparse_ops += 1
+        else:
+            gather = _conv_csr_cached(op, "gather", _gather_csr, c_in, h, w, ho, wo)
+            ckk = c_in * op.kh * op.kw
+            cid, cols = ctx.scratch((ckk * ho * wo, n))
+            weight2 = np.ascontiguousarray(op.weight.reshape(c_out, ckk))
+            x2 = value.as2d()
+            y2 = out.array.reshape(c_out, ho * wo * n)
+
+            def run_gather_gemm(
+                G=gather, x=x2, c=cols, W=weight2, y=y2, ckk=ckk, m=ho * wo * n
+            ):
+                _spmm(G, x, c)
+                np.matmul(W, c.reshape(ckk, m), out=y)
+
+            ctx.step("conv:gather+gemm", run_gather_gemm)
+            ctx.stats.sparse_ops += 1
+            ctx.stats.gemm_ops += 1
+            ctx.consume(cid)
+    if op.bias is not None:
+        bias = np.ascontiguousarray(op.bias.reshape(c_out, 1))
+        y2 = out.array.reshape(c_out, ho * wo * n)
+        ctx.step("conv:bias", lambda y=y2, b=bias: np.add(y, b, out=y))
+    _plan_fused_act(ctx, op, out)
+    ctx.consume(value)
+    return out
+
+
+def _plan_linear(ctx: _PlanContext, op: LinearOp, value: _Value, out_row) -> _Value:
+    f_out = out_row[1]
+    out = ctx.acquire(out_row)
+    weight = np.ascontiguousarray(op.wt.T)  # (f_out, f_in)
+    x2 = value.as2d()
+    y2 = out.array.reshape(f_out, ctx.batch)
+    ctx.step("linear:gemm", lambda W=weight, x=x2, y=y2: np.matmul(W, x, out=y))
+    ctx.stats.gemm_ops += 1
+    if op.bias is not None:
+        bias = np.ascontiguousarray(np.asarray(op.bias).reshape(f_out, 1))
+        ctx.step("linear:bias", lambda y=y2, b=bias: np.add(y, b, out=y))
+    _plan_fused_act(ctx, op, out)
+    ctx.consume(value)
+    return out
+
+
+def _plan_affine(ctx: _PlanContext, op: AffineOp, value: _Value, out_row) -> _Value:
+    out = ctx.acquire(out_row)
+    channels = op.scale.size
+    x2 = value.array.reshape(channels, -1)
+    y2 = out.array.reshape(channels, -1)
+    scale = np.ascontiguousarray(op.scale.reshape(channels, 1))
+    shift = np.ascontiguousarray(op.shift.reshape(channels, 1))
+
+    def run(x=x2, y=y2, s=scale, b=shift):
+        np.multiply(x, s, out=y)
+        y += b
+
+    ctx.step("affine", run)
+    _plan_fused_act(ctx, op, out)
+    ctx.consume(value)
+    return out
+
+
+def _plan_act_op(ctx: _PlanContext, op: ActOp, value: _Value, out_row) -> _Value:
+    out = ctx.acquire(out_row)
+    name = op.name
+    ctx.step("act:copy", lambda x=value.array, y=out.array: np.copyto(y, x))
+    if name in fuse._ACT_KERNELS or name == "leaky_relu":
+        _plan_act_inplace(ctx, op, name, out)
+    else:  # unknown custom kernel: run it in place on the copy
+        kernel = op.kernel
+        ctx.step(f"act:{name}", lambda y=out.array, k=kernel: np.copyto(y, k(y)))
+    ctx.consume(value)
+    return out
+
+
+def _plan_max_pool(ctx: _PlanContext, op: MaxPoolOp, value: _Value, out_row) -> _Value:
+    _, ho, wo = out_row[1:]
+    out = ctx.acquire(out_row)
+    kh, kw, sh, sw = op.kh, op.kw, op.sh, op.sw
+    eh, ew = (ho - 1) * sh + 1, (wo - 1) * sw + 1
+
+    def run(x=value.array, y=out.array):
+        np.copyto(y, x[:, 0:eh:sh, 0:ew:sw, :])
+        for i in range(kh):
+            for j in range(kw):
+                if i == 0 and j == 0:
+                    continue
+                np.maximum(y, x[:, i : i + eh : sh, j : j + ew : sw, :], out=y)
+
+    ctx.step("max_pool", run)
+    _plan_fused_act(ctx, op, out)
+    ctx.consume(value)
+    return out
+
+
+def _plan_avg_pool(ctx: _PlanContext, op: AvgPoolOp, value: _Value, out_row) -> _Value:
+    c, h, w = value.row_shape[1:]
+    _, ho, wo = out_row[1:]
+    out = ctx.acquire(out_row)
+    if op.adaptive_output is not None:
+        kh, kw = h // ho, w // wo
+        sh, sw = kh, kw
+    else:
+        kh, kw, sh, sw = op.kh, op.kw, op.sh, op.sw
+    if (ho, wo) == (1, 1) and (kh, kw) == (h, w):
+        x3 = value.array.reshape(c, h * w, ctx.batch)
+        y2 = out.array.reshape(c, ctx.batch)
+        ctx.step("avg_pool:global", lambda x=x3, y=y2: np.mean(x, axis=1, out=y))
+    else:
+        eh, ew = (ho - 1) * sh + 1, (wo - 1) * sw + 1
+        inv = 1.0 / (kh * kw)
+
+        def run(x=value.array, y=out.array):
+            np.copyto(y, x[:, 0:eh:sh, 0:ew:sw, :])
+            for i in range(kh):
+                for j in range(kw):
+                    if i == 0 and j == 0:
+                        continue
+                    y += x[:, i : i + eh : sh, j : j + ew : sw, :]
+            y *= inv
+
+        ctx.step("avg_pool", run)
+    _plan_fused_act(ctx, op, out)
+    ctx.consume(value)
+    return out
+
+
+def _plan_global_avg_pool(
+    ctx: _PlanContext, op: GlobalAvgPoolOp, value: _Value, out_row
+) -> _Value:
+    c, h, w = value.row_shape[1:]
+    out = ctx.acquire(out_row)
+    x3 = value.array.reshape(c, h * w, ctx.batch)
+    y2 = out.array.reshape(c, ctx.batch)
+    ctx.step("global_avg_pool", lambda x=x3, y=y2: np.mean(x, axis=1, out=y))
+    _plan_fused_act(ctx, op, out)
+    ctx.consume(value)
+    return out
+
+
+def _plan_squeeze_excite(
+    ctx: _PlanContext, op: SqueezeExciteOp, value: _Value, out_row
+) -> _Value:
+    c, h, w = value.row_shape[1:]
+    n = ctx.batch
+    out = ctx.acquire(out_row)
+    reduce_w = np.ascontiguousarray(op.reduce_wt.T)  # (reduced, c)
+    expand_w = np.ascontiguousarray(op.expand_wt.T)  # (c, reduced)
+    reduce_b = np.ascontiguousarray(op.reduce_b.reshape(-1, 1))
+    expand_b = np.ascontiguousarray(op.expand_b.reshape(-1, 1))
+    reduced = reduce_w.shape[0]
+    pid, pooled = ctx.scratch((c, n))
+    hid, hidden = ctx.scratch((reduced, n))
+    gid, gate = ctx.scratch((c, n))
+    needs_scratch = (
+        op.bottleneck_name in _SCRATCH_ACTS or op.gate_name in _SCRATCH_ACTS
+    )
+    sid, scratch = ctx.scratch((max(reduced, c), n)) if needs_scratch else (None, None)
+    x3 = value.array.reshape(c, h * w, n)
+    y3 = out.array.reshape(c, h * w, n)
+    bottleneck, gate_name = op.bottleneck_name, op.gate_name
+
+    def run(x=x3, y=y3, pooled=pooled, hidden=hidden, gate=gate, scratch=scratch):
+        np.mean(x, axis=1, out=pooled)
+        np.matmul(reduce_w, pooled, out=hidden)
+        hidden += reduce_b
+        if bottleneck in _SCRATCH_ACTS:
+            _apply_act_planned(bottleneck, hidden, scratch[: hidden.shape[0]])
+        else:
+            fuse._ACT_KERNELS[bottleneck](hidden)
+        np.matmul(expand_w, hidden, out=gate)
+        gate += expand_b
+        if gate_name in _SCRATCH_ACTS:
+            _apply_act_planned(gate_name, gate, scratch[: gate.shape[0]])
+        else:
+            fuse._ACT_KERNELS[gate_name](gate)
+        np.multiply(x, gate[:, None, :], out=y)
+
+    ctx.step("squeeze_excite", run)
+    ctx.stats.gemm_ops += 2
+    for block_id in (pid, hid, gid, sid):
+        if block_id is not None:
+            ctx.consume(block_id)
+    _plan_fused_act(ctx, op, out)
+    ctx.consume(value)
+    return out
+
+
+def _plan_fallback(ctx: _PlanContext, op: FallbackOp, value: _Value, out_row) -> _Value:
+    out = ctx.acquire(out_row)
+
+    def run(op=op, x=value.array, y=out.array, shape=value.row_shape):
+        row = np.ascontiguousarray(np.moveaxis(x, -1, 0)).reshape(shape)
+        result = op(row)
+        np.copyto(y, np.moveaxis(np.asarray(result, dtype=np.float32), 0, -1))
+
+    ctx.step(op.name, run)
+    ctx.stats.fallback_ops += 1
+    ctx.stats.steady_state_allocs += 2
+    ctx.consume(value)
+    return out
+
+
+def _plan_residual(
+    ctx: _PlanContext, op: ResidualOp, value: _Value, out_row, shapes
+) -> _Value:
+    ctx.hold(value)  # the skip connection reads the input after the inner chain
+    inner = _plan_program(ctx, op.inner, value, shapes)
+    if inner.block_id == value.block_id:
+        # Degenerate inner program (views only): add into a fresh buffer.
+        out = ctx.acquire(out_row)
+        ctx.step(
+            "residual:add",
+            lambda a=inner.array, b=value.array, y=out.array: np.add(a, b, out=y),
+        )
+        ctx.consume(value)  # the hold
+        ctx.consume(value)  # the program reference
+        return out
+    ctx.step(
+        "residual:add",
+        lambda y=inner.array, x=value.array: np.add(y, x, out=y),
+    )
+    ctx.consume(value)  # the hold; the inner program consumed the original ref
+    return inner
+
+
+def _plan_flatten(ctx: _PlanContext, op: FlattenOp, value: _Value, out_row) -> _Value:
+    if op.start_dim != 1:
+        raise _Unplannable(f"flatten(start_dim={op.start_dim}) is not plannable")
+    return _Value(
+        value.array.reshape(tuple(out_row[1:]) + (ctx.batch,)), out_row, value.block_id
+    )
+
+
+def _plan_reshape(ctx: _PlanContext, op: ReshapeOp, value: _Value, out_row) -> _Value:
+    return _Value(
+        value.array.reshape(tuple(out_row[1:]) + (ctx.batch,)), out_row, value.block_id
+    )
+
+
+_PLANNERS = [
+    (ConvOp, _plan_conv),
+    (LinearOp, _plan_linear),
+    (AffineOp, _plan_affine),
+    (ActOp, _plan_act_op),
+    (MaxPoolOp, _plan_max_pool),
+    (AvgPoolOp, _plan_avg_pool),
+    (GlobalAvgPoolOp, _plan_global_avg_pool),
+    (SqueezeExciteOp, _plan_squeeze_excite),
+    (FlattenOp, _plan_flatten),
+    (ReshapeOp, _plan_reshape),
+    (FallbackOp, _plan_fallback),
+]
+
+
+def _plan_op(ctx: _PlanContext, op: _Op, value: _Value, shapes) -> _Value:
+    out_row = shapes[id(op)][1]
+    if isinstance(op, ResidualOp):
+        return _plan_residual(ctx, op, value, out_row, shapes)
+    for klass, planner in _PLANNERS:
+        if isinstance(op, klass):
+            return planner(ctx, op, value, out_row)
+    # Unknown op type: treat like a fallback if callable on arrays.
+    raise _Unplannable(f"no planner for op {op.describe()!r}")
+
+
+def _plan_program(ctx: _PlanContext, ops: Sequence[_Op], value: _Value, shapes) -> _Value:
+    for op in ops:
+        value = _plan_op(ctx, op, value, shapes)
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Shape tracing (runs the fused ops once on zeros; exact for fallbacks too)
+# ---------------------------------------------------------------------------
+def _trace_shapes(session: InferenceSession, batch_shape: Tuple[int, ...]):
+    shapes: Dict[int, Tuple[Tuple[int, ...], Tuple[int, ...]]] = {}
+
+    def trace(ops, x):
+        for op in ops:
+            if isinstance(op, ResidualOp):
+                y = trace(op.inner, x) + x
+            else:
+                y = op(x)
+            if isinstance(y, dict):
+                raise _Unplannable(
+                    f"op {op.describe()!r} returns a dict; only session heads may"
+                )
+            shapes[id(op)] = (tuple(x.shape), tuple(y.shape))
+            x = y
+        return x
+
+    x = np.zeros(batch_shape, dtype=np.float32)
+    trunk_out = trace(session.ops, x)
+    if session.heads is not None:
+        for program in session.heads.values():
+            trace(program, trunk_out)
+    return shapes, tuple(trunk_out.shape)
+
+
+# ---------------------------------------------------------------------------
+# ExecutionPlan
+# ---------------------------------------------------------------------------
+class ExecutionPlan:
+    """A compiled session bound to one batch shape, arena and step list.
+
+    ``run`` executes the steps against the preallocated arena and writes
+    results either into caller-provided output arrays (``out=``) or into
+    plan-owned row-major result buffers (valid until the next ``run``).
+    """
+
+    def __init__(self, session: InferenceSession, batch_shape: Tuple[int, ...]):
+        self.session = session
+        self.batch_shape = tuple(int(s) for s in batch_shape)
+        n = self.batch_shape[0]
+        shapes, _ = _trace_shapes(session, self.batch_shape)
+
+        self.arena = BufferArena()
+        self.stats = PlanStats(num_plans=1)
+        ctx = _PlanContext(self.arena, self.stats, n)
+
+        value = ctx.acquire(self.batch_shape)
+        ctx.hold(value)  # the input block is rewritten by every run
+        self._in_view = np.moveaxis(value.array, -1, 0)  # row-shaped strided view
+
+        trunk = _plan_program(ctx, session.ops, value, shapes)
+        self._outputs: Dict[Optional[str], _Value] = {}
+        if session.heads is None:
+            self._outputs[None] = trunk
+        else:
+            for _ in session.heads:
+                ctx.hold(trunk)  # one reference per head program
+            for name, program in session.heads.items():
+                head_val = _plan_program(ctx, program, trunk, shapes)
+                if head_val.block_id == trunk.block_id:  # identity head: copy out
+                    copy = ctx.acquire(head_val.row_shape)
+                    ctx.step(
+                        f"head[{name}]:copy",
+                        lambda x=head_val.array, y=copy.array: np.copyto(y, x),
+                    )
+                    ctx.consume(trunk)  # this head's reference
+                    head_val = copy
+                self._outputs[name] = head_val
+            ctx.consume(trunk)  # the trunk program's own reference
+
+        self._steps = ctx.steps
+        self._step_fns = [fn for _, fn in ctx.steps]
+        self.stats.arena_bytes = self.arena.nbytes
+        self.stats.arena_blocks = self.arena.num_blocks
+        self.stats.requested_bytes = self.arena.requested_bytes
+        # Row-shaped views of the column outputs (the final transpose reads
+        # through these); the row-major result buffers are created lazily —
+        # shard plans inside an executor only ever run with ``out=``.
+        self._results: Optional[Dict[Optional[str], np.ndarray]] = None
+        self._out_views = {
+            name: np.moveaxis(val.array, -1, 0)
+            for name, val in self._outputs.items()
+        }
+
+    # -- execution ------------------------------------------------------
+    def run(self, x: np.ndarray, out=None):
+        x = np.asarray(x, dtype=np.float32)
+        if tuple(x.shape) != self.batch_shape:
+            raise ValueError(
+                f"plan compiled for batch shape {self.batch_shape}, got {tuple(x.shape)}"
+            )
+        np.copyto(self._in_view, x)
+        for fn in self._step_fns:
+            fn()
+        if out is None:
+            if self._results is None:
+                self._results = {
+                    name: np.empty(val.row_shape, dtype=np.float32)
+                    for name, val in self._outputs.items()
+                }
+            out = self._results if None not in self._outputs else self._results[None]
+        if None in self._outputs:
+            np.copyto(out, self._out_views[None])
+            return out
+        outputs = {}
+        for name, view in self._out_views.items():
+            np.copyto(out[name], view)
+            outputs[name] = out[name]
+        return outputs
+
+    __call__ = run
+
+    def describe(self) -> str:
+        lines = [
+            f"ExecutionPlan(batch={self.batch_shape}, "
+            f"arena={self.arena.nbytes / 1024:.0f} KiB in {self.arena.num_blocks} "
+            f"blocks, reuse={self.stats.reuse_ratio:.0%})"
+        ]
+        lines.extend(label for label, _ in self._steps)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionPlan(batch={self.batch_shape}, steps={len(self._steps)}, "
+            f"arena_bytes={self.arena.nbytes})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Worker pool (persistent daemon threads; shard tasks release the GIL in
+# BLAS / sparse kernels, so shards overlap on multi-core hosts)
+# ---------------------------------------------------------------------------
+class _WorkerPool:
+    def __init__(self, workers: int):
+        self.workers = workers
+        self._tasks: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._threads = [
+            threading.Thread(
+                target=self._loop, name=f"repro-engine-{index}", daemon=True
+            )
+            for index in range(workers - 1)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def _loop(self) -> None:
+        while True:
+            task = self._tasks.get()
+            if task is None:  # shutdown sentinel from close()
+                return
+            fn, done, errors = task
+            try:
+                fn()
+            except BaseException as error:  # surfaced by run_all
+                errors.append(error)
+            finally:
+                done.release()
+
+    def run_all(self, thunks: Sequence[Callable[[], None]]) -> None:
+        """Run ``thunks`` concurrently; the caller executes the first itself."""
+        if len(thunks) == 1:
+            thunks[0]()
+            return
+        done = threading.Semaphore(0)
+        errors: List[BaseException] = []
+        for fn in thunks[1:]:
+            self._tasks.put((fn, done, errors))
+        try:
+            thunks[0]()  # the calling thread is worker zero
+        except BaseException as error:
+            errors.append(error)
+        for _ in thunks[1:]:
+            done.acquire()
+        if errors:
+            raise errors[0]
+
+    def close(self) -> None:
+        """Stop the worker threads (idempotent; pending tasks drain first)."""
+        for _ in self._threads:
+            self._tasks.put(None)
+        for thread in self._threads:
+            thread.join(timeout=1.0)
+        self._threads = []
+
+
+# ---------------------------------------------------------------------------
+# PlannedExecutor
+# ---------------------------------------------------------------------------
+class _PreparedBatch:
+    __slots__ = ("parts", "outputs")
+
+    def __init__(self, parts, outputs):
+        self.parts = parts  # list of (slice, ExecutionPlan)
+        self.outputs = outputs  # None | ndarray | dict name -> ndarray
+
+
+class PlannedExecutor:
+    """Batch-sharded, plan-cached executor with the ``InferenceSession`` API.
+
+    One :class:`ExecutionPlan` (with its own arena) is built lazily per
+    worker shard for each observed batch shape and reused afterwards, so
+    steady-state traffic with stable batch sizes runs allocation-free.
+    With ``num_workers > 1`` the batch is split along dim 0 and the shards
+    execute concurrently on a persistent thread pool.
+
+    Outputs are executor-owned buffers overwritten by the next ``run``;
+    pass ``copy_outputs=True`` to hand back private copies instead (the
+    server runtime does, because callers keep its logits).
+    """
+
+    def __init__(
+        self,
+        session: InferenceSession,
+        num_workers: int = 1,
+        copy_outputs: bool = False,
+        max_plans: int = 8,
+    ):
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.session = session
+        self.num_workers = int(num_workers)
+        self.copy_outputs = copy_outputs
+        self.max_plans = max_plans
+        self._prepared: Dict[Tuple[int, ...], _PreparedBatch] = {}
+        self._pool = _WorkerPool(self.num_workers) if self.num_workers > 1 else None
+        self._unplannable = False
+
+    # -- plan management ------------------------------------------------
+    def _prepare(self, shape: Tuple[int, ...]) -> _PreparedBatch:
+        prepared = self._prepared.get(shape)
+        if prepared is not None:
+            return prepared
+        n = shape[0]
+        workers = max(1, min(self.num_workers, n))
+        bounds = np.linspace(0, n, workers + 1).astype(int)
+        parts = []
+        for index in range(workers):
+            lo, hi = int(bounds[index]), int(bounds[index + 1])
+            if hi > lo:
+                shard_shape = (hi - lo,) + tuple(shape[1:])
+                parts.append((slice(lo, hi), ExecutionPlan(self.session, shard_shape)))
+        sample = parts[0][1]
+        if len(parts) == 1:
+            outputs = None  # single shard returns its own result buffers
+        elif None in sample._outputs:
+            outputs = np.empty(
+                (n,) + sample._outputs[None].row_shape[1:], dtype=np.float32
+            )
+        else:
+            outputs = {
+                name: np.empty((n,) + val.row_shape[1:], dtype=np.float32)
+                for name, val in sample._outputs.items()
+            }
+        prepared = _PreparedBatch(parts, outputs)
+        if len(self._prepared) >= self.max_plans:
+            self._prepared.pop(next(iter(self._prepared)))
+        self._prepared[shape] = prepared
+        return prepared
+
+    # -- execution ------------------------------------------------------
+    def run(self, x: np.ndarray):
+        x = np.ascontiguousarray(np.asarray(x, dtype=np.float32))
+        if self._unplannable or (x.ndim and x.shape[0] == 0):
+            return self.session.run(x)
+        try:
+            prepared = self._prepare(tuple(x.shape))
+        except _Unplannable:
+            self._unplannable = True
+            return self.session.run(x)
+        if len(prepared.parts) == 1:
+            result = prepared.parts[0][1].run(x)
+        else:
+            if self._pool is None:  # closed earlier: rebuild on demand
+                self._pool = _WorkerPool(self.num_workers)
+            thunks = []
+            for sl, plan in prepared.parts:
+                if isinstance(prepared.outputs, dict):
+                    shard_out = {name: arr[sl] for name, arr in prepared.outputs.items()}
+                else:
+                    shard_out = prepared.outputs[sl]
+                thunks.append(lambda p=plan, xs=x[sl], o=shard_out: p.run(xs, out=o))
+            self._pool.run_all(thunks)
+            result = prepared.outputs
+        if self.copy_outputs:
+            if isinstance(result, dict):
+                return {name: arr.copy() for name, arr in result.items()}
+            return result.copy()
+        return result
+
+    __call__ = run
+
+    def close(self) -> None:
+        """Release the worker threads.  Idempotent; single-worker runs keep
+        working afterwards, sharded runs rebuild the pool on next use."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+            self._prepared.clear()  # sharded plans expect a live pool
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown timing
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- introspection --------------------------------------------------
+    @property
+    def planned(self) -> bool:
+        return not self._unplannable
+
+    @property
+    def stats(self) -> PlanStats:
+        total = PlanStats(num_workers=self.num_workers)
+        for prepared in self._prepared.values():
+            for _, plan in prepared.parts:
+                total = total.merged(plan.stats)
+        total.num_workers = self.num_workers
+        return total
+
+    @property
+    def num_ops(self) -> int:
+        return self.session.num_ops
+
+    def describe(self) -> str:
+        header = (
+            f"PlannedExecutor(workers={self.num_workers}, "
+            f"plans={sum(len(p.parts) for p in self._prepared.values())})"
+        )
+        return "\n".join([header, self.session.describe()])
+
+    def __repr__(self) -> str:
+        return (
+            f"PlannedExecutor(workers={self.num_workers}, "
+            f"shapes={list(self._prepared)}, session={self.session!r})"
+        )
+
+
+def plan_session(
+    session: InferenceSession,
+    num_workers: int = 1,
+    copy_outputs: bool = False,
+) -> PlannedExecutor:
+    """Wrap a compiled session in a lazily-planning, batch-sharded executor."""
+    return PlannedExecutor(
+        session, num_workers=num_workers, copy_outputs=copy_outputs
+    )

@@ -110,10 +110,15 @@ def _gelu_(y: np.ndarray) -> np.ndarray:
 
 
 def _leaky_relu_kernel(negative_slope: float) -> Callable[[np.ndarray], np.ndarray]:
+    negative_slope = float(negative_slope)
+
     def kernel(y: np.ndarray) -> np.ndarray:
         np.multiply(y, negative_slope, out=y, where=y < 0)
         return y
 
+    # The planning engine re-expresses the kernel allocation-free and
+    # needs the slope back; expose it rather than forcing closure digs.
+    kernel.negative_slope = negative_slope
     return kernel
 
 
@@ -197,6 +202,8 @@ class ConvOp(_Op):
         self._w_g: Optional[np.ndarray] = None
         self._acc_buf: Optional[np.ndarray] = None
         self._kernel_choice: Dict[Tuple[int, ...], Callable] = {}
+        self._im2col_idx: Dict[Tuple[int, ...], Optional[np.ndarray]] = {}
+        self._dw_offsets: Dict[Tuple[int, ...], list] = {}
 
     def fold_affine(self, scale: np.ndarray, shift: np.ndarray) -> bool:
         if self.act is not None:
@@ -208,6 +215,7 @@ class ConvOp(_Op):
         self.bias = folded.reshape(1, -1, 1, 1).copy()
         self._flat_wt = None
         self._w_g = None
+        self._dw_offsets.clear()  # holds snapshots of the pre-fold weights
         self.name = "conv2d(bn-folded)"
         return True
 
@@ -271,15 +279,69 @@ class ConvOp(_Op):
         y = self._flat_weight_t().T @ x.reshape(n, c_in, ho * wo)
         return y.reshape(n, self.c_out, ho, wo)
 
+    # -- cached gather/offset indices (keyed by padded input shape) ----
+    def _depthwise_offset_table(self, pad_shape, ho, wo):
+        """Per-geometry list of (channel weight column, h-slice, w-slice).
+
+        The kernel-offset loop re-derived its strided slices and weight
+        views on every call; the table is built once per input geometry
+        (batch-independent, so ragged final batches share it).
+        """
+        key = pad_shape[1:]
+        table = self._dw_offsets.get(key)
+        if table is None:
+            w_chan = self.weight.reshape(self.c_out, self.kh, self.kw)
+            eh = (ho - 1) * self.sh + 1
+            ew = (wo - 1) * self.sw + 1
+            table = [
+                (
+                    np.ascontiguousarray(w_chan[None, :, i, j, None, None]),
+                    slice(i, i + eh, self.sh),
+                    slice(j, j + ew, self.sw),
+                )
+                for i in range(self.kh)
+                for j in range(self.kw)
+            ]
+            self._dw_offsets[key] = table
+        return table
+
+    # Above this size a gather-index table would cost more memory than it
+    # saves time; the sliding-window path handles those shapes instead.
+    _IM2COL_IDX_MAX_ELEMS = 2_000_000
+
+    def _im2col_index(self, pad_shape, ho, wo) -> Optional[np.ndarray]:
+        """Flat gather indices (ho*wo, c_in*kh*kw) into the padded input.
+
+        Cached per input geometry (batch-independent): one fancy-index
+        gather then replaces the strided window materialisation on every
+        subsequent call.
+        """
+        key = pad_shape[1:]
+        if key in self._im2col_idx:
+            return self._im2col_idx[key]
+        c_in, hp, wp = key
+        nelems = ho * wo * c_in * self.kh * self.kw
+        if nelems > self._IM2COL_IDX_MAX_ELEMS:
+            self._im2col_idx[key] = None
+            return None
+        oi = (np.arange(ho) * self.sh).reshape(-1, 1, 1, 1, 1)
+        oj = (np.arange(wo) * self.sw).reshape(1, -1, 1, 1, 1)
+        ci = np.arange(c_in).reshape(1, 1, -1, 1, 1)
+        ki = np.arange(self.kh).reshape(1, 1, 1, -1, 1)
+        kj = np.arange(self.kw).reshape(1, 1, 1, 1, -1)
+        idx = ((ci * hp + oi + ki) * wp + oj + kj).reshape(
+            ho * wo, c_in * self.kh * self.kw
+        )
+        idx = np.ascontiguousarray(idx, dtype=np.intp)
+        self._im2col_idx[key] = idx
+        return idx
+
     def _depthwise_offsets(self, x_pad, n, c_in, ho, wo):
         out = self._accumulator((n, self.c_out, ho, wo))
-        w_chan = self.weight.reshape(self.c_out, self.kh, self.kw)
-        eh = (ho - 1) * self.sh + 1
-        ew = (wo - 1) * self.sw + 1
-        for i in range(self.kh):
-            for j in range(self.kw):
-                patch = x_pad[:, :, i : i + eh : self.sh, j : j + ew : self.sw]
-                out += patch * w_chan[None, :, i, j, None, None]
+        for w_col, h_slice, w_slice in self._depthwise_offset_table(
+            x_pad.shape, ho, wo
+        ):
+            out += x_pad[:, :, h_slice, w_slice] * w_col
         return out
 
     def _depthwise_einsum(self, x_pad, n, c_in, ho, wo):
@@ -313,12 +375,18 @@ class ConvOp(_Op):
         return choice(x_pad, n, c_in, ho, wo)
 
     def _im2col(self, x_pad, n, c_in, ho, wo):
-        windows = np.lib.stride_tricks.sliding_window_view(
-            x_pad, (self.kh, self.kw), axis=(-2, -1)
-        )[:, :, :: self.sh, :: self.sw, :, :]
-        cols = np.ascontiguousarray(windows.transpose(0, 2, 3, 1, 4, 5)).reshape(
-            n * ho * wo, c_in * self.kh * self.kw
-        )
+        idx = self._im2col_index(x_pad.shape, ho, wo)
+        if idx is not None:
+            cols = x_pad.reshape(n, -1)[:, idx].reshape(
+                n * ho * wo, c_in * self.kh * self.kw
+            )
+        else:  # shape too large for an index table: strided window copy
+            windows = np.lib.stride_tricks.sliding_window_view(
+                x_pad, (self.kh, self.kw), axis=(-2, -1)
+            )[:, :, :: self.sh, :: self.sw, :, :]
+            cols = np.ascontiguousarray(windows.transpose(0, 2, 3, 1, 4, 5)).reshape(
+                n * ho * wo, c_in * self.kh * self.kw
+            )
         y = cols @ self._flat_weight_t()
         return np.ascontiguousarray(
             y.reshape(n, ho, wo, self.c_out).transpose(0, 3, 1, 2)

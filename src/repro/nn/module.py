@@ -137,7 +137,14 @@ class Module:
     # ------------------------------------------------------------------
     # Inference compilation
     # ------------------------------------------------------------------
-    def compile_for_inference(self, sample_input=None, atol: float = 1e-4):
+    def compile_for_inference(
+        self,
+        sample_input=None,
+        atol: float = 1e-4,
+        plan: bool = False,
+        num_workers: int = 1,
+        copy_outputs: bool = False,
+    ):
         """Compile this module's eval-mode forward into an autograd-free
         :class:`~repro.nn.fuse.InferenceSession`.
 
@@ -147,10 +154,24 @@ class Module:
         The session snapshots the current weights — recompile after
         further training.  When ``sample_input`` is given, the compiled
         outputs are verified against the eval forward within ``atol``.
+
+        With ``plan=True`` (or ``num_workers > 1``) the session is
+        wrapped in a :class:`~repro.nn.engine.PlannedExecutor`: a static
+        execution plan per batch shape with an arena of preallocated
+        buffers (zero steady-state allocations) that shards the batch
+        across ``num_workers`` worker threads.  Planned outputs are
+        executor-owned and overwritten by the next call unless
+        ``copy_outputs=True``.
         """
         from .fuse import compile_module, verify_session
 
         session = compile_module(self)
+        if plan or num_workers > 1:
+            from .engine import plan_session
+
+            session = plan_session(
+                session, num_workers=num_workers, copy_outputs=copy_outputs
+            )
         if sample_input is not None:
             verify_session(self, session, sample_input, atol=atol)
         return session

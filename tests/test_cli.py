@@ -79,13 +79,30 @@ class TestPipeline:
         assert main(["pipeline", "--backbone", "mobilenet_v3_tiny",
                      "--batches", "2", "--batch-size", "8", "--epochs", "0"]) == 0
         out = capsys.readouterr().out
-        assert "fused/compiled halves" in out
+        assert "planned engine" in out
         assert "pipelined makespan" in out
         assert "critical path" in out
+        assert "arena preallocated" in out
+
+    def test_no_plan_falls_back_to_fused(self, capsys):
+        assert main(["pipeline", "--backbone", "mobilenet_v3_tiny",
+                     "--batches", "2", "--batch-size", "8", "--epochs", "0",
+                     "--no-plan"]) == 0
+        out = capsys.readouterr().out
+        assert "fused/compiled halves" in out
+
+    def test_num_workers_sharded_run(self, capsys):
+        assert main(["pipeline", "--backbone", "mobilenet_v3_tiny",
+                     "--batches", "2", "--batch-size", "8", "--epochs", "0",
+                     "--num-workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "planned engine (2 worker(s))" in out
+        assert "2 worker(s)" in out
 
     def test_rejects_degenerate_arguments(self, capsys):
         assert main(["pipeline", "--batches", "0"]) == 2
         assert main(["pipeline", "--bandwidth-mbps", "0"]) == 2
+        assert main(["pipeline", "--num-workers", "0"]) == 2
 
     def test_uncompiled_fallback(self, capsys):
         assert main(["pipeline", "--batches", "2", "--batch-size", "4",

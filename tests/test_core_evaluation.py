@@ -41,6 +41,7 @@ def result(splits, quick_cfg):
     )
 
 
+@pytest.mark.slow
 class TestExperimentRunner:
     def test_stl_covers_all_tasks(self, result):
         assert set(result.stl) == {"scale", "shape"}

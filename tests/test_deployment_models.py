@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.deployment import (
     GIGABIT_ETHERNET,
@@ -138,6 +140,60 @@ class TestWireFormat:
     def test_unknown_dtype_name_rejected(self):
         with pytest.raises(ValueError):
             WireFormat("float8")
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_quant8_rejects_non_finite(self, bad):
+        corrupt = np.array([0.0, 1.0, bad], dtype=np.float32)
+        with pytest.raises(ValueError, match="finite"):
+            encode_tensor(corrupt, WireFormat("quant8"))
+
+    @pytest.mark.parametrize("fmt", ["float32", "float16"])
+    def test_float_formats_accept_non_finite(self, fmt):
+        values = np.array([np.nan, np.inf, -np.inf, 1.0], dtype=np.float32)
+        decoded = decode_tensor(encode_tensor(values, WireFormat(fmt)))
+        np.testing.assert_array_equal(np.isfinite(decoded), np.isfinite(values))
+
+    def test_quant8_top_of_range_does_not_wrap(self):
+        # Values at the very top of the affine range can round to 256.0;
+        # without clipping the uint8 cast wraps them to 0 (decoding to lo).
+        rng = np.random.default_rng(7)
+        for _ in range(50):
+            tensor = rng.normal(scale=rng.uniform(0.01, 100), size=64).astype(
+                np.float32
+            )
+            decoded = decode_tensor(encode_tensor(tensor, WireFormat("quant8")))
+            value_range = float(tensor.max() - tensor.min())
+            assert np.abs(decoded - tensor).max() <= value_range / 255.0 + 1e-6
+
+
+class TestPayloadSizeProperty:
+    """payload_bytes(n, fmt) must equal len(encode_tensor(x, fmt)) exactly,
+    for every wire dtype and every 0–4-dim shape (empty tensors included)."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        shape=st.lists(st.integers(0, 5), min_size=0, max_size=4),
+        fmt=st.sampled_from(["float32", "float16", "quant8"]),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_predicted_size_matches_encoding(self, shape, fmt, seed):
+        rng = np.random.default_rng(seed)
+        tensor = rng.normal(size=tuple(shape)).astype(np.float32)
+        wire_format = WireFormat(fmt)
+        payload = encode_tensor(tensor, wire_format)
+        assert payload_bytes(tensor.size, wire_format) == len(payload)
+        decoded = decode_tensor(payload)
+        assert decoded.shape == tensor.shape
+
+    @pytest.mark.parametrize("fmt", ["float32", "float16", "quant8"])
+    @pytest.mark.parametrize("shape", [(), (0,), (3, 0, 2), (0, 0, 0, 0)])
+    def test_empty_and_scalar_edge_cases(self, fmt, shape):
+        tensor = np.zeros(shape, dtype=np.float32)
+        wire_format = WireFormat(fmt)
+        payload = encode_tensor(tensor, wire_format)
+        assert payload_bytes(tensor.size, wire_format) == len(payload)
+        decoded = decode_tensor(payload)
+        assert decoded.shape == tensor.shape
 
     def test_too_many_dims_rejected(self):
         with pytest.raises(ValueError):

@@ -131,6 +131,7 @@ class TestDetectionWorkload:
         np.testing.assert_array_equal(a.images, b.images)
         np.testing.assert_array_equal(a.labels["bbox"], b.labels["bbox"])
 
+    @pytest.mark.slow
     def test_joint_training_classify_and_localise(self, detection_clean):
         """Joint classification + localisation, with loss balancing.
 
