@@ -18,7 +18,6 @@ from repro.deployment import (
     JETSON_NANO,
     RTX3090_SERVER,
     WireFormat,
-    profile_backbone,
     roc_report,
     sc_report,
 )
@@ -47,13 +46,13 @@ def run_analysis():
         f"  RoC raw inputs {FACES_HW[0]}x{FACES_HW[1]}x3 float32: "
         f"{roc.transfer_bytes_per_inference / _MB:8.1f} MB each -> "
         f"{N_INPUTS * roc.transfer_seconds:7.1f} s   (paper: ~115 MB, ~98 s)",
-        f"  SC  Z_b @1024px (float32):                 "
+        "  SC  Z_b @1024px (float32):                 "
         f"{sc_paper.transfer_bytes_per_inference / _MB:8.3f} MB each -> "
         f"{N_INPUTS * sc_paper.transfer_seconds:7.2f} s   (paper: ~1.5 MB, ~12 s)",
-        f"  SC  Z_b @224px (float32):                  "
+        "  SC  Z_b @224px (float32):                  "
         f"{sc_224.transfer_bytes_per_inference / _MB:8.3f} MB each -> "
         f"{N_INPUTS * sc_224.transfer_seconds:7.2f} s",
-        f"  latency saving (SC@1024 vs RoC): "
+        "  latency saving (SC@1024 vs RoC): "
         f"{1 - sc_paper.transfer_seconds / roc.transfer_seconds:.1%}   (paper: ~87%)",
         "",
         "channel-degradation sweep (SC Z_b @1024 vs RoC raw, 100 inferences):",

@@ -1,0 +1,81 @@
+"""Dynamic-batching serving benchmark (the `repro.serve` front-end).
+
+The ROADMAP's serving gap: the planned engine is batch-sharded, but
+request-level traffic arrives one image at a time, so batch-1 clients
+left the engine idle.  This benchmark drives a deployment with synthetic
+concurrent closed-loop clients through ``Deployment.submit()`` — the
+dynamic micro-batching path — and compares against the sequential
+batch-1 baseline on the same host and deployment.
+
+Artifacts: ``serve_dynamic_batching.txt`` (human table) and
+``BENCH_serve_dynamic_batching.json`` with p50/p95 latency and
+throughput for 1, 8 and 64 clients plus the baseline.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.serve import DeploymentSpec, render_serve_bench, run_serve_bench
+
+from _bench_utils import emit
+
+_CLIENT_COUNTS = (1, 8, 64)
+_REQUESTS_PER_CLIENT = 12
+_MAX_BATCH_SIZE = 16
+_MAX_DELAY_MS = 2.0
+
+
+def test_serve_dynamic_batching(benchmark, results_dir):
+    spec = DeploymentSpec(
+        model="mobilenet_v3_tiny",
+        tasks=(("scale", 8), ("shape", 4)),
+        input_size=32,
+        max_batch_size=_MAX_BATCH_SIZE,
+        max_queue_delay_ms=_MAX_DELAY_MS,
+        seed=41,
+    )
+
+    result = benchmark.pedantic(
+        lambda: run_serve_bench(
+            spec,
+            client_counts=_CLIENT_COUNTS,
+            requests_per_client=_REQUESTS_PER_CLIENT,
+            seed=41,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    # The point of the front-end: concurrent submit() throughput must beat
+    # the sequential batch-1 baseline on this same host/deployment.
+    assert result["best_speedup_vs_sequential"] > 1.0, (
+        "dynamic batching failed to beat sequential batch-1:\n"
+        + render_serve_bench(result)
+    )
+    # With 8+ closed-loop clients the dispatcher must actually coalesce.
+    many_clients = [row for row in result["concurrent"] if row["clients"] >= 8]
+    assert any(row["mean_batch_size"] > 1.5 for row in many_clients), (
+        "concurrent load never coalesced into micro-batches:\n"
+        + render_serve_bench(result)
+    )
+
+    text = (
+        "mobilenet_v3_tiny @32px, gigabit ethernet, planned engine, "
+        f"max_batch_size={_MAX_BATCH_SIZE}, "
+        f"max_queue_delay={_MAX_DELAY_MS:g} ms, "
+        f"{os.cpu_count()} cpu core(s) on this host\n"
+        + render_serve_bench(result)
+    )
+    emit(
+        results_dir,
+        "serve_dynamic_batching",
+        text,
+        data={
+            "host_cpu_cores": os.cpu_count(),
+            "max_batch_size": _MAX_BATCH_SIZE,
+            "max_queue_delay_ms": _MAX_DELAY_MS,
+            "requests_per_client": _REQUESTS_PER_CLIENT,
+            **result,
+        },
+    )

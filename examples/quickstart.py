@@ -7,21 +7,24 @@ Walks the full story of the paper in ~2 minutes on a laptop CPU:
 2. build an MTL-Split network: one shared backbone + two task heads;
 3. train jointly by minimising the summed loss (Eq. 4);
 4. compare against chance and inspect per-task accuracy;
-5. split the network at the backbone/heads boundary and run it through
-   a simulated edge → channel → server pipeline — both halves compiled
-   by the fused inference engine (BN folded into conv weights, no
-   autograd) — verifying the split changes no predictions;
+5. declare the split deployment with ``repro.deploy`` — the edge half,
+   the simulated channel and the server half are wired (and compiled by
+   the fused inference engine) from one ``DeploymentSpec`` — verifying
+   the split changes no predictions;
 6. stream several batches with edge/server execution overlapped and
-   read the throughput report.
+   read the throughput report;
+7. serve concurrent single-image requests through ``submit()``, which
+   dynamically micro-batches them into the execution engine.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
+import repro
 from repro import data, nn
 from repro.core import MTLSplitNet, MultiTaskTrainer, TrainConfig, evaluate
-from repro.deployment import GIGABIT_ETHERNET, SplitPipeline, render_throughput
+from repro.deployment import render_throughput
 from repro.nn.tensor import Tensor
 
 
@@ -47,27 +50,42 @@ def main() -> None:
 
     print("5) split deployment: edge -> Z_b over gigabit -> server heads ...")
     net.eval()
-    pipeline = SplitPipeline.from_net(net, GIGABIT_ETHERNET, input_size=32)
-    pipeline.warmup(test.images[:16])
-    logits = pipeline.infer(test.images[:16])
+    deployment = repro.deploy(model=net, channel="gigabit_ethernet", input_size=32)
+    deployment.warmup([16])
+    logits = deployment.infer(test.images[:16])
     with nn.no_grad():
         monolithic = net(Tensor(test.images[:16]))
     for task in net.task_names:
         assert np.allclose(logits[task], monolithic[task].data, atol=1e-4)
-    trace = pipeline.traces[0]
+    trace = deployment.traces[0]
     print(
         f"   payload {trace.payload_bytes / 1024:.1f} KiB, "
         f"edge {trace.edge_seconds * 1e3:.1f} ms + "
         f"net {trace.transfer_seconds * 1e3:.3f} ms + "
-        f"server {trace.server_seconds * 1e3:.1f} ms  (fused/compiled halves)"
+        f"server {trace.server_seconds * 1e3:.1f} ms  (planned engine halves)"
     )
     print("   split outputs == monolithic outputs: OK")
 
     print("6) overlapped streaming: edge computes batch i+1 while the server")
     print("   handles batch i (double-buffered) ...")
     batches = [test.images[start : start + 16] for start in range(0, 64, 16)]
-    _, report = pipeline.infer_stream(batches)
+    _, report = deployment.stream(batches)
     print("   " + render_throughput(report).replace("\n", "\n   "))
+
+    print("7) serving: concurrent submit() requests, micro-batched ...")
+    futures = [deployment.submit(image) for image in test.images[:32]]
+    rows = [future.result(timeout=60) for future in futures]
+    for i, row in enumerate(rows[:16]):  # first 16 overlap the batch above
+        for task in net.task_names:
+            assert np.allclose(row[task], logits[task][i], atol=1e-5)
+    stats = deployment.batching_stats
+    print(
+        f"   {stats.requests} requests dispatched as {stats.batches} "
+        f"micro-batches (mean batch {stats.mean_batch_size:.1f}, "
+        f"largest {stats.max_batch_size_seen})"
+    )
+    deployment.close()
+    print("   deployment closed: engine worker threads reclaimed")
 
 
 if __name__ == "__main__":

@@ -22,10 +22,26 @@ Sub-packages
 ``repro.deployment``
     Profiling, device/channel models, paradigm comparison, runnable
     split pipeline.
+``repro.serve``
+    The declarative deployment API: :func:`deploy` turns a frozen
+    :class:`DeploymentSpec` into a live :class:`~repro.serve.Deployment`
+    with synchronous, streaming and dynamically-batched async serving.
 """
 
-from . import core, data, deployment, models, nn
+from . import core, data, deployment, models, nn, serve
+from .serve import Deployment, DeploymentSpec, deploy
 
 __version__ = "1.0.0"
 
-__all__ = ["nn", "models", "data", "core", "deployment", "__version__"]
+__all__ = [
+    "nn",
+    "models",
+    "data",
+    "core",
+    "deployment",
+    "serve",
+    "Deployment",
+    "DeploymentSpec",
+    "deploy",
+    "__version__",
+]

@@ -150,12 +150,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
 def _cmd_pipeline(args: argparse.Namespace) -> int:
     from . import data
     from .core import MTLSplitNet, MultiTaskTrainer, TrainConfig
-    from .deployment import (
-        GIGABIT_ETHERNET,
-        SplitPipeline,
-        WireFormat,
-        render_throughput,
-    )
+    from .deployment import GIGABIT_ETHERNET, render_throughput
+    from .serve import DeploymentSpec, deploy
 
     if args.batches < 1 or args.batch_size < 1:
         print("pipeline needs --batches >= 1 and --batch-size >= 1", file=sys.stderr)
@@ -183,12 +179,12 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
             TrainConfig(epochs=args.epochs, batch_size=64, seed=args.seed)
         ).fit(net, dataset)
     net.eval()
-    pipeline = SplitPipeline.from_net(
-        net,
-        channel,
-        split_index=args.split_index,
+    spec = DeploymentSpec(
+        model=net,
         input_size=32,
-        wire_format=WireFormat(args.wire),
+        split_index=args.split_index,
+        wire=args.wire,
+        channel=channel,
         compiled=not args.no_compiled,
         planned=not args.no_plan,
         num_workers=args.num_workers,
@@ -198,19 +194,80 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         images[start : start + args.batch_size]
         for start in range(0, samples, args.batch_size)
     ]
-    pipeline.warmup(batches[0])
-    _, report = pipeline.infer_stream(batches)
-    if pipeline.edge.planned:
-        mode = f"planned engine ({args.num_workers} worker(s))"
-    elif pipeline.edge.compiled:
-        mode = "fused/compiled"
-    else:
-        mode = "eval-mode"
-    print(
-        f"{args.backbone} @32px, {mode} halves, wire={args.wire}, "
-        f"{channel.name}, payload {pipeline.mean_payload_bytes() / 1024:.1f} KiB/batch"
-    )
+    with deploy(spec) as deployment:
+        deployment.warmup([args.batch_size])
+        _, report = deployment.stream(batches)
+        print(
+            f"{args.backbone} @32px, {deployment.execution_mode} halves, "
+            f"wire={args.wire}, {channel.name}, payload "
+            f"{deployment.pipeline.mean_payload_bytes() / 1024:.1f} KiB/batch"
+        )
     print(render_throughput(report))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from .deployment import GIGABIT_ETHERNET
+    from .serve import DeploymentSpec, SpecError, render_serve_bench, run_serve_bench
+
+    try:
+        client_counts = [int(part) for part in args.clients.split(",") if part]
+    except ValueError:
+        print(f"--clients must be comma-separated ints, got {args.clients!r}",
+              file=sys.stderr)
+        return 2
+    if not client_counts or min(client_counts) < 1:
+        print("serve needs --clients with values >= 1", file=sys.stderr)
+        return 2
+    if args.requests < 1:
+        print("serve needs --requests >= 1", file=sys.stderr)
+        return 2
+    if args.bandwidth_mbps <= 0:
+        print("serve needs --bandwidth-mbps > 0", file=sys.stderr)
+        return 2
+    channel = (
+        GIGABIT_ETHERNET.degraded(1000.0 / args.bandwidth_mbps)
+        if args.bandwidth_mbps != 1000
+        else GIGABIT_ETHERNET
+    )
+    split_index = args.split_index
+    if split_index not in (None, "auto"):
+        try:
+            split_index = int(split_index)
+        except ValueError:
+            print(f"--split-index must be an int or 'auto', got {split_index!r}",
+                  file=sys.stderr)
+            return 2
+    try:
+        spec = DeploymentSpec(
+            model=args.backbone,
+            tasks=(("scale", 8), ("shape", 4)),
+            input_size=args.input_size,
+            split_index=split_index,
+            wire=args.wire,
+            channel=channel,
+            num_workers=args.num_workers,
+            max_batch_size=args.max_batch_size,
+            max_queue_delay_ms=args.max_delay_ms,
+            seed=args.seed,
+        )
+    except SpecError as error:
+        print(f"bad deployment spec: {error}", file=sys.stderr)
+        return 2
+    print(f"serving bench: {spec.describe()}")
+    result = run_serve_bench(
+        spec,
+        client_counts=client_counts,
+        requests_per_client=args.requests,
+        seed=args.seed,
+    )
+    print(render_serve_bench(result))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+        print(f"wrote machine-readable result to {args.json}")
     return 0
 
 
@@ -271,6 +328,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="batch shards run by the planned engine's thread pool")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_pipeline)
+
+    p = sub.add_parser(
+        "serve",
+        help="dynamic-batching serving benchmark (concurrent submit() load)",
+    )
+    p.add_argument("--backbone", default="mobilenet_v3_tiny")
+    p.add_argument("--input-size", type=int, default=32)
+    p.add_argument("--clients", default="1,8,64",
+                   help="comma-separated concurrent client counts")
+    p.add_argument("--requests", type=int, default=8,
+                   help="requests per client (closed loop)")
+    p.add_argument("--split-index", default=None,
+                   help="backbone stages on the edge, or 'auto' for the "
+                        "latency-optimal cut")
+    p.add_argument("--wire", default="float32",
+                   choices=("float32", "float16", "quant8"))
+    p.add_argument("--bandwidth-mbps", type=float, default=1000)
+    p.add_argument("--num-workers", type=int, default=1)
+    p.add_argument("--max-batch-size", type=int, default=8,
+                   help="dispatcher micro-batch cap")
+    p.add_argument("--max-delay-ms", type=float, default=2.0,
+                   help="longest wait for batch company once a request is queued")
+    p.add_argument("--json", default=None, help="also write the result dict here")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("train", help="quick MTL training demo (32x32 stand-in)")
     p.add_argument("--backbone", default="mobilenet_v3_tiny")

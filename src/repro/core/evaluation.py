@@ -11,11 +11,11 @@ Tables 1-3 (STL columns, MTL columns with signed deltas).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..data.base import MultiTaskDataset, TaskInfo
+from ..data.base import MultiTaskDataset
 from .architecture import MTLSplitNet
 from .finetune import FineTuneConfig, fine_tune
 from .trainer import MultiTaskTrainer, TrainConfig, evaluate

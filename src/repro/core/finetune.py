@@ -17,7 +17,7 @@ the system" use-case the paper motivates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
 import numpy as np

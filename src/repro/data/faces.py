@@ -20,7 +20,6 @@ STL-vs-MTL deltas when trained from scratch.
 
 from __future__ import annotations
 
-import math
 from typing import Optional, Tuple
 
 import numpy as np

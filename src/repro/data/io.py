@@ -10,7 +10,7 @@ image viewer opens.
 from __future__ import annotations
 
 import os
-from typing import Dict, Optional, Union
+from typing import Dict, Union
 
 import numpy as np
 

@@ -29,7 +29,6 @@ from .render import (
     draw_hline_band,
     fill_circle,
     fill_ellipse,
-    fill_polygon,
     fill_rect,
     hsv_to_rgb,
     vertical_gradient,

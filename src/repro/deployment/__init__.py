@@ -12,6 +12,8 @@ from .channel import (
     LTE_UPLINK,
     WIFI_5,
     NetworkChannel,
+    available_channels,
+    get_channel,
 )
 from .device import (
     GENERIC_SERVER,
@@ -19,6 +21,8 @@ from .device import (
     RASPBERRY_PI_4,
     RTX3090_SERVER,
     Device,
+    available_devices,
+    get_device,
 )
 from .energy import (
     JETSON_NANO_ENERGY,
@@ -64,6 +68,10 @@ __all__ = [
     "WIFI_5",
     "LTE_UPLINK",
     "DEGRADED_EDGE_LINK",
+    "available_channels",
+    "available_devices",
+    "get_channel",
+    "get_device",
     "LayerProfile",
     "ModelProfile",
     "profile_backbone",

@@ -18,6 +18,9 @@ __all__ = [
     "WIFI_5",
     "LTE_UPLINK",
     "DEGRADED_EDGE_LINK",
+    "CHANNEL_REGISTRY",
+    "available_channels",
+    "get_channel",
 ]
 
 
@@ -100,3 +103,31 @@ LTE_UPLINK = NetworkChannel("LTE uplink", bandwidth_bps=20e6, rtt_seconds=0.04,
 
 DEGRADED_EDGE_LINK = NetworkChannel("degraded edge link", bandwidth_bps=5e6,
                                     rtt_seconds=0.08, overhead_fraction=0.12)
+
+
+#: Registry used by the declarative deployment spec (``repro.serve``) to
+#: reference channel presets by a stable, JSON-serialisable name.
+CHANNEL_REGISTRY = {
+    "gigabit_ethernet": GIGABIT_ETHERNET,
+    "wifi_5": WIFI_5,
+    "lte_uplink": LTE_UPLINK,
+    "degraded_edge_link": DEGRADED_EDGE_LINK,
+}
+
+
+def available_channels():
+    """Sorted registry names accepted wherever a channel is named."""
+    return sorted(CHANNEL_REGISTRY)
+
+
+def get_channel(name: str) -> NetworkChannel:
+    """Look up a channel preset by registry name.
+
+    Raises ``KeyError`` listing the valid names when unknown.
+    """
+    try:
+        return CHANNEL_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown channel {name!r}; available: {available_channels()}"
+        ) from None

@@ -11,9 +11,12 @@ paper's board.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
-__all__ = ["Device", "JETSON_NANO", "RTX3090_SERVER", "RASPBERRY_PI_4", "GENERIC_SERVER"]
+__all__ = ["Device", "JETSON_NANO", "RTX3090_SERVER", "RASPBERRY_PI_4", "GENERIC_SERVER",
+    "DEVICE_REGISTRY",
+    "available_devices",
+    "get_device",
+]
 
 _GB = 1024**3
 
@@ -90,3 +93,31 @@ GENERIC_SERVER = Device(
     memory_bytes=64 * _GB,
     flops_per_second=2e12,
 )
+
+
+#: Registry used by the declarative deployment spec (``repro.serve``) to
+#: reference devices by a stable, JSON-serialisable name.
+DEVICE_REGISTRY = {
+    "jetson_nano": JETSON_NANO,
+    "rtx3090_server": RTX3090_SERVER,
+    "raspberry_pi_4": RASPBERRY_PI_4,
+    "generic_server": GENERIC_SERVER,
+}
+
+
+def available_devices():
+    """Sorted registry names accepted wherever a device is named."""
+    return sorted(DEVICE_REGISTRY)
+
+
+def get_device(name: str) -> Device:
+    """Look up a device preset by registry name.
+
+    Raises ``KeyError`` listing the valid names when unknown.
+    """
+    try:
+        return DEVICE_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; available: {available_devices()}"
+        ) from None

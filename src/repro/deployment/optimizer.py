@@ -19,8 +19,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
-
 from ..models.specs import BackboneSpec, iter_primitives
 from .channel import NetworkChannel
 from .device import Device

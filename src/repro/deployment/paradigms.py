@@ -18,8 +18,8 @@ server compute) and a feasibility verdict against the edge device.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 from ..models.specs import BackboneSpec
 from .channel import NetworkChannel

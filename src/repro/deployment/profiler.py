@@ -23,7 +23,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..models.specs import BackboneSpec, PrimitiveRecord, iter_primitives
+from ..models.specs import BackboneSpec, iter_primitives
 
 __all__ = ["LayerProfile", "ModelProfile", "profile_backbone", "BYTES_PER_PARAM"]
 

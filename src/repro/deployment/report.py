@@ -2,13 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 from ..models.registry import get_spec
-from .channel import NetworkChannel
-from .device import Device
-from .paradigms import ParadigmReport, compare_paradigms
-from .profiler import ModelProfile, profile_backbone
+from .paradigms import ParadigmReport
+from .profiler import profile_backbone
 from .runtime import ThroughputReport
 
 __all__ = [
@@ -88,7 +86,7 @@ def render_throughput(report: ThroughputReport) -> str:
         f"  pipelined makespan:     {report.pipelined_seconds * 1e3:8.2f} ms "
         f"({report.overlap_speedup:.2f}x overlap speedup)",
         f"  measured wall:          {report.wall_seconds * 1e3:8.2f} ms "
-        f"(transfer modelled, not slept)",
+        "(transfer modelled, not slept)",
         f"  throughput:             {report.batches_per_second:8.1f} batches/s "
         f"({report.images_per_second:.0f} images/s)",
         "  stage busy / utilisation:",

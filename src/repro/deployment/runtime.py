@@ -1,47 +1,36 @@
-"""Runnable split-computing pipeline (paper Fig. 1, executed).
+"""Deprecated home of the runnable split pipeline.
 
-:class:`EdgeRuntime` and :class:`ServerRuntime` wrap the two halves
-produced by :meth:`repro.core.architecture.MTLSplitNet.split` behind a
-byte-level interface: the edge runtime produces serialised ``Z_b``
-payloads, a :class:`SimulatedLink` accounts for their transfer time, and
-the server runtime decodes them and runs the task heads.  The pipeline's
-outputs are numerically identical to the monolithic network when the
-float32 wire format is used — the property the integration tests assert —
-and the accumulated timing gives a measured (not merely modelled) view of
-where inference time goes.
+The implementation moved to :mod:`repro.serve.runtime`; the declarative
+entry point that replaces hand-wiring these classes is
+:func:`repro.deploy` with a :class:`repro.serve.DeploymentSpec`.  The
+names below keep working — constructing a runtime or pipeline through
+this module emits a :class:`DeprecationWarning` but behaves identically
+(the classes are thin subclasses of their :mod:`repro.serve`
+counterparts, so ``isinstance`` checks hold in both directions for
+existing code).
 
-Both runtimes execute through the fused inference compiler
-(:mod:`repro.nn.fuse`) by default: batch-norm folded into conv weights,
-activations fused, no autograd graph.  On top of that, the arena-planned
-execution engine (:mod:`repro.nn.engine`) is enabled by default: a static
-per-batch-shape plan with preallocated buffers and sparse-lowered
-convolutions, optionally batch-sharded across ``num_workers`` threads.
-Pass ``planned=False`` for the plain fused session or ``compiled=False``
-for the eval-mode ``Tensor`` forward.
+Migration map::
 
-:meth:`SplitPipeline.infer_stream` additionally *overlaps* the stages:
-a double-buffered server worker consumes payloads while the edge computes
-the next batch, and the accompanying :class:`ThroughputReport` schedules
-the modelled transfer into the gap — so multi-batch wall time sits below
-the serial sum of per-stage times, the way a real deployment's would.
+    EdgeRuntime / ServerRuntime / SplitPipeline.from_net(...)
+        -> repro.deploy(DeploymentSpec(...))      # full lifecycle
+    SplitPipeline.infer / infer_stream
+        -> Deployment.infer / Deployment.stream
+    (new) concurrent single-image requests
+        -> Deployment.submit(image) -> Future     # dynamic batching
+
+Pure data types (:class:`InferenceTrace`, :class:`ThroughputReport`,
+:class:`SimulatedLink`) are re-exported without a warning: they carry no
+resources and their import location is the only thing that changed.
 """
 
 from __future__ import annotations
 
-import queue
-import threading
-import time
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+import warnings
 
-import numpy as np
-
-from .. import nn
-from ..core.architecture import EdgeModel, MTLSplitNet, ServerModel
-from ..nn.engine import PlanStats, PlannedExecutor
-from ..nn.tensor import Tensor
-from .channel import NetworkChannel
-from .wire import WireFormat, decode_tensor, encode_tensor
+from ..serve.runtime import InferenceTrace, SimulatedLink, ThroughputReport
+from ..serve.runtime import EdgeRuntime as _ServeEdgeRuntime
+from ..serve.runtime import ServerRuntime as _ServeServerRuntime
+from ..serve.runtime import SplitPipeline as _ServeSplitPipeline
 
 __all__ = [
     "InferenceTrace",
@@ -53,424 +42,40 @@ __all__ = [
 ]
 
 
-@dataclass
-class InferenceTrace:
-    """Timing and payload record for one pipeline invocation."""
-
-    batch_size: int
-    payload_bytes: int
-    edge_seconds: float
-    transfer_seconds: float
-    server_seconds: float
-
-    @property
-    def total_seconds(self) -> float:
-        return self.edge_seconds + self.transfer_seconds + self.server_seconds
+def _warn_moved(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.deployment.{old} is deprecated; use {new} "
+        "(see repro.serve — the declarative deployment API)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
-def _build_session(model, compiled, planned, num_workers, copy_outputs, reuse_buffers):
-    """Shared session-selection ladder for the two runtimes."""
-    if not compiled:
-        return None
-    if planned:  # planned=False wins even when num_workers was raised
-        return model.compile_for_inference(
-            plan=True, num_workers=num_workers, copy_outputs=copy_outputs
-        )
-    session = model.compile_for_inference()
-    return session.enable_buffer_reuse() if reuse_buffers else session
+class EdgeRuntime(_ServeEdgeRuntime):
+    """Deprecated alias of :class:`repro.serve.runtime.EdgeRuntime`."""
+
+    def __init__(self, *args, **kwargs):
+        _warn_moved("EdgeRuntime", "repro.deploy(...)")
+        super().__init__(*args, **kwargs)
 
 
-class _PlannedSessionMixin:
-    """``planned`` / ``plan_stats`` introspection shared by the runtimes."""
+class ServerRuntime(_ServeServerRuntime):
+    """Deprecated alias of :class:`repro.serve.runtime.ServerRuntime`."""
 
-    @property
-    def planned(self) -> bool:
-        return isinstance(self.session, PlannedExecutor) and self.session.planned
-
-    @property
-    def plan_stats(self) -> Optional[PlanStats]:
-        if isinstance(self.session, PlannedExecutor):
-            return self.session.stats
-        return None
+    def __init__(self, *args, **kwargs):
+        _warn_moved("ServerRuntime", "repro.deploy(...)")
+        super().__init__(*args, **kwargs)
 
 
-class EdgeRuntime(_PlannedSessionMixin):
-    """Runs the edge half and serialises ``Z_b`` for transmission.
+class SplitPipeline(_ServeSplitPipeline):
+    """Deprecated alias of :class:`repro.serve.runtime.SplitPipeline`.
 
-    With ``compiled=True`` (the default) the half executes through a
-    fused :class:`~repro.nn.fuse.InferenceSession`; with ``planned=True``
-    (also the default) that session is additionally wrapped in a
-    :class:`~repro.nn.engine.PlannedExecutor` — a static, arena-backed
-    execution plan per batch shape, optionally batch-sharded across
-    ``num_workers`` worker threads.  Executor-owned outputs are safe here
-    because every ``Z_b`` is serialised to bytes before the next batch.
+    ``SplitPipeline.from_net(...)`` keeps working (one warning per
+    pipeline); new code should declare the same deployment with
+    ``repro.deploy(DeploymentSpec(...))`` and get lifecycle management,
+    ``submit()`` dynamic batching and config-file round-tripping on top.
     """
 
-    def __init__(
-        self,
-        model: EdgeModel,
-        wire_format: WireFormat = WireFormat(),
-        compiled: bool = True,
-        planned: bool = True,
-        num_workers: int = 1,
-    ):
-        self.model = model
-        self.wire_format = wire_format
-        self.model.eval()
-        self.session = _build_session(
-            model, compiled, planned, num_workers,
-            copy_outputs=False, reuse_buffers=True,
-        )
-
-    @property
-    def compiled(self) -> bool:
-        return self.session is not None
-
-    def infer(self, images: np.ndarray) -> Tuple[bytes, float]:
-        """Return ``(payload, edge_compute_seconds)`` for a batch."""
-        start = time.perf_counter()
-        if self.session is not None:
-            z_b = self.session.run(images)
-        else:
-            with nn.no_grad():
-                z_b = self.model(Tensor(images)).data
-        payload = encode_tensor(z_b, self.wire_format)
-        return payload, time.perf_counter() - start
-
-
-class ServerRuntime(_PlannedSessionMixin):
-    """Decodes ``Z_b`` payloads and runs the remaining stages + heads.
-
-    The planned executor here copies its outputs out of the arena
-    (``copy_outputs=True``): the per-task logits are handed back to the
-    caller and must stay valid across batches.
-    """
-
-    def __init__(
-        self,
-        model: ServerModel,
-        task_names: Tuple[str, ...],
-        compiled: bool = True,
-        planned: bool = True,
-        num_workers: int = 1,
-    ):
-        self.model = model
-        self.task_names = task_names
-        self.model.eval()
-        self.session = _build_session(
-            model, compiled, planned, num_workers,
-            copy_outputs=True, reuse_buffers=False,
-        )
-
-    @property
-    def compiled(self) -> bool:
-        return self.session is not None
-
-    def infer(self, payload: bytes) -> Tuple[Dict[str, np.ndarray], float]:
-        """Return ``(per-task logits, server_compute_seconds)``."""
-        start = time.perf_counter()
-        z_flat = decode_tensor(payload)
-        if self.session is not None:
-            outputs = self.session.run(z_flat)
-            logits = {name: outputs[name] for name in self.task_names}
-        else:
-            with nn.no_grad():
-                outputs = self.model(Tensor(z_flat))
-            logits = {name: outputs[name].data for name in self.task_names}
-        return logits, time.perf_counter() - start
-
-
-class SimulatedLink:
-    """Accounts transfer time for payloads using a channel model.
-
-    The transfer is simulated (no wall-clock sleep): the link records the
-    modelled seconds so pipeline traces stay fast to produce while still
-    reflecting the channel.
-    """
-
-    def __init__(self, channel: NetworkChannel):
-        self.channel = channel
-        self.bytes_sent = 0
-        self.messages_sent = 0
-
-    def send(self, payload: bytes) -> float:
-        """Return the modelled transfer time for ``payload``."""
-        self.bytes_sent += len(payload)
-        self.messages_sent += 1
-        return self.channel.transfer_seconds(len(payload))
-
-
-@dataclass
-class ThroughputReport:
-    """Stage accounting for a multi-batch (optionally overlapped) run.
-
-    ``serial_seconds`` is what strictly sequential edge → transfer →
-    server execution would cost; ``pipelined_seconds`` is the makespan of
-    the overlapped schedule (edge computes batch *i+1* while batch *i*
-    is in flight and batch *i−1* is on the server); ``wall_seconds`` is
-    the measured wall time of the double-buffered run (transfer is
-    modelled, not slept, so it does not appear in the wall clock).
-
-    When the runtimes execute through the planned engine, the report also
-    carries the allocation accounting: ``num_workers`` (batch shards per
-    stage), ``arena_bytes`` (preallocated buffer arenas across both
-    stages) and ``steady_state_allocs`` (per-batch allocations planning
-    could not remove — zero for fully planned programs).
-    """
-
-    batches: int
-    images: int
-    wall_seconds: float
-    edge_seconds: float
-    transfer_seconds: float
-    server_seconds: float
-    pipelined_seconds: float
-    num_workers: int = 1
-    arena_bytes: int = 0
-    steady_state_allocs: int = 0
-
-    @property
-    def serial_seconds(self) -> float:
-        return self.edge_seconds + self.transfer_seconds + self.server_seconds
-
-    @property
-    def batches_per_second(self) -> float:
-        return self.batches / self.pipelined_seconds if self.pipelined_seconds else 0.0
-
-    @property
-    def images_per_second(self) -> float:
-        return self.images / self.pipelined_seconds if self.pipelined_seconds else 0.0
-
-    @property
-    def overlap_speedup(self) -> float:
-        """Serial time over pipelined makespan (>1 when overlap helps)."""
-        return self.serial_seconds / self.pipelined_seconds if self.pipelined_seconds else 1.0
-
-    @property
-    def stage_utilisation(self) -> Dict[str, float]:
-        """Fraction of the pipelined makespan each stage is busy."""
-        if not self.pipelined_seconds:
-            return {"edge": 0.0, "transfer": 0.0, "server": 0.0}
-        return {
-            "edge": self.edge_seconds / self.pipelined_seconds,
-            "transfer": self.transfer_seconds / self.pipelined_seconds,
-            "server": self.server_seconds / self.pipelined_seconds,
-        }
-
-    @property
-    def critical_stage(self) -> str:
-        """The stage the pipeline is bound by (highest busy time)."""
-        busy = {
-            "edge": self.edge_seconds,
-            "transfer": self.transfer_seconds,
-            "server": self.server_seconds,
-        }
-        return max(busy, key=busy.get)
-
-    @classmethod
-    def from_stage_times(
-        cls,
-        batch_sizes: Sequence[int],
-        edge: Sequence[float],
-        transfer: Sequence[float],
-        server: Sequence[float],
-        wall_seconds: float,
-        num_workers: int = 1,
-        arena_bytes: int = 0,
-        steady_state_allocs: int = 0,
-    ) -> "ThroughputReport":
-        """Build a report, scheduling the three stages as a pipeline.
-
-        Each stage processes batches in order and holds one batch at a
-        time; batch *i* enters a stage once both the previous stage has
-        produced it and the stage finished batch *i−1*.
-        """
-        edge_done = transfer_done = server_done = 0.0
-        for e, t, s in zip(edge, transfer, server):
-            edge_done = edge_done + e
-            transfer_done = max(edge_done, transfer_done) + t
-            server_done = max(transfer_done, server_done) + s
-        return cls(
-            batches=len(batch_sizes),
-            images=int(sum(batch_sizes)),
-            wall_seconds=wall_seconds,
-            edge_seconds=float(sum(edge)),
-            transfer_seconds=float(sum(transfer)),
-            server_seconds=float(sum(server)),
-            pipelined_seconds=server_done,
-            num_workers=num_workers,
-            arena_bytes=arena_bytes,
-            steady_state_allocs=steady_state_allocs,
-        )
-
-
-class SplitPipeline:
-    """End-to-end MTL-Split deployment: edge → link → server.
-
-    Build one with :meth:`from_net`; call :meth:`infer` per batch (or
-    :meth:`infer_stream` for overlapped multi-batch execution) and read
-    the accumulated :attr:`traces`.
-    """
-
-    def __init__(self, edge: EdgeRuntime, link: SimulatedLink, server: ServerRuntime):
-        self.edge = edge
-        self.link = link
-        self.server = server
-        self.traces: List[InferenceTrace] = []
-
-    @classmethod
-    def from_net(
-        cls,
-        net: MTLSplitNet,
-        channel: NetworkChannel,
-        split_index: Optional[int] = None,
-        input_size: int = 32,
-        wire_format: WireFormat = WireFormat(),
-        compiled: bool = True,
-        planned: bool = True,
-        num_workers: int = 1,
-    ) -> "SplitPipeline":
-        """Split ``net`` and wire the halves through a simulated channel.
-
-        ``planned`` runs both halves through the arena-backed execution
-        engine; ``num_workers`` shards each stage's batch across that
-        many worker threads (see :mod:`repro.nn.engine`).
-        """
-        edge_model, server_model = net.split(split_index, input_size=input_size)
-        return cls(
-            EdgeRuntime(
-                edge_model, wire_format, compiled=compiled,
-                planned=planned, num_workers=num_workers,
-            ),
-            SimulatedLink(channel),
-            ServerRuntime(
-                server_model, net.task_names, compiled=compiled,
-                planned=planned, num_workers=num_workers,
-            ),
-        )
-
-    def _plan_accounting(self) -> Tuple[int, int, int]:
-        """(num_workers, arena_bytes, steady-state allocs) across stages."""
-        num_workers = 1
-        arena_bytes = 0
-        allocs = 0
-        for runtime in (self.edge, self.server):
-            stats = getattr(runtime, "plan_stats", None)
-            if stats is not None:
-                num_workers = max(num_workers, stats.num_workers)
-                arena_bytes += stats.arena_bytes
-                allocs += stats.steady_state_allocs
-        return num_workers, arena_bytes, allocs
-
-    def warmup(self, images: np.ndarray) -> "SplitPipeline":
-        """Prime both halves (kernel auto-tuning, contraction plans).
-
-        Runs one untraced end-to-end pass so that serving-time traces
-        measure steady-state latency, the way a deployed engine would be
-        exercised before accepting traffic.  The link is not charged.
-        """
-        payload, _ = self.edge.infer(images)
-        self.server.infer(payload)
-        return self
-
-    def infer(self, images: np.ndarray) -> Dict[str, np.ndarray]:
-        """Run one batch through the full deployment and record a trace."""
-        payload, edge_s = self.edge.infer(images)
-        transfer_s = self.link.send(payload)
-        logits, server_s = self.server.infer(payload)
-        self.traces.append(
-            InferenceTrace(
-                batch_size=images.shape[0],
-                payload_bytes=len(payload),
-                edge_seconds=edge_s,
-                transfer_seconds=transfer_s,
-                server_seconds=server_s,
-            )
-        )
-        return logits
-
-    def infer_stream(
-        self, batches: Iterable[np.ndarray]
-    ) -> Tuple[List[Dict[str, np.ndarray]], ThroughputReport]:
-        """Run many batches with edge/server execution overlapped.
-
-        A double-buffered worker thread runs the server half while the
-        edge half computes the next batch, mirroring the deployment the
-        paper targets (device and server are distinct machines).  Per
-        batch, a normal :class:`InferenceTrace` is appended; the returned
-        :class:`ThroughputReport` adds the schedule view — batches/s,
-        stage utilisation and the critical stage.
-        """
-        batch_list = [np.asarray(b) for b in batches]
-        n = len(batch_list)
-        if n == 0:
-            return [], ThroughputReport.from_stage_times([], [], [], [], 0.0)
-
-        results: List[Optional[Dict[str, np.ndarray]]] = [None] * n
-        server_times = [0.0] * n
-        worker_error: List[BaseException] = []
-        handoff: "queue.Queue" = queue.Queue(maxsize=2)  # double buffer
-
-        def serve() -> None:
-            try:
-                while True:
-                    item = handoff.get()
-                    if item is None:
-                        return
-                    index, payload = item
-                    results[index], server_times[index] = self.server.infer(payload)
-            except BaseException as error:  # surfaced after join
-                worker_error.append(error)
-                while handoff.get() is not None:  # keep the producer unblocked
-                    pass
-
-        worker = threading.Thread(target=serve, name="split-pipeline-server")
-        edge_times: List[float] = []
-        transfer_times: List[float] = []
-        payload_sizes: List[int] = []
-        start = time.perf_counter()
-        worker.start()
-        try:
-            for index, images in enumerate(batch_list):
-                payload, edge_s = self.edge.infer(images)
-                edge_times.append(edge_s)
-                transfer_times.append(self.link.send(payload))
-                payload_sizes.append(len(payload))
-                handoff.put((index, payload))
-        finally:
-            handoff.put(None)
-            worker.join()
-        wall = time.perf_counter() - start
-        if worker_error:
-            raise worker_error[0]
-
-        batch_sizes = [b.shape[0] for b in batch_list]
-        for i in range(n):
-            self.traces.append(
-                InferenceTrace(
-                    batch_size=batch_sizes[i],
-                    payload_bytes=payload_sizes[i],
-                    edge_seconds=edge_times[i],
-                    transfer_seconds=transfer_times[i],
-                    server_seconds=server_times[i],
-                )
-            )
-        num_workers, arena_bytes, allocs = self._plan_accounting()
-        report = ThroughputReport.from_stage_times(
-            batch_sizes, edge_times, transfer_times, server_times, wall,
-            num_workers=num_workers, arena_bytes=arena_bytes,
-            steady_state_allocs=allocs,
-        )
-        return list(results), report  # type: ignore[arg-type]
-
-    # ------------------------------------------------------------------
-    def total_transfer_seconds(self) -> float:
-        return sum(t.transfer_seconds for t in self.traces)
-
-    def total_seconds(self) -> float:
-        return sum(t.total_seconds for t in self.traces)
-
-    def mean_payload_bytes(self) -> float:
-        if not self.traces:
-            return 0.0
-        return sum(t.payload_bytes for t in self.traces) / len(self.traces)
+    def __init__(self, *args, **kwargs):
+        _warn_moved("SplitPipeline", "repro.deploy(...)")
+        super().__init__(*args, **kwargs)

@@ -18,7 +18,7 @@ count equals the analytic count) for every registered spec.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple, Union
 
 __all__ = [

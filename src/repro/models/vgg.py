@@ -19,7 +19,7 @@ from typing import Optional, Sequence, Tuple, Union
 import numpy as np
 
 from .builder import Backbone, build_backbone
-from .specs import BackboneSpec, ConvBNAct, LayerSpec, MaxPool
+from .specs import BackboneSpec, ConvBNAct, MaxPool
 
 __all__ = [
     "vgg_spec_from_config",

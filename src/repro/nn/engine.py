@@ -1046,6 +1046,12 @@ class PlannedExecutor:
             self._pool = None
             self._prepared.clear()  # sharded plans expect a live pool
 
+    def __enter__(self) -> "PlannedExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
     def __del__(self):  # pragma: no cover - interpreter-shutdown timing
         try:
             self.close()

@@ -781,6 +781,23 @@ class InferenceSession:
 
     __call__ = run
 
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Release execution resources.
+
+        A plain session owns nothing beyond its op list (cached buffers
+        are reclaimed by the garbage collector), so this is a no-op; it
+        exists so callers can close any session-shaped executor —
+        including :class:`~repro.nn.engine.PlannedExecutor`, whose
+        ``close`` stops worker threads — without type-switching.
+        """
+
+    def __enter__(self) -> "InferenceSession":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
     # -- buffer management ---------------------------------------------
     def enable_buffer_reuse(self) -> "InferenceSession":
         """Reuse convolution output buffers across calls.

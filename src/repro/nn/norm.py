@@ -9,8 +9,6 @@ fine-tuning (the paper's Sec. 3.3 scenario run *on* the edge).
 
 from __future__ import annotations
 
-import numpy as np
-
 from . import init
 from .module import Module, Parameter
 from .tensor import Tensor

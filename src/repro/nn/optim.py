@@ -10,7 +10,7 @@ scheme a first-class citizen here, exactly as in PyTorch.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Union
 
 import numpy as np
 

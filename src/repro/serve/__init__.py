@@ -1,0 +1,61 @@
+"""``repro.serve`` — the declarative deployment and serving API.
+
+The one-stop surface over the split-computing stack: declare a
+deployment as a frozen, JSON-round-trippable
+:class:`~repro.serve.spec.DeploymentSpec`, bring it to life with
+:func:`~repro.serve.deployment.deploy`, and serve through three surfaces
+— synchronous batches (``infer``), overlapped batch streams
+(``stream``), and asynchronous single-image requests (``submit``) that a
+dynamic micro-batching dispatcher coalesces into engine-sized batches::
+
+    import repro
+
+    spec = repro.DeploymentSpec(
+        model="mobilenet_v3_tiny",
+        tasks=(("scale", 8), ("shape", 4)),
+        split_index="auto",          # latency-optimal cut
+        wire="quant8",               # 4x smaller Z_b payloads
+        num_workers=4,               # batch shards per stage
+    )
+    with repro.deploy(spec) as dep:
+        futures = [dep.submit(image) for image in images]   # many clients
+        results = [f.result() for f in futures]             # batched under the hood
+
+The execution layer (:mod:`repro.serve.runtime`) and the batcher
+(:mod:`repro.serve.batching`) are public too, for code that needs the
+pieces; :mod:`repro.serve.bench` drives synthetic concurrent load for
+benchmarking.  The pre-``serve`` classes under ``repro.deployment``
+(``EdgeRuntime``/``ServerRuntime``/``SplitPipeline``) remain as
+deprecated wrappers over this package.
+"""
+
+from .batching import BatchingStats, DynamicBatcher
+from .bench import ClientLoadResult, render_serve_bench, run_serve_bench
+from .deployment import Deployment, deploy
+from .runtime import (
+    EdgeRuntime,
+    InferenceTrace,
+    ServerRuntime,
+    SimulatedLink,
+    SplitPipeline,
+    ThroughputReport,
+)
+from .spec import DeploymentSpec, SpecError
+
+__all__ = [
+    "BatchingStats",
+    "ClientLoadResult",
+    "Deployment",
+    "DeploymentSpec",
+    "DynamicBatcher",
+    "EdgeRuntime",
+    "InferenceTrace",
+    "ServerRuntime",
+    "SimulatedLink",
+    "SpecError",
+    "SplitPipeline",
+    "ThroughputReport",
+    "deploy",
+    "render_serve_bench",
+    "run_serve_bench",
+]

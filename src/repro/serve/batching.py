@@ -1,0 +1,245 @@
+"""Dynamic micro-batching for concurrent single-image requests.
+
+The planned execution engine (:mod:`repro.nn.engine`) is batch-sharded:
+its multicore speedups and GEMM efficiency come from processing many
+images per call.  A serving front-end, however, receives *individual*
+requests from many concurrent clients — exactly the workload where
+batch-1 execution leaves the engine idle (the ROADMAP's open item).
+
+:class:`DynamicBatcher` closes that gap the way Clipper-style serving
+systems do: ``submit(image)`` enqueues the request and returns a
+:class:`~concurrent.futures.Future`; a single background dispatcher
+coalesces whatever is queued into micro-batches, bounded by
+``max_batch_size`` (never run more than this many images at once) and
+``max_queue_delay_ms`` (never hold the oldest request longer than this
+waiting for company).  Each micro-batch runs through one batched
+``infer`` call — hitting the executor's cached per-shape
+:class:`~repro.nn.engine.ExecutionPlan` — and the per-image rows are
+sliced back onto their futures.
+
+Requests of different image shapes may be interleaved; the dispatcher
+groups each micro-batch by shape so every underlying ``infer`` call sees
+a homogeneous batch.  With the default float32 wire format, batched
+results are bit-for-bit within 1e-6 of sequential batch-1 calls (the
+property the concurrency tests assert); the ``quant8`` wire format
+quantises per batch, so there results can differ at quantisation
+granularity.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["BatchingStats", "DynamicBatcher"]
+
+_SHUTDOWN = object()
+
+
+@dataclass
+class BatchingStats:
+    """Dispatcher-side accounting for one batcher's lifetime.
+
+    ``batch_size_histogram`` maps dispatched batch size to how many
+    batches of that size ran — the distribution that shows whether
+    concurrent load actually coalesced (many large batches) or trickled
+    through one by one.
+    """
+
+    requests: int = 0
+    batches: int = 0
+    images: int = 0
+    max_batch_size_seen: int = 0
+    batch_size_histogram: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.images / self.batches if self.batches else 0.0
+
+    def record_batch(self, size: int) -> None:
+        self.batches += 1
+        self.images += size
+        self.max_batch_size_seen = max(self.max_batch_size_seen, size)
+        self.batch_size_histogram[size] = self.batch_size_histogram.get(size, 0) + 1
+
+
+class DynamicBatcher:
+    """Coalesces concurrent ``submit`` calls into bounded micro-batches.
+
+    Parameters
+    ----------
+    infer_batch:
+        Callable executing one homogeneous image batch ``(n, ...)`` and
+        returning either a ``{task: (n, classes) ndarray}`` dict or a
+        single ``(n, ...)`` array.  Called only from the dispatcher
+        thread, so it needs no internal locking.
+    max_batch_size:
+        Hard cap on images per dispatched batch.
+    max_queue_delay_ms:
+        Longest the dispatcher waits for more requests once one is
+        pending.  ``0`` dispatches whatever is instantaneously queued
+        (pure coalescing, no added latency).
+    name:
+        Thread-name prefix, visible in debuggers and the leak tests.
+    """
+
+    def __init__(
+        self,
+        infer_batch: Callable[[np.ndarray], object],
+        max_batch_size: int = 8,
+        max_queue_delay_ms: float = 2.0,
+        name: str = "repro-serve-batcher",
+    ):
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_queue_delay_ms < 0:
+            raise ValueError(
+                f"max_queue_delay_ms must be >= 0, got {max_queue_delay_ms}"
+            )
+        self._infer_batch = infer_batch
+        self.max_batch_size = int(max_batch_size)
+        self.max_queue_delay = float(max_queue_delay_ms) / 1e3
+        self.stats = BatchingStats()
+        self._stats_lock = threading.Lock()  # submit() increments from any thread
+        self._queue: "queue.Queue" = queue.Queue()
+        self._closed = threading.Event()
+        self._thread = threading.Thread(
+            target=self._dispatch_loop, name=name, daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def submit(self, image: np.ndarray) -> "Future":
+        """Enqueue one image; resolve to its per-task logits row.
+
+        ``image`` is a single sample (no batch axis — e.g. ``(C, H, W)``
+        for the conv backbones).  The returned future resolves to what a
+        batch-1 ``infer`` would return for it, minus the batch axis:
+        ``{task: (classes,) ndarray}`` for multi-task deployments.
+        """
+        if self._closed.is_set():
+            raise RuntimeError("DynamicBatcher is closed; no new submissions")
+        array = np.asarray(image, dtype=np.float32)
+        future: "Future" = Future()
+        with self._stats_lock:  # += from client threads is not atomic
+            self.stats.requests += 1
+        self._queue.put((array, future))
+        return future
+
+    # ------------------------------------------------------------------
+    # Dispatcher side
+    # ------------------------------------------------------------------
+    def _collect(self, first) -> Tuple[List, bool]:
+        """Gather one micro-batch starting from ``first``.
+
+        Returns ``(requests, saw_shutdown)``.  Waits at most
+        ``max_queue_delay`` past the first request, stops early at
+        ``max_batch_size``.
+        """
+        batch = [first]
+        deadline = time.monotonic() + self.max_queue_delay
+        while len(batch) < self.max_batch_size:
+            timeout = deadline - time.monotonic()
+            try:
+                if timeout > 0:
+                    item = self._queue.get(timeout=timeout)
+                else:
+                    item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _SHUTDOWN:
+                return batch, True
+            batch.append(item)
+        return batch, False
+
+    def _run_batch(self, batch: List) -> None:
+        """Execute one micro-batch, grouped by image shape."""
+        # Drop requests whose future was cancelled while queued.
+        live = [
+            (image, future)
+            for image, future in batch
+            if future.set_running_or_notify_cancel()
+        ]
+        if not live:
+            return
+        groups: Dict[Tuple[int, ...], List] = {}
+        for image, future in live:
+            groups.setdefault(tuple(image.shape), []).append((image, future))
+        for shaped in groups.values():
+            images = np.stack([image for image, _ in shaped])
+            try:
+                outputs = self._infer_batch(images)
+            except BaseException as error:
+                for _, future in shaped:
+                    future.set_exception(error)
+                continue
+            self.stats.record_batch(len(shaped))
+            for row, (_, future) in enumerate(shaped):
+                if isinstance(outputs, dict):
+                    future.set_result(
+                        {name: np.asarray(value)[row] for name, value in outputs.items()}
+                    )
+                else:
+                    future.set_result(np.asarray(outputs)[row])
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            batch, saw_shutdown = self._collect(item)
+            self._run_batch(batch)
+            if saw_shutdown:
+                return
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self, timeout: Optional[float] = 5.0) -> None:
+        """Stop accepting requests, flush the queue, stop the thread.
+
+        Requests already submitted are still dispatched (the shutdown
+        sentinel queues *behind* them); anything somehow left after the
+        dispatcher exits is failed with ``RuntimeError`` so no future
+        hangs forever.  Idempotent.
+        """
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        self._queue.put(_SHUTDOWN)
+        self._thread.join(timeout=timeout)
+        while True:  # fail leftovers rather than strand their futures
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _SHUTDOWN:
+                continue
+            _, future = item
+            if future.set_running_or_notify_cancel():
+                future.set_exception(RuntimeError("DynamicBatcher closed"))
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+    def __enter__(self) -> "DynamicBatcher":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicBatcher(max_batch_size={self.max_batch_size}, "
+            f"max_queue_delay_ms={self.max_queue_delay * 1e3:g}, "
+            f"requests={self.stats.requests}, batches={self.stats.batches})"
+        )

@@ -1,0 +1,218 @@
+"""Synthetic-load benchmark for the dynamic-batching front-end.
+
+Answers the serving question the ROADMAP poses: does request-level
+traffic (many clients, one image each) actually reach the batch-sharded
+engine?  :func:`run_serve_bench` drives a deployment two ways on the
+same host:
+
+* **sequential baseline** — one thread calling batch-1
+  :meth:`~repro.serve.deployment.Deployment.infer` in a closed loop:
+  what serving looked like before the batcher (the ROADMAP's "batch-1
+  runs one shard" open item);
+* **concurrent submit()** — N closed-loop client threads, each
+  submitting one image at a time through
+  :meth:`~repro.serve.deployment.Deployment.submit` and waiting for its
+  future; the dispatcher coalesces whatever the clients manage to queue.
+
+Per run it records wall-clock throughput, client-observed p50/p95
+latency, and the dispatched batch-size distribution — the evidence that
+coalescing happened (or didn't: a single closed-loop client can never
+batch with itself, and pays the queue delay for nothing; the numbers
+show that honestly).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .deployment import Deployment, deploy
+from .spec import DeploymentSpec
+
+__all__ = ["ClientLoadResult", "run_serve_bench", "render_serve_bench"]
+
+
+def _percentile_ms(latencies: Sequence[float], q: float) -> float:
+    """q-th percentile of a latency list, in milliseconds."""
+    if not latencies:
+        return 0.0
+    return float(np.percentile(np.asarray(latencies) * 1e3, q))
+
+
+@dataclass
+class ClientLoadResult:
+    """One load point: ``clients`` closed-loop clients, ``requests`` total."""
+
+    mode: str  # "sequential" or "submit"
+    clients: int
+    requests: int
+    wall_seconds: float
+    p50_ms: float
+    p95_ms: float
+    mean_batch_size: float
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.requests / self.wall_seconds if self.wall_seconds else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        data = asdict(self)
+        data["throughput_rps"] = self.throughput_rps
+        return data
+
+
+def _synthetic_images(deployment: Deployment, count: int, seed: int) -> np.ndarray:
+    spec = deployment.net.backbone.spec
+    size = deployment.spec.input_size
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(
+        (count, spec.input_channels, size, size), dtype=np.float32
+    )
+
+
+def _run_sequential(
+    deployment: Deployment, images: np.ndarray
+) -> ClientLoadResult:
+    latencies: List[float] = []
+    start = time.perf_counter()
+    for image in images:
+        t0 = time.perf_counter()
+        deployment.infer(image[None])
+        latencies.append(time.perf_counter() - t0)
+    wall = time.perf_counter() - start
+    return ClientLoadResult(
+        mode="sequential",
+        clients=1,
+        requests=len(images),
+        wall_seconds=wall,
+        p50_ms=_percentile_ms(latencies, 50),
+        p95_ms=_percentile_ms(latencies, 95),
+        mean_batch_size=1.0,
+    )
+
+
+def _run_concurrent(
+    deployment: Deployment,
+    images: np.ndarray,
+    clients: int,
+    requests_per_client: int,
+) -> ClientLoadResult:
+    latencies: List[List[float]] = [[] for _ in range(clients)]
+    errors: List[BaseException] = []
+    barrier = threading.Barrier(clients + 1)
+    batches_before = deployment.batching_stats.batches
+    images_before = deployment.batching_stats.images
+
+    def client(index: int) -> None:
+        rng = np.random.default_rng(index)
+        try:
+            barrier.wait()
+            for _ in range(requests_per_client):
+                image = images[rng.integers(len(images))]
+                t0 = time.perf_counter()
+                deployment.submit(image).result(timeout=120)
+                latencies[index].append(time.perf_counter() - t0)
+        except BaseException as error:  # surfaced after join
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=client, args=(i,), name=f"serve-bench-client-{i}")
+        for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+
+    stats = deployment.batching_stats
+    batches = stats.batches - batches_before
+    dispatched = stats.images - images_before
+    flat = [value for per_client in latencies for value in per_client]
+    return ClientLoadResult(
+        mode="submit",
+        clients=clients,
+        requests=clients * requests_per_client,
+        wall_seconds=wall,
+        p50_ms=_percentile_ms(flat, 50),
+        p95_ms=_percentile_ms(flat, 95),
+        mean_batch_size=dispatched / batches if batches else 0.0,
+    )
+
+
+def run_serve_bench(
+    spec: DeploymentSpec,
+    client_counts: Sequence[int] = (1, 8, 64),
+    requests_per_client: int = 8,
+    baseline_requests: Optional[int] = None,
+    seed: int = 0,
+) -> Dict:
+    """Benchmark ``submit()`` under synthetic concurrent load.
+
+    One deployment serves every load point (so plan caches stay warm and
+    the comparison is steady-state); the sequential batch-1 baseline
+    runs first on the same deployment.  Returns a JSON-ready dict with
+    the baseline, one entry per client count, and the best
+    concurrent-vs-sequential throughput ratio.
+    """
+    if baseline_requests is None:
+        baseline_requests = max(int(count) for count in client_counts) * 2
+    with deploy(spec) as deployment:
+        images = _synthetic_images(
+            deployment, count=max(64, baseline_requests), seed=seed
+        )
+        deployment.warmup(
+            sorted({1, spec.max_batch_size, max(spec.max_batch_size // 2, 1)})
+        )
+        sequential = _run_sequential(deployment, images[:baseline_requests])
+        points = [
+            _run_concurrent(deployment, images, int(clients), requests_per_client)
+            for clients in client_counts
+        ]
+        histogram = dict(
+            sorted(deployment.batching_stats.batch_size_histogram.items())
+        )
+    best = max(points, key=lambda point: point.throughput_rps)
+    return {
+        "spec": spec.to_dict() if isinstance(spec.model, str) else spec.describe(),
+        "sequential": sequential.to_dict(),
+        "concurrent": [point.to_dict() for point in points],
+        "batch_size_histogram": {str(k): v for k, v in histogram.items()},
+        "best_speedup_vs_sequential": (
+            best.throughput_rps / sequential.throughput_rps
+            if sequential.throughput_rps
+            else 0.0
+        ),
+    }
+
+
+def render_serve_bench(result: Dict) -> str:
+    """Human-readable table for one :func:`run_serve_bench` result."""
+    rows = [result["sequential"], *result["concurrent"]]
+    lines = [
+        f"{'mode':<12}{'clients':>8}{'requests':>10}{'req/s':>10}"
+        f"{'p50 ms':>10}{'p95 ms':>10}{'mean batch':>12}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['mode']:<12}{row['clients']:>8}{row['requests']:>10}"
+            f"{row['throughput_rps']:>10.1f}{row['p50_ms']:>10.2f}"
+            f"{row['p95_ms']:>10.2f}{row['mean_batch_size']:>12.2f}"
+        )
+    lines.append(
+        "best concurrent throughput vs sequential batch-1: "
+        f"{result['best_speedup_vs_sequential']:.2f}x"
+    )
+    histogram = result.get("batch_size_histogram")
+    if histogram:
+        pairs = ", ".join(f"{k}: {v}" for k, v in histogram.items())
+        lines.append(f"dispatched batch sizes {{size: count}}: {pairs}")
+    return "\n".join(lines)

@@ -1,0 +1,267 @@
+"""The :class:`Deployment` facade: one object, the whole serving stack.
+
+``repro.deploy(spec)`` takes a declarative
+:class:`~repro.serve.spec.DeploymentSpec` and owns the full lifecycle
+that previously had to be wired by hand across six layers::
+
+    build/adopt net -> resolve cut (optionally via the latency optimizer)
+      -> split -> compile (fuse) -> plan (engine) -> wire + channel
+        -> pipeline -> dynamic-batching front-end
+
+The resulting object exposes the three serving surfaces:
+
+* :meth:`Deployment.infer` — one batch, synchronous (the old
+  ``SplitPipeline.infer``);
+* :meth:`Deployment.stream` — many batches with edge/server overlap and
+  a :class:`~repro.serve.runtime.ThroughputReport` (the old
+  ``SplitPipeline.infer_stream``);
+* :meth:`Deployment.submit` — one *image*, asynchronous: returns a
+  :class:`~concurrent.futures.Future` resolved by the dynamic
+  micro-batching dispatcher, which coalesces concurrent submissions into
+  engine-sized batches (new — this is what lets many small clients
+  exercise the batch-sharded multicore engine).
+
+Deployments are context managers; :meth:`close` drains the batcher and
+reclaims the planned executors' worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.architecture import MTLSplitNet
+from ..data.base import TaskInfo
+from ..deployment.optimizer import optimal_split_index
+from ..models.registry import get_spec
+from .batching import BatchingStats, DynamicBatcher
+from .runtime import SplitPipeline, ThroughputReport
+from .spec import DeploymentSpec, SpecError
+
+__all__ = ["Deployment", "deploy"]
+
+
+def _resolve_net(spec: DeploymentSpec) -> MTLSplitNet:
+    """Build (or adopt) the network a spec describes."""
+    if isinstance(spec.model, str):
+        tasks = [TaskInfo(name=name, num_classes=classes) for name, classes in spec.tasks]
+        return MTLSplitNet.from_tasks(
+            spec.model, tasks, input_size=spec.input_size, seed=spec.seed
+        )
+    return spec.model
+
+
+def _resolve_split_index(spec: DeploymentSpec, net: MTLSplitNet) -> Optional[int]:
+    """Turn the spec's cut description into a concrete stage count.
+
+    ``"auto"`` runs the Neurosurgeon-style latency optimizer for the
+    spec's device pair and channel; its stage index ``k`` (stages
+    ``0..k`` on the edge) maps to ``MTLSplitNet.split``'s convention of
+    "number of stages on the edge" as ``k + 1``.  A remote-only optimum
+    (``k == -1``) clamps to the smallest real cut — a split deployment
+    always keeps at least one stage on the edge.
+    """
+    num_stages = len(list(net.backbone.stages))
+    if spec.auto_split:
+        backbone_spec = (
+            get_spec(spec.model) if isinstance(spec.model, str) else net.backbone.spec
+        )
+        best = optimal_split_index(
+            backbone_spec,
+            spec.resolve_edge_device(),
+            spec.resolve_server_device(),
+            spec.resolve_channel(),
+            input_size=spec.input_size,
+            wire_format=spec.wire_format(),
+        )
+        return int(min(max(best.stage_index + 1, 1), num_stages))
+    if spec.split_index is None:
+        return None  # the paper's default cut: whole backbone on the edge
+    if not 1 <= spec.split_index <= num_stages:
+        raise SpecError(
+            f"split_index {spec.split_index} out of range for "
+            f"{spec.describe()}: backbone has {num_stages} stages "
+            f"(valid: 1..{num_stages}, None for the default cut, or 'auto')"
+        )
+    return spec.split_index
+
+
+class Deployment:
+    """A live split-computing deployment built from a (frozen) spec.
+
+    Construct through :func:`deploy`.  Thread-safety: :meth:`submit` may
+    be called from any number of threads concurrently; :meth:`infer`,
+    :meth:`stream` and :meth:`warmup` take the same internal pipeline
+    lock the dispatcher uses, so synchronous and asynchronous traffic
+    can coexist without interleaving inside the engine.
+    """
+
+    def __init__(self, spec: DeploymentSpec):
+        self.spec = spec
+        self.net = _resolve_net(spec)
+        self.net.eval()
+        self.split_index: Optional[int] = _resolve_split_index(spec, self.net)
+        self.pipeline = SplitPipeline.from_net(
+            self.net,
+            spec.resolve_channel(),
+            split_index=self.split_index,
+            input_size=spec.input_size,
+            wire_format=spec.wire_format(),
+            compiled=spec.compiled,
+            planned=spec.planned,
+            num_workers=spec.num_workers,
+        )
+        self._pipeline_lock = threading.Lock()
+        self._batcher: Optional[DynamicBatcher] = None
+        self._batcher_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def task_names(self) -> Tuple[str, ...]:
+        return self.net.task_names
+
+    @property
+    def traces(self):
+        return self.pipeline.traces
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def batching_stats(self) -> BatchingStats:
+        """Dispatcher accounting (zeros until the first ``submit``)."""
+        if self._batcher is None:
+            return BatchingStats()
+        return self._batcher.stats
+
+    @property
+    def execution_mode(self) -> str:
+        """How the halves execute: planned engine / fused/compiled / eval-mode."""
+        if self.pipeline.edge.planned:
+            return f"planned engine ({self.spec.num_workers} worker(s))"
+        if self.pipeline.edge.compiled:
+            return "fused/compiled"
+        return "eval-mode"
+
+    def describe(self) -> str:
+        cut = self.split_index if self.split_index is not None else "backbone/heads"
+        return f"{self.spec.describe()} -> cut at {cut}, {self.execution_mode} halves"
+
+    # ------------------------------------------------------------------
+    # Serving surfaces
+    # ------------------------------------------------------------------
+    def _require_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("Deployment is closed; build a new one with repro.deploy")
+
+    def warmup(self, batch_sizes: Iterable[int] = (1,)) -> "Deployment":
+        """Prime the executors' plan caches for the given batch sizes.
+
+        Serving traffic dispatched by the batcher arrives in sizes
+        ``1..max_batch_size``; pre-planning the common ones keeps
+        first-request latency flat.
+        """
+        self._require_open()
+        channels = self.net.backbone.spec.input_channels
+        size = self.spec.input_size
+        with self._pipeline_lock:
+            for batch in batch_sizes:
+                zeros = np.zeros((int(batch), channels, size, size), dtype=np.float32)
+                self.pipeline.warmup(zeros)
+        return self
+
+    def infer(self, images: np.ndarray) -> Dict[str, np.ndarray]:
+        """Synchronously run one image batch end-to-end."""
+        self._require_open()
+        with self._pipeline_lock:
+            return self.pipeline.infer(images)
+
+    def stream(
+        self, batches: Iterable[np.ndarray]
+    ) -> Tuple[List[Dict[str, np.ndarray]], ThroughputReport]:
+        """Run many batches with edge/server execution overlapped."""
+        self._require_open()
+        with self._pipeline_lock:
+            return self.pipeline.infer_stream(batches)
+
+    def _infer_locked(self, images: np.ndarray) -> Dict[str, np.ndarray]:
+        with self._pipeline_lock:
+            return self.pipeline.infer(images)
+
+    def submit(self, image: np.ndarray) -> "Future":
+        """Asynchronously serve one image through the dynamic batcher.
+
+        Returns a future resolving to ``{task: (classes,) ndarray}`` —
+        the batch-1 ``infer`` result for this image, minus the batch
+        axis.  Concurrent submissions coalesce into micro-batches of up
+        to ``spec.max_batch_size`` images (waiting at most
+        ``spec.max_queue_delay_ms`` for company), so request-level
+        traffic runs through the engine's cached batched plans.
+        """
+        self._require_open()
+        if self._batcher is None:
+            # The closed check repeats under the lock: a close() racing
+            # this first submit must not see _batcher is None, tear down
+            # the pipeline, and leave us resurrecting a closed executor.
+            with self._batcher_lock:
+                self._require_open()
+                if self._batcher is None:
+                    self._batcher = DynamicBatcher(
+                        self._infer_locked,
+                        max_batch_size=self.spec.max_batch_size,
+                        max_queue_delay_ms=self.spec.max_queue_delay_ms,
+                    )
+        return self._batcher.submit(image)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drain the batcher, then release executor worker threads.
+
+        Idempotent; outstanding ``submit`` futures are completed (the
+        batcher flushes its queue) before the engine resources go away.
+        """
+        with self._batcher_lock:
+            if self._closed:
+                return
+            self._closed = True
+            batcher = self._batcher
+        if batcher is not None:
+            batcher.close()
+        self.pipeline.close()
+
+    def __enter__(self) -> "Deployment":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"Deployment({self.describe()}, {state})"
+
+
+def deploy(spec: Optional[DeploymentSpec] = None, **overrides) -> Deployment:
+    """Build a live :class:`Deployment` from a spec (the public API).
+
+    Call with a ready spec, keyword overrides on top of one, or pure
+    keywords (which construct the spec in place)::
+
+        dep = repro.deploy(model="mobilenet_v3_tiny",
+                           tasks=(("scale", 8), ("shape", 4)))
+        dep = repro.deploy(spec)                      # as declared
+        dep = repro.deploy(spec, num_workers=4)       # spec + override
+    """
+    if spec is None:
+        spec = DeploymentSpec(**overrides)
+    elif overrides:
+        spec = spec.replace(**overrides)
+    return Deployment(spec)

@@ -1,0 +1,524 @@
+"""Split-computing pipeline runtime (paper Fig. 1, executed).
+
+This module is the execution layer under :mod:`repro.serve`: the
+:class:`EdgeRuntime` runs the edge half and serialises ``Z_b`` payloads, a
+:class:`SimulatedLink` accounts their transfer time, and the
+:class:`ServerRuntime` decodes them and runs the task heads.  The
+pipeline's outputs are numerically identical to the monolithic network
+when the float32 wire format is used — the property the integration tests
+assert — and the accumulated timing gives a measured (not merely
+modelled) view of where inference time goes.
+
+Both runtimes execute through the fused inference compiler
+(:mod:`repro.nn.fuse`) by default: batch-norm folded into conv weights,
+activations fused, no autograd graph.  On top of that, the arena-planned
+execution engine (:mod:`repro.nn.engine`) is enabled by default: a static
+per-batch-shape plan with preallocated buffers and sparse-lowered
+convolutions, optionally batch-sharded across ``num_workers`` threads.
+Pass ``planned=False`` for the plain fused session or ``compiled=False``
+for the eval-mode ``Tensor`` forward.
+
+:meth:`SplitPipeline.infer_stream` additionally *overlaps* the stages:
+a double-buffered server worker consumes payloads while the edge computes
+the next batch, and the accompanying :class:`ThroughputReport` schedules
+the modelled transfer into the gap — so multi-batch wall time sits below
+the serial sum of per-stage times, the way a real deployment's would.
+
+Every runtime object here owns resources (planned executors hold worker
+thread pools): call :meth:`close` — or use the objects as context
+managers — to reclaim them.  The high-level entry point is
+:func:`repro.serve.deploy`, which wires all of this from one declarative
+:class:`~repro.serve.spec.DeploymentSpec`; prefer it over assembling
+runtimes by hand.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..core.architecture import EdgeModel, MTLSplitNet, ServerModel
+from ..deployment.channel import NetworkChannel
+from ..deployment.wire import WireFormat, decode_tensor, encode_tensor
+from ..nn.engine import PlanStats, PlannedExecutor
+from ..nn.tensor import Tensor
+
+__all__ = [
+    "InferenceTrace",
+    "EdgeRuntime",
+    "ServerRuntime",
+    "SimulatedLink",
+    "SplitPipeline",
+    "ThroughputReport",
+]
+
+
+@dataclass
+class InferenceTrace:
+    """Timing and payload record for one pipeline invocation."""
+
+    batch_size: int
+    payload_bytes: int
+    edge_seconds: float
+    transfer_seconds: float
+    server_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.edge_seconds + self.transfer_seconds + self.server_seconds
+
+
+def _build_session(model, compiled, planned, num_workers, copy_outputs, reuse_buffers):
+    """Shared session-selection ladder for the two runtimes."""
+    if not compiled:
+        return None
+    if planned:  # planned=False wins even when num_workers was raised
+        return model.compile_for_inference(
+            plan=True, num_workers=num_workers, copy_outputs=copy_outputs
+        )
+    session = model.compile_for_inference()
+    return session.enable_buffer_reuse() if reuse_buffers else session
+
+
+class _RuntimeBase:
+    """Lifecycle + plan introspection shared by the two stage runtimes.
+
+    A runtime's session may hold a :class:`~repro.nn.engine.PlannedExecutor`
+    whose worker pool keeps daemon threads alive; :meth:`close` releases
+    them.  Runtimes are context managers so deployments can scope the
+    resources: ``with EdgeRuntime(model) as edge: ...``.
+    """
+
+    session = None
+
+    @property
+    def compiled(self) -> bool:
+        return self.session is not None
+
+    @property
+    def planned(self) -> bool:
+        return isinstance(self.session, PlannedExecutor) and self.session.planned
+
+    @property
+    def plan_stats(self) -> Optional[PlanStats]:
+        if isinstance(self.session, PlannedExecutor):
+            return self.session.stats
+        return None
+
+    def close(self) -> None:
+        """Release session resources (worker threads, cached plans)."""
+        if self.session is not None:
+            self.session.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+
+class EdgeRuntime(_RuntimeBase):
+    """Runs the edge half and serialises ``Z_b`` for transmission.
+
+    With ``compiled=True`` (the default) the half executes through a
+    fused :class:`~repro.nn.fuse.InferenceSession`; with ``planned=True``
+    (also the default) that session is additionally wrapped in a
+    :class:`~repro.nn.engine.PlannedExecutor` — a static, arena-backed
+    execution plan per batch shape, optionally batch-sharded across
+    ``num_workers`` worker threads.  Executor-owned outputs are safe here
+    because every ``Z_b`` is serialised to bytes before the next batch.
+    """
+
+    def __init__(
+        self,
+        model: EdgeModel,
+        wire_format: WireFormat = WireFormat(),
+        compiled: bool = True,
+        planned: bool = True,
+        num_workers: int = 1,
+    ):
+        self.model = model
+        self.wire_format = wire_format
+        self.model.eval()
+        self.session = _build_session(
+            model, compiled, planned, num_workers,
+            copy_outputs=False, reuse_buffers=True,
+        )
+
+    def infer(self, images: np.ndarray) -> Tuple[bytes, float]:
+        """Return ``(payload, edge_compute_seconds)`` for a batch."""
+        start = time.perf_counter()
+        if self.session is not None:
+            z_b = self.session.run(images)
+        else:
+            with nn.no_grad():
+                z_b = self.model(Tensor(images)).data
+        payload = encode_tensor(z_b, self.wire_format)
+        return payload, time.perf_counter() - start
+
+
+class ServerRuntime(_RuntimeBase):
+    """Decodes ``Z_b`` payloads and runs the remaining stages + heads.
+
+    The planned executor here copies its outputs out of the arena
+    (``copy_outputs=True``): the per-task logits are handed back to the
+    caller and must stay valid across batches.
+    """
+
+    def __init__(
+        self,
+        model: ServerModel,
+        task_names: Tuple[str, ...],
+        compiled: bool = True,
+        planned: bool = True,
+        num_workers: int = 1,
+    ):
+        self.model = model
+        self.task_names = task_names
+        self.model.eval()
+        self.session = _build_session(
+            model, compiled, planned, num_workers,
+            copy_outputs=True, reuse_buffers=False,
+        )
+
+    def infer(self, payload: bytes) -> Tuple[Dict[str, np.ndarray], float]:
+        """Return ``(per-task logits, server_compute_seconds)``."""
+        start = time.perf_counter()
+        z_flat = decode_tensor(payload)
+        if self.session is not None:
+            outputs = self.session.run(z_flat)
+            logits = {name: outputs[name] for name in self.task_names}
+        else:
+            with nn.no_grad():
+                outputs = self.model(Tensor(z_flat))
+            logits = {name: outputs[name].data for name in self.task_names}
+        return logits, time.perf_counter() - start
+
+
+class SimulatedLink:
+    """Accounts transfer time for payloads using a channel model.
+
+    The transfer is simulated (no wall-clock sleep): the link records the
+    modelled seconds so pipeline traces stay fast to produce while still
+    reflecting the channel.
+    """
+
+    def __init__(self, channel: NetworkChannel):
+        self.channel = channel
+        self.bytes_sent = 0
+        self.messages_sent = 0
+
+    def send(self, payload: bytes) -> float:
+        """Return the modelled transfer time for ``payload``."""
+        self.bytes_sent += len(payload)
+        self.messages_sent += 1
+        return self.channel.transfer_seconds(len(payload))
+
+
+@dataclass
+class ThroughputReport:
+    """Stage accounting for a multi-batch (optionally overlapped) run.
+
+    ``serial_seconds`` is what strictly sequential edge → transfer →
+    server execution would cost; ``pipelined_seconds`` is the makespan of
+    the overlapped schedule (edge computes batch *i+1* while batch *i*
+    is in flight and batch *i−1* is on the server); ``wall_seconds`` is
+    the measured wall time of the double-buffered run (transfer is
+    modelled, not slept, so it does not appear in the wall clock).
+
+    When the runtimes execute through the planned engine, the report also
+    carries the allocation accounting: ``num_workers`` (batch shards per
+    stage), ``arena_bytes`` (preallocated buffer arenas across both
+    stages) and ``steady_state_allocs`` (per-batch allocations planning
+    could not remove — zero for fully planned programs).
+    """
+
+    batches: int
+    images: int
+    wall_seconds: float
+    edge_seconds: float
+    transfer_seconds: float
+    server_seconds: float
+    pipelined_seconds: float
+    num_workers: int = 1
+    arena_bytes: int = 0
+    steady_state_allocs: int = 0
+
+    @property
+    def serial_seconds(self) -> float:
+        return self.edge_seconds + self.transfer_seconds + self.server_seconds
+
+    @property
+    def batches_per_second(self) -> float:
+        return self.batches / self.pipelined_seconds if self.pipelined_seconds else 0.0
+
+    @property
+    def images_per_second(self) -> float:
+        return self.images / self.pipelined_seconds if self.pipelined_seconds else 0.0
+
+    @property
+    def overlap_speedup(self) -> float:
+        """Serial time over pipelined makespan (>1 when overlap helps)."""
+        return self.serial_seconds / self.pipelined_seconds if self.pipelined_seconds else 1.0
+
+    @property
+    def stage_utilisation(self) -> Dict[str, float]:
+        """Fraction of the pipelined makespan each stage is busy."""
+        if not self.pipelined_seconds:
+            return {"edge": 0.0, "transfer": 0.0, "server": 0.0}
+        return {
+            "edge": self.edge_seconds / self.pipelined_seconds,
+            "transfer": self.transfer_seconds / self.pipelined_seconds,
+            "server": self.server_seconds / self.pipelined_seconds,
+        }
+
+    @property
+    def critical_stage(self) -> str:
+        """The stage the pipeline is bound by (highest busy time)."""
+        busy = {
+            "edge": self.edge_seconds,
+            "transfer": self.transfer_seconds,
+            "server": self.server_seconds,
+        }
+        return max(busy, key=busy.get)
+
+    @classmethod
+    def from_stage_times(
+        cls,
+        batch_sizes: Sequence[int],
+        edge: Sequence[float],
+        transfer: Sequence[float],
+        server: Sequence[float],
+        wall_seconds: float,
+        num_workers: int = 1,
+        arena_bytes: int = 0,
+        steady_state_allocs: int = 0,
+    ) -> "ThroughputReport":
+        """Build a report, scheduling the three stages as a pipeline.
+
+        Each stage processes batches in order and holds one batch at a
+        time; batch *i* enters a stage once both the previous stage has
+        produced it and the stage finished batch *i−1*.
+        """
+        edge_done = transfer_done = server_done = 0.0
+        for e, t, s in zip(edge, transfer, server):
+            edge_done = edge_done + e
+            transfer_done = max(edge_done, transfer_done) + t
+            server_done = max(transfer_done, server_done) + s
+        return cls(
+            batches=len(batch_sizes),
+            images=int(sum(batch_sizes)),
+            wall_seconds=wall_seconds,
+            edge_seconds=float(sum(edge)),
+            transfer_seconds=float(sum(transfer)),
+            server_seconds=float(sum(server)),
+            pipelined_seconds=server_done,
+            num_workers=num_workers,
+            arena_bytes=arena_bytes,
+            steady_state_allocs=steady_state_allocs,
+        )
+
+
+class SplitPipeline:
+    """End-to-end MTL-Split deployment: edge → link → server.
+
+    Build one with :meth:`from_net`; call :meth:`infer` per batch (or
+    :meth:`infer_stream` for overlapped multi-batch execution) and read
+    the accumulated :attr:`traces`.  The pipeline owns its runtimes'
+    resources: :meth:`close` (or exiting the pipeline's context) reclaims
+    the planned executors' worker threads.
+    """
+
+    #: Trace retention cap.  The serving front-end keeps one pipeline
+    #: open indefinitely and every ``infer`` appends a trace; without a
+    #: bound the list grows with request count forever.  Oldest traces
+    #: are dropped past the cap; set to ``None`` (class or instance) for
+    #: offline analysis runs that want every trace.
+    MAX_TRACES: Optional[int] = 100_000
+
+    def __init__(self, edge: EdgeRuntime, link: SimulatedLink, server: ServerRuntime):
+        self.edge = edge
+        self.link = link
+        self.server = server
+        self.traces: List[InferenceTrace] = []
+
+    def _record_trace(self, trace: InferenceTrace) -> None:
+        self.traces.append(trace)
+        cap = self.MAX_TRACES
+        if cap is not None and len(self.traces) > cap:
+            del self.traces[: len(self.traces) - cap]
+
+    @classmethod
+    def from_net(
+        cls,
+        net: MTLSplitNet,
+        channel: NetworkChannel,
+        split_index: Optional[int] = None,
+        input_size: int = 32,
+        wire_format: WireFormat = WireFormat(),
+        compiled: bool = True,
+        planned: bool = True,
+        num_workers: int = 1,
+    ) -> "SplitPipeline":
+        """Split ``net`` and wire the halves through a simulated channel.
+
+        ``planned`` runs both halves through the arena-backed execution
+        engine; ``num_workers`` shards each stage's batch across that
+        many worker threads (see :mod:`repro.nn.engine`).
+        """
+        edge_model, server_model = net.split(split_index, input_size=input_size)
+        return cls(
+            EdgeRuntime(
+                edge_model, wire_format, compiled=compiled,
+                planned=planned, num_workers=num_workers,
+            ),
+            SimulatedLink(channel),
+            ServerRuntime(
+                server_model, net.task_names, compiled=compiled,
+                planned=planned, num_workers=num_workers,
+            ),
+        )
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Release both stages' executor resources (idempotent)."""
+        self.edge.close()
+        self.server.close()
+
+    def __enter__(self) -> "SplitPipeline":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def _plan_accounting(self) -> Tuple[int, int, int]:
+        """(num_workers, arena_bytes, steady-state allocs) across stages."""
+        num_workers = 1
+        arena_bytes = 0
+        allocs = 0
+        for runtime in (self.edge, self.server):
+            stats = getattr(runtime, "plan_stats", None)
+            if stats is not None:
+                num_workers = max(num_workers, stats.num_workers)
+                arena_bytes += stats.arena_bytes
+                allocs += stats.steady_state_allocs
+        return num_workers, arena_bytes, allocs
+
+    def warmup(self, images: np.ndarray) -> "SplitPipeline":
+        """Prime both halves (kernel auto-tuning, contraction plans).
+
+        Runs one untraced end-to-end pass so that serving-time traces
+        measure steady-state latency, the way a deployed engine would be
+        exercised before accepting traffic.  The link is not charged.
+        """
+        payload, _ = self.edge.infer(images)
+        self.server.infer(payload)
+        return self
+
+    def infer(self, images: np.ndarray) -> Dict[str, np.ndarray]:
+        """Run one batch through the full deployment and record a trace."""
+        payload, edge_s = self.edge.infer(images)
+        transfer_s = self.link.send(payload)
+        logits, server_s = self.server.infer(payload)
+        self._record_trace(
+            InferenceTrace(
+                batch_size=images.shape[0],
+                payload_bytes=len(payload),
+                edge_seconds=edge_s,
+                transfer_seconds=transfer_s,
+                server_seconds=server_s,
+            )
+        )
+        return logits
+
+    def infer_stream(
+        self, batches: Iterable[np.ndarray]
+    ) -> Tuple[List[Dict[str, np.ndarray]], ThroughputReport]:
+        """Run many batches with edge/server execution overlapped.
+
+        A double-buffered worker thread runs the server half while the
+        edge half computes the next batch, mirroring the deployment the
+        paper targets (device and server are distinct machines).  Per
+        batch, a normal :class:`InferenceTrace` is appended; the returned
+        :class:`ThroughputReport` adds the schedule view — batches/s,
+        stage utilisation and the critical stage.
+        """
+        batch_list = [np.asarray(b) for b in batches]
+        n = len(batch_list)
+        if n == 0:
+            return [], ThroughputReport.from_stage_times([], [], [], [], 0.0)
+
+        results: List[Optional[Dict[str, np.ndarray]]] = [None] * n
+        server_times = [0.0] * n
+        worker_error: List[BaseException] = []
+        handoff: "queue.Queue" = queue.Queue(maxsize=2)  # double buffer
+
+        def serve() -> None:
+            try:
+                while True:
+                    item = handoff.get()
+                    if item is None:
+                        return
+                    index, payload = item
+                    results[index], server_times[index] = self.server.infer(payload)
+            except BaseException as error:  # surfaced after join
+                worker_error.append(error)
+                while handoff.get() is not None:  # keep the producer unblocked
+                    pass
+
+        worker = threading.Thread(target=serve, name="split-pipeline-server")
+        edge_times: List[float] = []
+        transfer_times: List[float] = []
+        payload_sizes: List[int] = []
+        start = time.perf_counter()
+        worker.start()
+        try:
+            for index, images in enumerate(batch_list):
+                payload, edge_s = self.edge.infer(images)
+                edge_times.append(edge_s)
+                transfer_times.append(self.link.send(payload))
+                payload_sizes.append(len(payload))
+                handoff.put((index, payload))
+        finally:
+            handoff.put(None)
+            worker.join()
+        wall = time.perf_counter() - start
+        if worker_error:
+            raise worker_error[0]
+
+        batch_sizes = [b.shape[0] for b in batch_list]
+        for i in range(n):
+            self._record_trace(
+                InferenceTrace(
+                    batch_size=batch_sizes[i],
+                    payload_bytes=payload_sizes[i],
+                    edge_seconds=edge_times[i],
+                    transfer_seconds=transfer_times[i],
+                    server_seconds=server_times[i],
+                )
+            )
+        num_workers, arena_bytes, allocs = self._plan_accounting()
+        report = ThroughputReport.from_stage_times(
+            batch_sizes, edge_times, transfer_times, server_times, wall,
+            num_workers=num_workers, arena_bytes=arena_bytes,
+            steady_state_allocs=allocs,
+        )
+        return list(results), report  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    def total_transfer_seconds(self) -> float:
+        return sum(t.transfer_seconds for t in self.traces)
+
+    def total_seconds(self) -> float:
+        return sum(t.total_seconds for t in self.traces)
+
+    def mean_payload_bytes(self) -> float:
+        if not self.traces:
+            return 0.0
+        return sum(t.payload_bytes for t in self.traces) / len(self.traces)

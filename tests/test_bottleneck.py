@@ -4,7 +4,7 @@ and the compressed split path."""
 import numpy as np
 import pytest
 
-from repro import data, nn
+from repro import nn
 from repro.core import (
     BottleneckAutoencoder,
     BottleneckedSplit,

@@ -13,7 +13,6 @@ from repro.core import (
     fine_tune,
     pretrain_backbone,
 )
-from repro.data.base import TaskInfo
 
 
 @pytest.fixture(scope="module")

@@ -4,9 +4,8 @@ candidates and saliency-guided recommendation."""
 import numpy as np
 import pytest
 
-from repro import data, models
+from repro import models
 from repro.core import (
-    MTLSplitNet,
     architecture_split_candidates,
     recommend_split,
     saliency_profile,

@@ -1,7 +1,6 @@
 """Profiler tests: Table-4 columns, batch/input scaling, and agreement
 with the paper's reported magnitudes."""
 
-import numpy as np
 import pytest
 
 from repro import models

@@ -13,7 +13,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import nn
-from repro.core import MTLSplitNet
 from repro.deployment import GIGABIT_ETHERNET, SplitPipeline, WireFormat
 from repro.nn import fuse
 from repro.nn.tensor import Tensor

@@ -5,7 +5,6 @@ backward is compared against central finite differences in float64.
 """
 
 import numpy as np
-import pytest
 
 from repro import nn
 from repro.nn import functional as F

@@ -5,7 +5,7 @@ check the deployment analysis agrees with the runnable pipeline."""
 import numpy as np
 import pytest
 
-from repro import data, models, nn
+from repro import data, nn
 from repro.core import (
     FineTuneConfig,
     MTLSplitNet,

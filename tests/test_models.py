@@ -64,7 +64,7 @@ class TestSpecBuilderAgreement:
 
     def test_vgg16_has_13_convs(self):
         spec = models.get_spec("vgg16")
-        convs = [l for l in spec.layers if isinstance(l, ConvBNAct)]
+        convs = [layer for layer in spec.layers if isinstance(layer, ConvBNAct)]
         assert len(convs) == 13
 
     def test_flops_positive_and_ordered(self):

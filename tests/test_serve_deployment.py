@@ -1,0 +1,283 @@
+"""Deployment facade: capability parity with the old surface, lifecycle
+(resource reclamation), auto split, deprecation shims, CLI subcommand."""
+
+import threading
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro import nn
+from repro.cli import main
+from repro.nn.tensor import Tensor
+from repro.serve import Deployment, DeploymentSpec, SpecError, deploy
+
+
+def _engine_threads():
+    return {
+        thread
+        for thread in threading.enumerate()
+        if thread.name.startswith("repro-engine") and thread.is_alive()
+    }
+
+
+def _batcher_threads():
+    return {
+        thread
+        for thread in threading.enumerate()
+        if thread.name.startswith("repro-serve-batcher") and thread.is_alive()
+    }
+
+
+class TestCapabilityParity:
+    """repro.deploy covers everything the old hand-wired surface did."""
+
+    def test_infer_matches_monolith(self, tiny_trained_net, shapes3d_small):
+        images = shapes3d_small.images[:6]
+        with deploy(DeploymentSpec(model=tiny_trained_net)) as deployment:
+            logits = deployment.infer(images)
+            with nn.no_grad():
+                full = tiny_trained_net(Tensor(images))
+            for name in tiny_trained_net.task_names:
+                np.testing.assert_allclose(
+                    logits[name], full[name].data, atol=1e-5
+                )
+            assert len(deployment.traces) == 1
+            assert deployment.traces[0].batch_size == 6
+
+    def test_intermediate_split(self, tiny_trained_net, shapes3d_small):
+        images = shapes3d_small.images[:4]
+        spec = DeploymentSpec(model=tiny_trained_net, split_index=3)
+        with deploy(spec) as deployment:
+            assert deployment.split_index == 3
+            logits = deployment.infer(images)
+            with nn.no_grad():
+                full = tiny_trained_net(Tensor(images))
+            for name in tiny_trained_net.task_names:
+                np.testing.assert_allclose(logits[name], full[name].data, atol=1e-4)
+
+    @pytest.mark.parametrize("wire", ["float16", "quant8"])
+    def test_wire_formats(self, tiny_trained_net, shapes3d_small, wire):
+        images = shapes3d_small.images[:8]
+        with deploy(DeploymentSpec(model=tiny_trained_net, wire=wire)) as deployment:
+            logits = deployment.infer(images)
+            with nn.no_grad():
+                full = tiny_trained_net(Tensor(images))
+            for name in tiny_trained_net.task_names:
+                agreement = (
+                    logits[name].argmax(1) == full[name].data.argmax(1)
+                ).mean()
+                assert agreement > 0.85
+
+    def test_stream_reports_throughput(self, tiny_trained_net, shapes3d_small):
+        batches = [shapes3d_small.images[i : i + 4] for i in range(0, 12, 4)]
+        with deploy(DeploymentSpec(model=tiny_trained_net)) as deployment:
+            results, report = deployment.stream(batches)
+            assert len(results) == 3
+            assert report.batches == 3 and report.images == 12
+            assert report.batches_per_second > 0
+            assert len(deployment.traces) == 3
+
+    def test_execution_mode_knobs(self, tiny_trained_net, shapes3d_small):
+        images = shapes3d_small.images[:4]
+        plain = deploy(DeploymentSpec(model=tiny_trained_net, planned=False))
+        eager = deploy(
+            DeploymentSpec(model=tiny_trained_net, planned=False, compiled=False)
+        )
+        try:
+            assert not plain.pipeline.edge.planned
+            assert plain.pipeline.edge.compiled
+            assert not eager.pipeline.edge.compiled
+            for name in tiny_trained_net.task_names:
+                np.testing.assert_allclose(
+                    plain.infer(images)[name], eager.infer(images)[name], atol=1e-4
+                )
+        finally:
+            plain.close()
+            eager.close()
+
+    def test_auto_split_resolves_to_valid_stage(self):
+        spec = DeploymentSpec(
+            model="mobilenet_v3_tiny",
+            tasks=(("scale", 8),),
+            split_index="auto",
+            channel="lte_uplink",
+        )
+        with deploy(spec) as deployment:
+            stages = len(list(deployment.net.backbone.stages))
+            assert 1 <= deployment.split_index <= stages
+            images = np.zeros((2, 3, 32, 32), dtype=np.float32)
+            assert set(deployment.infer(images)) == {"scale"}
+
+    def test_named_model_builds_heads_from_tasks(self):
+        spec = DeploymentSpec(
+            model="vgg_tiny", tasks=(("left", 3), ("right", 5)), seed=9
+        )
+        with deploy(spec) as deployment:
+            assert deployment.task_names == ("left", "right")
+            out = deployment.infer(np.zeros((2, 3, 32, 32), dtype=np.float32))
+            assert out["left"].shape == (2, 3)
+            assert out["right"].shape == (2, 5)
+
+    def test_deploy_kwargs_shorthand(self):
+        with deploy(model="vgg_tiny", tasks=(("a", 2),)) as deployment:
+            assert isinstance(deployment, Deployment)
+            assert deployment.spec.model == "vgg_tiny"
+
+    def test_deploy_overrides_respec(self, tiny_trained_net):
+        spec = DeploymentSpec(model=tiny_trained_net)
+        with deploy(spec, wire="float16") as deployment:
+            assert deployment.spec.wire == "float16"
+
+    def test_out_of_range_split_rejected_with_clear_message(self, tiny_trained_net):
+        with pytest.raises(SpecError, match=r"valid: 1\.\."):
+            deploy(DeploymentSpec(model=tiny_trained_net, split_index=99))
+
+
+class TestLifecycle:
+    """The resource-leak satellite: pools and dispatcher threads reclaimed."""
+
+    def test_worker_threads_reclaimed_on_close(self, tiny_trained_net):
+        before = _engine_threads()
+        deployment = deploy(DeploymentSpec(model=tiny_trained_net, num_workers=3))
+        spawned = _engine_threads() - before
+        # Two stages (edge + server), each with a pool of num_workers - 1
+        # helper threads (the caller is worker zero).
+        assert len(spawned) == 4, f"expected 4 engine threads, saw {len(spawned)}"
+        images = np.zeros((6, 3, 32, 32), dtype=np.float32)
+        deployment.infer(images)
+        deployment.submit(images[0]).result(timeout=60)
+        assert _batcher_threads()
+        deployment.close()
+        assert not (_engine_threads() - before), "engine threads leaked past close()"
+        assert not _batcher_threads(), "batcher dispatcher leaked past close()"
+
+    def test_old_pipeline_close_reclaims_threads(self, tiny_trained_net):
+        from repro.deployment import GIGABIT_ETHERNET, SplitPipeline
+
+        before = _engine_threads()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with SplitPipeline.from_net(
+                tiny_trained_net, GIGABIT_ETHERNET, input_size=32, num_workers=3
+            ) as pipeline:
+                assert _engine_threads() - before
+                pipeline.infer(np.zeros((6, 3, 32, 32), dtype=np.float32))
+        assert not (_engine_threads() - before), "old API leaked engine threads"
+
+    def test_closed_deployment_rejects_work(self, tiny_trained_net):
+        deployment = deploy(DeploymentSpec(model=tiny_trained_net))
+        deployment.close()
+        deployment.close()  # idempotent
+        assert deployment.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            deployment.infer(np.zeros((1, 3, 32, 32), dtype=np.float32))
+        with pytest.raises(RuntimeError, match="closed"):
+            deployment.submit(np.zeros((3, 32, 32), dtype=np.float32))
+
+    def test_close_resolves_outstanding_submits(self, tiny_trained_net):
+        deployment = deploy(
+            DeploymentSpec(model=tiny_trained_net, max_queue_delay_ms=20.0)
+        )
+        futures = [
+            deployment.submit(np.zeros((3, 32, 32), dtype=np.float32))
+            for _ in range(5)
+        ]
+        deployment.close()
+        for future in futures:
+            assert set(future.result(timeout=10)) == set(
+                tiny_trained_net.task_names
+            )
+
+    def test_trace_history_is_bounded(self, tiny_trained_net):
+        with deploy(DeploymentSpec(model=tiny_trained_net)) as deployment:
+            deployment.pipeline.MAX_TRACES = 5  # instance override
+            images = np.zeros((1, 3, 32, 32), dtype=np.float32)
+            for _ in range(12):
+                deployment.infer(images)
+            assert len(deployment.traces) == 5  # oldest traces dropped
+
+    def test_warmup_prepares_plans(self, tiny_trained_net):
+        with deploy(DeploymentSpec(model=tiny_trained_net)) as deployment:
+            deployment.warmup([1, 4])
+            assert not deployment.traces  # warmup is untraced
+            stats = deployment.pipeline.edge.plan_stats
+            assert stats is not None and stats.num_plans >= 2
+
+
+class TestDeprecationShims:
+    def test_old_constructors_warn_but_work(self, tiny_trained_net, shapes3d_small):
+        from repro.deployment import GIGABIT_ETHERNET, SplitPipeline
+        from repro.serve import SplitPipeline as ServeSplitPipeline
+
+        with pytest.warns(DeprecationWarning, match="repro.deploy"):
+            pipeline = SplitPipeline.from_net(
+                tiny_trained_net, GIGABIT_ETHERNET, input_size=32
+            )
+        assert isinstance(pipeline, ServeSplitPipeline)
+        logits = pipeline.infer(shapes3d_small.images[:2])
+        assert set(logits) == set(tiny_trained_net.task_names)
+        pipeline.close()
+
+    def test_old_runtimes_warn(self, tiny_trained_net):
+        from repro.deployment import EdgeRuntime, ServerRuntime
+
+        edge_model, server_model = tiny_trained_net.split(None, input_size=32)
+        with pytest.warns(DeprecationWarning):
+            edge = EdgeRuntime(edge_model)
+        with pytest.warns(DeprecationWarning):
+            server = ServerRuntime(server_model, tiny_trained_net.task_names)
+        payload, _ = edge.infer(np.zeros((1, 3, 32, 32), dtype=np.float32))
+        logits, _ = server.infer(payload)
+        assert set(logits) == set(tiny_trained_net.task_names)
+        edge.close()
+        server.close()
+
+    def test_serve_classes_do_not_warn(self, tiny_trained_net):
+        from repro.deployment import GIGABIT_ETHERNET
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            pipeline = repro.serve.SplitPipeline.from_net(
+                tiny_trained_net, GIGABIT_ETHERNET, input_size=32
+            )
+            pipeline.close()
+
+
+class TestServeCli:
+    def test_serve_subcommand_runs(self, capsys):
+        assert main([
+            "serve", "--backbone", "mobilenet_v3_tiny", "--clients", "1,2",
+            "--requests", "2", "--max-batch-size", "2", "--max-delay-ms", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sequential" in out
+        assert "submit" in out
+        assert "best concurrent throughput vs sequential" in out
+
+    def test_serve_json_artifact(self, tmp_path, capsys):
+        path = tmp_path / "serve.json"
+        assert main([
+            "serve", "--clients", "2", "--requests", "2",
+            "--max-batch-size", "2", "--max-delay-ms", "1",
+            "--json", str(path),
+        ]) == 0
+        import json
+
+        data = json.loads(path.read_text())
+        assert data["sequential"]["throughput_rps"] > 0
+        assert data["concurrent"][0]["clients"] == 2
+
+    def test_serve_rejects_degenerate_arguments(self, capsys):
+        assert main(["serve", "--clients", "zero"]) == 2
+        assert main(["serve", "--clients", "0"]) == 2
+        assert main(["serve", "--requests", "0"]) == 2
+        assert main(["serve", "--split-index", "nope"]) == 2
+        assert main(["serve", "--backbone", "resnet50"]) == 2
+
+    def test_parser_knows_serve(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve"])
+        assert callable(args.func)
