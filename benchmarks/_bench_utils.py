@@ -5,11 +5,33 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def host_record() -> dict:
+    """Hardware/software facts every benchmark artifact must carry.
+
+    Host speed drifts between sessions (the same code has measured 2-7x
+    apart across runs of this suite), so cross-session latency deltas
+    are meaningless; artifacts record the host so readers can tell which
+    numbers are comparable, and benchmarks that claim speedups must
+    re-measure their baseline in the same run.
+    """
+    import numpy
+    import scipy
+
+    return {
+        "cpu_count": os.cpu_count(),
+        "numpy": numpy.__version__,
+        "scipy": scipy.__version__,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
 
 
 @dataclass(frozen=True)
@@ -52,7 +74,12 @@ def emit(results_dir: Path, name: str, text: str, data: Optional[dict] = None) -
     print(banner)
     (results_dir / f"{name}.txt").write_text(text + "\n")
     if data is not None:
-        payload = {"benchmark": name, "scale": current_scale().name, **data}
+        payload = {
+            "benchmark": name,
+            "scale": current_scale().name,
+            "host": host_record(),
+            **data,
+        }
         (results_dir / f"BENCH_{name}.json").write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n"
         )

@@ -13,7 +13,8 @@ import numpy as np
 
 from repro import data, nn
 from repro.core import MTLSplitNet, MultiTaskTrainer, TrainConfig
-from repro.deployment import GIGABIT_ETHERNET, LTE_UPLINK, SplitPipeline, WireFormat
+from repro.deployment import GIGABIT_ETHERNET, LTE_UPLINK, WireFormat
+from repro.serve import SplitPipeline
 from repro.nn.tensor import Tensor
 
 from _bench_utils import emit
@@ -30,6 +31,53 @@ def build_net():
     return net, dataset
 
 
+def _stream_interleaved(net, batches, rounds=9):
+    """A/B the optimized pipeline against the unoptimized one, interleaved.
+
+    Host speed drifts *within* a session (the same code has measured 2x
+    apart minutes apart on the CI container), so the baseline and the
+    optimized pipeline must alternate round by round — measuring one
+    after the other lets a speed shift between the two blocks invert
+    the comparison.  The order flips every round (A/B, B/A, ...) to
+    cancel short-scale drift, and min-of-rounds keeps each side's
+    fastest-regime number so the ratio compares like with like.
+    """
+    baseline = SplitPipeline.from_net(
+        net, GIGABIT_ETHERNET, input_size=32, optimize=False
+    )
+    pipeline = SplitPipeline.from_net(
+        net, GIGABIT_ETHERNET, input_size=32, optimize=True
+    )
+    baseline.warmup(batches[0])
+    pipeline.warmup(batches[0])
+    base_edge = edge = None
+    base_outputs = outputs = report = None
+
+    def run_baseline():
+        nonlocal base_edge, base_outputs
+        baseline.traces.clear()
+        base_outputs, _ = baseline.infer_stream(batches)
+        round_base = sum(t.edge_seconds for t in baseline.traces)
+        base_edge = round_base if base_edge is None else min(base_edge, round_base)
+
+    def run_optimized():
+        nonlocal edge, outputs, report
+        pipeline.traces.clear()
+        outputs, report = pipeline.infer_stream(batches)
+        round_edge = sum(t.edge_seconds for t in pipeline.traces)
+        edge = round_edge if edge is None else min(edge, round_edge)
+
+    for round_index in range(rounds):
+        if round_index % 2 == 0:
+            run_baseline()
+            run_optimized()
+        else:
+            run_optimized()
+            run_baseline()
+    baseline.close()
+    return pipeline, outputs, report, edge, base_edge, base_outputs
+
+
 def test_pipeline_end_to_end(benchmark, results_dir):
     net, dataset = build_net()
     images = dataset.images[: _BATCHES * _BATCH_SIZE]
@@ -39,29 +87,48 @@ def test_pipeline_end_to_end(benchmark, results_dir):
     ]
 
     def run():
-        pipeline = SplitPipeline.from_net(net, GIGABIT_ETHERNET, input_size=32)
-        pipeline.warmup(batches[0])
-        outputs, report = pipeline.infer_stream(batches)
-        return pipeline, outputs, report
+        # Same-run baseline: the identical pipeline with the plan-IR
+        # optimizer passes disabled (PR 2's straight-line lowering and
+        # reference kernels), interleaved round by round with the
+        # optimized pipeline.  Host speed drifts between sessions *and*
+        # within them, so a speedup claim is only meaningful against a
+        # baseline measured in the same process, interleaved.
+        return _stream_interleaved(net, batches)
 
-    pipeline, outputs, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    pipeline, outputs, report, edge, base_edge, base_outputs = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
 
-    # Predictions match the monolith (fused/compiled halves, atol 1e-4).
+    # Predictions match the monolith (fused/compiled halves, atol 1e-4)
+    # and the unoptimized plan (the optimizer changes no semantics).
     with nn.no_grad():
         full = net(Tensor(images[:_BATCH_SIZE]))
     for name in net.task_names:
         np.testing.assert_allclose(outputs[0][name], full[name].data, atol=1e-4)
+        np.testing.assert_allclose(outputs[0][name], base_outputs[0][name], atol=1e-4)
 
-    edge = sum(t.edge_seconds for t in pipeline.traces)
+    # The engine contract the optimizer must preserve: planning removed
+    # every steady-state allocation, and the passes actually fired.
+    assert report.steady_state_allocs == 0
+    assert report.fused_steps > 0
+    # elided_copies counts only real rewrites (in-place acts); views are
+    # aliases in the baseline too, so they are reported separately.
+    assert report.elided_copies + report.aliased_views > 0
+
     transfer = pipeline.total_transfer_seconds()
     server = sum(t.server_seconds for t in pipeline.traces)
+    speedup = base_edge / edge if edge else 0.0
     text = (
         f"{_BATCHES} batches x {_BATCH_SIZE} images, mobilenet_v3_tiny @32px, "
         f"{GIGABIT_ETHERNET.name}, planned engine "
         f"({report.num_workers} worker(s), "
         f"{report.arena_bytes / 1024:.0f} KiB arena, "
-        f"{report.steady_state_allocs} allocs/batch), overlapped stages\n"
-        f"  edge compute:   {edge * 1e3:8.2f} ms (measured)\n"
+        f"{report.steady_state_allocs} allocs/batch, "
+        f"{report.fused_steps} fused epilogues, "
+        f"{report.elided_copies} elided copies, "
+        f"{report.aliased_views} aliased views), overlapped stages\n"
+        f"  edge compute:   {edge * 1e3:8.2f} ms (measured; unoptimized "
+        f"same-run baseline {base_edge * 1e3:.2f} ms -> {speedup:.2f}x)\n"
         f"  Z_b transfer:   {transfer * 1e3:8.2f} ms (modelled, "
         f"{pipeline.mean_payload_bytes() / 1024:.1f} KiB/batch)\n"
         f"  server compute: {server * 1e3:8.2f} ms (measured)\n"
@@ -77,6 +144,8 @@ def test_pipeline_end_to_end(benchmark, results_dir):
         text,
         data={
             "edge_ms": edge * 1e3,
+            "edge_ms_baseline_unoptimized": base_edge * 1e3,
+            "edge_speedup_vs_unoptimized": speedup,
             "transfer_ms": transfer * 1e3,
             "server_ms": server * 1e3,
             "serial_ms": pipeline.total_seconds() * 1e3,
@@ -88,9 +157,13 @@ def test_pipeline_end_to_end(benchmark, results_dir):
             "num_workers": report.num_workers,
             "arena_bytes": report.arena_bytes,
             "steady_state_allocs": report.steady_state_allocs,
+            "fused_steps": report.fused_steps,
+            "elided_copies": report.elided_copies,
+            "aliased_views": report.aliased_views,
+            "spmm_row_blocks": report.spmm_row_blocks,
         },
     )
-    assert pipeline.link.messages_sent == _BATCHES
+    assert pipeline.link.messages_sent == _BATCHES * 9  # 9 timed rounds; warmup is not charged
     # Overlap must beat strictly serial execution on multi-batch runs.
     assert report.pipelined_seconds < report.serial_seconds
 

@@ -57,6 +57,19 @@ def test_edge_worker_scaling(benchmark, results_dir):
             for _ in range(3):
                 executor.run(x)
             rows[workers] = _best_of(lambda: executor.run(x), _REPEATS)
+        # Intra-op row parallelism: the lone-request (batch-1) latency
+        # lever — a single step's output rows split across the pool.
+        x1 = x[:1]
+        ref1 = session.run(x1)
+        for workers in _WORKER_COUNTS:
+            executor = engine.PlannedExecutor(
+                session, num_workers=workers, intra_op=workers > 1
+            )
+            np.testing.assert_allclose(executor.run(x1), ref1, atol=1e-6)
+            for _ in range(3):
+                executor.run(x1)
+            rows[("intra", workers)] = _best_of(lambda: executor.run(x1), _REPEATS)
+            executor.close()
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -84,6 +97,22 @@ def test_edge_worker_scaling(benchmark, results_dir):
             f"  planned, {workers} worker(s):   {ms:8.3f} ms/batch "
             f"({single_ms / ms:4.2f}x vs 1 worker, "
             f"{unplanned_ms / ms:4.2f}x vs unplanned)"
+        )
+    intra_single_ms = rows[("intra", 1)] * 1e3
+    payload["intra_op_batch1"] = {}
+    lines.append(
+        "  intra-op row parallelism, batch 1 (single-request latency; "
+        f"expect no speedup on a {os.cpu_count()}-core host):"
+    )
+    for workers in _WORKER_COUNTS:
+        ms = rows[("intra", workers)] * 1e3
+        payload["intra_op_batch1"][str(workers)] = {
+            "edge_ms_per_image": ms,
+            "speedup_vs_one_worker": intra_single_ms / ms,
+        }
+        lines.append(
+            f"    {workers} worker(s): {ms:8.3f} ms/image "
+            f"({intra_single_ms / ms:4.2f}x vs 1 worker)"
         )
     emit(results_dir, "edge_worker_scaling", "\n".join(lines), data=payload)
 

@@ -206,6 +206,45 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from . import data
+    from .core import MTLSplitNet
+    from .nn.engine import ExecutionPlan
+
+    if args.plan_command != "describe":  # pragma: no cover - argparse enforces
+        print(f"unknown plan subcommand {args.plan_command!r}", file=sys.stderr)
+        return 2
+    if args.batch_size < 1:
+        print("plan describe needs --batch-size >= 1", file=sys.stderr)
+        return 2
+    dataset = data.make_shapes3d(4, tasks=("scale", "shape"), seed=args.seed)
+    net = MTLSplitNet.from_tasks(
+        args.backbone, list(dataset.tasks), input_size=args.input_size,
+        seed=args.seed,
+    )
+    net.eval()
+    edge_model, server_model = net.split(args.split_index, input_size=args.input_size)
+    edge_session = edge_model.compile_for_inference()
+    batch_shape = (
+        args.batch_size, net.backbone.spec.input_channels,
+        args.input_size, args.input_size,
+    )
+    optimize = not args.no_optimize
+    edge_plan = ExecutionPlan(edge_session, batch_shape, optimize=optimize)
+    edge_ir = edge_plan.ir
+    z_shape = edge_ir.values[edge_ir.outputs[None]].row_shape
+    server_plan = ExecutionPlan(
+        server_model.compile_for_inference(), z_shape, optimize=optimize
+    )
+    print(f"# edge half ({args.backbone} @{args.input_size}px, "
+          f"batch {args.batch_size})")
+    print(edge_plan.describe())
+    print()
+    print("# server half")
+    print(server_plan.describe())
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import json
 
@@ -328,6 +367,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="batch shards run by the planned engine's thread pool")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_pipeline)
+
+    p = sub.add_parser(
+        "plan",
+        help="inspect the engine's optimized execution plans",
+    )
+    plan_sub = p.add_subparsers(dest="plan_command", required=True)
+    pd = plan_sub.add_parser(
+        "describe",
+        help="dump the optimized plan-IR (fused epilogues, elided copies, "
+             "blocked SpMMs) for both pipeline halves",
+    )
+    pd.add_argument("--backbone", default="mobilenet_v3_tiny")
+    pd.add_argument("--input-size", type=int, default=32)
+    pd.add_argument("--batch-size", type=int, default=16)
+    pd.add_argument("--split-index", type=int, default=None)
+    pd.add_argument("--no-optimize", action="store_true",
+                    help="show the straight-line lowering instead of the "
+                         "optimized plan")
+    pd.add_argument("--seed", type=int, default=0)
+    pd.set_defaults(func=_cmd_plan)
 
     p = sub.add_parser(
         "serve",

@@ -107,4 +107,10 @@ def render_throughput(report: ThroughputReport) -> str:
             f"{report.steady_state_allocs} allocs/batch steady-state, "
             f"{report.num_workers} worker(s)"
         )
+        lines.append(
+            f"  optimizer: {report.fused_steps} fused epilogue step(s), "
+            f"{report.elided_copies} copy(ies) elided (in-place acts), "
+            f"{report.aliased_views} view(s) aliased, "
+            f"{report.spmm_row_blocks} SpMM row block(s)"
+        )
     return "\n".join(lines)

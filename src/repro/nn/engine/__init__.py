@@ -1,0 +1,67 @@
+"""Arena-planned, multicore execution engine for compiled inference.
+
+:mod:`repro.nn.fuse` removed the autograd graph from deployment forward
+passes; this package removes the remaining steady-state costs and then
+optimizes what is left.  Compilation is a three-phase pipeline:
+
+1. **lowering** (:mod:`~repro.nn.engine.ir`) — a one-time dry shape trace
+   turns the fused op list into a *plan-IR*: a typed step graph (op kind,
+   input/output values, weight references) in column-major
+   ``(features..., batch)`` layout, where pointwise convolutions, linear
+   layers and squeeze-excite gates are contiguous GEMMs and
+   padded/strided/grouped convolutions are plan-time CSR matrices run
+   through ``scipy.sparse``'s C kernels (padding baked into the matrix);
+2. **optimization** (:mod:`~repro.nn.engine.passes`) — rewrites of the
+   step graph before any buffer exists: *epilogue fusion* collapses
+   bias/activation/affine/residual-add chains into their producing
+   GEMM/SpMM step (folding affines into the bias where exact), *copy
+   elision* turns flatten/reshape views and sole-reader activations into
+   storage aliases, *kernel selection* flips reductions to GEMM form and
+   pre-fills SpMM outputs with the bias, and *SpMM row blocking*
+   partitions large CSR matrices into pre-packed, L2-sized row blocks;
+3. **binding** (:mod:`~repro.nn.engine.executor`) — liveness analysis on
+   the *optimized* graph assigns every value to a
+   :class:`BufferArena` block, so steady-state inference reuses a small
+   set of preallocated buffers and performs **zero large allocations**
+   per batch (``PlanStats.steady_state_allocs`` counts the exceptions,
+   e.g. fallback ops).
+
+:class:`PlannedExecutor` wraps plans behind the ``InferenceSession.run``
+API, caches plans per observed batch shape in a bounded LRU, and — with
+``num_workers > 1`` — either shards the batch across a persistent thread
+pool, or (``intra_op=True``) splits single steps' output rows across the
+same pool for lone-request latency.
+
+Optimized plans match the unoptimized plan and the unplanned compiled
+forward within 1e-6 — the property the engine tests assert across
+backbones, split indices, batch sizes and worker counts.
+"""
+
+from .executor import (
+    BufferArena,
+    ExecutionPlan,
+    PlanStats,
+    PlannedExecutor,
+    plan_session,
+)
+from .ir import PlanIR, Step, Unplannable, lower_session
+from .kernels import HAVE_SPARSE
+from .passes import L2_BUDGET_BYTES, run_passes
+
+# Backwards-compatible aliases (the pre-package module exposed these).
+_Unplannable = Unplannable
+_HAVE_SPARSE = HAVE_SPARSE
+
+__all__ = [
+    "BufferArena",
+    "ExecutionPlan",
+    "PlanIR",
+    "PlanStats",
+    "PlannedExecutor",
+    "Step",
+    "Unplannable",
+    "lower_session",
+    "run_passes",
+    "L2_BUDGET_BYTES",
+    "plan_session",
+]

@@ -1,0 +1,1115 @@
+"""Buffer binding and execution of optimized plan-IR programs.
+
+The binder walks the (optimized) step graph in order, resolves every
+value to a view over a :class:`BufferArena` block using liveness computed
+on the *rewritten* program, and compiles each step into a closure over
+those views.  :class:`ExecutionPlan` owns one bound program per batch
+shape; :class:`PlannedExecutor` caches plans per shape (bounded LRU) and
+shards batches across a persistent :class:`_WorkerPool` — or, with
+``intra_op=True``, splits a single step's output rows across that same
+pool (the intra-op row-parallel hook).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..fuse import InferenceSession
+from . import kernels
+from .ir import PlanIR, Step, Unplannable, lower_session
+from .kernels import apply_act, mean_weights, spmm, spmm_blocks
+from .passes import L2_BUDGET_BYTES, run_passes
+
+__all__ = [
+    "BufferArena",
+    "ExecutionPlan",
+    "PlanStats",
+    "PlannedExecutor",
+    "plan_session",
+]
+
+
+# ---------------------------------------------------------------------------
+# The arena
+# ---------------------------------------------------------------------------
+class _Block:
+    __slots__ = ("data", "free")
+
+    def __init__(self, nelems: int):
+        self.data = np.empty(nelems, dtype=np.float32)
+        self.free = False
+
+
+class BufferArena:
+    """Pool of float32 blocks with liveness-based reuse at plan time.
+
+    ``acquire`` is only ever called while a plan is being *built*: it
+    returns a view over a free block large enough for the request (or
+    grows the arena by one block).  ``release`` marks a block reusable for
+    ops later in the program.  After planning, the arena is frozen — the
+    compiled steps hold views into its blocks and steady-state execution
+    allocates nothing.
+    """
+
+    def __init__(self):
+        self._blocks: List[_Block] = []
+        self.requested_bytes = 0
+
+    def acquire(self, shape: Tuple[int, ...]) -> Tuple[int, np.ndarray]:
+        nelems = max(1, int(np.prod(shape)))
+        self.requested_bytes += nelems * 4
+        best = None
+        for index, block in enumerate(self._blocks):
+            if block.free and block.data.size >= nelems:
+                if best is None or block.data.size < self._blocks[best].data.size:
+                    best = index
+        if best is None:
+            self._blocks.append(_Block(nelems))
+            best = len(self._blocks) - 1
+        block = self._blocks[best]
+        block.free = False
+        return best, block.data[:nelems].reshape(shape)
+
+    def release(self, block_id: int) -> None:
+        self._blocks[block_id].free = True
+
+    @property
+    def nbytes(self) -> int:
+        return sum(block.data.nbytes for block in self._blocks)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._blocks)
+
+
+@dataclass
+class PlanStats:
+    """Accounting for one plan (or the aggregate of an executor's plans)."""
+
+    arena_bytes: int = 0
+    arena_blocks: int = 0
+    requested_bytes: int = 0
+    steady_state_allocs: int = 0  # per-run allocations planning could not remove
+    num_steps: int = 0
+    sparse_ops: int = 0
+    gemm_ops: int = 0
+    fallback_ops: int = 0
+    num_plans: int = 0
+    num_workers: int = 1
+    # -- optimizer accounting ------------------------------------------
+    fused_steps: int = 0  # bias/act/affine/residual steps absorbed into epilogues
+    elided_copies: int = 0  # activations rewritten to run in place (no copy)
+    aliased_views: int = 0  # flatten/reshape certified zero-copy (also true unoptimized)
+    folded_affines: int = 0  # affines folded exactly into producer bias
+    blocked_spmm_ops: int = 0  # SpMM steps running as L2-sized row blocks
+    spmm_row_blocks: int = 0  # total row blocks across blocked SpMMs
+
+    @property
+    def reuse_ratio(self) -> float:
+        """Fraction of buffer demand the arena served from reused blocks."""
+        if not self.requested_bytes:
+            return 0.0
+        return 1.0 - self.arena_bytes / self.requested_bytes
+
+    def merged(self, other: "PlanStats") -> "PlanStats":
+        return PlanStats(
+            arena_bytes=self.arena_bytes + other.arena_bytes,
+            arena_blocks=self.arena_blocks + other.arena_blocks,
+            requested_bytes=self.requested_bytes + other.requested_bytes,
+            steady_state_allocs=self.steady_state_allocs + other.steady_state_allocs,
+            num_steps=self.num_steps + other.num_steps,
+            sparse_ops=self.sparse_ops + other.sparse_ops,
+            gemm_ops=self.gemm_ops + other.gemm_ops,
+            fallback_ops=self.fallback_ops + other.fallback_ops,
+            num_plans=self.num_plans + other.num_plans,
+            num_workers=max(self.num_workers, other.num_workers),
+            fused_steps=self.fused_steps + other.fused_steps,
+            elided_copies=self.elided_copies + other.elided_copies,
+            aliased_views=self.aliased_views + other.aliased_views,
+            folded_affines=self.folded_affines + other.folded_affines,
+            blocked_spmm_ops=self.blocked_spmm_ops + other.blocked_spmm_ops,
+            spmm_row_blocks=self.spmm_row_blocks + other.spmm_row_blocks,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Bound values
+# ---------------------------------------------------------------------------
+class _Value:
+    """A bound intermediate: column-major storage plus its row shape."""
+
+    __slots__ = ("array", "row_shape", "block_id")
+
+    def __init__(self, array: np.ndarray, row_shape: Tuple[int, ...], block_id: Optional[int]):
+        self.array = array  # shape row_shape[1:] + (batch,)
+        self.row_shape = tuple(row_shape)
+        self.block_id = block_id
+
+
+def _col_shape(row_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+    return tuple(row_shape[1:]) + (row_shape[0],)
+
+
+# ---------------------------------------------------------------------------
+# Worker pool (persistent daemon threads; shard tasks release the GIL in
+# BLAS / sparse kernels, so shards overlap on multi-core hosts)
+# ---------------------------------------------------------------------------
+class _WorkerPool:
+    def __init__(self, workers: int):
+        self.workers = workers
+        self._tasks: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._threads = [
+            threading.Thread(
+                target=self._loop, name=f"repro-engine-{index}", daemon=True
+            )
+            for index in range(workers - 1)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def _loop(self) -> None:
+        while True:
+            task = self._tasks.get()
+            if task is None:  # shutdown sentinel from close()
+                return
+            fn, done, errors = task
+            try:
+                fn()
+            except BaseException as error:  # surfaced by run_all
+                errors.append(error)
+            finally:
+                done.release()
+
+    def run_all(self, thunks: Sequence[Callable[[], None]]) -> None:
+        """Run ``thunks`` concurrently; the caller executes the first itself."""
+        if len(thunks) == 1:
+            thunks[0]()
+            return
+        done = threading.Semaphore(0)
+        errors: List[BaseException] = []
+        for fn in thunks[1:]:
+            self._tasks.put((fn, done, errors))
+        try:
+            thunks[0]()  # the calling thread is worker zero
+        except BaseException as error:
+            errors.append(error)
+        for _ in thunks[1:]:
+            done.acquire()
+        if errors:
+            raise errors[0]
+
+    def close(self) -> None:
+        """Stop the worker threads (idempotent; pending tasks drain first)."""
+        for _ in self._threads:
+            self._tasks.put(None)
+        for thread in self._threads:
+            thread.join(timeout=1.0)
+        self._threads = []
+
+
+# ---------------------------------------------------------------------------
+# The binder: IR -> arena-bound closures
+# ---------------------------------------------------------------------------
+class _Binder:
+    def __init__(
+        self,
+        ir: PlanIR,
+        arena: BufferArena,
+        stats: PlanStats,
+        pool: Optional[_WorkerPool] = None,
+        intra_op_workers: int = 1,
+    ):
+        self.ir = ir
+        self.arena = arena
+        self.stats = stats
+        self.pool = pool
+        self.intra_op_workers = intra_op_workers if pool is not None else 1
+        self.batch = ir.batch
+        self.bindings: Dict[int, _Value] = {}
+        self.steps: List[Tuple[str, Callable[[], None]]] = []
+        self.last_read: Dict[int, int] = {}
+        self.protected = {ir.root(ir.input)}
+        for vid in ir.outputs.values():
+            self.protected.add(ir.root(vid))
+        for index, step in enumerate(ir.steps):
+            for vid in step.reads():
+                self.last_read[ir.root(vid)] = index
+
+    # -- value plumbing -------------------------------------------------
+    def define(self, vid: int) -> np.ndarray:
+        root = self.ir.root(vid)
+        if root not in self.bindings:
+            row_shape = self.ir.values[root].row_shape
+            block_id, array = self.arena.acquire(_col_shape(row_shape))
+            self.bindings[root] = _Value(array, row_shape, block_id)
+        return self.resolve(vid)
+
+    def resolve(self, vid: int) -> np.ndarray:
+        root = self.ir.root(vid)
+        bound = self.bindings[root]
+        row_shape = self.ir.values[vid].row_shape
+        if row_shape == bound.row_shape:
+            return bound.array
+        return bound.array.reshape(_col_shape(row_shape))
+
+    def scratch(self, shape: Tuple[int, ...]) -> Tuple[int, np.ndarray]:
+        return self.arena.acquire(shape)
+
+    def emit(self, label: str, fn: Callable[[], None]) -> None:
+        self.steps.append((label, fn))
+        self.stats.num_steps += 1
+
+    def _release_dead(self, index: int, step: Step) -> None:
+        for vid in step.reads():
+            root = self.ir.root(vid)
+            if (
+                root not in self.protected
+                and root in self.bindings
+                and self.last_read.get(root) == index
+            ):
+                bound = self.bindings[root]
+                if bound.block_id is not None:
+                    self.arena.release(bound.block_id)
+
+    # -- epilogue -------------------------------------------------------
+    def _bind_epilogue(
+        self, step: Step, out: np.ndarray, skip_first: int = 0
+    ) -> List[Callable[[], None]]:
+        """Compile the epilogue entries (minus the first ``skip_first``,
+        which the main kernel already absorbed) into in-place closures."""
+        ops: List[Callable[[], None]] = []
+        entries = step.epilogue[skip_first:]
+        for entry in entries:
+            if entry[0] == "bias":
+                bias = entry[1]
+                y2 = out.reshape(bias.shape[0], -1)
+                ops.append(lambda y=y2, b=bias: np.add(y, b, out=y))
+            elif entry[0] == "affine":
+                scale, shift = entry[1], entry[2]
+                y2 = out.reshape(scale.shape[0], -1)
+
+                def run_affine(y=y2, s=scale, b=shift):
+                    np.multiply(y, s, out=y)
+                    np.add(y, b, out=y)
+
+                ops.append(run_affine)
+            elif entry[0] == "act":
+                name, slope = entry[1], entry[2]
+                scratch = None
+                sid = None
+                if kernels.act_needs_scratch(name):
+                    sid, scratch = self.scratch(out.shape)
+                ops.append(
+                    lambda y=out, s=scratch, nm=name, sl=slope: apply_act(nm, y, s, sl)
+                )
+                if sid is not None:
+                    self.arena.release(sid)
+            elif entry[0] == "add":
+                skip = self.resolve(entry[1])
+                ops.append(lambda y=out, s=skip: np.add(y, s, out=y))
+        return ops
+
+    @staticmethod
+    def _chain(main: Callable[[], None], ops: List[Callable[[], None]]):
+        if not ops:
+            return main
+        if len(ops) == 1:
+            tail = ops[0]
+
+            def run_one(main=main, tail=tail):
+                main()
+                tail()
+
+            return run_one
+
+        def run_chain(main=main, ops=tuple(ops)):
+            main()
+            for op in ops:
+                op()
+
+        return run_chain
+
+    # -- per-kind binding ----------------------------------------------
+    def bind(self) -> None:
+        for index, step in enumerate(self.ir.steps):
+            handler = getattr(self, f"_bind_{step.kind}", None)
+            if handler is None:
+                raise Unplannable(f"no binding for step kind {step.kind!r}")
+            self._index = index
+            handler(step)
+            self._release_dead(index, step)
+
+    def _bind_view(self, step: Step) -> None:
+        pass  # pure alias: no runtime work, no buffer
+
+    def _row_parallel(self, thunk_builder, rows: int):
+        """Split ``rows`` across the pool when the intra-op hook is active.
+
+        ``thunk_builder(lo, hi)`` returns the closure for one row slice.
+        Returns a list of thunks (length 1 when splitting is off or not
+        worthwhile).
+        """
+        workers = self.intra_op_workers
+        if workers <= 1 or rows < 2 * workers:
+            return [thunk_builder(0, rows)]
+        bounds = np.linspace(0, rows, workers + 1).astype(int)
+        return [
+            thunk_builder(int(bounds[i]), int(bounds[i + 1]))
+            for i in range(workers)
+            if bounds[i + 1] > bounds[i]
+        ]
+
+    def _bind_conv_gemm(self, step: Step) -> None:
+        x = self.resolve(step.inputs[0])
+        out = self.define(step.output)
+        weight = step.attrs["weight"]
+        c_out, c_in = weight.shape
+        x2 = x.reshape(c_in, -1)
+        y2 = out.reshape(c_out, -1)
+        beta = bool(step.attrs.get("beta_gemm") and step.epilogue)
+        folded_add = (
+            beta
+            and len(step.epilogue) >= 2
+            and step.epilogue[1][0] == "add"
+        )
+        if folded_add:
+            # conv -> bias -> residual add: seed the output with
+            # ``skip + bias`` in one pass, then accumulate the GEMM onto
+            # it — two whole-tensor passes become one.
+            skip2 = self.resolve(step.epilogue[1][1]).reshape(c_out, -1)
+            bias = step.epilogue[0][1]
+
+            def build(lo, hi):
+                def run(
+                    W=weight[lo:hi], x=x2, y=y2[lo:hi],
+                    b=bias[lo:hi], s=skip2[lo:hi],
+                ):
+                    np.add(s, b, out=y)
+                    kernels.beta_gemm(W, x, y)
+
+                return run
+
+        elif beta:
+            bias = step.epilogue[0][1]
+
+            def build(lo, hi):
+                def run(W=weight[lo:hi], x=x2, y=y2[lo:hi], b=bias[lo:hi]):
+                    np.copyto(y, b)  # row-constant fill, then sgemm(beta=1)
+                    kernels.beta_gemm(W, x, y)
+
+                return run
+
+        else:
+
+            def build(lo, hi):
+                return lambda W=weight[lo:hi], x=x2, y=y2[lo:hi]: np.matmul(
+                    W, x, out=y
+                )
+
+        thunks = self._row_parallel(build, c_out)
+        if len(thunks) == 1:
+            main = thunks[0]
+        else:
+            pool = self.pool
+
+            def main(pool=pool, thunks=tuple(thunks)):
+                pool.run_all(thunks)
+
+        self.emit(
+            step.describe(),
+            self._chain(
+                main,
+                self._bind_epilogue(
+                    step, out, skip_first=2 if folded_add else (1 if beta else 0)
+                ),
+            ),
+        )
+        self.stats.gemm_ops += 1
+
+    _bind_gemm = _bind_conv_gemm  # linear layers bind identically
+
+    def _bind_conv_spmm(self, step: Step) -> None:
+        x = self.resolve(step.inputs[0])
+        out = self.define(step.output)
+        n = self.batch
+        x2 = x.reshape(-1, n)
+        y2 = out.reshape(-1, n)
+        matrix = step.attrs["matrix"]
+        blocks = step.attrs.get("row_blocks")
+        prefill = bool(step.attrs.get("bias_prefill") and step.epilogue)
+        if prefill:
+            bias = step.epilogue[0][1]
+            c = bias.shape[0]
+            yc = y2.reshape(c, -1)  # 2-D row-constant broadcast fills fast
+
+            def fill(y=yc, b=bias):
+                np.copyto(y, b)
+
+        else:
+
+            def fill(y=y2):
+                y.fill(0.0)
+
+        if blocks is None:
+
+            def main(m=matrix, x=x2, y=y2, fill=fill):
+                fill()
+                kernels.spmm_accumulate(m, x, y)
+
+        else:
+            groups = [
+                blocks[i :: self.intra_op_workers]
+                for i in range(min(self.intra_op_workers, len(blocks)))
+            ] if self.intra_op_workers > 1 else [blocks]
+            if len(groups) > 1:
+                pool = self.pool
+                thunks = tuple(
+                    (lambda g=tuple(group), x=x2, y=y2: spmm_blocks(list(g), x, y))
+                    for group in groups
+                )
+
+                def main(pool=pool, thunks=thunks, fill=fill):
+                    fill()
+                    pool.run_all(thunks)
+
+            else:
+
+                def main(b=tuple(blocks), x=x2, y=y2, fill=fill):
+                    fill()
+                    spmm_blocks(list(b), x, y)
+
+        self.emit(
+            step.describe(),
+            self._chain(
+                main, self._bind_epilogue(step, out, skip_first=1 if prefill else 0)
+            ),
+        )
+        self.stats.sparse_ops += 1
+
+    def _bind_conv_gather_gemm(self, step: Step) -> None:
+        x = self.resolve(step.inputs[0])
+        out = self.define(step.output)
+        n = self.batch
+        gather = step.attrs["gather"]
+        weight = step.attrs["weight"]
+        c_out, ckk = weight.shape
+        plane = gather.shape[0] // ckk
+        x2 = x.reshape(-1, n)
+        y2 = out.reshape(c_out, plane * n)
+        cid, cols = self.scratch((gather.shape[0], n))
+        blocks = step.attrs.get("row_blocks")
+        beta = bool(step.attrs.get("beta_gemm") and step.epilogue)
+        bias = step.epilogue[0][1] if beta else None
+
+        def run_gemm(c2, y=y2, W=weight, b=bias):
+            if b is None:
+                np.matmul(W, c2, out=y)
+            else:
+                np.copyto(y, b)
+                kernels.beta_gemm(W, c2, y)
+
+        if blocks is None:
+
+            def main(G=gather, x=x2, c=cols, gemm=run_gemm, ckk=ckk):
+                spmm(G, x, c)
+                gemm(c.reshape(ckk, -1))
+
+        else:
+
+            def main(b=tuple(blocks), x=x2, c=cols, gemm=run_gemm, ckk=ckk):
+                c.fill(0.0)
+                spmm_blocks(list(b), x, c)
+                gemm(c.reshape(ckk, -1))
+
+        self.emit(
+            step.describe(),
+            self._chain(
+                main, self._bind_epilogue(step, out, skip_first=1 if beta else 0)
+            ),
+        )
+        self.stats.sparse_ops += 1
+        self.stats.gemm_ops += 1
+        self.arena.release(cid)
+
+    def _bind_conv_rowwise(self, step: Step) -> None:
+        # scipy-less fallback: run the fused kernel in row layout (the op
+        # applies its own bias and activation).
+        x = self.resolve(step.inputs[0])
+        out = self.define(step.output)
+        row_shape = self.ir.values[step.inputs[0]].row_shape
+        op = step.op
+
+        def main(op=op, x=x, y=out, shape=row_shape):
+            row = np.ascontiguousarray(np.moveaxis(x, -1, 0)).reshape(shape)
+            np.copyto(y, np.moveaxis(op(row), 0, -1))
+
+        self.emit(step.describe(), main)
+        self.stats.fallback_ops += 1
+        self.stats.steady_state_allocs += 2
+
+    def _bind_bias(self, step: Step) -> None:
+        out = self.define(step.output)
+        bias = step.attrs["bias"]
+        y2 = out.reshape(bias.shape[0], -1)
+        self.emit(step.describe(), lambda y=y2, b=bias: np.add(y, b, out=y))
+
+    def _bind_affine(self, step: Step) -> None:
+        x = self.resolve(step.inputs[0])
+        out = self.define(step.output)
+        scale, shift = step.attrs["scale"], step.attrs["shift"]
+        channels = scale.shape[0]
+        x2 = x.reshape(channels, -1)
+        y2 = out.reshape(channels, -1)
+
+        def main(x=x2, y=y2, s=scale, b=shift):
+            np.multiply(x, s, out=y)
+            np.add(y, b, out=y)
+
+        self.emit(
+            step.describe(), self._chain(main, self._bind_epilogue(step, out))
+        )
+
+    def _bind_act(self, step: Step) -> None:
+        x = self.resolve(step.inputs[0])
+        out = self.define(step.output)
+        name = step.attrs["name"]
+        custom = step.attrs.get("kernel")
+        if custom is not None:
+
+            def main(x=x, y=out, k=custom):
+                np.copyto(y, x)
+                np.copyto(y, k(y))
+
+            self.emit(step.describe(), main)
+            return
+        slope = step.attrs.get("slope", 0.0)
+        scratch = None
+        sid = None
+        if kernels.act_needs_scratch(name):
+            sid, scratch = self.scratch(out.shape)
+        if step.in_place:
+
+            def main(y=out, s=scratch, nm=name, sl=slope):
+                apply_act(nm, y, s, sl)
+
+        else:
+
+            def main(x=x, y=out, s=scratch, nm=name, sl=slope):
+                np.copyto(y, x)
+                apply_act(nm, y, s, sl)
+
+        self.emit(step.describe(), main)
+        if sid is not None:
+            self.arena.release(sid)
+
+    def _bind_max_pool(self, step: Step) -> None:
+        x = self.resolve(step.inputs[0])
+        out = self.define(step.output)
+        _, ho, wo = self.ir.values[step.output].row_shape[1:]
+        kh, kw = step.attrs["kh"], step.attrs["kw"]
+        sh, sw = step.attrs["sh"], step.attrs["sw"]
+        eh, ew = (ho - 1) * sh + 1, (wo - 1) * sw + 1
+
+        def main(x=x, y=out):
+            np.copyto(y, x[:, 0:eh:sh, 0:ew:sw, :])
+            for i in range(kh):
+                for j in range(kw):
+                    if i == 0 and j == 0:
+                        continue
+                    np.maximum(y, x[:, i : i + eh : sh, j : j + ew : sw, :], out=y)
+
+        self.emit(
+            step.describe(), self._chain(main, self._bind_epilogue(step, out))
+        )
+
+    def _bind_avg_pool(self, step: Step) -> None:
+        x = self.resolve(step.inputs[0])
+        out = self.define(step.output)
+        _, ho, wo = self.ir.values[step.output].row_shape[1:]
+        kh, kw = step.attrs["kh"], step.attrs["kw"]
+        sh, sw = step.attrs["sh"], step.attrs["sw"]
+        eh, ew = (ho - 1) * sh + 1, (wo - 1) * sw + 1
+        inv = 1.0 / (kh * kw)
+
+        def main(x=x, y=out):
+            np.copyto(y, x[:, 0:eh:sh, 0:ew:sw, :])
+            for i in range(kh):
+                for j in range(kw):
+                    if i == 0 and j == 0:
+                        continue
+                    y += x[:, i : i + eh : sh, j : j + ew : sw, :]
+            y *= inv
+
+        self.emit(
+            step.describe(), self._chain(main, self._bind_epilogue(step, out))
+        )
+
+    def _bind_global_avg_pool(self, step: Step) -> None:
+        x = self.resolve(step.inputs[0])
+        out = self.define(step.output)
+        c, h, w = self.ir.values[step.inputs[0]].row_shape[1:]
+        n = self.batch
+        x3 = x.reshape(c, h * w, n)
+        y2 = out.reshape(c, n)
+        if step.attrs.get("mean_gemm"):
+            weights = mean_weights(h * w)
+            y3 = out.reshape(c, 1, n)
+            main = lambda W=weights, x=x3, y=y3: np.matmul(W, x, out=y)  # noqa: E731
+        else:
+            main = lambda x=x3, y=y2: np.mean(x, axis=1, out=y)  # noqa: E731
+        self.emit(
+            step.describe(), self._chain(main, self._bind_epilogue(step, out))
+        )
+
+    def _bind_squeeze_excite(self, step: Step) -> None:
+        op = step.op
+        x = self.resolve(step.inputs[0])
+        out = self.define(step.output)
+        c, h, w = self.ir.values[step.inputs[0]].row_shape[1:]
+        n = self.batch
+        reduce_w = np.ascontiguousarray(op.reduce_wt.T)  # (reduced, c)
+        expand_w = np.ascontiguousarray(op.expand_wt.T)  # (c, reduced)
+        reduce_b = np.ascontiguousarray(op.reduce_b.reshape(-1, 1))
+        expand_b = np.ascontiguousarray(op.expand_b.reshape(-1, 1))
+        reduced = reduce_w.shape[0]
+        pid, pooled = self.scratch((c, n))
+        hid, hidden = self.scratch((reduced, n))
+        gid, gate = self.scratch((c, n))
+        needs_scratch = (
+            op.bottleneck_name in kernels.SCRATCH_ACTS
+            or op.gate_name in kernels.SCRATCH_ACTS
+        )
+        sid, scratch = (
+            self.scratch((max(reduced, c), n)) if needs_scratch else (None, None)
+        )
+        x3 = x.reshape(c, h * w, n)
+        y3 = out.reshape(c, h * w, n)
+        bottleneck, gate_name = op.bottleneck_name, op.gate_name
+        mean_gemm = bool(step.attrs.get("mean_gemm"))
+        weights = mean_weights(h * w) if mean_gemm else None
+        pooled3 = pooled.reshape(c, 1, n)
+
+        def main(
+            x=x3, y=y3, pooled=pooled, hidden=hidden, gate=gate, scratch=scratch
+        ):
+            if mean_gemm:
+                np.matmul(weights, x, out=pooled3)
+            else:
+                np.mean(x, axis=1, out=pooled)
+            np.matmul(reduce_w, pooled, out=hidden)
+            hidden += reduce_b
+            apply_act(
+                bottleneck,
+                hidden,
+                None if scratch is None else scratch[: hidden.shape[0]],
+            )
+            np.matmul(expand_w, hidden, out=gate)
+            gate += expand_b
+            apply_act(
+                gate_name,
+                gate,
+                None if scratch is None else scratch[: gate.shape[0]],
+            )
+            np.multiply(x, gate[:, None, :], out=y)
+
+        self.emit(
+            step.describe(), self._chain(main, self._bind_epilogue(step, out))
+        )
+        self.stats.gemm_ops += 2
+        for block_id in (pid, hid, gid, sid):
+            if block_id is not None:
+                self.arena.release(block_id)
+
+    def _bind_residual_add(self, step: Step) -> None:
+        inner_vid, skip_vid = step.inputs
+        inner_root = self.ir.root(inner_vid)
+        skip_root = self.ir.root(skip_vid)
+        inner = self.resolve(inner_vid)
+        skip = self.resolve(skip_vid)
+        index = self._index
+        in_place = (
+            inner_root != skip_root
+            and inner_root not in self.protected
+            and self.last_read.get(inner_root) == index
+        )
+        if in_place:
+            # The output takes over inner's storage, so inner's block
+            # inherits the output's liveness and protection — the
+            # precomputed last_read/protected predate this realias, and
+            # without the merge the block would be freed at this step
+            # and handed to a later value while downstream steps still
+            # read the sum through the alias.
+            out_root = self.ir.root(step.output)
+            self.ir.realias(step.output, inner_vid)
+            self.last_read[inner_root] = max(
+                self.last_read.get(inner_root, index),
+                self.last_read.get(out_root, index),
+            )
+            if out_root in self.protected:
+                self.protected.add(inner_root)
+            out = self.resolve(step.output)
+            self.emit(
+                step.describe(), lambda y=out, s=skip: np.add(y, s, out=y)
+            )
+        else:
+            out = self.define(step.output)
+            self.emit(
+                step.describe(),
+                lambda a=inner, b=skip, y=out: np.add(a, b, out=y),
+            )
+
+    def _bind_copy(self, step: Step) -> None:
+        x = self.resolve(step.inputs[0])
+        out = self.define(step.output)
+        self.emit(step.describe(), lambda x=x, y=out: np.copyto(y, x))
+
+    def _bind_fallback(self, step: Step) -> None:
+        x = self.resolve(step.inputs[0])
+        out = self.define(step.output)
+        row_shape = self.ir.values[step.inputs[0]].row_shape
+        op = step.op
+
+        def main(op=op, x=x, y=out, shape=row_shape):
+            row = np.ascontiguousarray(np.moveaxis(x, -1, 0)).reshape(shape)
+            result = op(row)
+            np.copyto(y, np.moveaxis(np.asarray(result, dtype=np.float32), 0, -1))
+
+        self.emit(step.describe(), main)
+        self.stats.fallback_ops += 1
+        self.stats.steady_state_allocs += 2
+
+
+# ---------------------------------------------------------------------------
+# ExecutionPlan
+# ---------------------------------------------------------------------------
+class ExecutionPlan:
+    """A compiled session bound to one batch shape, arena and step list.
+
+    Lowering emits the typed plan-IR, the optimizer passes rewrite it
+    (unless ``optimize=False``), and the binder compiles the result
+    against a private :class:`BufferArena`.  ``run`` executes the bound
+    steps and writes results either into caller-provided output arrays
+    (``out=``) or into plan-owned row-major result buffers (valid until
+    the next ``run``).
+    """
+
+    def __init__(
+        self,
+        session: InferenceSession,
+        batch_shape: Tuple[int, ...],
+        optimize: bool = True,
+        pool: Optional[_WorkerPool] = None,
+        intra_op_workers: int = 1,
+        l2_bytes: int = L2_BUDGET_BYTES,
+    ):
+        self.session = session
+        self.batch_shape = tuple(int(s) for s in batch_shape)
+        self.optimized = bool(optimize)
+        self.arena = BufferArena()
+        self.stats = PlanStats(num_plans=1)
+
+        self.ir = lower_session(session, self.batch_shape)
+        if optimize:
+            run_passes(
+                self.ir, self.stats, l2_bytes=l2_bytes,
+                intra_op_workers=intra_op_workers,
+            )
+
+        binder = _Binder(
+            self.ir, self.arena, self.stats,
+            pool=pool, intra_op_workers=intra_op_workers,
+        )
+        in_array = binder.define(self.ir.input)
+        binder.bind()
+        self._steps = binder.steps
+        self._step_fns = [fn for _, fn in binder.steps]
+        self._in_view = np.moveaxis(in_array, -1, 0)  # row-shaped strided view
+
+        self._outputs: Dict[Optional[str], _Value] = {}
+        for name, vid in self.ir.outputs.items():
+            array = binder.resolve(vid)
+            self._outputs[name] = _Value(
+                array, self.ir.values[vid].row_shape, None
+            )
+        self.stats.arena_bytes = self.arena.nbytes
+        self.stats.arena_blocks = self.arena.num_blocks
+        self.stats.requested_bytes = self.arena.requested_bytes
+        # Row-shaped views of the column outputs (the final transpose reads
+        # through these); the row-major result buffers are created lazily —
+        # shard plans inside an executor only ever run with ``out=``.
+        self._results: Optional[Dict[Optional[str], np.ndarray]] = None
+        self._out_views = {
+            name: np.moveaxis(val.array, -1, 0)
+            for name, val in self._outputs.items()
+        }
+
+    # -- execution ------------------------------------------------------
+    def run(self, x: np.ndarray, out=None):
+        x = np.asarray(x, dtype=np.float32)
+        if tuple(x.shape) != self.batch_shape:
+            raise ValueError(
+                f"plan compiled for batch shape {self.batch_shape}, got {tuple(x.shape)}"
+            )
+        np.copyto(self._in_view, x)
+        for fn in self._step_fns:
+            fn()
+        if out is None:
+            if self._results is None:
+                self._results = {
+                    name: np.empty(val.row_shape, dtype=np.float32)
+                    for name, val in self._outputs.items()
+                }
+            out = self._results if None not in self._outputs else self._results[None]
+        if None in self._outputs:
+            np.copyto(out, self._out_views[None])
+            return out
+        outputs = {}
+        for name, view in self._out_views.items():
+            np.copyto(out[name], view)
+            outputs[name] = out[name]
+        return outputs
+
+    __call__ = run
+
+    def describe(self) -> str:
+        stats = self.stats
+        lines = [
+            f"ExecutionPlan(batch={self.batch_shape}, "
+            f"arena={self.arena.nbytes / 1024:.0f} KiB in {self.arena.num_blocks} "
+            f"blocks, reuse={stats.reuse_ratio:.0%})",
+            f"optimizer: {'on' if self.optimized else 'off'} — "
+            f"{stats.fused_steps} fused epilogue step(s), "
+            f"{stats.elided_copies} copy(ies) elided (in-place acts), "
+            f"{stats.aliased_views} view(s) aliased, "
+            f"{stats.folded_affines} affine(s) folded exactly, "
+            f"{stats.blocked_spmm_ops} blocked SpMM(s) "
+            f"({stats.spmm_row_blocks} row blocks)",
+        ]
+        for step in self.ir.steps:
+            if step.kind == "view":
+                lines.append(f"{step.describe()} (zero-copy alias)")
+            elif step.attrs.get("elided"):
+                lines.append(f"{step.describe()} (copy elided, in place)")
+            else:
+                lines.append(step.describe())
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionPlan(batch={self.batch_shape}, steps={len(self._steps)}, "
+            f"arena_bytes={self.arena.nbytes})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# PlannedExecutor
+# ---------------------------------------------------------------------------
+class _PreparedBatch:
+    __slots__ = ("parts", "outputs")
+
+    def __init__(self, parts, outputs):
+        self.parts = parts  # list of (slice, ExecutionPlan)
+        self.outputs = outputs  # None | ndarray | dict name -> ndarray
+
+
+class PlannedExecutor:
+    """Batch-sharded, plan-cached executor with the ``InferenceSession`` API.
+
+    One :class:`ExecutionPlan` (with its own arena) is built lazily per
+    worker shard for each observed batch shape and reused afterwards, so
+    steady-state traffic with stable batch sizes runs allocation-free.
+    The per-shape cache is a bounded LRU (``max_plans``): a long-running
+    deployment serving many input shapes evicts its least-recently-used
+    plans instead of growing arena memory without limit.
+
+    With ``num_workers > 1`` the batch is split along dim 0 and the
+    shards execute concurrently on a persistent thread pool; with
+    ``intra_op=True`` the batch stays whole and eligible steps split
+    their *output rows* across the same pool instead (the lone-request
+    latency lever — no speedup on 1-core hosts, by design of the host).
+
+    Outputs are executor-owned buffers overwritten by the next ``run``;
+    pass ``copy_outputs=True`` to hand back private copies instead (the
+    server runtime does, because callers keep its logits).
+    """
+
+    def __init__(
+        self,
+        session: InferenceSession,
+        num_workers: int = 1,
+        copy_outputs: bool = False,
+        max_plans: int = 8,
+        optimize: bool = True,
+        intra_op: bool = False,
+    ):
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if max_plans < 1:
+            raise ValueError(f"max_plans must be >= 1, got {max_plans}")
+        self.session = session
+        self.num_workers = int(num_workers)
+        self.copy_outputs = copy_outputs
+        self.max_plans = int(max_plans)
+        self.optimize = bool(optimize)
+        self.intra_op = bool(intra_op)
+        self._prepared: "OrderedDict[Tuple[int, ...], _PreparedBatch]" = OrderedDict()
+        self._pool = _WorkerPool(self.num_workers) if self.num_workers > 1 else None
+        self._unplannable = False
+
+    # -- plan management ------------------------------------------------
+    def _prepare(self, shape: Tuple[int, ...]) -> _PreparedBatch:
+        prepared = self._prepared.get(shape)
+        if prepared is not None:
+            self._prepared.move_to_end(shape)  # LRU touch
+            return prepared
+        n = shape[0]
+        if self.intra_op and self.num_workers > 1:
+            if self._pool is None:  # closed earlier: rebuild on demand
+                self._pool = _WorkerPool(self.num_workers)
+            plan = ExecutionPlan(
+                self.session, shape, optimize=self.optimize,
+                pool=self._pool, intra_op_workers=self.num_workers,
+            )
+            parts = [(slice(0, n), plan)]
+        else:
+            workers = max(1, min(self.num_workers, n))
+            bounds = np.linspace(0, n, workers + 1).astype(int)
+            parts = []
+            for index in range(workers):
+                lo, hi = int(bounds[index]), int(bounds[index + 1])
+                if hi > lo:
+                    shard_shape = (hi - lo,) + tuple(shape[1:])
+                    parts.append(
+                        (
+                            slice(lo, hi),
+                            ExecutionPlan(
+                                self.session, shard_shape, optimize=self.optimize
+                            ),
+                        )
+                    )
+        sample = parts[0][1]
+        if len(parts) == 1:
+            outputs = None  # single shard returns its own result buffers
+        elif None in sample._outputs:
+            outputs = np.empty(
+                (n,) + sample._outputs[None].row_shape[1:], dtype=np.float32
+            )
+        else:
+            outputs = {
+                name: np.empty((n,) + val.row_shape[1:], dtype=np.float32)
+                for name, val in sample._outputs.items()
+            }
+        prepared = _PreparedBatch(parts, outputs)
+        if len(self._prepared) >= self.max_plans:
+            self._prepared.popitem(last=False)  # evict least recently used
+        self._prepared[shape] = prepared
+        return prepared
+
+    # -- execution ------------------------------------------------------
+    def run(self, x: np.ndarray):
+        x = np.ascontiguousarray(np.asarray(x, dtype=np.float32))
+        if self._unplannable or (x.ndim and x.shape[0] == 0):
+            return self.session.run(x)
+        try:
+            prepared = self._prepare(tuple(x.shape))
+        except Unplannable:
+            self._unplannable = True
+            return self.session.run(x)
+        if len(prepared.parts) == 1:
+            result = prepared.parts[0][1].run(x)
+        else:
+            if self._pool is None:  # closed earlier: rebuild on demand
+                self._pool = _WorkerPool(self.num_workers)
+            thunks = []
+            for sl, plan in prepared.parts:
+                if isinstance(prepared.outputs, dict):
+                    shard_out = {name: arr[sl] for name, arr in prepared.outputs.items()}
+                else:
+                    shard_out = prepared.outputs[sl]
+                thunks.append(lambda p=plan, xs=x[sl], o=shard_out: p.run(xs, out=o))
+            self._pool.run_all(thunks)
+            result = prepared.outputs
+        if self.copy_outputs:
+            if isinstance(result, dict):
+                return {name: arr.copy() for name, arr in result.items()}
+            return result.copy()
+        return result
+
+    __call__ = run
+
+    def close(self) -> None:
+        """Release the worker threads.  Idempotent; single-worker runs keep
+        working afterwards, sharded runs rebuild the pool on next use."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+            self._prepared.clear()  # sharded plans expect a live pool
+
+    def __enter__(self) -> "PlannedExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown timing
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- introspection --------------------------------------------------
+    @property
+    def planned(self) -> bool:
+        return not self._unplannable
+
+    @property
+    def stats(self) -> PlanStats:
+        total = PlanStats(num_workers=self.num_workers)
+        for prepared in self._prepared.values():
+            for _, plan in prepared.parts:
+                total = total.merged(plan.stats)
+        total.num_workers = self.num_workers
+        return total
+
+    @property
+    def num_ops(self) -> int:
+        return self.session.num_ops
+
+    def describe(self) -> str:
+        header = (
+            f"PlannedExecutor(workers={self.num_workers}, "
+            f"plans={sum(len(p.parts) for p in self._prepared.values())}, "
+            f"optimize={self.optimize}, intra_op={self.intra_op})"
+        )
+        return "\n".join([header, self.session.describe()])
+
+    def __repr__(self) -> str:
+        return (
+            f"PlannedExecutor(workers={self.num_workers}, "
+            f"shapes={list(self._prepared)}, session={self.session!r})"
+        )
+
+
+def plan_session(
+    session: InferenceSession,
+    num_workers: int = 1,
+    copy_outputs: bool = False,
+    max_plans: int = 8,
+    optimize: bool = True,
+    intra_op: bool = False,
+) -> PlannedExecutor:
+    """Wrap a compiled session in a lazily-planning, batch-sharded executor."""
+    return PlannedExecutor(
+        session,
+        num_workers=num_workers,
+        copy_outputs=copy_outputs,
+        max_plans=max_plans,
+        optimize=optimize,
+        intra_op=intra_op,
+    )

@@ -1,0 +1,488 @@
+"""Plan-IR: the typed step graph between lowering and buffer binding.
+
+The engine compiles a fused :class:`~repro.nn.fuse.InferenceSession` in
+three phases:
+
+1. **lowering** (:func:`lower_session`) — a one-time shape trace walks the
+   fused op list and emits a :class:`PlanIR`: a straight-line list of
+   typed :class:`Step` nodes over SSA-style :class:`ValueInfo` operands.
+   Every structural fact a rewrite needs is explicit — the op kind, which
+   value each step reads and defines, whether a step runs in place on its
+   input's storage, and which values merely alias another value's storage
+   (flatten/reshape views);
+2. **optimization** (:mod:`repro.nn.engine.passes`) — rewrites of the step
+   graph: epilogue fusion, affine folding, copy elision, kernel selection
+   and SpMM row blocking.  Passes run *before* any buffer exists, so the
+   arena's liveness analysis sees the optimized program;
+3. **binding** (:mod:`repro.nn.engine.executor`) — the surviving steps are
+   bound to arena buffers and compiled into closures.
+
+Step kinds
+----------
+``conv_gemm``        pointwise convolution as one contiguous GEMM
+``conv_spmm``        grouped/depthwise convolution as a weight-valued CSR
+``conv_gather_gemm`` dense-kernel convolution: 0/1 im2col CSR + GEMM
+``conv_rowwise``     scipy-less fallback (row layout round trip)
+``gemm``             linear layer
+``bias``             per-channel bias add, in place on the producer
+``act``              activation; in place when ``in_place`` is set
+``affine``           per-channel scale+shift (unfolded batch norm)
+``residual_add``     skip-connection add
+``view``             flatten/reshape — storage alias, no runtime work
+``copy``             explicit materialisation (identity head outputs)
+``max_pool`` / ``avg_pool`` / ``global_avg_pool``  pooling kernels
+``squeeze_excite``   SE gating block
+``fallback``         uncompilable module run through its eval forward
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import fuse
+from ..fuse import (
+    ActOp,
+    AffineOp,
+    AvgPoolOp,
+    ConvOp,
+    FallbackOp,
+    FlattenOp,
+    GlobalAvgPoolOp,
+    InferenceSession,
+    LinearOp,
+    MaxPoolOp,
+    ReshapeOp,
+    ResidualOp,
+    SqueezeExciteOp,
+    _Op,
+)
+from .kernels import HAVE_SPARSE, conv_csr_cached, gather_csr, weight_csr
+
+__all__ = [
+    "PlanIR",
+    "Step",
+    "ValueInfo",
+    "Unplannable",
+    "lower_session",
+    "trace_shapes",
+]
+
+
+class Unplannable(Exception):
+    """Raised at build time when a program cannot be statically planned."""
+
+
+class ValueInfo:
+    """One SSA value: a row-shaped intermediate of the program.
+
+    ``alias_of`` names the value whose storage this one shares (views and
+    in-place results); ``None`` means the value owns fresh storage.  The
+    *root* of an alias chain is the value the arena actually allocates.
+    """
+
+    __slots__ = ("vid", "row_shape", "alias_of")
+
+    def __init__(self, vid: int, row_shape: Tuple[int, ...], alias_of: Optional[int]):
+        self.vid = vid
+        self.row_shape = tuple(row_shape)
+        self.alias_of = alias_of
+
+    def __repr__(self) -> str:
+        alias = f" -> v{self.alias_of}" if self.alias_of is not None else ""
+        return f"v{self.vid}{list(self.row_shape)}{alias}"
+
+
+#: Epilogue entries are ordered tuples applied in sequence on the step's
+#: output while it is still cache-hot:  ``("bias", array)``,
+#: ``("act", name, slope)``, ``("affine", scale, shift)``, ``("add", vid)``.
+Epilogue = List[Tuple]
+
+
+@dataclass(eq=False)
+class Step:
+    """One typed node of the step graph.
+
+    ``eq=False``: steps are identity objects (their ``attrs`` hold numpy
+    arrays, which have no well-defined ``==``).
+    """
+
+    kind: str
+    op: Optional[_Op]
+    inputs: Tuple[int, ...]
+    output: int
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    epilogue: Epilogue = field(default_factory=list)
+    in_place: bool = False  # output shares the first input's storage
+
+    def reads(self) -> Tuple[int, ...]:
+        """Every value this step consumes (inputs + epilogue skip adds)."""
+        extra = tuple(entry[1] for entry in self.epilogue if entry[0] == "add")
+        return self.inputs + extra
+
+    def describe(self) -> str:
+        label = self.attrs.get("label", self.kind)
+        for entry in self.epilogue:
+            if entry[0] == "act":
+                label += f"+{entry[1]}"
+            elif entry[0] == "add":
+                label += "+residual"
+            else:
+                label += f"+{entry[0]}"
+        return label
+
+
+class PlanIR:
+    """The typed step graph for one batch shape, before buffers exist."""
+
+    def __init__(self, batch_shape: Tuple[int, ...]):
+        self.batch_shape = tuple(int(s) for s in batch_shape)
+        self.batch = self.batch_shape[0]
+        self.values: List[ValueInfo] = []
+        self.steps: List[Step] = []
+        self.input: int = -1
+        self.outputs: Dict[Optional[str], int] = {}
+
+    # -- values --------------------------------------------------------
+    def new_value(self, row_shape, alias_of: Optional[int] = None) -> int:
+        vid = len(self.values)
+        root = None if alias_of is None else self.root(alias_of)
+        self.values.append(ValueInfo(vid, row_shape, root))
+        return vid
+
+    def root(self, vid: int) -> int:
+        """The storage-owning ancestor of ``vid``."""
+        value = self.values[vid]
+        while value.alias_of is not None:
+            value = self.values[value.alias_of]
+        return value.vid
+
+    def realias(self, vid: int, target: int) -> None:
+        """Make ``vid`` share ``target``'s storage (used by rewrites)."""
+        self.values[vid].alias_of = self.root(target)
+
+    # -- construction --------------------------------------------------
+    def emit(self, step: Step) -> int:
+        self.steps.append(step)
+        return step.output
+
+    # -- introspection -------------------------------------------------
+    def describe(self) -> str:
+        lines = []
+        for step in self.steps:
+            out = self.values[step.output]
+            alias = " (aliased)" if out.alias_of is not None else ""
+            lines.append(f"{step.describe()}{alias}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Shape tracing (runs the fused ops once on zeros; exact for fallbacks too)
+# ---------------------------------------------------------------------------
+def trace_shapes(session: InferenceSession, batch_shape: Tuple[int, ...]):
+    """Record (in_shape, out_shape) for every op via a dry run on zeros."""
+    shapes: Dict[int, Tuple[Tuple[int, ...], Tuple[int, ...]]] = {}
+
+    def trace(ops, x):
+        for op in ops:
+            if isinstance(op, ResidualOp):
+                y = trace(op.inner, x) + x
+            else:
+                y = op(x)
+            if isinstance(y, dict):
+                raise Unplannable(
+                    f"op {op.describe()!r} returns a dict; only session heads may"
+                )
+            shapes[id(op)] = (tuple(x.shape), tuple(y.shape))
+            x = y
+        return x
+
+    x = np.zeros(batch_shape, dtype=np.float32)
+    trunk_out = trace(session.ops, x)
+    if session.heads is not None:
+        for program in session.heads.values():
+            trace(program, trunk_out)
+    return shapes, tuple(trunk_out.shape)
+
+
+# ---------------------------------------------------------------------------
+# Lowering: fused ops -> typed steps
+# ---------------------------------------------------------------------------
+def _leaky_slope(op: _Op) -> float:
+    """Recover ``negative_slope`` from a lowered leaky-relu kernel."""
+    kernel = getattr(op, "kernel", None) or op.act
+    slope = getattr(kernel, "negative_slope", None)
+    if slope is None:
+        raise Unplannable(f"leaky_relu kernel on {op.describe()!r} has no slope")
+    return float(slope)
+
+
+def _emit_fused_act(ir: PlanIR, op: _Op, value: int) -> int:
+    """Emit the op's fused activation (if any), in place on ``value``."""
+    if op.act_name is None:
+        return value
+    slope = _leaky_slope(op) if op.act_name == "leaky_relu" else 0.0
+    out = ir.new_value(ir.values[value].row_shape, alias_of=value)
+    ir.emit(
+        Step(
+            "act",
+            op,
+            (value,),
+            out,
+            attrs={"name": op.act_name, "slope": slope, "label": f"act:{op.act_name}"},
+            in_place=True,
+        )
+    )
+    return out
+
+
+def _lower_conv(ir: PlanIR, op: ConvOp, value: int, out_row) -> int:
+    c_in, h, w = ir.values[value].row_shape[1:]
+    c_out, ho, wo = out_row[1:]
+    pointwise = (
+        op.kh == 1 and op.kw == 1 and op.groups == 1
+        and not (op.ph or op.pw) and op.sh == 1 and op.sw == 1
+    )
+    bias = (
+        np.ascontiguousarray(op.bias.reshape(-1, 1)) if op.bias is not None else None
+    )
+    if pointwise:
+        out = ir.new_value(out_row)
+        weight = np.ascontiguousarray(op.weight.reshape(c_out, c_in))
+        ir.emit(
+            Step(
+                "conv_gemm", op, (value,), out,
+                attrs={"weight": weight, "label": "conv:gemm"},
+            )
+        )
+    elif not HAVE_SPARSE:
+        # scipy-less fallback: the fused op applies its own bias and
+        # activation in row layout, so return without bias/act steps.
+        out = ir.new_value(out_row)
+        ir.emit(
+            Step("conv_rowwise", op, (value,), out, attrs={"label": "conv:rowwise"})
+        )
+        return out
+    elif op.groups > 1:
+        out = ir.new_value(out_row)
+        matrix = conv_csr_cached(op, "weight", weight_csr, c_in, h, w, ho, wo)
+        ir.emit(
+            Step(
+                "conv_spmm", op, (value,), out,
+                attrs={"matrix": matrix, "label": "conv:spmm"},
+            )
+        )
+    else:
+        out = ir.new_value(out_row)
+        gather = conv_csr_cached(op, "gather", gather_csr, c_in, h, w, ho, wo)
+        weight = np.ascontiguousarray(op.weight.reshape(c_out, -1))
+        ir.emit(
+            Step(
+                "conv_gather_gemm", op, (value,), out,
+                attrs={
+                    "gather": gather,
+                    "weight": weight,
+                    "label": "conv:gather+gemm",
+                },
+            )
+        )
+    if bias is not None:
+        biased = ir.new_value(out_row, alias_of=out)
+        ir.emit(
+            Step(
+                "bias", op, (out,), biased,
+                attrs={"bias": bias, "label": "conv:bias"}, in_place=True,
+            )
+        )
+        out = biased
+    return _emit_fused_act(ir, op, out)
+
+
+def _lower_linear(ir: PlanIR, op: LinearOp, value: int, out_row) -> int:
+    out = ir.new_value(out_row)
+    weight = np.ascontiguousarray(op.wt.T)  # (f_out, f_in)
+    ir.emit(
+        Step("gemm", op, (value,), out, attrs={"weight": weight, "label": "linear:gemm"})
+    )
+    if op.bias is not None:
+        bias = np.ascontiguousarray(np.asarray(op.bias, dtype=np.float32).reshape(-1, 1))
+        biased = ir.new_value(out_row, alias_of=out)
+        ir.emit(
+            Step(
+                "bias", op, (out,), biased,
+                attrs={"bias": bias, "label": "linear:bias"}, in_place=True,
+            )
+        )
+        out = biased
+    return _emit_fused_act(ir, op, out)
+
+
+def _lower_affine(ir: PlanIR, op: AffineOp, value: int, out_row) -> int:
+    out = ir.new_value(out_row)
+    channels = op.scale.size
+    ir.emit(
+        Step(
+            "affine", op, (value,), out,
+            attrs={
+                "scale": np.ascontiguousarray(op.scale.reshape(channels, 1)),
+                "shift": np.ascontiguousarray(op.shift.reshape(channels, 1)),
+                "label": "affine",
+            },
+        )
+    )
+    return _emit_fused_act(ir, op, out)
+
+
+def _lower_act_op(ir: PlanIR, op: ActOp, value: int, out_row) -> int:
+    # Standalone activation: out-of-place (the input may be shared); the
+    # copy-elision pass rewrites this in place when it is the sole reader.
+    out = ir.new_value(out_row)
+    slope = _leaky_slope(op) if op.name == "leaky_relu" else 0.0
+    known = op.name in fuse._ACT_KERNELS or op.name == "leaky_relu"
+    ir.emit(
+        Step(
+            "act", op, (value,), out,
+            attrs={
+                "name": op.name,
+                "slope": slope,
+                "kernel": None if known else op.kernel,
+                "label": f"act:{op.name}",
+            },
+            in_place=False,
+        )
+    )
+    return out
+
+
+def _lower_max_pool(ir: PlanIR, op: MaxPoolOp, value: int, out_row) -> int:
+    out = ir.new_value(out_row)
+    ir.emit(
+        Step(
+            "max_pool", op, (value,), out,
+            attrs={
+                "kh": op.kh, "kw": op.kw, "sh": op.sh, "sw": op.sw,
+                "label": "max_pool",
+            },
+        )
+    )
+    return _emit_fused_act(ir, op, out)
+
+
+def _lower_avg_pool(ir: PlanIR, op: AvgPoolOp, value: int, out_row) -> int:
+    c, h, w = ir.values[value].row_shape[1:]
+    _, ho, wo = out_row[1:]
+    if op.adaptive_output is not None:
+        kh, kw = h // ho, w // wo
+        sh, sw = kh, kw
+    else:
+        kh, kw, sh, sw = op.kh, op.kw, op.sh, op.sw
+    out = ir.new_value(out_row)
+    if (ho, wo) == (1, 1) and (kh, kw) == (h, w):
+        ir.emit(
+            Step("global_avg_pool", op, (value,), out, attrs={"label": "avg_pool:global"})
+        )
+    else:
+        ir.emit(
+            Step(
+                "avg_pool", op, (value,), out,
+                attrs={"kh": kh, "kw": kw, "sh": sh, "sw": sw, "label": "avg_pool"},
+            )
+        )
+    return _emit_fused_act(ir, op, out)
+
+
+def _lower_global_avg_pool(ir: PlanIR, op: GlobalAvgPoolOp, value: int, out_row) -> int:
+    out = ir.new_value(out_row)
+    ir.emit(
+        Step("global_avg_pool", op, (value,), out, attrs={"label": "global_avg_pool"})
+    )
+    return _emit_fused_act(ir, op, out)
+
+
+def _lower_squeeze_excite(ir: PlanIR, op: SqueezeExciteOp, value: int, out_row) -> int:
+    out = ir.new_value(out_row)
+    ir.emit(Step("squeeze_excite", op, (value,), out, attrs={"label": "squeeze_excite"}))
+    return _emit_fused_act(ir, op, out)
+
+
+def _lower_fallback(ir: PlanIR, op: FallbackOp, value: int, out_row) -> int:
+    out = ir.new_value(out_row)
+    ir.emit(Step("fallback", op, (value,), out, attrs={"label": op.name}))
+    return out
+
+
+def _lower_view(ir: PlanIR, op: _Op, value: int, out_row, label: str) -> int:
+    out = ir.new_value(out_row, alias_of=value)
+    ir.emit(Step("view", op, (value,), out, attrs={"label": label}, in_place=True))
+    return out
+
+
+def _lower_residual(ir: PlanIR, op: ResidualOp, value: int, out_row, shapes) -> int:
+    inner = _lower_program(ir, op.inner, value, shapes)
+    out = ir.new_value(out_row)
+    ir.emit(
+        Step("residual_add", op, (inner, value), out, attrs={"label": "residual:add"})
+    )
+    return out
+
+
+def _lower_op(ir: PlanIR, op: _Op, value: int, shapes) -> int:
+    out_row = shapes[id(op)][1]
+    if isinstance(op, ResidualOp):
+        return _lower_residual(ir, op, value, out_row, shapes)
+    if isinstance(op, ConvOp):
+        return _lower_conv(ir, op, value, out_row)
+    if isinstance(op, LinearOp):
+        return _lower_linear(ir, op, value, out_row)
+    if isinstance(op, AffineOp):
+        return _lower_affine(ir, op, value, out_row)
+    if isinstance(op, ActOp):
+        return _lower_act_op(ir, op, value, out_row)
+    if isinstance(op, MaxPoolOp):
+        return _lower_max_pool(ir, op, value, out_row)
+    if isinstance(op, AvgPoolOp):
+        return _lower_avg_pool(ir, op, value, out_row)
+    if isinstance(op, GlobalAvgPoolOp):
+        return _lower_global_avg_pool(ir, op, value, out_row)
+    if isinstance(op, SqueezeExciteOp):
+        return _lower_squeeze_excite(ir, op, value, out_row)
+    if isinstance(op, FlattenOp):
+        if op.start_dim != 1:
+            raise Unplannable(f"flatten(start_dim={op.start_dim}) is not plannable")
+        return _lower_view(ir, op, value, out_row, "view:flatten")
+    if isinstance(op, ReshapeOp):
+        return _lower_view(ir, op, value, out_row, "view:reshape")
+    if isinstance(op, FallbackOp):
+        return _lower_fallback(ir, op, value, out_row)
+    raise Unplannable(f"no lowering for op {op.describe()!r}")
+
+
+def _lower_program(ir: PlanIR, ops: Sequence[_Op], value: int, shapes) -> int:
+    for op in ops:
+        value = _lower_op(ir, op, value, shapes)
+    return value
+
+
+def lower_session(session: InferenceSession, batch_shape: Tuple[int, ...]) -> PlanIR:
+    """Lower a fused session into an (un-optimized) :class:`PlanIR`."""
+    ir = PlanIR(batch_shape)
+    shapes, _ = trace_shapes(session, ir.batch_shape)
+    ir.input = ir.new_value(ir.batch_shape)
+    trunk = _lower_program(ir, session.ops, ir.input, shapes)
+    if session.heads is None:
+        ir.outputs[None] = trunk
+        return ir
+    for name, program in session.heads.items():
+        head = _lower_program(ir, program, trunk, shapes)
+        if ir.root(head) == ir.root(trunk):
+            # Identity head: materialise a private output buffer so every
+            # head hands back distinct storage.
+            copy = ir.new_value(ir.values[head].row_shape)
+            ir.emit(
+                Step("copy", None, (head,), copy, attrs={"label": f"head[{name}]:copy"})
+            )
+            head = copy
+        ir.outputs[name] = head
+    return ir

@@ -1,0 +1,301 @@
+"""Numeric kernels backing the planned engine's bound steps.
+
+Everything here operates on caller-owned storage — the binder hands in
+arena views and the kernels write results with ``out=`` / in place, so
+steady-state execution allocates nothing.  The module also owns the
+plan-time constructions: CSR lowering of convolutions, L2-sized row
+blocking of those matrices, and the tiny mean-weight vectors that turn
+axis reductions into GEMMs.
+
+Two kernel families exist for the operations the optimizer tunes:
+
+* **reference** — the straight-line forms PR 2 shipped (``np.mean``
+  reductions, ``np.clip``-based activations, zero-fill + accumulate
+  SpMM).  Unoptimized plans bind these, which is what makes
+  ``optimize=False`` an honest same-host baseline;
+* **selected** — the forms the kernel-selection pass enables where they
+  measure faster on slow-strided-numpy hosts: axis means as GEMMs with a
+  precomputed ``1/n`` row vector (the reduction runs in BLAS), clip
+  chains as ``minimum``/``maximum`` pairs, and bias pre-filled into the
+  SpMM output so ``csr_matvecs`` accumulates straight onto it and the
+  separate whole-tensor bias pass disappears.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .. import fuse
+
+try:  # scipy ships in the supported environments; degrade gracefully without
+    from scipy import sparse as _sparse
+    from scipy.sparse import _sparsetools
+    from scipy.linalg import blas as _blas
+except ImportError:  # pragma: no cover - exercised only on scipy-less hosts
+    _sparse = None
+    _sparsetools = None
+    _blas = None
+
+HAVE_SPARSE = _sparse is not None
+HAVE_BLAS = _blas is not None
+
+__all__ = [
+    "HAVE_BLAS",
+    "HAVE_SPARSE",
+    "spmm",
+    "spmm_accumulate",
+    "spmm_blocks",
+    "pack_row_blocks",
+    "weight_csr",
+    "gather_csr",
+    "conv_csr_cached",
+    "mean_weights",
+    "beta_gemm",
+    "apply_act",
+    "SCRATCH_ACTS",
+]
+
+
+def beta_gemm(weight: np.ndarray, x2d: np.ndarray, out2d: np.ndarray) -> None:
+    """``out2d = weight @ x2d + out2d`` through BLAS ``sgemm(beta=1)``.
+
+    ``out2d`` arrives pre-filled with the bias, so the bias add happens
+    inside the GEMM's accumulator instead of as a separate whole-tensor
+    pass.  All three arrays are C-contiguous; their transposes are
+    Fortran-contiguous views, so ``overwrite_c=1`` updates ``out2d`` in
+    place with no copies.  Bit-identical to ``matmul`` + bias add (the
+    same BLAS dot kernel runs either way).
+    """
+    _blas.sgemm(1.0, x2d.T, weight.T, beta=1.0, c=out2d.T, overwrite_c=1)
+
+
+# ---------------------------------------------------------------------------
+# Zero-allocation sparse matmul (+ row-blocked variant)
+# ---------------------------------------------------------------------------
+def spmm_accumulate(matrix, x2d: np.ndarray, out2d: np.ndarray) -> None:
+    """``out2d += matrix @ x2d`` into caller-owned (pre-filled) storage.
+
+    ``scipy.sparse`` has no ``out=`` interface, but its C kernel
+    ``csr_matvecs`` accumulates ``Y += A @ X`` — which is also what lets
+    the bias-prefill epilogue fold the bias pass into the SpMM.
+    """
+    _sparsetools.csr_matvecs(
+        matrix.shape[0],
+        matrix.shape[1],
+        x2d.shape[1],
+        matrix.indptr,
+        matrix.indices,
+        matrix.data,
+        x2d.reshape(-1),
+        out2d.reshape(-1),
+    )
+
+
+def spmm(matrix, x2d: np.ndarray, out2d: np.ndarray) -> None:
+    """``out2d[...] = matrix @ x2d`` without allocating the result."""
+    out2d.fill(0.0)
+    spmm_accumulate(matrix, x2d, out2d)
+
+
+class RowBlock:
+    """One pre-packed row range of a CSR matrix.
+
+    ``indptr`` is rebased to the block (small copy at plan time);
+    ``indices``/``data`` are zero-copy views into the parent matrix, so
+    blocking costs a few hundred bytes per block, not a second matrix.
+    """
+
+    __slots__ = ("lo", "hi", "indptr", "indices", "data", "n_cols")
+
+    def __init__(self, matrix, lo: int, hi: int):
+        self.lo = lo
+        self.hi = hi
+        start, end = int(matrix.indptr[lo]), int(matrix.indptr[hi])
+        self.indptr = np.ascontiguousarray(matrix.indptr[lo : hi + 1] - start)
+        self.indices = matrix.indices[start:end]
+        self.data = matrix.data[start:end]
+        self.n_cols = matrix.shape[1]
+
+    def run(self, x_flat: np.ndarray, out2d: np.ndarray) -> None:
+        """Accumulate this block's rows into ``out2d[lo:hi]`` (pre-filled)."""
+        _sparsetools.csr_matvecs(
+            self.hi - self.lo,
+            self.n_cols,
+            out2d.shape[1],
+            self.indptr,
+            self.indices,
+            self.data,
+            x_flat,
+            out2d[self.lo : self.hi].reshape(-1),
+        )
+
+
+def pack_row_blocks(
+    matrix, rows_per_block: int, align: int = 1
+) -> List[RowBlock]:
+    """Split ``matrix`` into pre-packed row blocks of ``rows_per_block``.
+
+    ``align`` keeps block boundaries on multiples of a row-group size
+    (one output plane of a convolution), so a block never splits a
+    channel's spatial rows.
+    """
+    rows = matrix.shape[0]
+    step = max(align, (rows_per_block // align) * align)
+    blocks = []
+    for lo in range(0, rows, step):
+        blocks.append(RowBlock(matrix, lo, min(rows, lo + step)))
+    return blocks
+
+
+def spmm_blocks(
+    blocks: List[RowBlock], x2d: np.ndarray, out2d: np.ndarray
+) -> None:
+    """Row-blocked ``out2d[...] = A @ x2d`` (``out2d`` already pre-filled)."""
+    x_flat = x2d.reshape(-1)
+    for block in blocks:
+        block.run(x_flat, out2d)
+
+
+# ---------------------------------------------------------------------------
+# Sparse lowering of convolutions (plan-time, cached per geometry)
+# ---------------------------------------------------------------------------
+def weight_csr(op, c_in: int, h: int, w: int, ho: int, wo: int):
+    """CSR of the full linear map (c_out*ho*wo, c_in*h*w), weights inlined.
+
+    Entries that would read padding are simply dropped (they multiply
+    implicit zeros), so the matrix consumes the *unpadded* input and no
+    padded copy of the activation is ever materialised.
+    """
+    cig, kh, kw = op.c_in_g, op.kh, op.kw
+    cog = op.c_out // op.groups
+    o = np.arange(op.c_out).reshape(-1, 1, 1, 1, 1, 1)
+    oi = np.arange(ho).reshape(1, -1, 1, 1, 1, 1)
+    oj = np.arange(wo).reshape(1, 1, -1, 1, 1, 1)
+    q = np.arange(cig).reshape(1, 1, 1, -1, 1, 1)
+    ki = np.arange(kh).reshape(1, 1, 1, 1, -1, 1)
+    kj = np.arange(kw).reshape(1, 1, 1, 1, 1, -1)
+    in_i = oi * op.sh + ki - op.ph
+    in_j = oj * op.sw + kj - op.pw
+    ci = (o // cog) * cig + q
+    shape6 = (op.c_out, ho, wo, cig, kh, kw)
+    valid = np.broadcast_to(
+        (in_i >= 0) & (in_i < h) & (in_j >= 0) & (in_j < w), shape6
+    )
+    rows = np.broadcast_to((o * ho + oi) * wo + oj, shape6)[valid]
+    cols = np.broadcast_to((ci * h + in_i) * w + in_j, shape6)[valid]
+    data = np.broadcast_to(op.weight[:, None, None, :, :, :], shape6)[valid]
+    matrix = _sparse.csr_matrix(
+        (data.astype(np.float32), (rows, cols)),
+        shape=(op.c_out * ho * wo, c_in * h * w),
+        dtype=np.float32,
+    )
+    matrix.sort_indices()
+    return matrix
+
+
+def gather_csr(op, c_in: int, h: int, w: int, ho: int, wo: int):
+    """0/1 CSR gathering im2col rows: (c_in*kh*kw*ho*wo, c_in*h*w)."""
+    kh, kw = op.kh, op.kw
+    ci = np.arange(c_in).reshape(-1, 1, 1, 1, 1)
+    ki = np.arange(kh).reshape(1, -1, 1, 1, 1)
+    kj = np.arange(kw).reshape(1, 1, -1, 1, 1)
+    oi = np.arange(ho).reshape(1, 1, 1, -1, 1)
+    oj = np.arange(wo).reshape(1, 1, 1, 1, -1)
+    in_i = oi * op.sh + ki - op.ph
+    in_j = oj * op.sw + kj - op.pw
+    shape5 = (c_in, kh, kw, ho, wo)
+    valid = np.broadcast_to(
+        (in_i >= 0) & (in_i < h) & (in_j >= 0) & (in_j < w), shape5
+    )
+    rows = np.broadcast_to(
+        (((ci * kh + ki) * kw + kj) * ho + oi) * wo + oj, shape5
+    )[valid]
+    cols = np.broadcast_to((ci * h + in_i) * w + in_j, shape5)[valid]
+    matrix = _sparse.csr_matrix(
+        (np.ones(rows.size, dtype=np.float32), (rows, cols)),
+        shape=(c_in * kh * kw * ho * wo, c_in * h * w),
+        dtype=np.float32,
+    )
+    matrix.sort_indices()
+    return matrix
+
+
+def conv_csr_cached(op, kind: str, builder, c_in, h, w, ho, wo):
+    """Build (or fetch) a conv's CSR.  The matrices are independent of the
+    batch size, so worker shards and re-plans for new batch sizes share
+    one matrix per input geometry."""
+    cache = getattr(op, "_engine_csr_cache", None)
+    if cache is None:
+        cache = {}
+        op._engine_csr_cache = cache
+    key = (kind, h, w)
+    matrix = cache.get(key)
+    if matrix is None:
+        matrix = builder(op, c_in, h, w, ho, wo)
+        cache[key] = matrix
+    return matrix
+
+
+# ---------------------------------------------------------------------------
+# Axis means as GEMMs
+# ---------------------------------------------------------------------------
+def mean_weights(count: int) -> np.ndarray:
+    """A ``(1, count)`` row of ``1/count`` — ``W @ x`` averages axis -2.
+
+    ``np.mean`` over the middle axis of a ``(c, s, n)`` column tensor is
+    a strided reduction numpy runs an order of magnitude slower than
+    BLAS on the benchmark hosts; a dot with this vector is the same
+    arithmetic in GEMM form.
+    """
+    return np.full((1, count), 1.0 / count, dtype=np.float32)
+
+
+# ---------------------------------------------------------------------------
+# In-place activations with explicit scratch (the fuse kernels for silu /
+# hard_swish / gelu / leaky_relu allocate temporaries; the planned engine
+# may not)
+# ---------------------------------------------------------------------------
+#: Activations whose allocation-free form needs a scratch buffer.
+SCRATCH_ACTS = frozenset({"silu", "hard_swish", "gelu", "leaky_relu"})
+
+
+def apply_act(
+    name: str,
+    y: np.ndarray,
+    scratch: Optional[np.ndarray],
+    slope: float = 0.0,
+) -> None:
+    """Run activation ``name`` in place on ``y`` using ``scratch`` if needed."""
+    if name == "silu":
+        np.copyto(scratch, y)
+        fuse._sigmoid_(scratch)
+        y *= scratch
+    elif name == "hard_swish":
+        np.add(y, 3.0, out=scratch)
+        np.clip(scratch, 0.0, 6.0, out=scratch)
+        scratch *= 1.0 / 6.0
+        y *= scratch
+    elif name == "gelu":
+        np.multiply(y, y, out=scratch)
+        scratch *= y
+        scratch *= 0.044715
+        scratch += y
+        scratch *= 0.7978845608028654  # sqrt(2/pi)
+        np.tanh(scratch, out=scratch)
+        scratch += 1.0
+        scratch *= 0.5
+        y *= scratch
+    elif name == "leaky_relu":
+        # leaky(y) = max(y, 0) + slope * min(y, 0), allocation-free.
+        np.maximum(y, 0.0, out=scratch)
+        np.minimum(y, 0.0, out=y)
+        y *= slope
+        y += scratch
+    else:
+        fuse._ACT_KERNELS[name](y)
+
+
+def act_needs_scratch(name: str) -> bool:
+    return name in SCRATCH_ACTS

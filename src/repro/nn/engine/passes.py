@@ -1,0 +1,257 @@
+"""Optimizer passes over the plan-IR.
+
+Each pass rewrites the typed step graph *before* buffers are bound, so
+the arena's liveness analysis runs on the optimized program.  The
+pipeline (:func:`run_passes`) is:
+
+1. :func:`elide_copies` — flatten/reshape views stay storage aliases and
+   standalone activations whose input has no other reader run in place,
+   so whole-tensor copies disappear from the program;
+2. :func:`fuse_epilogues` — chains of ``bias`` / ``act`` / ``affine`` /
+   ``residual_add`` steps collapse into their producing GEMM/SpMM/pool
+   step's *epilogue*: one bound closure applies them on the output while
+   it is still cache-hot, instead of separate whole-tensor passes.
+   Affines fold into the producer's bias where that is exact (scale of
+   all ones); otherwise they become a fused scale/shift epilogue entry,
+   which is bit-identical to the standalone step;
+3. :func:`select_kernels` — flips kernel implementations to the forms
+   measured faster on the benchmark hosts: axis means as GEMMs, GEMM
+   biases folded into ``sgemm(beta=1)`` accumulators (bit-exact), and
+   SpMM outputs pre-filled with the bias so the separate bias pass
+   vanishes into the accumulate;
+4. :func:`block_spmm` — partitions plan-time CSR matrices into row
+   blocks sized to the L2 budget (aligned to output planes) so each
+   ``csr_matvecs`` call streams a bounded working set, and pre-packs the
+   block index structures at plan time.
+
+Passes mutate the IR in place and record what they did on the stats
+object (``fused_steps``, ``elided_copies``, ``folded_affines``,
+``blocked_spmm_ops``, ``spmm_row_blocks``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import kernels
+from .ir import PlanIR
+from .kernels import pack_row_blocks
+
+__all__ = [
+    "L2_BUDGET_BYTES",
+    "run_passes",
+    "elide_copies",
+    "fuse_epilogues",
+    "select_kernels",
+    "block_spmm",
+]
+
+#: Default working-set budget for one SpMM row block.  Sized below a
+#: typical 1–2 MiB L2 so block output + matrix slice + touched input
+#: planes stay resident while ``csr_matvecs`` streams the rows.
+L2_BUDGET_BYTES = 1 << 20
+
+#: Step kinds that may start an epilogue chain (they own their output
+#: buffer and write it exactly once).
+_PRODUCERS = frozenset(
+    {
+        "conv_gemm",
+        "conv_spmm",
+        "conv_gather_gemm",
+        "gemm",
+        "affine",
+        "max_pool",
+        "avg_pool",
+        "global_avg_pool",
+        "squeeze_excite",
+    }
+)
+
+
+def _read_after(ir: PlanIR, index: int, root: int) -> bool:
+    """Does any step after ``index`` (or a plan output) read ``root``?"""
+    for step in ir.steps[index + 1 :]:
+        if any(ir.root(vid) == root for vid in step.reads()):
+            return True
+    return any(ir.root(vid) == root for vid in ir.outputs.values())
+
+
+# ---------------------------------------------------------------------------
+# Pass 1: copy elision
+# ---------------------------------------------------------------------------
+def elide_copies(ir: PlanIR, stats) -> None:
+    """Turn view steps and last-reader activations into storage aliases.
+
+    Two distinct counters: ``aliased_views`` certifies flatten/reshape
+    steps as zero-copy aliases (a structural property the unoptimized
+    binder shares — not an optimizer win); ``elided_copies`` counts only
+    the *rewrites* this pass performs, i.e. out-of-place activations
+    converted to run in place because nothing downstream reads their
+    pre-activation input.
+    """
+    for index, step in enumerate(ir.steps):
+        if step.kind == "view":
+            stats.aliased_views += 1
+        elif (
+            step.kind == "act"
+            and not step.in_place
+            and step.attrs.get("kernel") is None
+            and not _read_after(ir, index, ir.root(step.inputs[0]))
+        ):
+            # Nothing downstream reads the pre-activation value (through
+            # any alias), so the copy-then-activate collapses in place.
+            step.in_place = True
+            step.attrs["elided"] = True
+            ir.realias(step.output, step.inputs[0])
+            stats.elided_copies += 1
+
+
+# ---------------------------------------------------------------------------
+# Pass 2: epilogue fusion (+ exact affine folding)
+# ---------------------------------------------------------------------------
+def fuse_epilogues(ir: PlanIR, stats) -> None:
+    """Collapse bias/act/affine/residual-add chains into their producer."""
+    new_steps = []
+    index = 0
+    steps = ir.steps
+    while index < len(steps):
+        step = steps[index]
+        new_steps.append(step)
+        index += 1
+        if step.kind not in _PRODUCERS:
+            continue
+        current = step.output
+        while index < len(steps):
+            nxt = steps[index]
+            if nxt.kind == "bias" and nxt.inputs == (current,):
+                step.epilogue.append(("bias", nxt.attrs["bias"]))
+            elif (
+                nxt.kind == "act"
+                and nxt.in_place
+                and nxt.inputs == (current,)
+                and nxt.attrs.get("kernel") is None
+            ):
+                step.epilogue.append(("act", nxt.attrs["name"], nxt.attrs["slope"]))
+            elif nxt.kind == "affine" and nxt.inputs == (current,) and not _read_after(
+                ir, index, ir.root(current)
+            ):
+                scale, shift = nxt.attrs["scale"], nxt.attrs["shift"]
+                if np.all(scale == 1.0):
+                    # Exact fold: a pure shift merges into the bias stream.
+                    step.epilogue.append(("bias", shift))
+                    stats.folded_affines += 1
+                else:
+                    step.epilogue.append(("affine", scale, shift))
+                ir.realias(nxt.output, current)
+            elif (
+                nxt.kind == "residual_add"
+                and nxt.inputs[0] == current
+                and ir.root(nxt.inputs[1]) != ir.root(current)
+                and not _read_after(ir, index, ir.root(current))
+            ):
+                step.epilogue.append(("add", nxt.inputs[1]))
+                ir.realias(nxt.output, current)
+            else:
+                break
+            current = nxt.output
+            stats.fused_steps += 1
+            index += 1
+    ir.steps = new_steps
+
+
+# ---------------------------------------------------------------------------
+# Pass 3: kernel selection
+# ---------------------------------------------------------------------------
+def select_kernels(ir: PlanIR, stats) -> None:
+    """Pick the kernel forms measured faster on slow-strided-numpy hosts."""
+    for step in ir.steps:
+        if step.kind in ("squeeze_excite", "global_avg_pool"):
+            # Axis means as GEMMs: np.mean over the middle axis of a
+            # column tensor is a strided reduction that runs an order of
+            # magnitude below BLAS on the bench hosts.
+            step.attrs["mean_gemm"] = True
+        if (
+            step.kind in ("conv_gemm", "gemm", "conv_gather_gemm")
+            and kernels.HAVE_BLAS
+            and step.epilogue
+            and step.epilogue[0][0] == "bias"
+        ):
+            # Pre-fill the output with the bias and run sgemm(beta=1):
+            # the bias add happens inside the GEMM accumulator —
+            # bit-identical to matmul + add, minus a whole-tensor pass.
+            step.attrs["beta_gemm"] = True
+        if (
+            step.kind == "conv_spmm"
+            and step.epilogue
+            and step.epilogue[0][0] == "bias"
+        ):
+            # csr_matvecs accumulates: pre-filling the output with the
+            # bias folds the bias pass into the SpMM for free.
+            step.attrs["bias_prefill"] = True
+
+
+# ---------------------------------------------------------------------------
+# Pass 4: cache-blocked SpMM
+# ---------------------------------------------------------------------------
+def block_spmm(
+    ir: PlanIR,
+    stats,
+    batch: int,
+    l2_bytes: int = L2_BUDGET_BYTES,
+    min_blocks: int = 1,
+) -> None:
+    """Partition large SpMM steps into pre-packed, L2-sized row blocks.
+
+    ``min_blocks`` forces at least that many blocks regardless of size
+    (the intra-op row-parallel hook uses it to create one block per
+    worker).  Matrices whose whole working set fits the budget are left
+    unblocked unless forced.
+    """
+    for step in ir.steps:
+        if step.kind == "conv_spmm":
+            matrix = step.attrs["matrix"]
+            align = max(1, matrix.shape[0] // step.op.c_out)
+        elif step.kind == "conv_gather_gemm":
+            matrix = step.attrs["gather"]
+            ckk = step.op.c_in_g * step.op.kh * step.op.kw
+            align = max(1, matrix.shape[0] // ckk)
+        else:
+            continue
+        rows = matrix.shape[0]
+        out_bytes = rows * batch * 4
+        in_bytes = matrix.shape[1] * batch * 4
+        matrix_bytes = matrix.data.nbytes + matrix.indices.nbytes
+        footprint = out_bytes + in_bytes + matrix_bytes
+        blocks_needed = max(min_blocks, -(-footprint // max(1, l2_bytes)))
+        if blocks_needed <= 1 or rows <= align:
+            continue
+        rows_per_block = max(align, -(-rows // blocks_needed) // align * align)
+        blocks = pack_row_blocks(matrix, rows_per_block, align=align)
+        if len(blocks) <= 1:
+            continue
+        step.attrs["row_blocks"] = blocks
+        stats.blocked_spmm_ops += 1
+        stats.spmm_row_blocks += len(blocks)
+
+
+# ---------------------------------------------------------------------------
+# The pipeline
+# ---------------------------------------------------------------------------
+def run_passes(
+    ir: PlanIR,
+    stats,
+    l2_bytes: int = L2_BUDGET_BYTES,
+    intra_op_workers: int = 1,
+) -> PlanIR:
+    """Run the full pass pipeline in order; returns the (mutated) IR."""
+    elide_copies(ir, stats)
+    fuse_epilogues(ir, stats)
+    select_kernels(ir, stats)
+    block_spmm(
+        ir,
+        stats,
+        ir.batch,
+        l2_bytes=l2_bytes,
+        min_blocks=intra_op_workers if intra_op_workers > 1 else 1,
+    )
+    return ir

@@ -144,6 +144,8 @@ class Module:
         plan: bool = False,
         num_workers: int = 1,
         copy_outputs: bool = False,
+        max_plans: int = 8,
+        optimize: bool = True,
     ):
         """Compile this module's eval-mode forward into an autograd-free
         :class:`~repro.nn.fuse.InferenceSession`.
@@ -156,10 +158,13 @@ class Module:
         outputs are verified against the eval forward within ``atol``.
 
         With ``plan=True`` (or ``num_workers > 1``) the session is
-        wrapped in a :class:`~repro.nn.engine.PlannedExecutor`: a static
-        execution plan per batch shape with an arena of preallocated
-        buffers (zero steady-state allocations) that shards the batch
-        across ``num_workers`` worker threads.  Planned outputs are
+        wrapped in a :class:`~repro.nn.engine.PlannedExecutor`: an
+        optimizer-rewritten execution plan per batch shape (epilogue
+        fusion, copy elision, kernel selection, blocked SpMM — disable
+        with ``optimize=False``) with an arena of preallocated buffers
+        (zero steady-state allocations) that shards the batch across
+        ``num_workers`` worker threads.  The per-shape plan cache is a
+        bounded LRU of ``max_plans`` entries.  Planned outputs are
         executor-owned and overwritten by the next call unless
         ``copy_outputs=True``.
         """
@@ -170,7 +175,11 @@ class Module:
             from .engine import plan_session
 
             session = plan_session(
-                session, num_workers=num_workers, copy_outputs=copy_outputs
+                session,
+                num_workers=num_workers,
+                copy_outputs=copy_outputs,
+                max_plans=max_plans,
+                optimize=optimize,
             )
         if sample_input is not None:
             verify_session(self, session, sample_input, atol=atol)

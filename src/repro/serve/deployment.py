@@ -113,6 +113,8 @@ class Deployment:
             compiled=spec.compiled,
             planned=spec.planned,
             num_workers=spec.num_workers,
+            optimize=spec.optimize,
+            max_cached_plans=spec.max_cached_plans,
         )
         self._pipeline_lock = threading.Lock()
         self._batcher: Optional[DynamicBatcher] = None

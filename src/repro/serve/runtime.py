@@ -74,13 +74,17 @@ class InferenceTrace:
         return self.edge_seconds + self.transfer_seconds + self.server_seconds
 
 
-def _build_session(model, compiled, planned, num_workers, copy_outputs, reuse_buffers):
+def _build_session(
+    model, compiled, planned, num_workers, copy_outputs, reuse_buffers,
+    optimize=True, max_cached_plans=8,
+):
     """Shared session-selection ladder for the two runtimes."""
     if not compiled:
         return None
     if planned:  # planned=False wins even when num_workers was raised
         return model.compile_for_inference(
-            plan=True, num_workers=num_workers, copy_outputs=copy_outputs
+            plan=True, num_workers=num_workers, copy_outputs=copy_outputs,
+            optimize=optimize, max_plans=max_cached_plans,
         )
     session = model.compile_for_inference()
     return session.enable_buffer_reuse() if reuse_buffers else session
@@ -142,6 +146,8 @@ class EdgeRuntime(_RuntimeBase):
         compiled: bool = True,
         planned: bool = True,
         num_workers: int = 1,
+        optimize: bool = True,
+        max_cached_plans: int = 8,
     ):
         self.model = model
         self.wire_format = wire_format
@@ -149,6 +155,7 @@ class EdgeRuntime(_RuntimeBase):
         self.session = _build_session(
             model, compiled, planned, num_workers,
             copy_outputs=False, reuse_buffers=True,
+            optimize=optimize, max_cached_plans=max_cached_plans,
         )
 
     def infer(self, images: np.ndarray) -> Tuple[bytes, float]:
@@ -178,6 +185,8 @@ class ServerRuntime(_RuntimeBase):
         compiled: bool = True,
         planned: bool = True,
         num_workers: int = 1,
+        optimize: bool = True,
+        max_cached_plans: int = 8,
     ):
         self.model = model
         self.task_names = task_names
@@ -185,6 +194,7 @@ class ServerRuntime(_RuntimeBase):
         self.session = _build_session(
             model, compiled, planned, num_workers,
             copy_outputs=True, reuse_buffers=False,
+            optimize=optimize, max_cached_plans=max_cached_plans,
         )
 
     def infer(self, payload: bytes) -> Tuple[Dict[str, np.ndarray], float]:
@@ -236,7 +246,13 @@ class ThroughputReport:
     carries the allocation accounting: ``num_workers`` (batch shards per
     stage), ``arena_bytes`` (preallocated buffer arenas across both
     stages) and ``steady_state_allocs`` (per-batch allocations planning
-    could not remove — zero for fully planned programs).
+    could not remove — zero for fully planned programs) — plus the
+    optimizer accounting: ``fused_steps`` (bias/act/affine/residual
+    steps absorbed into GEMM/SpMM epilogues), ``elided_copies``
+    (activations rewritten to run in place), ``aliased_views``
+    (flatten/reshape certified zero-copy — equally true of the
+    unoptimized binder) and ``spmm_row_blocks`` (L2-sized row blocks
+    across blocked SpMMs).
     """
 
     batches: int
@@ -249,6 +265,10 @@ class ThroughputReport:
     num_workers: int = 1
     arena_bytes: int = 0
     steady_state_allocs: int = 0
+    fused_steps: int = 0
+    elided_copies: int = 0
+    aliased_views: int = 0
+    spmm_row_blocks: int = 0
 
     @property
     def serial_seconds(self) -> float:
@@ -299,6 +319,10 @@ class ThroughputReport:
         num_workers: int = 1,
         arena_bytes: int = 0,
         steady_state_allocs: int = 0,
+        fused_steps: int = 0,
+        elided_copies: int = 0,
+        aliased_views: int = 0,
+        spmm_row_blocks: int = 0,
     ) -> "ThroughputReport":
         """Build a report, scheduling the three stages as a pipeline.
 
@@ -322,6 +346,10 @@ class ThroughputReport:
             num_workers=num_workers,
             arena_bytes=arena_bytes,
             steady_state_allocs=steady_state_allocs,
+            fused_steps=fused_steps,
+            elided_copies=elided_copies,
+            aliased_views=aliased_views,
+            spmm_row_blocks=spmm_row_blocks,
         )
 
 
@@ -365,23 +393,29 @@ class SplitPipeline:
         compiled: bool = True,
         planned: bool = True,
         num_workers: int = 1,
+        optimize: bool = True,
+        max_cached_plans: int = 8,
     ) -> "SplitPipeline":
         """Split ``net`` and wire the halves through a simulated channel.
 
         ``planned`` runs both halves through the arena-backed execution
         engine; ``num_workers`` shards each stage's batch across that
-        many worker threads (see :mod:`repro.nn.engine`).
+        many worker threads; ``optimize`` runs the plan-IR optimizer
+        passes and ``max_cached_plans`` bounds each stage's per-shape
+        plan cache (see :mod:`repro.nn.engine`).
         """
         edge_model, server_model = net.split(split_index, input_size=input_size)
         return cls(
             EdgeRuntime(
                 edge_model, wire_format, compiled=compiled,
                 planned=planned, num_workers=num_workers,
+                optimize=optimize, max_cached_plans=max_cached_plans,
             ),
             SimulatedLink(channel),
             ServerRuntime(
                 server_model, net.task_names, compiled=compiled,
                 planned=planned, num_workers=num_workers,
+                optimize=optimize, max_cached_plans=max_cached_plans,
             ),
         )
 
@@ -397,18 +431,24 @@ class SplitPipeline:
     def __exit__(self, exc_type, exc_value, traceback) -> None:
         self.close()
 
-    def _plan_accounting(self) -> Tuple[int, int, int]:
-        """(num_workers, arena_bytes, steady-state allocs) across stages."""
-        num_workers = 1
-        arena_bytes = 0
-        allocs = 0
+    def _plan_accounting(self) -> Dict[str, int]:
+        """Engine accounting (workers, arena, allocs, optimizer) per stage."""
+        totals = {
+            "num_workers": 1, "arena_bytes": 0, "steady_state_allocs": 0,
+            "fused_steps": 0, "elided_copies": 0, "aliased_views": 0,
+            "spmm_row_blocks": 0,
+        }
         for runtime in (self.edge, self.server):
             stats = getattr(runtime, "plan_stats", None)
             if stats is not None:
-                num_workers = max(num_workers, stats.num_workers)
-                arena_bytes += stats.arena_bytes
-                allocs += stats.steady_state_allocs
-        return num_workers, arena_bytes, allocs
+                totals["num_workers"] = max(totals["num_workers"], stats.num_workers)
+                totals["arena_bytes"] += stats.arena_bytes
+                totals["steady_state_allocs"] += stats.steady_state_allocs
+                totals["fused_steps"] += stats.fused_steps
+                totals["elided_copies"] += stats.elided_copies
+                totals["aliased_views"] += stats.aliased_views
+                totals["spmm_row_blocks"] += stats.spmm_row_blocks
+        return totals
 
     def warmup(self, images: np.ndarray) -> "SplitPipeline":
         """Prime both halves (kernel auto-tuning, contraction plans).
@@ -503,11 +543,9 @@ class SplitPipeline:
                     server_seconds=server_times[i],
                 )
             )
-        num_workers, arena_bytes, allocs = self._plan_accounting()
         report = ThroughputReport.from_stage_times(
             batch_sizes, edge_times, transfer_times, server_times, wall,
-            num_workers=num_workers, arena_bytes=arena_bytes,
-            steady_state_allocs=allocs,
+            **self._plan_accounting(),
         )
         return list(results), report  # type: ignore[arg-type]
 

@@ -89,6 +89,16 @@ class DeploymentSpec:
     compiled / planned / num_workers:
         Execution-engine knobs, forwarded to the runtimes: fused
         compilation, arena planning, and batch shards per stage.
+    optimize:
+        Run the plan-IR optimizer passes (epilogue fusion, copy elision,
+        kernel selection, blocked SpMM) on every execution plan.  On by
+        default; ``False`` binds the straight-line reference lowering —
+        the honest same-host baseline for benchmarks.
+    max_cached_plans:
+        Per-stage bound on the engine's per-batch-shape plan cache
+        (LRU).  A long-running deployment serving many input shapes
+        evicts least-recently-used plans past this limit instead of
+        growing arena memory without bound.
     max_batch_size / max_queue_delay_ms:
         Dynamic-batching knobs for ``Deployment.submit``: a dispatched
         micro-batch closes when it reaches ``max_batch_size`` requests
@@ -109,6 +119,8 @@ class DeploymentSpec:
     compiled: bool = True
     planned: bool = True
     num_workers: int = 1
+    optimize: bool = True
+    max_cached_plans: int = 8
     max_batch_size: int = 8
     max_queue_delay_ms: float = 2.0
     seed: int = 0
@@ -209,6 +221,10 @@ class DeploymentSpec:
             f"num_workers must be a positive int, got {self.num_workers!r}",
         )
         _check(
+            isinstance(self.max_cached_plans, int) and self.max_cached_plans >= 1,
+            f"max_cached_plans must be a positive int, got {self.max_cached_plans!r}",
+        )
+        _check(
             isinstance(self.max_batch_size, int) and self.max_batch_size >= 1,
             f"max_batch_size must be a positive int, got {self.max_batch_size!r}",
         )
@@ -275,6 +291,8 @@ class DeploymentSpec:
             "compiled": self.compiled,
             "planned": self.planned,
             "num_workers": self.num_workers,
+            "optimize": self.optimize,
+            "max_cached_plans": self.max_cached_plans,
             "max_batch_size": self.max_batch_size,
             "max_queue_delay_ms": self.max_queue_delay_ms,
             "seed": self.seed,

@@ -4,13 +4,8 @@ trace accounting, wire-format effects, overlapped streaming execution."""
 import numpy as np
 import pytest
 
-from repro.deployment import (
-    GIGABIT_ETHERNET,
-    LTE_UPLINK,
-    SplitPipeline,
-    ThroughputReport,
-    WireFormat,
-)
+from repro.deployment import GIGABIT_ETHERNET, LTE_UPLINK, WireFormat
+from repro.serve import SplitPipeline, ThroughputReport
 
 
 @pytest.fixture()

@@ -13,7 +13,8 @@ from hypothesis import strategies as st
 
 from repro import data, nn
 from repro.core import MTLSplitNet
-from repro.deployment import GIGABIT_ETHERNET, SplitPipeline
+from repro.deployment import GIGABIT_ETHERNET
+from repro.serve import SplitPipeline
 from repro.nn import engine, fuse
 
 _ATOL = 1e-6

@@ -21,7 +21,8 @@ from repro.core import (
     evaluate,
     fine_tune,
 )
-from repro.deployment import GIGABIT_ETHERNET, SplitPipeline
+from repro.deployment import GIGABIT_ETHERNET
+from repro.serve import SplitPipeline
 
 EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
 

@@ -13,7 +13,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import nn
-from repro.deployment import GIGABIT_ETHERNET, SplitPipeline, WireFormat
+from repro.deployment import GIGABIT_ETHERNET, WireFormat
+from repro.serve import SplitPipeline
 from repro.nn import fuse
 from repro.nn.tensor import Tensor
 

@@ -19,11 +19,11 @@ from repro.deployment import (
     GIGABIT_ETHERNET,
     JETSON_NANO,
     RTX3090_SERVER,
-    SplitPipeline,
     compare_paradigms,
     payload_bytes,
     profile_backbone,
 )
+from repro.serve import SplitPipeline
 from repro.nn.tensor import Tensor
 
 
