@@ -26,9 +26,14 @@ Sub-packages
     The declarative deployment API: :func:`deploy` turns a frozen
     :class:`DeploymentSpec` into a live :class:`~repro.serve.Deployment`
     with synchronous, streaming and dynamically-batched async serving.
+``repro.scenarios``
+    The declarative workload registry: named, JSON-round-tripped
+    :class:`Scenario` specs spanning the 32px quick tier to the 224px
+    high-resolution tier, compiling into deployment + traffic.
 """
 
-from . import core, data, deployment, models, nn, serve
+from . import core, data, deployment, models, nn, scenarios, serve
+from .scenarios import Scenario
 from .serve import Deployment, DeploymentSpec, deploy
 
 __version__ = "1.0.0"
@@ -39,9 +44,11 @@ __all__ = [
     "data",
     "core",
     "deployment",
+    "scenarios",
     "serve",
     "Deployment",
     "DeploymentSpec",
+    "Scenario",
     "deploy",
     "__version__",
 ]

@@ -245,6 +245,78 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from .scenarios import (
+        ScenarioError,
+        available_scenarios,
+        get_scenario,
+        run_scenario,
+        scenario_matrix,
+    )
+
+    if args.scenarios_command == "list":
+        rows = scenario_matrix(tier=args.tier)
+        if not rows:
+            print(f"no scenarios in tier {args.tier!r}", file=sys.stderr)
+            return 2
+        print(f"{'name':<28}{'tier':<7}{'backbone':<20}{'input':>7}"
+              f"{'batch':>7}{'wire':>9}  {'split':<7}{'channel'}")
+        for scenario in rows:
+            cut = scenario.split_index if scenario.split_index is not None else "paper"
+            print(
+                f"{scenario.name:<28}{scenario.tier:<7}{scenario.backbone:<20}"
+                f"{scenario.input_size:>5}px{scenario.batches:>4}x{scenario.batch_size:<2}"
+                f"{scenario.wire:>9}  {str(cut):<7}{scenario.channel}"
+            )
+        return 0
+
+    try:
+        scenario = get_scenario(args.name)
+    except ScenarioError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    if args.scenarios_command == "describe":
+        if args.json:
+            print(scenario.to_json())
+        else:
+            print(scenario.describe())
+            if scenario.description:
+                print(f"  {scenario.description}")
+            print(f"  deployment: {scenario.deployment_spec().describe()}")
+            print(f"  traffic: {scenario.batches} batches x {scenario.batch_size} "
+                  f"images at {scenario.input_size}px "
+                  f"({scenario.noise_amount:.0%} salt-and-pepper, seed {scenario.seed})")
+        return 0
+
+    # run
+    from .deployment import render_throughput
+
+    if args.batches is not None and args.batches < 1:
+        print("scenarios run needs --batches >= 1", file=sys.stderr)
+        return 2
+    overrides = {}
+    if args.no_optimize:
+        overrides["optimize"] = False
+    result = run_scenario(scenario, batches=args.batches, **overrides)
+    report = result.report
+    print(result.deployment_description)
+    print(
+        f"  edge {result.edge_ms:.2f} ms, transfer "
+        f"{result.transfer_seconds * 1e3:.2f} ms (modelled, "
+        f"{result.payload_bytes_per_batch / 1024:.1f} KiB/batch), "
+        f"server {result.server_seconds * 1e3:.2f} ms"
+    )
+    print(
+        f"  engine: {report.arena_bytes / 1024:.0f} KiB arena, "
+        f"{report.steady_state_allocs} allocs/batch, "
+        f"{report.fused_steps} fused epilogues, "
+        f"{report.spmm_row_blocks} SpMM row blocks"
+    )
+    print(render_throughput(report))
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import json
 
@@ -387,6 +459,33 @@ def build_parser() -> argparse.ArgumentParser:
                          "optimized plan")
     pd.add_argument("--seed", type=int, default=0)
     pd.set_defaults(func=_cmd_plan)
+
+    p = sub.add_parser(
+        "scenarios",
+        help="the declarative workload registry (32px quick -> 224px hires)",
+    )
+    scn_sub = p.add_subparsers(dest="scenarios_command", required=True)
+    sl = scn_sub.add_parser("list", help="list the registered scenario matrix")
+    sl.add_argument("--tier", default=None,
+                    help="restrict to one tier (quick / mid / hires)")
+    sl.set_defaults(func=_cmd_scenarios)
+    sd = scn_sub.add_parser(
+        "describe", help="show one scenario's spec, deployment and traffic"
+    )
+    sd.add_argument("name", help="scenario name (see 'repro scenarios list')")
+    sd.add_argument("--json", action="store_true",
+                    help="print the round-trippable JSON spec instead")
+    sd.set_defaults(func=_cmd_scenarios)
+    sr = scn_sub.add_parser(
+        "run", help="deploy a scenario and stream its synthetic traffic"
+    )
+    sr.add_argument("name", help="scenario name (see 'repro scenarios list')")
+    sr.add_argument("--batches", type=int, default=None,
+                    help="override the scenario's standard run length")
+    sr.add_argument("--no-optimize", action="store_true",
+                    help="bind the straight-line reference lowering instead "
+                         "of the optimized plans")
+    sr.set_defaults(func=_cmd_scenarios)
 
     p = sub.add_parser(
         "serve",

@@ -20,6 +20,7 @@ from .shapes3d import (
     make_shapes3d,
     make_shapes3d_detection,
 )
+from .streams import iter_image_batches, make_image_batches
 from .transforms import (
     compute_mean_std,
     denormalize,
@@ -37,6 +38,8 @@ __all__ = [
     "make_shapes3d",
     "make_shapes3d_detection",
     "SHAPES3D_TASKS",
+    "iter_image_batches",
+    "make_image_batches",
     "MedicSceneGenerator",
     "make_medic",
     "MEDIC_TASKS",

@@ -1,0 +1,80 @@
+"""Size-parameterized synthetic inference traffic.
+
+The training-side generators (:func:`repro.data.make_shapes3d` and
+friends) return labelled datasets at one resolution.  Serving and
+benchmarking need something slightly different: *unlabelled* image
+batches at an arbitrary resolution — including the 224px
+high-resolution scenario tier — produced deterministically so two runs
+(or an optimized pipeline and its same-run baseline) see byte-identical
+traffic.
+
+:func:`iter_image_batches` renders lazily (a 224px stream of many
+batches should not materialise all at once); :func:`make_image_batches`
+is the eager convenience wrapper the scenario runner and the benchmarks
+use.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+
+from .noise import salt_and_pepper
+from .shapes3d import Shapes3DGenerator
+
+__all__ = ["iter_image_batches", "make_image_batches"]
+
+
+def iter_image_batches(
+    batches: int,
+    batch_size: int,
+    image_size: int = 32,
+    noise_amount: float = 0.1,
+    seed: int = 0,
+) -> Iterator[np.ndarray]:
+    """Yield ``batches`` arrays of shape ``(batch_size, 3, S, S)``.
+
+    Images are rendered by the procedural 3D-Shapes rasteriser at
+    ``image_size`` pixels with uniformly drawn factors, then corrupted
+    with ``noise_amount`` salt-and-pepper noise (the paper's evaluation
+    regime).  Fully determined by ``seed`` and the shape arguments.
+    """
+    # Validate eagerly (this is a plain function returning a generator,
+    # not itself a generator) so bad arguments raise at the call site,
+    # not at first iteration — or never, for an iterator that is dropped.
+    if batches < 0:
+        raise ValueError(f"batches must be >= 0, got {batches}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    generator = Shapes3DGenerator(image_size=image_size)
+
+    def _render():
+        rng = np.random.default_rng(seed)
+        for _ in range(batches):
+            factors = generator.sample_factors(batch_size, rng)
+            images = np.stack([generator.render(f) for f in factors])
+            if noise_amount > 0:
+                images = salt_and_pepper(images, amount=noise_amount, rng=rng)
+            yield np.ascontiguousarray(images, dtype=np.float32)
+
+    return _render()
+
+
+def make_image_batches(
+    batches: int,
+    batch_size: int,
+    image_size: int = 32,
+    noise_amount: float = 0.1,
+    seed: int = 0,
+) -> List[np.ndarray]:
+    """Eager list form of :func:`iter_image_batches`."""
+    return list(
+        iter_image_batches(
+            batches,
+            batch_size,
+            image_size=image_size,
+            noise_amount=noise_amount,
+            seed=seed,
+        )
+    )

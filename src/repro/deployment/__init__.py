@@ -2,8 +2,10 @@
 
 Reproduces the paper's Sec. 4.2 machinery: analytic model profiling
 (Table 4), edge-device memory feasibility (the Jetson Nano LoC argument),
-network-channel latency (the gigabit RoC-vs-SC comparison), ``Z_b`` wire
-serialisation, and a runnable edge→link→server pipeline.
+network-channel latency (the gigabit RoC-vs-SC comparison), and ``Z_b``
+wire serialisation.  The *runnable* edge→link→server pipeline lives in
+:mod:`repro.serve` (the deprecated runtime shims that used to mirror it
+here were removed after their two-PR soak; see :mod:`.runtime`).
 """
 
 from .channel import (
@@ -47,14 +49,9 @@ from .profiler import (
     profile_backbone,
 )
 from .report import render_paradigm_comparison, render_table4, render_throughput, table4_rows
-from .runtime import (
-    EdgeRuntime,
-    InferenceTrace,
-    ServerRuntime,
-    SimulatedLink,
-    SplitPipeline,
-    ThroughputReport,
-)
+from .runtime import InferenceTrace, SimulatedLink, ThroughputReport
+from .runtime import REMOVED as _REMOVED_RUNTIME_NAMES
+from .runtime import removed_attribute_error as _removed_attribute_error
 from .wire import WireFormat, decode_tensor, encode_tensor, payload_bytes
 
 __all__ = [
@@ -86,10 +83,7 @@ __all__ = [
     "sc_report",
     "compare_paradigms",
     "head_memory_bytes",
-    "EdgeRuntime",
-    "ServerRuntime",
     "SimulatedLink",
-    "SplitPipeline",
     "InferenceTrace",
     "ThroughputReport",
     "table4_rows",
@@ -105,3 +99,9 @@ __all__ = [
     "energy_profile",
     "lowest_edge_energy_split",
 ]
+
+
+def __getattr__(name: str):
+    if name in _REMOVED_RUNTIME_NAMES:
+        raise _removed_attribute_error(name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

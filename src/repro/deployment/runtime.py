@@ -1,81 +1,52 @@
-"""Deprecated home of the runnable split pipeline.
+"""Former home of the runnable split pipeline (moved to ``repro.serve``).
 
-The implementation moved to :mod:`repro.serve.runtime`; the declarative
-entry point that replaces hand-wiring these classes is
-:func:`repro.deploy` with a :class:`repro.serve.DeploymentSpec`.  The
-names below keep working — constructing a runtime or pipeline through
-this module emits a :class:`DeprecationWarning` but behaves identically
-(the classes are thin subclasses of their :mod:`repro.serve`
-counterparts, so ``isinstance`` checks hold in both directions for
-existing code).
+The deprecated ``EdgeRuntime`` / ``ServerRuntime`` / ``SplitPipeline``
+shims that used to live here have been **removed** after soaking for the
+agreed two PRs.  Declare the same deployment with the declarative API::
 
-Migration map::
+    repro.deploy(repro.DeploymentSpec(...))   # full lifecycle
+    Deployment.infer / .stream / .submit      # the three serving surfaces
 
-    EdgeRuntime / ServerRuntime / SplitPipeline.from_net(...)
-        -> repro.deploy(DeploymentSpec(...))      # full lifecycle
-    SplitPipeline.infer / infer_stream
-        -> Deployment.infer / Deployment.stream
-    (new) concurrent single-image requests
-        -> Deployment.submit(image) -> Future     # dynamic batching
+Code that really needs the execution layer directly should import it
+from its real home, :mod:`repro.serve.runtime`.
 
-Pure data types (:class:`InferenceTrace`, :class:`ThroughputReport`,
-:class:`SimulatedLink`) are re-exported without a warning: they carry no
-resources and their import location is the only thing that changed.
+The pure data types (:class:`InferenceTrace`, :class:`ThroughputReport`,
+:class:`SimulatedLink`) are still re-exported here: they carry no
+resources and never warned — only their implementation moved.
 """
 
 from __future__ import annotations
 
-import warnings
-
 from ..serve.runtime import InferenceTrace, SimulatedLink, ThroughputReport
-from ..serve.runtime import EdgeRuntime as _ServeEdgeRuntime
-from ..serve.runtime import ServerRuntime as _ServeServerRuntime
-from ..serve.runtime import SplitPipeline as _ServeSplitPipeline
 
 __all__ = [
     "InferenceTrace",
-    "EdgeRuntime",
-    "ServerRuntime",
     "SimulatedLink",
-    "SplitPipeline",
     "ThroughputReport",
 ]
 
+#: Names removed at the end of the deprecation window, with their new home.
+REMOVED = {
+    "EdgeRuntime": "repro.serve.runtime.EdgeRuntime",
+    "ServerRuntime": "repro.serve.runtime.ServerRuntime",
+    "SplitPipeline": "repro.serve.runtime.SplitPipeline",
+}
 
-def _warn_moved(old: str, new: str) -> None:
-    warnings.warn(
-        f"repro.deployment.{old} is deprecated; use {new} "
-        "(see repro.serve — the declarative deployment API)",
-        DeprecationWarning,
-        stacklevel=3,
+
+def removed_attribute_error(name: str) -> AttributeError:
+    """The one migration-hint message for a removed runtime name.
+
+    Shared with the :mod:`repro.deployment` package ``__getattr__`` so
+    the hint cannot drift between the two access paths.
+    """
+    return AttributeError(
+        f"repro.deployment.{name} was removed after its deprecation "
+        f"window; use repro.deploy(DeploymentSpec(...)) or import "
+        f"{REMOVED[name]} directly"
     )
 
 
-class EdgeRuntime(_ServeEdgeRuntime):
-    """Deprecated alias of :class:`repro.serve.runtime.EdgeRuntime`."""
-
-    def __init__(self, *args, **kwargs):
-        _warn_moved("EdgeRuntime", "repro.deploy(...)")
-        super().__init__(*args, **kwargs)
-
-
-class ServerRuntime(_ServeServerRuntime):
-    """Deprecated alias of :class:`repro.serve.runtime.ServerRuntime`."""
-
-    def __init__(self, *args, **kwargs):
-        _warn_moved("ServerRuntime", "repro.deploy(...)")
-        super().__init__(*args, **kwargs)
-
-
-class SplitPipeline(_ServeSplitPipeline):
-    """Deprecated alias of :class:`repro.serve.runtime.SplitPipeline`.
-
-    ``SplitPipeline.from_net(...)`` keeps working (one warning per
-    pipeline); new code should declare the same deployment with
-    ``repro.deploy(DeploymentSpec(...))`` and get lifecycle management,
-    ``submit()`` dynamic batching and config-file round-tripping on top.
-    """
-
-    def __init__(self, *args, **kwargs):
-        _warn_moved("SplitPipeline", "repro.deploy(...)")
-        super().__init__(*args, **kwargs)
+def __getattr__(name: str):
+    if name in REMOVED:
+        raise removed_attribute_error(name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

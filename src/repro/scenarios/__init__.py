@@ -1,0 +1,47 @@
+"""``repro.scenarios`` — the declarative workload registry.
+
+A :class:`Scenario` is a frozen, JSON-round-tripped description of one
+workload regime — backbone × input size × batch geometry × split policy
+× wire format × engine knobs — that compiles into a ready-to-run
+:class:`~repro.serve.spec.DeploymentSpec` plus a deterministic synthetic
+traffic generator.  The curated built-in matrix names a scenario for
+every backbone family at every tier, from the 32px quick scale up to
+the 224px high-resolution tier::
+
+    from repro import scenarios
+
+    scn = scenarios.get_scenario("mobilenetv3_hires_224px")
+    spec = scn.deployment_spec()          # ready-to-run DeploymentSpec
+    batches = scn.make_batches()          # deterministic 224px traffic
+    result = scenarios.run_scenario(scn)  # deploy + stream + account
+
+    scn == scenarios.Scenario.from_json(scn.to_json())   # True
+
+CLI equivalents: ``repro scenarios list | describe | run``.  The
+scenario-matrix benchmark (``benchmarks/test_bench_scenarios.py``)
+sweeps the whole matrix and records per-scenario engine accounting to
+``BENCH_scenario_matrix.json``.
+"""
+
+from .registry import (
+    BACKBONE_FAMILIES,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+    scenario_matrix,
+)
+from .runner import ScenarioRun, run_scenario
+from .spec import TIERS, Scenario, ScenarioError
+
+__all__ = [
+    "BACKBONE_FAMILIES",
+    "Scenario",
+    "ScenarioError",
+    "ScenarioRun",
+    "TIERS",
+    "available_scenarios",
+    "get_scenario",
+    "register_scenario",
+    "run_scenario",
+    "scenario_matrix",
+]

@@ -1,0 +1,70 @@
+"""Run a scenario end-to-end: deploy, stream its traffic, account it.
+
+One function, :func:`run_scenario`, shared by the CLI (``repro
+scenarios run``), the smoke tests and anything that wants a scenario's
+measured behaviour without hand-wiring a deployment.  The benchmark
+harness does *not* go through this (it interleaves an optimize=False
+baseline round by round — see ``benchmarks/test_bench_scenarios.py``),
+but it builds its deployments from the same
+:meth:`~repro.scenarios.spec.Scenario.deployment_spec` compilation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .spec import Scenario
+
+__all__ = ["ScenarioRun", "run_scenario"]
+
+
+@dataclass(frozen=True)
+class ScenarioRun:
+    """Everything a scenario run measured, ready for rendering."""
+
+    scenario: Scenario
+    deployment_description: str
+    report: "object"  # repro.serve.ThroughputReport
+    payload_bytes_per_batch: float
+    edge_seconds: float
+    transfer_seconds: float
+    server_seconds: float
+
+    @property
+    def edge_ms(self) -> float:
+        return self.edge_seconds * 1e3
+
+
+def run_scenario(
+    scenario: Scenario,
+    batches: Optional[int] = None,
+    warmup: bool = True,
+    **spec_overrides,
+) -> ScenarioRun:
+    """Deploy ``scenario`` and stream its synthetic traffic once.
+
+    ``batches`` overrides the scenario's standard run length;
+    ``spec_overrides`` are forwarded to
+    :meth:`~repro.scenarios.spec.Scenario.deployment_spec` (e.g.
+    ``optimize=False`` for an unoptimized reference run).  The
+    deployment is closed before returning — worker threads never leak
+    past a run.
+    """
+    from ..serve.deployment import deploy
+
+    traffic = scenario.make_batches(batches)
+    with deploy(scenario.deployment_spec(**spec_overrides)) as deployment:
+        if warmup:
+            deployment.warmup([scenario.batch_size])
+        _, report = deployment.stream(traffic)
+        traces = deployment.traces
+        return ScenarioRun(
+            scenario=scenario,
+            deployment_description=deployment.describe(),
+            report=report,
+            payload_bytes_per_batch=deployment.pipeline.mean_payload_bytes(),
+            edge_seconds=sum(t.edge_seconds for t in traces),
+            transfer_seconds=sum(t.transfer_seconds for t in traces),
+            server_seconds=sum(t.server_seconds for t in traces),
+        )

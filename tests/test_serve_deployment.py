@@ -1,5 +1,9 @@
 """Deployment facade: capability parity with the old surface, lifecycle
-(resource reclamation), auto split, deprecation shims, CLI subcommand."""
+(resource reclamation), auto split, shim *removal*, CLI subcommand.
+
+The ``repro.deployment.{EdgeRuntime,ServerRuntime,SplitPipeline}``
+deprecation shims soaked for two PRs and are now gone; the shim tests
+that lived here became the removal tests in :class:`TestShimRemoval`."""
 
 import threading
 import warnings
@@ -153,18 +157,17 @@ class TestLifecycle:
         assert not (_engine_threads() - before), "engine threads leaked past close()"
         assert not _batcher_threads(), "batcher dispatcher leaked past close()"
 
-    def test_old_pipeline_close_reclaims_threads(self, tiny_trained_net):
-        from repro.deployment import GIGABIT_ETHERNET, SplitPipeline
+    def test_pipeline_context_reclaims_threads(self, tiny_trained_net):
+        from repro.deployment import GIGABIT_ETHERNET
+        from repro.serve import SplitPipeline
 
         before = _engine_threads()
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            with SplitPipeline.from_net(
-                tiny_trained_net, GIGABIT_ETHERNET, input_size=32, num_workers=3
-            ) as pipeline:
-                assert _engine_threads() - before
-                pipeline.infer(np.zeros((6, 3, 32, 32), dtype=np.float32))
-        assert not (_engine_threads() - before), "old API leaked engine threads"
+        with SplitPipeline.from_net(
+            tiny_trained_net, GIGABIT_ETHERNET, input_size=32, num_workers=3
+        ) as pipeline:
+            assert _engine_threads() - before
+            pipeline.infer(np.zeros((6, 3, 32, 32), dtype=np.float32))
+        assert not (_engine_threads() - before), "pipeline leaked engine threads"
 
     def test_closed_deployment_rejects_work(self, tiny_trained_net):
         deployment = deploy(DeploymentSpec(model=tiny_trained_net))
@@ -206,33 +209,47 @@ class TestLifecycle:
             assert stats is not None and stats.num_plans >= 2
 
 
-class TestDeprecationShims:
-    def test_old_constructors_warn_but_work(self, tiny_trained_net, shapes3d_small):
-        from repro.deployment import GIGABIT_ETHERNET, SplitPipeline
-        from repro.serve import SplitPipeline as ServeSplitPipeline
+class TestShimRemoval:
+    """The deprecated runtime shims are gone — loudly, with a pointer.
 
-        with pytest.warns(DeprecationWarning, match="repro.deploy"):
-            pipeline = SplitPipeline.from_net(
-                tiny_trained_net, GIGABIT_ETHERNET, input_size=32
-            )
-        assert isinstance(pipeline, ServeSplitPipeline)
-        logits = pipeline.infer(shapes3d_small.images[:2])
-        assert set(logits) == set(tiny_trained_net.task_names)
-        pipeline.close()
+    Their deprecation window (>= 2 PRs, internal callers migrated first)
+    closed; these tests pin the removal so the names cannot quietly come
+    back without a decision.
+    """
 
-    def test_old_runtimes_warn(self, tiny_trained_net):
-        from repro.deployment import EdgeRuntime, ServerRuntime
+    @pytest.mark.parametrize(
+        "name", ["EdgeRuntime", "ServerRuntime", "SplitPipeline"]
+    )
+    def test_removed_names_raise_with_migration_hint(self, name):
+        import repro.deployment
+        import repro.deployment.runtime
 
-        edge_model, server_model = tiny_trained_net.split(None, input_size=32)
-        with pytest.warns(DeprecationWarning):
-            edge = EdgeRuntime(edge_model)
-        with pytest.warns(DeprecationWarning):
-            server = ServerRuntime(server_model, tiny_trained_net.task_names)
-        payload, _ = edge.infer(np.zeros((1, 3, 32, 32), dtype=np.float32))
-        logits, _ = server.infer(payload)
-        assert set(logits) == set(tiny_trained_net.task_names)
-        edge.close()
-        server.close()
+        for module in (repro.deployment, repro.deployment.runtime):
+            with pytest.raises(AttributeError, match="removed after its deprecation"):
+                getattr(module, name)
+            with pytest.raises(AttributeError, match="repro.serve.runtime"):
+                getattr(module, name)
+
+    @pytest.mark.parametrize(
+        "name", ["EdgeRuntime", "ServerRuntime", "SplitPipeline"]
+    )
+    def test_removed_names_fail_from_import(self, name):
+        with pytest.raises(ImportError):
+            exec(f"from repro.deployment import {name}")
+
+    def test_data_types_still_reexported(self):
+        from repro.deployment import InferenceTrace, SimulatedLink, ThroughputReport
+        from repro.serve import runtime as serve_runtime
+
+        assert InferenceTrace is serve_runtime.InferenceTrace
+        assert SimulatedLink is serve_runtime.SimulatedLink
+        assert ThroughputReport is serve_runtime.ThroughputReport
+
+    def test_unknown_attribute_message_is_generic(self):
+        import repro.deployment
+
+        with pytest.raises(AttributeError, match="no attribute 'Bogus'"):
+            repro.deployment.Bogus
 
     def test_serve_classes_do_not_warn(self, tiny_trained_net):
         from repro.deployment import GIGABIT_ETHERNET
