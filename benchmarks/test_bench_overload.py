@@ -1,0 +1,121 @@
+"""Open-loop overload benchmark for the `repro.serve` robustness layer.
+
+The closed-loop serve bench can never overload the server: each client
+waits for its reply, so offered load self-throttles to capacity.  Real
+traffic does not wait.  This benchmark drives one deployment *open-loop*
+— Poisson arrivals on a seeded schedule, submitted regardless of how far
+behind the server is — at offered loads from 0.25x to 4x a closed-loop
+calibrated capacity, with admission control (bounded queue) and
+per-request deadlines armed.
+
+What the artifact shows per load point: offered rate, completed
+throughput, p50/p95 latency, and the overload outcome split
+(completed / shed / expired).  Below saturation everything completes;
+past saturation the deployment sheds instead of collapsing, and the
+sweep finishing at all is the no-deadlock evidence the CI lane gates on.
+
+Discipline (PR-4 rules): the capacity baseline is calibrated on the same
+deployment in the same run, before *and after* the sweep (drift is
+stamped, not hidden); artifacts carry the host record, the arrival
+process spec and the fault-plan digest (none here — fault runs belong to
+the unit tests, which also assert numeric equivalence).  CI never gates
+on absolute latency numbers.
+
+Artifacts: ``serve_overload.txt`` and ``BENCH_serve_overload.json``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.serve import DeploymentSpec, render_overload_bench, run_overload_bench
+
+from _bench_utils import emit
+
+_LOAD_FACTORS = (0.25, 0.5, 1.0, 2.0, 4.0)
+_REQUESTS_PER_POINT = 48
+_MAX_BATCH_SIZE = 16
+_MAX_QUEUE_DEPTH = 32
+_DEADLINE_MS = 2000.0
+
+
+def test_serve_overload(benchmark, results_dir):
+    spec = DeploymentSpec(
+        model="mobilenet_v3_tiny",
+        tasks=(("scale", 8), ("shape", 4)),
+        input_size=32,
+        max_batch_size=_MAX_BATCH_SIZE,
+        max_queue_delay_ms=2.0,
+        max_queue_depth=_MAX_QUEUE_DEPTH,
+        deadline_ms=_DEADLINE_MS,
+        seed=41,
+    )
+
+    result = benchmark.pedantic(
+        lambda: run_overload_bench(
+            spec,
+            load_factors=_LOAD_FACTORS,
+            requests_per_point=_REQUESTS_PER_POINT,
+            arrival="poisson",
+            seed=41,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    points = {row["load_factor"]: row for row in result["points"]}
+
+    # Below saturation nothing may shed: offered load fits in capacity
+    # and the queue bound is never the constraint.
+    for factor, row in points.items():
+        if factor <= 0.5:
+            assert row["shed"] == 0, (
+                f"shed {row['shed']} requests at {factor}x load (below "
+                "saturation):\n" + render_overload_bench(result)
+            )
+
+    # Past saturation the pipeline must degrade, not deadlock: every
+    # offered request is accounted for (completed, shed or expired) —
+    # the sweep returning at all means no future hung.
+    for factor, row in points.items():
+        accounted = row["completed"] + row["shed"] + row["expired"] + row["failed"]
+        assert accounted == row["requests"], (
+            f"{row['requests'] - accounted} requests unaccounted at "
+            f"{factor}x load:\n" + render_overload_bench(result)
+        )
+        assert row["failed"] == 0, (
+            f"{row['failed']} requests failed outright at {factor}x load:\n"
+            + render_overload_bench(result)
+        )
+
+    # Conservation across the whole sweep (same invariant the property
+    # tests assert): everything submitted is shed or accepted, and
+    # everything accepted resolved one way or another.
+    totals = result["batcher_conservation"]
+    assert totals["submitted"] == totals["shed"] + totals["requests"]
+    assert totals["requests"] == (
+        totals["completed"] + totals["expired"] + totals["failed"]
+        + totals["cancelled"]
+    )
+
+    text = (
+        "mobilenet_v3_tiny @32px, gigabit ethernet, planned engine, "
+        f"max_batch_size={_MAX_BATCH_SIZE}, "
+        f"max_queue_depth={_MAX_QUEUE_DEPTH}, "
+        f"deadline={_DEADLINE_MS:g} ms, "
+        f"{os.cpu_count()} cpu core(s) on this host\n"
+        + render_overload_bench(result)
+    )
+    emit(
+        results_dir,
+        "serve_overload",
+        text,
+        data={
+            "host_cpu_cores": os.cpu_count(),
+            "max_batch_size": _MAX_BATCH_SIZE,
+            "max_queue_depth": _MAX_QUEUE_DEPTH,
+            "deadline_ms": _DEADLINE_MS,
+            "requests_per_point": _REQUESTS_PER_POINT,
+            **result,
+        },
+    )

@@ -320,8 +320,16 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import json
 
+    from .data.streams import ArrivalSpec
     from .deployment import GIGABIT_ETHERNET
-    from .serve import DeploymentSpec, SpecError, render_serve_bench, run_serve_bench
+    from .serve import (
+        DeploymentSpec,
+        SpecError,
+        render_overload_bench,
+        render_serve_bench,
+        run_overload_bench,
+        run_serve_bench,
+    )
 
     try:
         client_counts = [int(part) for part in args.clients.split(",") if part]
@@ -337,6 +345,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
     if args.bandwidth_mbps <= 0:
         print("serve needs --bandwidth-mbps > 0", file=sys.stderr)
+        return 2
+    arrival = None
+    if args.arrival is not None:
+        try:
+            arrival = ArrivalSpec.from_string(args.arrival)
+        except ValueError as error:
+            print(f"bad --arrival spec: {error}", file=sys.stderr)
+            return 2
+    try:
+        load_factors = [
+            float(part) for part in args.load_factors.split(",") if part
+        ]
+    except ValueError:
+        print(f"--load-factors must be comma-separated floats, got "
+              f"{args.load_factors!r}", file=sys.stderr)
+        return 2
+    if not load_factors or min(load_factors) <= 0:
+        print("serve needs --load-factors with values > 0", file=sys.stderr)
         return 2
     channel = (
         GIGABIT_ETHERNET.degraded(1000.0 / args.bandwidth_mbps)
@@ -362,19 +388,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             num_workers=args.num_workers,
             max_batch_size=args.max_batch_size,
             max_queue_delay_ms=args.max_delay_ms,
+            max_queue_depth=args.queue_depth,
+            deadline_ms=args.deadline_ms,
             seed=args.seed,
         )
     except SpecError as error:
         print(f"bad deployment spec: {error}", file=sys.stderr)
         return 2
-    print(f"serving bench: {spec.describe()}")
-    result = run_serve_bench(
-        spec,
-        client_counts=client_counts,
-        requests_per_client=args.requests,
-        seed=args.seed,
-    )
-    print(render_serve_bench(result))
+    if arrival is not None:
+        # Open-loop overload sweep: requests arrive on the schedule
+        # whether or not the server keeps up; admission control sheds.
+        print(f"overload bench ({arrival.to_string()}): {spec.describe()}")
+        result = run_overload_bench(
+            spec,
+            load_factors=load_factors,
+            requests_per_point=args.requests * max(client_counts),
+            arrival=arrival,
+            seed=args.seed,
+        )
+        print(render_overload_bench(result))
+    else:
+        print(f"serving bench: {spec.describe()}")
+        result = run_serve_bench(
+            spec,
+            client_counts=client_counts,
+            requests_per_client=args.requests,
+            seed=args.seed,
+        )
+        print(render_serve_bench(result))
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(result, handle, indent=2, sort_keys=True)
@@ -508,6 +549,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="dispatcher micro-batch cap")
     p.add_argument("--max-delay-ms", type=float, default=2.0,
                    help="longest wait for batch company once a request is queued")
+    p.add_argument("--arrival", default=None, metavar="KIND[:K=V,...]",
+                   help="switch to an open-loop overload sweep with this "
+                        "arrival process, e.g. 'poisson:rate=200' or "
+                        "'bursty:burst_factor=8' (rate is overridden per "
+                        "load factor; see repro.data.streams.ArrivalSpec)")
+    p.add_argument("--load-factors", default="0.25,0.5,1,2,4",
+                   help="offered load as multiples of calibrated capacity "
+                        "(open-loop mode only)")
+    p.add_argument("--queue-depth", type=int, default=None,
+                   help="bound the request queue; full-queue submissions "
+                        "are shed with RejectedError")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="per-request queue deadline; late requests fail "
+                        "with DeadlineExceededError")
     p.add_argument("--json", default=None, help="also write the result dict here")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_serve)

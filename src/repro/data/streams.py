@@ -1,4 +1,4 @@
-"""Size-parameterized synthetic inference traffic.
+"""Size-parameterized synthetic inference traffic — batches and arrivals.
 
 The training-side generators (:func:`repro.data.make_shapes3d` and
 friends) return labelled datasets at one resolution.  Serving and
@@ -12,18 +12,38 @@ traffic.
 batches should not materialise all at once); :func:`make_image_batches`
 is the eager convenience wrapper the scenario runner and the benchmarks
 use.
+
+On top of *what* images arrive, this module also models *when* they
+arrive.  The closed-loop clients of the serve bench wait for each
+response before sending the next request, which can never push a
+deployment past saturation; an **open-loop** workload fires requests on
+a wall-clock schedule regardless of completions — the regime where
+queues grow, deadlines slip and admission control earns its keep.
+:class:`ArrivalSpec` describes such a schedule (Poisson, bursty
+Markov-modulated, or diurnal rate-modulated arrivals), deterministically
+seeded like every other generator here, and
+:func:`make_request_stream` blends traffic from several image sources
+into one timestamped request sequence.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List
+import json
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from .noise import salt_and_pepper
 from .shapes3d import Shapes3DGenerator
 
-__all__ = ["iter_image_batches", "make_image_batches"]
+__all__ = [
+    "ArrivalSpec",
+    "Request",
+    "iter_image_batches",
+    "make_image_batches",
+    "make_request_stream",
+]
 
 
 def iter_image_batches(
@@ -78,3 +98,271 @@ def make_image_batches(
             seed=seed,
         )
     )
+
+
+# ---------------------------------------------------------------------------
+# Open-loop arrival processes
+# ---------------------------------------------------------------------------
+
+#: Arrival process kinds :class:`ArrivalSpec` understands.
+ARRIVAL_KINDS = ("poisson", "bursty", "diurnal")
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """One open-loop arrival schedule: *when* requests fire.
+
+    ``sample(count)`` returns ``count`` strictly increasing arrival
+    times in seconds from the start of the run, fully determined by the
+    spec's fields — the same spec always produces the same schedule, so
+    overload runs replay exactly.
+
+    Parameters
+    ----------
+    kind:
+        ``"poisson"`` — memoryless arrivals at ``rate_rps``;
+        ``"bursty"`` — a two-state Markov-modulated Poisson process that
+        alternates between a calm base rate and a ``burst_factor``-times
+        hotter burst state while keeping the long-run mean at
+        ``rate_rps``;
+        ``"diurnal"`` — an inhomogeneous Poisson process whose rate
+        swings sinusoidally around ``rate_rps`` (a whole day compressed
+        into ``period_s`` seconds).
+    rate_rps:
+        Long-run mean arrival rate, requests per second.
+    burst_factor / burst_fraction / dwell_s:
+        Bursty only: the burst state runs ``burst_factor``x hotter than
+        the base state, occupies ``burst_fraction`` of time in the long
+        run, and lasts ``dwell_s`` seconds on average per visit.
+    period_s / amplitude:
+        Diurnal only: modulation period and relative depth in ``[0, 1]``
+        (``0.8`` swings between 0.2x and 1.8x the mean rate).
+    seed:
+        RNG seed; schedules are pure functions of (fields, seed).
+    """
+
+    kind: str = "poisson"
+    rate_rps: float = 100.0
+    burst_factor: float = 8.0
+    burst_fraction: float = 0.1
+    dwell_s: float = 0.25
+    period_s: float = 10.0
+    amplitude: float = 0.8
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.kind not in ARRIVAL_KINDS:
+            raise ValueError(
+                f"arrival kind must be one of {ARRIVAL_KINDS}, got {self.kind!r}"
+            )
+        object.__setattr__(self, "rate_rps", float(self.rate_rps))
+        if not self.rate_rps > 0:
+            raise ValueError(f"rate_rps must be > 0, got {self.rate_rps}")
+        for attr in ("burst_factor", "burst_fraction", "dwell_s", "period_s",
+                     "amplitude"):
+            object.__setattr__(self, attr, float(getattr(self, attr)))
+        if self.burst_factor < 1.0:
+            raise ValueError(f"burst_factor must be >= 1, got {self.burst_factor}")
+        if not 0.0 < self.burst_fraction < 1.0:
+            raise ValueError(
+                f"burst_fraction must be in (0, 1), got {self.burst_fraction}"
+            )
+        if self.dwell_s <= 0:
+            raise ValueError(f"dwell_s must be > 0, got {self.dwell_s}")
+        if self.period_s <= 0:
+            raise ValueError(f"period_s must be > 0, got {self.period_s}")
+        if not 0.0 <= self.amplitude <= 1.0:
+            raise ValueError(f"amplitude must be in [0, 1], got {self.amplitude}")
+
+    # -- sampling ------------------------------------------------------
+    def sample(self, count: int) -> np.ndarray:
+        """``count`` strictly increasing arrival times (seconds)."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if count == 0:
+            return np.zeros(0, dtype=np.float64)
+        rng = np.random.default_rng(self.seed)
+        if self.kind == "poisson":
+            gaps = rng.exponential(1.0 / self.rate_rps, size=count)
+            return np.cumsum(gaps)
+        if self.kind == "bursty":
+            return self._sample_bursty(rng, count)
+        return self._sample_diurnal(rng, count)
+
+    def _sample_bursty(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        # Two-state MMPP.  Rates chosen so the long-run mean is rate_rps:
+        # (1 - f) * base + f * burst = rate, burst = factor * base.
+        f = self.burst_fraction
+        base_rate = self.rate_rps / ((1.0 - f) + f * self.burst_factor)
+        burst_rate = self.burst_factor * base_rate
+        # Mean dwell times whose stationary occupancy is f in the burst
+        # state: dwell_burst / (dwell_burst + dwell_base) = f.
+        dwell_burst = self.dwell_s
+        dwell_base = dwell_burst * (1.0 - f) / f
+        times: List[float] = []
+        t = 0.0
+        in_burst = False  # start calm; the seed controls everything else
+        while len(times) < count:
+            dwell = rng.exponential(dwell_burst if in_burst else dwell_base)
+            rate = burst_rate if in_burst else base_rate
+            end = t + dwell
+            while len(times) < count:
+                t += rng.exponential(1.0 / rate)
+                if t >= end:
+                    t = end  # unused arrival beyond the state boundary
+                    break
+                times.append(t)
+            in_burst = not in_burst
+        return np.asarray(times, dtype=np.float64)
+
+    def _sample_diurnal(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        # Inhomogeneous Poisson by thinning against the peak rate.
+        peak = self.rate_rps * (1.0 + self.amplitude)
+        times: List[float] = []
+        t = 0.0
+        while len(times) < count:
+            t += rng.exponential(1.0 / peak)
+            rate = self.rate_rps * (
+                1.0 + self.amplitude * np.sin(2.0 * np.pi * t / self.period_s)
+            )
+            if rng.random() * peak <= rate:
+                times.append(t)
+        return np.asarray(times, dtype=np.float64)
+
+    def mean_rate(self) -> float:
+        """The schedule's long-run request rate (requests/second)."""
+        return self.rate_rps
+
+    def scaled(self, factor: float) -> "ArrivalSpec":
+        """The same process shape at ``factor``x the mean rate.
+
+        Offered-load sweeps use this to push one traffic shape through a
+        range of intensities without re-describing it.
+        """
+        if factor <= 0:
+            raise ValueError(f"factor must be > 0, got {factor}")
+        return replace(self, rate_rps=self.rate_rps * factor)
+
+    # -- serialisation -------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ArrivalSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown ArrivalSpec keys {unknown}; known keys: {sorted(known)}"
+            )
+        return cls(**dict(data))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ArrivalSpec":
+        return cls.from_dict(json.loads(text))
+
+    # -- CLI / scenario string form ------------------------------------
+    def to_string(self) -> str:
+        """Compact ``kind:key=value,...`` form (inverse of
+        :meth:`from_string`); only non-default fields are listed."""
+        default = ArrivalSpec(kind=self.kind)
+        parts = []
+        for f in fields(self):
+            if f.name == "kind":
+                continue
+            value = getattr(self, f.name)
+            if value != getattr(default, f.name):
+                short = "rate" if f.name == "rate_rps" else f.name
+                # repr() is the shortest exact float form: to_string /
+                # from_string must round-trip losslessly, and %g would
+                # truncate to 6 significant digits.
+                parts.append(f"{short}={value!r}")
+        return self.kind + (":" + ",".join(parts) if parts else "")
+
+    @classmethod
+    def from_string(cls, text: str) -> "ArrivalSpec":
+        """Parse ``"poisson:rate=200"`` / ``"bursty:rate=50,seed=3"``.
+
+        The part before ``:`` is the kind; the rest is comma-separated
+        ``key=value`` pairs (``rate`` aliases ``rate_rps``).
+        """
+        if not isinstance(text, str) or not text.strip():
+            raise ValueError(f"arrival spec must be a non-empty string, got {text!r}")
+        head, _, tail = text.strip().partition(":")
+        payload: Dict[str, Any] = {"kind": head.strip()}
+        int_fields = {"seed"}
+        for part in filter(None, (p.strip() for p in tail.split(","))):
+            key, sep, value = part.partition("=")
+            if not sep:
+                raise ValueError(
+                    f"arrival spec parts must be key=value, got {part!r} in {text!r}"
+                )
+            key = key.strip()
+            if key == "rate":
+                key = "rate_rps"
+            try:
+                payload[key] = int(value) if key in int_fields else float(value)
+            except ValueError:
+                raise ValueError(
+                    f"arrival spec value for {key!r} must be numeric, got {value!r}"
+                ) from None
+        return cls.from_dict(payload)
+
+
+# ---------------------------------------------------------------------------
+# Mixed-source open-loop request streams
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Request:
+    """One open-loop request: an image due at ``arrival_s`` seconds."""
+
+    arrival_s: float
+    image: np.ndarray
+    source: str = "default"
+
+
+def make_request_stream(
+    arrival: ArrivalSpec,
+    sources: Mapping[str, Sequence[np.ndarray]],
+    count: int,
+    weights: Optional[Mapping[str, float]] = None,
+    seed: Optional[int] = None,
+) -> List[Request]:
+    """Blend several image sources into one timestamped request stream.
+
+    ``sources`` maps a name to a pool of single images (no batch axis);
+    each request draws its source by ``weights`` (uniform over sources
+    when omitted) and an image uniformly from that source's pool —
+    all deterministically from ``seed`` (default: the arrival spec's
+    seed), so the blend replays exactly.  Sources may have different
+    image shapes; downstream shape-grouped batching handles the mix.
+    """
+    if not sources:
+        raise ValueError("sources must be non-empty")
+    names = sorted(sources)
+    for name in names:
+        if len(sources[name]) == 0:
+            raise ValueError(f"source {name!r} has no images")
+    if weights is None:
+        probabilities = np.full(len(names), 1.0 / len(names))
+    else:
+        unknown = sorted(set(weights) - set(names))
+        if unknown:
+            raise ValueError(f"weights name unknown sources {unknown}")
+        raw = np.asarray([float(weights.get(name, 0.0)) for name in names])
+        if (raw < 0).any() or raw.sum() <= 0:
+            raise ValueError(f"weights must be non-negative and sum > 0, got {weights}")
+        probabilities = raw / raw.sum()
+    times = arrival.sample(count)
+    rng = np.random.default_rng(arrival.seed if seed is None else seed)
+    choices = rng.choice(len(names), size=count, p=probabilities)
+    requests = []
+    for arrival_s, choice in zip(times, choices):
+        name = names[int(choice)]
+        pool = sources[name]
+        image = pool[int(rng.integers(len(pool)))]
+        requests.append(Request(float(arrival_s), image, name))
+    return requests

@@ -94,6 +94,11 @@ class Scenario:
         Engine knobs forwarded to the deployment.
     noise_amount:
         Salt-and-pepper corruption applied to the synthetic traffic.
+    arrival:
+        Optional open-loop arrival schedule in
+        :meth:`~repro.data.streams.ArrivalSpec.from_string` form (e.g.
+        ``"poisson:rate=200"``); ``None`` keeps the scenario's standard
+        closed-loop batch-stream traffic.
     seed:
         Seed for both the (untrained) net build and the traffic.
     description:
@@ -114,6 +119,7 @@ class Scenario:
     optimize: bool = True
     planned: bool = True
     noise_amount: float = 0.1
+    arrival: Optional[str] = None
     seed: int = 0
     description: str = ""
 
@@ -193,6 +199,14 @@ class Scenario:
             f"noise_amount must be in [0, 1], got {self.noise_amount!r}",
         )
         set_(self, "noise_amount", float(self.noise_amount))
+        if self.arrival is not None:
+            from ..data.streams import ArrivalSpec  # deferred: keep import light
+
+            try:
+                canonical = ArrivalSpec.from_string(self.arrival).to_string()
+            except ValueError as error:
+                raise ScenarioError(f"bad arrival spec: {error}") from None
+            set_(self, "arrival", canonical)
         _check(
             isinstance(self.description, str),
             f"description must be a string, got {type(self.description).__name__}",
@@ -242,6 +256,15 @@ class Scenario:
         """Eager list form of :meth:`iter_batches`."""
         return list(self.iter_batches(batches))
 
+    def arrival_spec(self) -> "Any":
+        """The parsed :class:`~repro.data.streams.ArrivalSpec`, or
+        ``None`` for closed-loop scenarios."""
+        if self.arrival is None:
+            return None
+        from ..data.streams import ArrivalSpec
+
+        return ArrivalSpec.from_string(self.arrival)
+
     @property
     def images_per_run(self) -> int:
         return self.batches * self.batch_size
@@ -270,6 +293,7 @@ class Scenario:
             "optimize": self.optimize,
             "planned": self.planned,
             "noise_amount": self.noise_amount,
+            "arrival": self.arrival,
             "seed": self.seed,
             "description": self.description,
         }

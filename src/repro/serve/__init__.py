@@ -23,15 +23,42 @@ dynamic micro-batching dispatcher coalesces into engine-sized batches::
 
 The execution layer (:mod:`repro.serve.runtime`) and the batcher
 (:mod:`repro.serve.batching`) are public too, for code that needs the
-pieces; :mod:`repro.serve.bench` drives synthetic concurrent load for
-benchmarking.  The pre-``serve`` classes under ``repro.deployment``
+pieces; :mod:`repro.serve.bench` drives synthetic concurrent load
+(closed-loop) and open-loop overload sweeps for benchmarking.  The
+robustness layer (see ``docs/robustness.md``) lives in
+:mod:`repro.serve.faults` (deterministic :class:`FaultPlan` wire-fault
+injection, the retrying/degrading :class:`ResilientLink`) and in the
+batcher's overload semantics (:class:`RejectedError` admission control,
+:class:`DeadlineExceededError` queue deadlines).  The pre-``serve``
+classes under ``repro.deployment``
 (``EdgeRuntime``/``ServerRuntime``/``SplitPipeline``) remain as
 deprecated wrappers over this package.
 """
 
-from .batching import BatchingStats, DynamicBatcher
-from .bench import ClientLoadResult, render_serve_bench, run_serve_bench
+from .batching import (
+    BatchingStats,
+    DeadlineExceededError,
+    DynamicBatcher,
+    RejectedError,
+)
+from .bench import (
+    ClientLoadResult,
+    OverloadPoint,
+    render_overload_bench,
+    render_serve_bench,
+    run_overload_bench,
+    run_serve_bench,
+)
 from .deployment import Deployment, deploy
+from .faults import (
+    FALLBACK_MODES,
+    ChannelDownError,
+    ChannelFaultError,
+    FaultPlan,
+    FaultStats,
+    ResilientLink,
+    ServerCrashError,
+)
 from .runtime import (
     EdgeRuntime,
     InferenceTrace,
@@ -43,19 +70,31 @@ from .runtime import (
 from .spec import DeploymentSpec, SpecError
 
 __all__ = [
+    "FALLBACK_MODES",
     "BatchingStats",
+    "ChannelDownError",
+    "ChannelFaultError",
     "ClientLoadResult",
+    "DeadlineExceededError",
     "Deployment",
     "DeploymentSpec",
     "DynamicBatcher",
     "EdgeRuntime",
+    "FaultPlan",
+    "FaultStats",
     "InferenceTrace",
+    "OverloadPoint",
+    "RejectedError",
+    "ResilientLink",
+    "ServerCrashError",
     "ServerRuntime",
     "SimulatedLink",
     "SpecError",
     "SplitPipeline",
     "ThroughputReport",
     "deploy",
+    "render_overload_bench",
     "render_serve_bench",
+    "run_overload_bench",
     "run_serve_bench",
 ]

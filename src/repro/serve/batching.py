@@ -17,6 +17,20 @@ waiting for company).  Each micro-batch runs through one batched
 :class:`~repro.nn.engine.ExecutionPlan` — and the per-image rows are
 sliced back onto their futures.
 
+On top of coalescing, the batcher owns the deployment's **overload
+policy** (see ``docs/robustness.md``):
+
+* **Admission control** — ``max_queue_depth`` bounds the request queue;
+  a submit against a full queue is *shed* immediately with
+  :class:`RejectedError` instead of growing an unbounded backlog.  Open-
+  loop traffic past saturation then degrades to a bounded, predictable
+  shed rate rather than unbounded latency.
+* **Deadlines** — each request may carry a deadline; requests that
+  expire while still queued are dropped with
+  :class:`DeadlineExceededError` (their batch slot goes to a request
+  that can still make its SLO), and each dispatched micro-batch is
+  filled in earliest-deadline-first order.
+
 Requests of different image shapes may be interleaved; the dispatcher
 groups each micro-batch by shape so every underlying ``infer`` call sees
 a homogeneous batch.  With the default float32 wire format, batched
@@ -28,7 +42,6 @@ granularity.
 
 from __future__ import annotations
 
-import queue
 import threading
 import time
 from concurrent.futures import Future
@@ -37,9 +50,24 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["BatchingStats", "DynamicBatcher"]
+__all__ = [
+    "BatchingStats",
+    "DeadlineExceededError",
+    "DynamicBatcher",
+    "RejectedError",
+]
 
-_SHUTDOWN = object()
+
+class RejectedError(RuntimeError):
+    """Request shed by admission control: the queue was full.
+
+    Open-loop clients treat this as backpressure — the deployment is
+    past saturation and refusing work it could not finish in time.
+    """
+
+
+class DeadlineExceededError(RuntimeError):
+    """Request dropped because its deadline passed while still queued."""
 
 
 @dataclass
@@ -50,9 +78,21 @@ class BatchingStats:
     batches of that size ran — the distribution that shows whether
     concurrent load actually coalesced (many large batches) or trickled
     through one by one.
+
+    The overload counters partition every ``submit`` attempt:
+    ``submitted == shed + requests`` (rejected at the door vs accepted),
+    and every accepted request ends exactly one way, so at quiescence
+    ``requests == completed + expired + failed + cancelled`` — the
+    conservation law the overload property tests assert.
     """
 
-    requests: int = 0
+    requests: int = 0        # accepted submissions
+    submitted: int = 0       # all submit attempts (accepted + shed)
+    shed: int = 0            # rejected by admission control (queue full)
+    expired: int = 0         # dropped in queue past their deadline
+    completed: int = 0       # futures resolved with a result
+    failed: int = 0          # futures failed by an infer error
+    cancelled: int = 0       # futures cancelled by the caller while queued
     batches: int = 0
     images: int = 0
     max_batch_size_seen: int = 0
@@ -62,11 +102,32 @@ class BatchingStats:
     def mean_batch_size(self) -> float:
         return self.images / self.batches if self.batches else 0.0
 
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of submit attempts rejected by admission control."""
+        return self.shed / self.submitted if self.submitted else 0.0
+
     def record_batch(self, size: int) -> None:
         self.batches += 1
         self.images += size
         self.max_batch_size_seen = max(self.max_batch_size_seen, size)
         self.batch_size_histogram[size] = self.batch_size_histogram.get(size, 0) + 1
+
+
+@dataclass
+class _Pending:
+    """One queued request awaiting dispatch."""
+
+    image: np.ndarray
+    future: "Future"
+    sequence: int
+    enqueued: float                  # monotonic seconds
+    deadline: Optional[float] = None  # absolute monotonic seconds, or None
+
+    def sort_key(self) -> Tuple[float, int]:
+        # Earliest deadline first; FIFO among equal (or absent) deadlines.
+        deadline = self.deadline if self.deadline is not None else float("inf")
+        return (deadline, self.sequence)
 
 
 class DynamicBatcher:
@@ -85,6 +146,14 @@ class DynamicBatcher:
         Longest the dispatcher waits for more requests once one is
         pending.  ``0`` dispatches whatever is instantaneously queued
         (pure coalescing, no added latency).
+    max_queue_depth:
+        Admission-control bound on queued requests; a ``submit`` against
+        a full queue raises :class:`RejectedError` (and counts in
+        ``stats.shed``).  ``None`` keeps the queue unbounded — the
+        pre-overload behaviour.
+    default_deadline_ms:
+        Deadline applied to every request that does not pass its own
+        ``deadline_ms`` to :meth:`submit`; ``None`` means no deadline.
     name:
         Thread-name prefix, visible in debuggers and the leak tests.
     """
@@ -94,6 +163,8 @@ class DynamicBatcher:
         infer_batch: Callable[[np.ndarray], object],
         max_batch_size: int = 8,
         max_queue_delay_ms: float = 2.0,
+        max_queue_depth: Optional[int] = None,
+        default_deadline_ms: Optional[float] = None,
         name: str = "repro-serve-batcher",
     ):
         if max_batch_size < 1:
@@ -102,13 +173,28 @@ class DynamicBatcher:
             raise ValueError(
                 f"max_queue_delay_ms must be >= 0, got {max_queue_delay_ms}"
             )
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1 or None, got {max_queue_depth}"
+            )
+        if default_deadline_ms is not None and default_deadline_ms <= 0:
+            raise ValueError(
+                f"default_deadline_ms must be > 0 or None, got {default_deadline_ms}"
+            )
         self._infer_batch = infer_batch
         self.max_batch_size = int(max_batch_size)
         self.max_queue_delay = float(max_queue_delay_ms) / 1e3
+        self.max_queue_depth = max_queue_depth
+        self.default_deadline_ms = default_deadline_ms
         self.stats = BatchingStats()
-        self._stats_lock = threading.Lock()  # submit() increments from any thread
-        self._queue: "queue.Queue" = queue.Queue()
-        self._closed = threading.Event()
+        # One lock/condition guards the pending list, the stats and the
+        # closed flag: submit/close/dispatch can never interleave in a
+        # way that strands a request (the race the old queue.Queue
+        # implementation had between close()'s drain and a late put).
+        self._cond = threading.Condition()
+        self._pending: List[_Pending] = []
+        self._sequence = 0
+        self._closed = False
         self._thread = threading.Thread(
             target=self._dispatch_loop, name=name, daemon=True
         )
@@ -117,88 +203,159 @@ class DynamicBatcher:
     # ------------------------------------------------------------------
     # Client side
     # ------------------------------------------------------------------
-    def submit(self, image: np.ndarray) -> "Future":
+    def submit(
+        self, image: np.ndarray, deadline_ms: Optional[float] = None
+    ) -> "Future":
         """Enqueue one image; resolve to its per-task logits row.
 
         ``image`` is a single sample (no batch axis — e.g. ``(C, H, W)``
         for the conv backbones).  The returned future resolves to what a
         batch-1 ``infer`` would return for it, minus the batch axis:
         ``{task: (classes,) ndarray}`` for multi-task deployments.
+
+        ``deadline_ms`` bounds how long the request may wait *in queue*
+        (overriding ``default_deadline_ms``); expired requests fail with
+        :class:`DeadlineExceededError`.  Raises :class:`RejectedError`
+        without enqueueing when admission control sheds the request.
         """
-        if self._closed.is_set():
-            raise RuntimeError("DynamicBatcher is closed; no new submissions")
+        if deadline_ms is None:
+            deadline_ms = self.default_deadline_ms
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ValueError(f"deadline_ms must be > 0 or None, got {deadline_ms}")
         array = np.asarray(image, dtype=np.float32)
-        future: "Future" = Future()
-        with self._stats_lock:  # += from client threads is not atomic
+        now = time.monotonic()
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("DynamicBatcher is closed; no new submissions")
+            self.stats.submitted += 1
+            if (
+                self.max_queue_depth is not None
+                and len(self._pending) >= self.max_queue_depth
+            ):
+                self.stats.shed += 1
+                raise RejectedError(
+                    f"request shed: queue full ({len(self._pending)} waiting, "
+                    f"max_queue_depth={self.max_queue_depth})"
+                )
             self.stats.requests += 1
-        self._queue.put((array, future))
+            future: "Future" = Future()
+            self._pending.append(
+                _Pending(
+                    image=array,
+                    future=future,
+                    sequence=self._sequence,
+                    enqueued=now,
+                    deadline=(
+                        now + deadline_ms / 1e3 if deadline_ms is not None else None
+                    ),
+                )
+            )
+            self._sequence += 1
+            self._cond.notify_all()
         return future
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting for dispatch."""
+        with self._cond:
+            return len(self._pending)
 
     # ------------------------------------------------------------------
     # Dispatcher side
     # ------------------------------------------------------------------
-    def _collect(self, first) -> Tuple[List, bool]:
-        """Gather one micro-batch starting from ``first``.
+    def _harvest(self) -> Optional[List[_Pending]]:
+        """Wait for work, then cut one deadline-ordered micro-batch.
 
-        Returns ``(requests, saw_shutdown)``.  Waits at most
-        ``max_queue_delay`` past the first request, stops early at
-        ``max_batch_size``.
+        Returns ``None`` when the batcher is closed and fully drained.
+        Must run without the lock held; takes it internally.
         """
-        batch = [first]
-        deadline = time.monotonic() + self.max_queue_delay
-        while len(batch) < self.max_batch_size:
-            timeout = deadline - time.monotonic()
-            try:
-                if timeout > 0:
-                    item = self._queue.get(timeout=timeout)
+        with self._cond:
+            while not self._pending:
+                if self._closed:
+                    return None
+                self._cond.wait()
+            # Collection window: wait for company until the oldest
+            # request has been held max_queue_delay, the batch is full,
+            # or close() asks for an immediate drain.
+            window_end = self._pending[0].enqueued + self.max_queue_delay
+            while (
+                len(self._pending) < self.max_batch_size
+                and not self._closed
+            ):
+                remaining = window_end - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(timeout=remaining)
+                if not self._pending:  # everything cancelled meanwhile
+                    return []
+            # Drop-expired: a request past its deadline loses its batch
+            # slot to one that can still make its SLO.
+            now = time.monotonic()
+            live: List[_Pending] = []
+            for item in self._pending:
+                if item.deadline is not None and item.deadline < now:
+                    if item.future.set_running_or_notify_cancel():
+                        self.stats.expired += 1
+                        item.future.set_exception(
+                            DeadlineExceededError(
+                                "request expired in queue after "
+                                f"{(now - item.enqueued) * 1e3:.1f} ms "
+                                "(deadline-aware batching dropped it)"
+                            )
+                        )
+                    else:
+                        self.stats.cancelled += 1
                 else:
-                    item = self._queue.get_nowait()
-            except queue.Empty:
-                break
-            if item is _SHUTDOWN:
-                return batch, True
-            batch.append(item)
-        return batch, False
+                    live.append(item)
+            # SLO-priority dispatch: earliest deadline first.
+            live.sort(key=_Pending.sort_key)
+            batch = live[: self.max_batch_size]
+            self._pending = live[self.max_batch_size:]
+            return batch
 
-    def _run_batch(self, batch: List) -> None:
+    def _run_batch(self, batch: List[_Pending]) -> None:
         """Execute one micro-batch, grouped by image shape."""
         # Drop requests whose future was cancelled while queued.
-        live = [
-            (image, future)
-            for image, future in batch
-            if future.set_running_or_notify_cancel()
-        ]
+        live: List[_Pending] = []
+        for item in batch:
+            if item.future.set_running_or_notify_cancel():
+                live.append(item)
+            else:
+                with self._cond:
+                    self.stats.cancelled += 1
         if not live:
             return
-        groups: Dict[Tuple[int, ...], List] = {}
-        for image, future in live:
-            groups.setdefault(tuple(image.shape), []).append((image, future))
+        groups: Dict[Tuple[int, ...], List[_Pending]] = {}
+        for item in live:
+            groups.setdefault(tuple(item.image.shape), []).append(item)
         for shaped in groups.values():
-            images = np.stack([image for image, _ in shaped])
+            images = np.stack([item.image for item in shaped])
             try:
                 outputs = self._infer_batch(images)
             except BaseException as error:
-                for _, future in shaped:
-                    future.set_exception(error)
+                for item in shaped:
+                    item.future.set_exception(error)
+                with self._cond:
+                    self.stats.failed += len(shaped)
                 continue
-            self.stats.record_batch(len(shaped))
-            for row, (_, future) in enumerate(shaped):
+            with self._cond:
+                self.stats.record_batch(len(shaped))
+                self.stats.completed += len(shaped)
+            for row, item in enumerate(shaped):
                 if isinstance(outputs, dict):
-                    future.set_result(
+                    item.future.set_result(
                         {name: np.asarray(value)[row] for name, value in outputs.items()}
                     )
                 else:
-                    future.set_result(np.asarray(outputs)[row])
+                    item.future.set_result(np.asarray(outputs)[row])
 
     def _dispatch_loop(self) -> None:
         while True:
-            item = self._queue.get()
-            if item is _SHUTDOWN:
+            batch = self._harvest()
+            if batch is None:
                 return
-            batch, saw_shutdown = self._collect(item)
-            self._run_batch(batch)
-            if saw_shutdown:
-                return
+            if batch:
+                self._run_batch(batch)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -206,30 +363,36 @@ class DynamicBatcher:
     def close(self, timeout: Optional[float] = 5.0) -> None:
         """Stop accepting requests, flush the queue, stop the thread.
 
-        Requests already submitted are still dispatched (the shutdown
-        sentinel queues *behind* them); anything somehow left after the
-        dispatcher exits is failed with ``RuntimeError`` so no future
-        hangs forever.  Idempotent.
+        Requests already submitted are still dispatched (the dispatcher
+        drains the pending list before exiting); if the dispatcher fails
+        to drain within ``timeout`` — or anything is somehow left behind
+        — the leftovers are *failed* with ``RuntimeError``, never
+        silently dropped, so no future hangs forever.  Idempotent.
         """
-        if self._closed.is_set():
-            return
-        self._closed.set()
-        self._queue.put(_SHUTDOWN)
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
         self._thread.join(timeout=timeout)
-        while True:  # fail leftovers rather than strand their futures
-            try:
-                item = self._queue.get_nowait()
-            except queue.Empty:
-                break
-            if item is _SHUTDOWN:
-                continue
-            _, future = item
-            if future.set_running_or_notify_cancel():
-                future.set_exception(RuntimeError("DynamicBatcher closed"))
+        with self._cond:  # fail leftovers rather than strand their futures
+            leftovers = self._pending
+            self._pending = []
+        for item in leftovers:
+            if item.future.set_running_or_notify_cancel():
+                item.future.set_exception(
+                    RuntimeError(
+                        "DynamicBatcher closed with the request still queued"
+                    )
+                )
+                with self._cond:
+                    self.stats.failed += 1
+            else:
+                with self._cond:
+                    self.stats.cancelled += 1
 
     @property
     def closed(self) -> bool:
-        return self._closed.is_set()
+        with self._cond:
+            return self._closed
 
     def __enter__(self) -> "DynamicBatcher":
         return self
@@ -241,5 +404,6 @@ class DynamicBatcher:
         return (
             f"DynamicBatcher(max_batch_size={self.max_batch_size}, "
             f"max_queue_delay_ms={self.max_queue_delay * 1e3:g}, "
+            f"max_queue_depth={self.max_queue_depth}, "
             f"requests={self.stats.requests}, batches={self.stats.batches})"
         )

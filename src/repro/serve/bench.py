@@ -19,21 +19,42 @@ latency, and the dispatched batch-size distribution — the evidence that
 coalescing happened (or didn't: a single closed-loop client can never
 batch with itself, and pays the queue delay for nothing; the numbers
 show that honestly).
+
+:func:`run_overload_bench` asks the harder robustness question: what
+happens when traffic does **not** wait for the server?  It drives the
+deployment *open-loop* — requests arrive on an
+:class:`~repro.data.streams.ArrivalSpec` schedule regardless of
+completion — at offered loads spanning saturation (fractions and
+multiples of a closed-loop calibrated capacity), and records throughput,
+latency percentiles and the overload outcome split
+(completed/shed/expired) per load point.  The capacity calibration runs
+*before and after* the sweep on the same deployment (the interleaved
+same-run baseline discipline), so thermal or cache drift shows up as a
+stamped ``drift`` number instead of silently skewing the load factors.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from dataclasses import asdict, dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import asdict, dataclass, replace
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from ..data.streams import ArrivalSpec
+from .batching import DeadlineExceededError, RejectedError
 from .deployment import Deployment, deploy
 from .spec import DeploymentSpec
 
-__all__ = ["ClientLoadResult", "run_serve_bench", "render_serve_bench"]
+__all__ = [
+    "ClientLoadResult",
+    "OverloadPoint",
+    "run_serve_bench",
+    "render_serve_bench",
+    "run_overload_bench",
+    "render_overload_bench",
+]
 
 
 def _percentile_ms(latencies: Sequence[float], q: float) -> float:
@@ -183,6 +204,13 @@ def run_serve_bench(
     best = max(points, key=lambda point: point.throughput_rps)
     return {
         "spec": spec.to_dict() if isinstance(spec.model, str) else spec.describe(),
+        # Provenance: this bench is closed-loop (clients wait for each
+        # reply), so there is no arrival process; the fault-plan digest
+        # names the wire fault schedule, if any, for replay.
+        "arrival": None,
+        "fault_plan_digest": (
+            spec.faults.digest() if spec.faults is not None else None
+        ),
         "sequential": sequential.to_dict(),
         "concurrent": [point.to_dict() for point in points],
         "batch_size_histogram": {str(k): v for k, v in histogram.items()},
@@ -192,6 +220,202 @@ def run_serve_bench(
             else 0.0
         ),
     }
+
+
+@dataclass
+class OverloadPoint:
+    """One open-loop load point of :func:`run_overload_bench`."""
+
+    load_factor: float   # offered rate as a multiple of calibrated capacity
+    offered_rps: float   # the arrival process's mean rate
+    arrival: str         # canonical ArrivalSpec string for this point
+    requests: int        # offered requests
+    completed: int
+    shed: int            # rejected at admission (queue full)
+    expired: int         # deadline exceeded while queued
+    failed: int          # any other error surfaced by the future
+    wall_seconds: float  # first submission to last resolution
+    p50_ms: float
+    p95_ms: float
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.completed / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.requests if self.requests else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        data = asdict(self)
+        data["throughput_rps"] = self.throughput_rps
+        data["shed_rate"] = self.shed_rate
+        return data
+
+
+def _run_open_loop(
+    deployment: Deployment,
+    images: np.ndarray,
+    arrival: ArrivalSpec,
+    count: int,
+    load_factor: float,
+    timeout: float = 120.0,
+) -> OverloadPoint:
+    """Offer ``count`` requests on ``arrival``'s schedule, then settle.
+
+    Open loop: the driver sleeps to each arrival time and submits no
+    matter how far behind the server is — admission control (not the
+    client) decides what gets dropped.  Every accepted future is awaited
+    afterwards, so a deadlock would fail the timeout loudly instead of
+    hanging the sweep.
+    """
+    times = arrival.sample(count)
+    outstanding: List["tuple"] = []  # (submit time, future)
+    shed = 0
+    start = time.perf_counter()
+    for index, arrival_s in enumerate(times):
+        behind = arrival_s - (time.perf_counter() - start)
+        if behind > 0:
+            time.sleep(behind)
+        image = images[index % len(images)]
+        t0 = time.perf_counter()
+        try:
+            future = deployment.submit(image)
+        except RejectedError:
+            shed += 1
+            continue
+        outstanding.append((t0, future))
+
+    completed = expired = failed = 0
+    latencies: List[float] = []
+    for t0, future in outstanding:
+        try:
+            future.result(timeout=timeout)
+        except DeadlineExceededError:
+            expired += 1
+        except Exception:
+            failed += 1
+        else:
+            completed += 1
+            latencies.append(time.perf_counter() - t0)
+    wall = time.perf_counter() - start
+    return OverloadPoint(
+        load_factor=load_factor,
+        offered_rps=arrival.mean_rate(),
+        arrival=arrival.to_string(),
+        requests=count,
+        completed=completed,
+        shed=shed,
+        expired=expired,
+        failed=failed,
+        wall_seconds=wall,
+        p50_ms=_percentile_ms(latencies, 50),
+        p95_ms=_percentile_ms(latencies, 95),
+    )
+
+
+def run_overload_bench(
+    spec: DeploymentSpec,
+    load_factors: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0),
+    requests_per_point: int = 48,
+    arrival: Union[str, ArrivalSpec] = "poisson",
+    calibration_requests: int = 24,
+    seed: int = 0,
+) -> Dict:
+    """Sweep open-loop offered load across saturation on one deployment.
+
+    Capacity is calibrated with closed-loop batch-1 requests before
+    *and after* the sweep (same deployment, warm caches); each load
+    point offers ``requests_per_point`` requests at ``factor x
+    capacity``.  ``arrival`` shapes the schedule: a kind name
+    (``"poisson"``/``"bursty"``/``"diurnal"``) with default parameters,
+    or a full :class:`~repro.data.streams.ArrivalSpec` template whose
+    rate is overridden per load point.  The spec's overload knobs
+    (``max_queue_depth``, ``deadline_ms``) decide what sheds; the spec's
+    fault plan, if any, is stamped into the result by digest so the
+    artifact names its fault schedule.
+    """
+    template = (
+        ArrivalSpec(kind=arrival, seed=seed)
+        if isinstance(arrival, str)
+        else arrival
+    )
+    with deploy(spec) as deployment:
+        images = _synthetic_images(
+            deployment, count=max(64, requests_per_point), seed=seed
+        )
+        deployment.warmup(
+            sorted({1, spec.max_batch_size, max(spec.max_batch_size // 2, 1)})
+        )
+        before = _run_sequential(deployment, images[:calibration_requests])
+        capacity = before.throughput_rps
+        points = [
+            _run_open_loop(
+                deployment,
+                images,
+                replace(template, rate_rps=max(capacity * factor, 1e-3)),
+                requests_per_point,
+                float(factor),
+            )
+            for factor in load_factors
+        ]
+        after = _run_sequential(deployment, images[:calibration_requests])
+        stats = deployment.batching_stats
+        conservation = {
+            "submitted": stats.submitted,
+            "shed": stats.shed,
+            "requests": stats.requests,
+            "completed": stats.completed,
+            "expired": stats.expired,
+            "failed": stats.failed,
+            "cancelled": stats.cancelled,
+        }
+    return {
+        "spec": spec.to_dict() if isinstance(spec.model, str) else spec.describe(),
+        "arrival_kind": template.kind,
+        "arrival_template": template.to_string(),
+        "fault_plan_digest": (
+            spec.faults.digest() if spec.faults is not None else None
+        ),
+        "calibration": {
+            "requests": calibration_requests,
+            "before_rps": before.throughput_rps,
+            "after_rps": after.throughput_rps,
+            "drift": (
+                after.throughput_rps / before.throughput_rps - 1.0
+                if before.throughput_rps
+                else 0.0
+            ),
+        },
+        "capacity_rps": capacity,
+        "points": [point.to_dict() for point in points],
+        "batcher_conservation": conservation,
+    }
+
+
+def render_overload_bench(result: Dict) -> str:
+    """Human-readable table for one :func:`run_overload_bench` result."""
+    calibration = result["calibration"]
+    lines = [
+        f"capacity (closed-loop batch-1): {result['capacity_rps']:.1f} req/s "
+        f"(after sweep: {calibration['after_rps']:.1f}, "
+        f"drift {calibration['drift']:+.1%})",
+        f"{'load':>6}{'offered/s':>11}{'done/s':>9}{'p50 ms':>9}{'p95 ms':>9}"
+        f"{'done':>6}{'shed':>6}{'expired':>8}{'failed':>7}",
+    ]
+    for row in result["points"]:
+        lines.append(
+            f"{row['load_factor']:>5.2f}x{row['offered_rps']:>11.1f}"
+            f"{row['throughput_rps']:>9.1f}{row['p50_ms']:>9.2f}"
+            f"{row['p95_ms']:>9.2f}{row['completed']:>6}{row['shed']:>6}"
+            f"{row['expired']:>8}{row['failed']:>7}"
+        )
+    digest = result.get("fault_plan_digest")
+    lines.append(
+        f"arrival: {result['arrival_kind']}; fault plan: "
+        + (f"sha256:{digest[:16]}…" if digest else "none")
+    )
+    return "\n".join(lines)
 
 
 def render_serve_bench(result: Dict) -> str:

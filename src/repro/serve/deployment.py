@@ -38,6 +38,7 @@ from ..data.base import TaskInfo
 from ..deployment.optimizer import optimal_split_index
 from ..models.registry import get_spec
 from .batching import BatchingStats, DynamicBatcher
+from .faults import FaultStats
 from .runtime import SplitPipeline, ThroughputReport
 from .spec import DeploymentSpec, SpecError
 
@@ -115,6 +116,11 @@ class Deployment:
             num_workers=spec.num_workers,
             optimize=spec.optimize,
             max_cached_plans=spec.max_cached_plans,
+            faults=spec.faults,
+            fallback=spec.fallback,
+            max_retries=spec.max_retries,
+            retry_backoff_s=spec.retry_backoff_ms / 1000.0,
+            probe_every=spec.probe_every,
         )
         self._pipeline_lock = threading.Lock()
         self._batcher: Optional[DynamicBatcher] = None
@@ -144,6 +150,16 @@ class Deployment:
         return self._batcher.stats
 
     @property
+    def fault_stats(self) -> FaultStats:
+        """The resilient link's lifetime fault/degradation counters."""
+        return self.pipeline.fault_stats
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the split channel is currently declared down."""
+        return self.pipeline.degraded
+
+    @property
     def execution_mode(self) -> str:
         """How the halves execute: planned engine / fused/compiled / eval-mode."""
         if self.pipeline.edge.planned:
@@ -161,7 +177,10 @@ class Deployment:
     # ------------------------------------------------------------------
     def _require_open(self) -> None:
         if self._closed:
-            raise RuntimeError("Deployment is closed; build a new one with repro.deploy")
+            raise RuntimeError(
+                f"Deployment({self.spec.describe()}) is closed; "
+                "build a new one with repro.deploy"
+            )
 
     def warmup(self, batch_sizes: Iterable[int] = (1,)) -> "Deployment":
         """Prime the executors' plan caches for the given batch sizes.
@@ -197,7 +216,9 @@ class Deployment:
         with self._pipeline_lock:
             return self.pipeline.infer(images)
 
-    def submit(self, image: np.ndarray) -> "Future":
+    def submit(
+        self, image: np.ndarray, deadline_ms: Optional[float] = None
+    ) -> "Future":
         """Asynchronously serve one image through the dynamic batcher.
 
         Returns a future resolving to ``{task: (classes,) ndarray}`` —
@@ -206,6 +227,14 @@ class Deployment:
         to ``spec.max_batch_size`` images (waiting at most
         ``spec.max_queue_delay_ms`` for company), so request-level
         traffic runs through the engine's cached batched plans.
+
+        Overload semantics follow the spec: with ``max_queue_depth`` set,
+        a full queue sheds the request by raising
+        :class:`~repro.serve.batching.RejectedError` *here*, not in the
+        future; ``deadline_ms`` (default ``spec.deadline_ms``) expires
+        the request in queue with
+        :class:`~repro.serve.batching.DeadlineExceededError` on the
+        future if dispatch comes too late.
         """
         self._require_open()
         if self._batcher is None:
@@ -219,8 +248,13 @@ class Deployment:
                         self._infer_locked,
                         max_batch_size=self.spec.max_batch_size,
                         max_queue_delay_ms=self.spec.max_queue_delay_ms,
+                        max_queue_depth=self.spec.max_queue_depth,
+                        default_deadline_ms=self.spec.deadline_ms,
+                        # Keep the repro-serve-batcher prefix: the thread
+                        # leak tests (and debugger filtering) key on it.
+                        name=f"repro-serve-batcher [{self.spec.describe()}]",
                     )
-        return self._batcher.submit(image)
+        return self._batcher.submit(image, deadline_ms=deadline_ms)
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -1,0 +1,361 @@
+"""Deterministic channel fault injection and the resilient split link.
+
+The split-computing deployment the paper targets lives or dies by the
+edge↔server link, yet the fault-free :class:`~repro.serve.runtime
+.SimulatedLink` can only model a *healthy* channel.  This module adds
+the unhealthy ones — and the machinery that keeps the pipeline useful
+while they last:
+
+* :class:`FaultPlan` — a frozen, JSON-round-tripped description of what
+  goes wrong and when: seeded per-message drop / delay / corruption
+  probabilities, hard link-down windows, and server-stage crash
+  windows.  Every decision is a pure function of ``(seed, message
+  index)``, so a fault run *replays bit-identically* — the property the
+  determinism tests assert — and :meth:`FaultPlan.digest` gives the
+  SHA-256 provenance stamp benchmark artifacts carry.
+* :class:`ResilientLink` — wraps a link with the fault injector plus
+  the client-side survival kit: bounded retries with exponential
+  backoff (modelled time, like the link's transfer accounting), and an
+  up/down channel state machine.  When retries exhaust, the link is
+  *declared down* (:class:`ChannelDownError`) and the pipeline degrades
+  to local execution; periodic :meth:`ResilientLink.probe` calls detect
+  recovery and restore split mode.
+
+Corruption is modelled as *detected* corruption: real deployments frame
+payloads with a CRC, so a corrupted message is indistinguishable from a
+dropped one at the decode layer — it costs a retry, never a wrong
+answer.  That is why non-dropped results under any fault plan stay
+within 1e-6 of fault-free execution.
+
+Windows are expressed in **message-index space** (``[start, end)`` over
+the link's send/probe sequence number), not wall-clock time: index
+space is what makes replay exact regardless of host speed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "FALLBACK_MODES",
+    "ChannelDownError",
+    "ChannelFaultError",
+    "FaultPlan",
+    "FaultStats",
+    "ResilientLink",
+    "ServerCrashError",
+]
+
+#: Fallback modes for a degraded split channel (see ``docs/robustness.md``):
+#: ``"edge"`` runs both halves locally on the edge device, ``"cloud"``
+#: ships the *raw input* over the (still faulty) wire and runs everything
+#: server-side, ``"none"`` sheds the request instead of degrading.
+FALLBACK_MODES: Tuple[str, ...] = ("edge", "cloud", "none")
+
+
+class ChannelFaultError(RuntimeError):
+    """Base class for injected wire faults (transient, retryable)."""
+
+
+class ChannelDownError(ChannelFaultError):
+    """The link has been declared down (retries exhausted or hard
+    outage window); the pipeline should degrade rather than retry."""
+
+
+class ServerCrashError(ChannelFaultError):
+    """The server stage is inside a crash window for this invocation."""
+
+
+def _windows(value) -> Tuple[Tuple[int, int], ...]:
+    """Normalise/validate ``[start, end)`` index windows."""
+    try:
+        normalised = tuple(
+            (int(start), int(end)) for start, end in value
+        )
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"windows must be (start, end) index pairs, got {value!r}"
+        ) from None
+    for start, end in normalised:
+        if start < 0 or end <= start:
+            raise ValueError(
+                f"window ({start}, {end}) must satisfy 0 <= start < end"
+            )
+    return normalised
+
+
+def _in_window(index: int, windows: Tuple[Tuple[int, int], ...]) -> bool:
+    return any(start <= index < end for start, end in windows)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Frozen, seeded description of one deterministic fault schedule.
+
+    Parameters
+    ----------
+    drop_rate / delay_rate / corrupt_rate:
+        Per-message Bernoulli probabilities (decided independently per
+        message index from ``seed``).  Dropped and corrupted messages
+        never reach the server (corruption is CRC-detected on arrival)
+        and cost the sender a retry; delayed messages arrive intact
+        ``delay_seconds`` late.
+    delay_seconds:
+        Modelled extra latency for a delayed message.
+    link_down:
+        ``[start, end)`` windows over the link's message index during
+        which *every* send and probe fails outright — the hard-outage
+        case the degradation state machine exists for.
+    server_crash:
+        ``[start, end)`` windows over the server stage's invocation
+        index during which the server raises instead of serving — the
+        pipeline falls back to local execution for those requests.
+    seed:
+        Seed for the per-message Bernoulli decisions.
+    """
+
+    drop_rate: float = 0.0
+    delay_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    delay_seconds: float = 0.05
+    link_down: Tuple[Tuple[int, int], ...] = field(default_factory=tuple)
+    server_crash: Tuple[Tuple[int, int], ...] = field(default_factory=tuple)
+    seed: int = 0
+
+    def __post_init__(self):
+        set_ = object.__setattr__
+        for attr in ("drop_rate", "delay_rate", "corrupt_rate"):
+            value = float(getattr(self, attr))
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{attr} must be in [0, 1], got {value}")
+            set_(self, attr, value)
+        if self.drop_rate + self.delay_rate + self.corrupt_rate > 1.0:
+            raise ValueError(
+                "drop_rate + delay_rate + corrupt_rate must be <= 1, got "
+                f"{self.drop_rate + self.delay_rate + self.corrupt_rate}"
+            )
+        set_(self, "delay_seconds", float(self.delay_seconds))
+        if self.delay_seconds < 0:
+            raise ValueError(f"delay_seconds must be >= 0, got {self.delay_seconds}")
+        set_(self, "link_down", _windows(self.link_down))
+        set_(self, "server_crash", _windows(self.server_crash))
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ValueError(f"seed must be an int, got {self.seed!r}")
+
+    # ------------------------------------------------------------------
+    # Deterministic per-message decisions
+    # ------------------------------------------------------------------
+    def decision(self, message_index: int) -> str:
+        """The fault verdict for one message: ``"down"``, ``"drop"``,
+        ``"delay"``, ``"corrupt"`` or ``"ok"``.
+
+        A pure function of ``(seed, message_index)`` — replaying the
+        same call sequence replays the same faults bit-for-bit.
+        """
+        if _in_window(message_index, self.link_down):
+            return "down"
+        if not (self.drop_rate or self.delay_rate or self.corrupt_rate):
+            return "ok"
+        draw = float(np.random.default_rng((self.seed, message_index)).random())
+        if draw < self.drop_rate:
+            return "drop"
+        if draw < self.drop_rate + self.corrupt_rate:
+            return "corrupt"
+        if draw < self.drop_rate + self.corrupt_rate + self.delay_rate:
+            return "delay"
+        return "ok"
+
+    def server_crashes(self, call_index: int) -> bool:
+        """Whether the server stage crashes on its ``call_index``-th
+        invocation."""
+        return _in_window(call_index, self.server_crash)
+
+    @property
+    def is_null(self) -> bool:
+        """True when the plan can never inject anything."""
+        return (
+            not self.drop_rate
+            and not self.delay_rate
+            and not self.corrupt_rate
+            and not self.link_down
+            and not self.server_crash
+        )
+
+    # ------------------------------------------------------------------
+    # Serialisation + provenance
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "drop_rate": self.drop_rate,
+            "delay_rate": self.delay_rate,
+            "corrupt_rate": self.corrupt_rate,
+            "delay_seconds": self.delay_seconds,
+            "link_down": [[start, end] for start, end in self.link_down],
+            "server_crash": [[start, end] for start, end in self.server_crash],
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown FaultPlan keys {unknown}; known keys: {sorted(known)}"
+            )
+        return cls(**dict(data))
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical JSON — the provenance stamp
+        benchmark artifacts record so a fault run names its schedule."""
+        return hashlib.sha256(self.to_json().encode()).hexdigest()
+
+
+@dataclass
+class FaultStats:
+    """Counters for one :class:`ResilientLink`'s lifetime."""
+
+    messages: int = 0        # send/probe attempts offered to the injector
+    delivered: int = 0       # messages that arrived (possibly delayed)
+    drops: int = 0
+    corruptions: int = 0     # CRC-detected on arrival; retried like drops
+    delays: int = 0
+    retries: int = 0         # re-send attempts beyond each first try
+    down_events: int = 0     # transitions up -> down (declared outages)
+    recoveries: int = 0      # transitions down -> up (successful probes)
+    probes: int = 0
+    server_crashes: int = 0  # filled by the pipeline's server-stage wrapper
+
+
+class ResilientLink:
+    """A link wrapper that survives its fault plan — or degrades loudly.
+
+    Wraps a transfer-accounting link (anything with
+    ``send(payload) -> seconds``, normally
+    :class:`~repro.serve.runtime.SimulatedLink`) with the fault injector
+    and retry/backoff/state machinery.  All added latency (injected
+    delays, backoff waits) is *modelled*, consistent with the wrapped
+    link: it appears in the returned transfer seconds, not the wall
+    clock.
+
+    Parameters
+    ----------
+    link:
+        The underlying transfer-accounting link.
+    plan:
+        The :class:`FaultPlan`; ``None`` behaves exactly like the bare
+        link (zero injected faults, no overhead worth measuring).
+    max_retries:
+        Re-send attempts after a dropped/corrupted message before the
+        link is declared down.
+    backoff_seconds:
+        Base of the exponential backoff charged per retry
+        (``backoff * 2**attempt`` modelled seconds).
+    """
+
+    def __init__(
+        self,
+        link,
+        plan: Optional[FaultPlan] = None,
+        max_retries: int = 2,
+        backoff_seconds: float = 0.01,
+    ):
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff_seconds < 0:
+            raise ValueError(f"backoff_seconds must be >= 0, got {backoff_seconds}")
+        self.link = link
+        self.plan = plan
+        self.max_retries = int(max_retries)
+        self.backoff_seconds = float(backoff_seconds)
+        self.stats = FaultStats()
+        self.message_index = 0  # position in the plan's decision sequence
+        self._down = False
+
+    @property
+    def is_down(self) -> bool:
+        """Whether the channel is currently declared down."""
+        return self._down
+
+    def _assess(self) -> str:
+        decision = (
+            self.plan.decision(self.message_index) if self.plan is not None else "ok"
+        )
+        self.message_index += 1
+        self.stats.messages += 1
+        return decision
+
+    def send(self, payload: bytes) -> float:
+        """Deliver ``payload``, retrying through transient faults.
+
+        Returns the modelled transfer seconds including failed attempts,
+        injected delays and backoff.  Raises :class:`ChannelDownError`
+        after ``max_retries`` consecutive failures (or inside a hard
+        outage window) — at which point the link is declared down and
+        stays down until a :meth:`probe` succeeds.
+        """
+        if self._down:
+            raise ChannelDownError(
+                "link is declared down; probe before sending again"
+            )
+        total = 0.0
+        for attempt in range(self.max_retries + 1):
+            decision = self._assess()
+            total += self.link.send(payload)  # bytes hit the wire either way
+            if decision == "ok" or decision == "delay":
+                if decision == "delay":
+                    self.stats.delays += 1
+                    total += self.plan.delay_seconds
+                self.stats.delivered += 1
+                self.stats.retries += attempt
+                return total
+            if decision == "down":
+                self.stats.retries += attempt
+                self._declare_down()
+            if decision == "drop":
+                self.stats.drops += 1
+            else:  # corrupt: CRC-detected on arrival, retried like a drop
+                self.stats.corruptions += 1
+            total += self.backoff_seconds * (2 ** attempt)
+        self.stats.retries += self.max_retries
+        self._declare_down()
+
+    def _declare_down(self):
+        self._down = True
+        self.stats.down_events += 1
+        raise ChannelDownError(
+            f"link declared down after message {self.message_index - 1} "
+            f"({self.stats.drops} drops, {self.stats.corruptions} corruptions "
+            "so far); degrade to local execution and probe for recovery"
+        )
+
+    def probe(self) -> bool:
+        """One recovery probe; flips the link back up on success.
+
+        Consumes a message index (so probes advance through outage
+        windows deterministically) but transfers no payload bytes.
+        """
+        self.stats.probes += 1
+        decision = (
+            self.plan.decision(self.message_index) if self.plan is not None else "ok"
+        )
+        self.message_index += 1
+        self.stats.messages += 1
+        if decision in ("ok", "delay"):
+            if self._down:
+                self.stats.recoveries += 1
+            self._down = False
+            return True
+        return False

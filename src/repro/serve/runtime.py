@@ -48,6 +48,13 @@ from ..deployment.channel import NetworkChannel
 from ..deployment.wire import WireFormat, decode_tensor, encode_tensor
 from ..nn.engine import PlanStats, PlannedExecutor
 from ..nn.tensor import Tensor
+from .faults import (
+    FALLBACK_MODES,
+    ChannelDownError,
+    FaultPlan,
+    FaultStats,
+    ResilientLink,
+)
 
 __all__ = [
     "InferenceTrace",
@@ -253,6 +260,17 @@ class ThroughputReport:
     (flatten/reshape certified zero-copy — equally true of the
     unoptimized binder) and ``spmm_row_blocks`` (L2-sized row blocks
     across blocked SpMMs).
+
+    The robustness counters account what the run *survived* (see
+    ``docs/robustness.md``): ``shed`` (requests rejected by admission
+    control or dropped because the channel was down with no fallback),
+    ``deadline_misses`` (requests expired in queue), ``retries``
+    (split-channel re-sends), ``fallback_batches``/``fallback_seconds``
+    (work executed degraded, off the split path), ``link_down_events``
+    and ``recoveries`` (degradation state-machine transitions —
+    a positive ``recoveries`` is the observable proof the pipeline
+    returned to split mode), and ``server_crashes`` (server-stage crash
+    windows absorbed by local fallback).
     """
 
     batches: int
@@ -269,10 +287,29 @@ class ThroughputReport:
     elided_copies: int = 0
     aliased_views: int = 0
     spmm_row_blocks: int = 0
+    shed: int = 0
+    deadline_misses: int = 0
+    retries: int = 0
+    fallback_batches: int = 0
+    fallback_seconds: float = 0.0
+    link_down_events: int = 0
+    recoveries: int = 0
+    server_crashes: int = 0
 
     @property
     def serial_seconds(self) -> float:
         return self.edge_seconds + self.transfer_seconds + self.server_seconds
+
+    @property
+    def offered(self) -> int:
+        """Images offered to the run: completed + shed + expired."""
+        return self.images + self.shed + self.deadline_misses
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of offered images rejected by admission control or
+        dropped for lack of a fallback path."""
+        return self.shed / self.offered if self.offered else 0.0
 
     @property
     def batches_per_second(self) -> float:
@@ -323,6 +360,14 @@ class ThroughputReport:
         elided_copies: int = 0,
         aliased_views: int = 0,
         spmm_row_blocks: int = 0,
+        shed: int = 0,
+        deadline_misses: int = 0,
+        retries: int = 0,
+        fallback_batches: int = 0,
+        fallback_seconds: float = 0.0,
+        link_down_events: int = 0,
+        recoveries: int = 0,
+        server_crashes: int = 0,
     ) -> "ThroughputReport":
         """Build a report, scheduling the three stages as a pipeline.
 
@@ -350,6 +395,14 @@ class ThroughputReport:
             elided_copies=elided_copies,
             aliased_views=aliased_views,
             spmm_row_blocks=spmm_row_blocks,
+            shed=shed,
+            deadline_misses=deadline_misses,
+            retries=retries,
+            fallback_batches=fallback_batches,
+            fallback_seconds=fallback_seconds,
+            link_down_events=link_down_events,
+            recoveries=recoveries,
+            server_crashes=server_crashes,
         )
 
 
@@ -361,6 +414,18 @@ class SplitPipeline:
     the accumulated :attr:`traces`.  The pipeline owns its runtimes'
     resources: :meth:`close` (or exiting the pipeline's context) reclaims
     the planned executors' worker threads.
+
+    With a :class:`~repro.serve.faults.FaultPlan` attached the pipeline
+    becomes overload/fault-aware: sends go through a
+    :class:`~repro.serve.faults.ResilientLink` (bounded retries,
+    exponential backoff), and when the link is declared down the pipeline
+    *degrades* instead of failing — ``fallback="edge"`` executes both
+    halves locally (results bit-identical to the split path, since the
+    same sessions and wire codec run), ``fallback="cloud"`` ships the raw
+    input over the wire, ``fallback="none"`` sheds.  While degraded,
+    every ``probe_every``-th request first probes the channel; a
+    successful probe restores split mode.  All of it is visible in the
+    :class:`ThroughputReport` robustness counters.
     """
 
     #: Trace retention cap.  The serving front-end keeps one pipeline
@@ -370,11 +435,47 @@ class SplitPipeline:
     #: offline analysis runs that want every trace.
     MAX_TRACES: Optional[int] = 100_000
 
-    def __init__(self, edge: EdgeRuntime, link: SimulatedLink, server: ServerRuntime):
+    def __init__(
+        self,
+        edge: EdgeRuntime,
+        link: SimulatedLink,
+        server: ServerRuntime,
+        faults: Optional[FaultPlan] = None,
+        fallback: str = "edge",
+        max_retries: int = 2,
+        retry_backoff_s: float = 0.01,
+        probe_every: int = 8,
+    ):
+        if fallback not in FALLBACK_MODES:
+            raise ValueError(
+                f"fallback must be one of {FALLBACK_MODES}, got {fallback!r}"
+            )
+        if not isinstance(probe_every, int) or probe_every < 1:
+            raise ValueError(f"probe_every must be a positive int, got {probe_every!r}")
         self.edge = edge
         self.link = link
         self.server = server
+        self.resilient = ResilientLink(
+            link, plan=faults, max_retries=max_retries,
+            backoff_seconds=retry_backoff_s,
+        )
+        self.fallback = fallback
+        self.probe_every = probe_every
+        self.fallback_batches = 0
+        self.fallback_seconds = 0.0
+        self._down_requests = 0  # requests seen since the last probe
+        self._server_calls = 0   # server-stage invocation index (crash windows)
         self.traces: List[InferenceTrace] = []
+
+    @property
+    def fault_stats(self) -> FaultStats:
+        """The resilient link's lifetime fault counters."""
+        return self.resilient.stats
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the pipeline is currently off the split path."""
+        return self.resilient.is_down
 
     def _record_trace(self, trace: InferenceTrace) -> None:
         self.traces.append(trace)
@@ -395,6 +496,11 @@ class SplitPipeline:
         num_workers: int = 1,
         optimize: bool = True,
         max_cached_plans: int = 8,
+        faults: Optional[FaultPlan] = None,
+        fallback: str = "edge",
+        max_retries: int = 2,
+        retry_backoff_s: float = 0.01,
+        probe_every: int = 8,
     ) -> "SplitPipeline":
         """Split ``net`` and wire the halves through a simulated channel.
 
@@ -402,7 +508,10 @@ class SplitPipeline:
         engine; ``num_workers`` shards each stage's batch across that
         many worker threads; ``optimize`` runs the plan-IR optimizer
         passes and ``max_cached_plans`` bounds each stage's per-shape
-        plan cache (see :mod:`repro.nn.engine`).
+        plan cache (see :mod:`repro.nn.engine`).  ``faults`` attaches a
+        deterministic :class:`~repro.serve.faults.FaultPlan` to the wire;
+        ``fallback``/``max_retries``/``retry_backoff_s``/``probe_every``
+        configure the degradation state machine (class docstring).
         """
         edge_model, server_model = net.split(split_index, input_size=input_size)
         return cls(
@@ -417,6 +526,11 @@ class SplitPipeline:
                 planned=planned, num_workers=num_workers,
                 optimize=optimize, max_cached_plans=max_cached_plans,
             ),
+            faults=faults,
+            fallback=fallback,
+            max_retries=max_retries,
+            retry_backoff_s=retry_backoff_s,
+            probe_every=probe_every,
         )
 
     # -- lifecycle -----------------------------------------------------
@@ -462,9 +576,35 @@ class SplitPipeline:
         return self
 
     def infer(self, images: np.ndarray) -> Dict[str, np.ndarray]:
-        """Run one batch through the full deployment and record a trace."""
+        """Run one batch through the full deployment and record a trace.
+
+        With the link declared down, every ``probe_every``-th request
+        probes for recovery first; until a probe succeeds, requests take
+        the fallback path (or raise :class:`ChannelDownError` for
+        ``fallback="none"`` — the caller sheds them).
+        """
+        if self.resilient.is_down:
+            self._down_requests += 1
+            if self._down_requests >= self.probe_every:
+                self._down_requests = 0
+                self.resilient.probe()
+            if self.resilient.is_down:
+                return self._infer_fallback(images)
         payload, edge_s = self.edge.infer(images)
-        transfer_s = self.link.send(payload)
+        try:
+            transfer_s = self.resilient.send(payload)
+        except ChannelDownError:
+            self._down_requests = 0
+            return self._infer_fallback(images, payload=payload, edge_seconds=edge_s)
+        call_index = self._server_calls
+        self._server_calls += 1
+        plan = self.resilient.plan
+        if plan is not None and plan.server_crashes(call_index):
+            self.resilient.stats.server_crashes += 1
+            return self._infer_fallback(
+                images, payload=payload, edge_seconds=edge_s,
+                transfer_seconds=transfer_s, cause="server stage crashed",
+            )
         logits, server_s = self.server.infer(payload)
         self._record_trace(
             InferenceTrace(
@@ -472,6 +612,55 @@ class SplitPipeline:
                 payload_bytes=len(payload),
                 edge_seconds=edge_s,
                 transfer_seconds=transfer_s,
+                server_seconds=server_s,
+            )
+        )
+        return logits
+
+    def _infer_fallback(
+        self,
+        images: np.ndarray,
+        payload: Optional[bytes] = None,
+        edge_seconds: float = 0.0,
+        transfer_seconds: float = 0.0,
+        cause: str = "link down",
+    ) -> Dict[str, np.ndarray]:
+        """Execute one batch off the split path, per the fallback mode.
+
+        ``fallback="edge"`` runs both halves locally through the *same*
+        sessions and wire codec as the split path, so results are
+        bit-identical to fault-free split execution; ``"cloud"`` first
+        ships the raw input over the resilient link (which may itself
+        fail while the link is down — those requests shed); ``"none"``
+        raises so the caller sheds.  Wall time spent here accumulates in
+        :attr:`fallback_seconds`.
+        """
+        if self.fallback == "none":
+            raise ChannelDownError(
+                f"split channel unavailable ({cause}) and fallback='none'; "
+                "request shed"
+            )
+        start = time.perf_counter()
+        if self.fallback == "cloud":
+            raw = encode_tensor(
+                np.asarray(images, dtype=np.float32), WireFormat("float32")
+            )
+            # May raise ChannelDownError during an outage: a cloud-only
+            # fallback has nowhere to run without the wire.
+            transfer_seconds += self.resilient.send(raw)
+        if payload is None:
+            payload, edge_s = self.edge.infer(images)
+        else:
+            edge_s = edge_seconds  # the split attempt already paid the edge stage
+        logits, server_s = self.server.infer(payload)
+        self.fallback_batches += 1
+        self.fallback_seconds += time.perf_counter() - start
+        self._record_trace(
+            InferenceTrace(
+                batch_size=images.shape[0],
+                payload_bytes=len(payload),
+                edge_seconds=edge_s,
+                transfer_seconds=transfer_seconds,
                 server_seconds=server_s,
             )
         )
@@ -488,11 +677,19 @@ class SplitPipeline:
         batch, a normal :class:`InferenceTrace` is appended; the returned
         :class:`ThroughputReport` adds the schedule view — batches/s,
         stage utilisation and the critical stage.
+
+        With an active fault plan the stream runs the *serial robust*
+        path instead (each batch through :meth:`infer`, so retries,
+        degradation and recovery all engage): batches shed by a downed
+        channel come back as ``None`` results, and the report's
+        robustness counters record what this run injected and survived.
         """
         batch_list = [np.asarray(b) for b in batches]
         n = len(batch_list)
         if n == 0:
             return [], ThroughputReport.from_stage_times([], [], [], [], 0.0)
+        if self.resilient.plan is not None and not self.resilient.plan.is_null:
+            return self._infer_stream_robust(batch_list)
 
         results: List[Optional[Dict[str, np.ndarray]]] = [None] * n
         server_times = [0.0] * n
@@ -548,6 +745,56 @@ class SplitPipeline:
             **self._plan_accounting(),
         )
         return list(results), report  # type: ignore[arg-type]
+
+    def _infer_stream_robust(
+        self, batch_list: List[np.ndarray]
+    ) -> Tuple[List[Optional[Dict[str, np.ndarray]]], ThroughputReport]:
+        """Serial multi-batch execution under an active fault plan.
+
+        The overlapped schedule assumes every send succeeds; under
+        faults, correctness (deterministic replay, ordered fallback
+        decisions) matters more than overlap, so batches run serially
+        through :meth:`infer` and the report carries the robustness
+        deltas for exactly this run.
+        """
+        stats = self.resilient.stats
+        retries0, downs0 = stats.retries, stats.down_events
+        recoveries0, crashes0 = stats.recoveries, stats.server_crashes
+        fb_batches0, fb_seconds0 = self.fallback_batches, self.fallback_seconds
+
+        results: List[Optional[Dict[str, np.ndarray]]] = []
+        batch_sizes: List[int] = []
+        edge_times: List[float] = []
+        transfer_times: List[float] = []
+        server_times: List[float] = []
+        shed_images = 0
+        start = time.perf_counter()
+        for images in batch_list:
+            try:
+                results.append(self.infer(images))
+            except ChannelDownError:
+                results.append(None)
+                shed_images += int(images.shape[0])
+                continue
+            trace = self.traces[-1]  # infer() always records one
+            batch_sizes.append(trace.batch_size)
+            edge_times.append(trace.edge_seconds)
+            transfer_times.append(trace.transfer_seconds)
+            server_times.append(trace.server_seconds)
+        wall = time.perf_counter() - start
+
+        report = ThroughputReport.from_stage_times(
+            batch_sizes, edge_times, transfer_times, server_times, wall,
+            **self._plan_accounting(),
+            shed=shed_images,
+            retries=stats.retries - retries0,
+            fallback_batches=self.fallback_batches - fb_batches0,
+            fallback_seconds=self.fallback_seconds - fb_seconds0,
+            link_down_events=stats.down_events - downs0,
+            recoveries=stats.recoveries - recoveries0,
+            server_crashes=stats.server_crashes - crashes0,
+        )
+        return results, report
 
     # ------------------------------------------------------------------
     def total_transfer_seconds(self) -> float:

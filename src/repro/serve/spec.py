@@ -28,6 +28,7 @@ from ..deployment.channel import NetworkChannel, get_channel
 from ..deployment.device import Device, get_device
 from ..deployment.wire import WireFormat
 from ..models.registry import available_backbones
+from .faults import FALLBACK_MODES, FaultPlan
 
 __all__ = ["DeploymentSpec", "SpecError"]
 
@@ -103,6 +104,34 @@ class DeploymentSpec:
         Dynamic-batching knobs for ``Deployment.submit``: a dispatched
         micro-batch closes when it reaches ``max_batch_size`` requests
         or the oldest request has waited ``max_queue_delay_ms``.
+    max_queue_depth:
+        Admission-control bound on queued ``submit`` requests; a submit
+        against a full queue is shed with
+        :class:`~repro.serve.batching.RejectedError`.  ``None`` keeps
+        the queue unbounded.
+    deadline_ms:
+        Default per-request deadline for ``submit``; requests still
+        queued past it are dropped with
+        :class:`~repro.serve.batching.DeadlineExceededError` and the
+        dispatcher fills micro-batches earliest-deadline-first.
+        ``None`` disables deadlines.
+    faults:
+        Optional :class:`~repro.serve.faults.FaultPlan` (or its dict
+        form) injected on the split channel — deterministic drop /
+        delay / corruption plus link-down and server-crash windows.
+    fallback:
+        What to do when the link is declared down: ``"edge"`` runs both
+        halves locally (graceful degradation, the default), ``"cloud"``
+        ships the raw input over the (faulty) wire and runs everything
+        server-side, ``"none"`` lets the failure propagate so callers
+        shed.
+    max_retries / retry_backoff_ms:
+        Split-channel retry policy: re-send attempts after a transient
+        wire fault, and the exponential-backoff base charged per retry
+        (modelled time).
+    probe_every:
+        While degraded, attempt one link-recovery probe every this many
+        requests; a successful probe restores split execution.
     seed:
         RNG seed used when ``model`` is a registry name and the net is
         built (untrained) from scratch.
@@ -123,6 +152,13 @@ class DeploymentSpec:
     max_cached_plans: int = 8
     max_batch_size: int = 8
     max_queue_delay_ms: float = 2.0
+    max_queue_depth: Optional[int] = None
+    deadline_ms: Optional[float] = None
+    faults: Optional[FaultPlan] = None
+    fallback: str = "edge"
+    max_retries: int = 2
+    retry_backoff_ms: float = 10.0
+    probe_every: int = 8
     seed: int = 0
 
     # ------------------------------------------------------------------
@@ -234,6 +270,54 @@ class DeploymentSpec:
         )
         set_(self, "max_queue_delay_ms", float(self.max_queue_delay_ms))
 
+        # -- overload / robustness knobs -------------------------------
+        if self.max_queue_depth is not None:
+            _check(
+                isinstance(self.max_queue_depth, int)
+                and not isinstance(self.max_queue_depth, bool)
+                and self.max_queue_depth >= 1,
+                f"max_queue_depth must be a positive int or None, "
+                f"got {self.max_queue_depth!r}",
+            )
+        if self.deadline_ms is not None:
+            _check(
+                float(self.deadline_ms) > 0.0,
+                f"deadline_ms must be > 0 or None, got {self.deadline_ms!r}",
+            )
+            set_(self, "deadline_ms", float(self.deadline_ms))
+        if isinstance(self.faults, dict):
+            try:
+                set_(self, "faults", FaultPlan.from_dict(self.faults))
+            except (TypeError, ValueError) as error:
+                raise SpecError(f"bad fault plan: {error}") from None
+        elif self.faults is not None:
+            _check(
+                isinstance(self.faults, FaultPlan),
+                f"faults must be a FaultPlan, dict or None, "
+                f"got {type(self.faults).__name__}",
+            )
+        _check(
+            self.fallback in FALLBACK_MODES,
+            f"fallback must be one of {FALLBACK_MODES}, got {self.fallback!r}",
+        )
+        _check(
+            isinstance(self.max_retries, int)
+            and not isinstance(self.max_retries, bool)
+            and self.max_retries >= 0,
+            f"max_retries must be an int >= 0, got {self.max_retries!r}",
+        )
+        _check(
+            float(self.retry_backoff_ms) >= 0.0,
+            f"retry_backoff_ms must be >= 0, got {self.retry_backoff_ms!r}",
+        )
+        set_(self, "retry_backoff_ms", float(self.retry_backoff_ms))
+        _check(
+            isinstance(self.probe_every, int)
+            and not isinstance(self.probe_every, bool)
+            and self.probe_every >= 1,
+            f"probe_every must be a positive int, got {self.probe_every!r}",
+        )
+
     # ------------------------------------------------------------------
     # Resolution helpers (used by Deployment; cheap, allocate nothing big)
     # ------------------------------------------------------------------
@@ -295,6 +379,13 @@ class DeploymentSpec:
             "max_cached_plans": self.max_cached_plans,
             "max_batch_size": self.max_batch_size,
             "max_queue_delay_ms": self.max_queue_delay_ms,
+            "max_queue_depth": self.max_queue_depth,
+            "deadline_ms": self.deadline_ms,
+            "faults": self.faults.to_dict() if self.faults is not None else None,
+            "fallback": self.fallback,
+            "max_retries": self.max_retries,
+            "retry_backoff_ms": self.retry_backoff_ms,
+            "probe_every": self.probe_every,
             "seed": self.seed,
         }
         return data

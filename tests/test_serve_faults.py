@@ -1,0 +1,296 @@
+"""Fault injection and graceful degradation: the robustness tentpole.
+
+Three layers under test (see ``docs/robustness.md``):
+
+* :class:`FaultPlan` — deterministic per-message decisions, exact
+  dict/JSON round-trip, SHA-256 digest stability;
+* :class:`ResilientLink` — retry/backoff through transient faults,
+  declared-down transitions, probe-driven recovery (fake link, no
+  models involved);
+* :class:`SplitPipeline` with a plan attached — the degradation state
+  machine end-to-end: non-dropped results match fault-free execution to
+  1e-6, outage windows degrade to edge-only (or shed, per fallback
+  mode) without deadlock, and recovery back to split mode is observable
+  in the :class:`ThroughputReport`.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.architecture import MTLSplitNet, TaskInfo
+from repro.deployment.channel import get_channel
+from repro.serve import (
+    ChannelDownError,
+    FaultPlan,
+    ResilientLink,
+    SplitPipeline,
+)
+
+# ---------------------------------------------------------------------------
+# FaultPlan: validation, determinism, serialisation
+# ---------------------------------------------------------------------------
+class TestFaultPlan:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError, match="drop_rate"):
+            FaultPlan(drop_rate=1.5)
+        with pytest.raises(ValueError, match="<= 1"):
+            FaultPlan(drop_rate=0.5, delay_rate=0.4, corrupt_rate=0.3)
+
+    def test_windows_validated(self):
+        with pytest.raises(ValueError, match="window"):
+            FaultPlan(link_down=((5, 5),))
+        with pytest.raises(ValueError, match="window"):
+            FaultPlan(server_crash=((-1, 3),))
+
+    def test_decisions_are_pure_functions_of_seed_and_index(self):
+        plan = FaultPlan(drop_rate=0.3, delay_rate=0.2, corrupt_rate=0.1, seed=11)
+        first = [plan.decision(i) for i in range(300)]
+        second = [plan.decision(i) for i in range(300)]
+        assert first == second
+        assert {"drop", "delay", "corrupt", "ok"} >= set(first)
+        other = FaultPlan(drop_rate=0.3, delay_rate=0.2, corrupt_rate=0.1, seed=12)
+        assert [other.decision(i) for i in range(300)] != first
+
+    def test_down_window_overrides_bernoulli(self):
+        plan = FaultPlan(drop_rate=0.5, link_down=((10, 20),), seed=0)
+        assert all(plan.decision(i) == "down" for i in range(10, 20))
+        assert plan.decision(9) != "down"  # outside the window: Bernoulli only
+        assert plan.server_crashes(0) is False
+        crash = FaultPlan(server_crash=((3, 5),))
+        assert [crash.server_crashes(i) for i in range(6)] == [
+            False, False, False, True, True, False,
+        ]
+
+    def test_round_trip_and_digest(self):
+        plan = FaultPlan(
+            drop_rate=0.1, delay_rate=0.05, corrupt_rate=0.02,
+            delay_seconds=0.2, link_down=((4, 9), (30, 31)),
+            server_crash=((2, 3),), seed=8,
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+        assert FaultPlan.from_json(plan.to_json()) == plan
+        assert plan.digest() == FaultPlan.from_json(plan.to_json()).digest()
+        assert plan.digest() != FaultPlan(seed=8).digest()
+        assert len(plan.digest()) == 64  # sha256 hex
+
+    def test_unknown_keys_rejected(self):
+        data = FaultPlan().to_dict()
+        data["jitter_rate"] = 0.5
+        with pytest.raises(ValueError, match="jitter_rate"):
+            FaultPlan.from_dict(data)
+
+    def test_is_null(self):
+        assert FaultPlan().is_null
+        assert not FaultPlan(drop_rate=0.1).is_null
+        assert not FaultPlan(link_down=((0, 1),)).is_null
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        drop=st.floats(min_value=0, max_value=0.4),
+        corrupt=st.floats(min_value=0, max_value=0.3),
+        delay=st.floats(min_value=0, max_value=0.3),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_replay_is_bit_deterministic(self, drop, corrupt, delay, seed):
+        # The ISSUE's replay property: a plan round-tripped through JSON
+        # replays the exact same fault sequence for any seed and rates.
+        plan = FaultPlan(
+            drop_rate=drop, corrupt_rate=corrupt, delay_rate=delay, seed=seed
+        )
+        clone = FaultPlan.from_json(plan.to_json())
+        assert [plan.decision(i) for i in range(100)] == [
+            clone.decision(i) for i in range(100)
+        ]
+
+
+# ---------------------------------------------------------------------------
+# ResilientLink against a fake transfer-accounting link
+# ---------------------------------------------------------------------------
+class _FakeLink:
+    def __init__(self, seconds_per_send=0.001):
+        self.seconds_per_send = seconds_per_send
+        self.sends = 0
+
+    def send(self, payload):
+        self.sends += 1
+        return self.seconds_per_send
+
+
+class TestResilientLink:
+    def test_null_plan_is_transparent(self):
+        fake = _FakeLink()
+        link = ResilientLink(fake)
+        for _ in range(5):
+            assert link.send(b"x" * 10) == pytest.approx(0.001)
+        assert fake.sends == 5
+        assert not link.is_down
+        assert link.stats.delivered == 5
+        assert link.stats.retries == 0
+
+    def test_retries_through_drops_and_charges_backoff(self):
+        # drop_rate=1 on the first index only is impossible with one
+        # Bernoulli stream, so use a full-drop plan with enough retries
+        # exhausted to declare down instead.
+        plan = FaultPlan(drop_rate=1.0, seed=0)
+        link = ResilientLink(_FakeLink(), plan=plan, max_retries=2,
+                             backoff_seconds=0.01)
+        with pytest.raises(ChannelDownError):
+            link.send(b"payload")
+        assert link.is_down
+        assert link.stats.drops == 3        # initial try + 2 retries
+        assert link.stats.retries == 2
+        assert link.stats.down_events == 1
+
+    def test_down_window_declares_down_and_probe_recovers(self):
+        plan = FaultPlan(link_down=((0, 3),), seed=0)
+        link = ResilientLink(_FakeLink(), plan=plan)
+        with pytest.raises(ChannelDownError):
+            link.send(b"p")                  # message 0: hard outage
+        assert link.is_down
+        with pytest.raises(ChannelDownError):
+            link.send(b"p")                  # down links refuse sends
+        assert not link.probe()              # message 1: still in window
+        assert not link.probe()              # message 2: still in window
+        assert link.probe()                  # message 3: recovered
+        assert not link.is_down
+        assert link.stats.recoveries == 1
+        assert link.stats.probes == 3
+        link.send(b"p")                      # healthy again
+        assert link.stats.delivered == 1
+
+    def test_delay_charges_extra_seconds(self):
+        plan = FaultPlan(delay_rate=1.0, delay_seconds=0.25, seed=0)
+        link = ResilientLink(_FakeLink(seconds_per_send=0.001), plan=plan)
+        assert link.send(b"p") == pytest.approx(0.251)
+        assert link.stats.delays == 1
+        assert link.stats.delivered == 1
+
+
+# ---------------------------------------------------------------------------
+# SplitPipeline degradation end-to-end (small real model)
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def net():
+    tasks = [TaskInfo(name="scale", num_classes=8),
+             TaskInfo(name="shape", num_classes=4)]
+    return MTLSplitNet.from_tasks("mobilenet_v3_tiny", tasks, input_size=32, seed=0)
+
+
+@pytest.fixture(scope="module")
+def batches():
+    rng = np.random.default_rng(0)
+    return [rng.random((2, 3, 32, 32), dtype=np.float32) for _ in range(12)]
+
+
+@pytest.fixture(scope="module")
+def fault_free(net, batches):
+    with SplitPipeline.from_net(net, get_channel("wifi_5"), input_size=32) as pipe:
+        return [pipe.infer(b) for b in batches]
+
+
+def _assert_matches(reference, results, atol=1e-6):
+    for ref, got in zip(reference, results):
+        if got is None:
+            continue
+        for task in ref:
+            np.testing.assert_allclose(got[task], ref[task], atol=atol)
+
+
+class TestPipelineDegradation:
+    def test_outage_degrades_to_edge_and_recovers(self, net, batches, fault_free):
+        plan = FaultPlan(link_down=((4, 6),), seed=0)
+        with SplitPipeline.from_net(
+            net, get_channel("wifi_5"), input_size=32,
+            faults=plan, fallback="edge", probe_every=2,
+        ) as pipe:
+            results, report = pipe.infer_stream(batches)
+            # Nothing lost: edge-only fallback serves the outage window...
+            assert report.shed == 0
+            assert all(r is not None for r in results)
+            assert report.fallback_batches == 4
+            assert report.fallback_seconds > 0
+            # ...and the state machine round-trips: down once, back up.
+            assert report.link_down_events == 1
+            assert report.recoveries == 1
+            assert not pipe.degraded
+            # Degraded execution is numerically the same deployment.
+            _assert_matches(fault_free, results)
+
+    def test_fallback_none_sheds_instead(self, net, batches, fault_free):
+        plan = FaultPlan(link_down=((4, 6),), seed=0)
+        with SplitPipeline.from_net(
+            net, get_channel("wifi_5"), input_size=32,
+            faults=plan, fallback="none", probe_every=2,
+        ) as pipe:
+            results, report = pipe.infer_stream(batches)
+            assert report.shed > 0
+            assert any(r is None for r in results)
+            assert report.fallback_batches == 0
+            # Survivors are still exact.
+            _assert_matches(fault_free, results)
+
+    def test_transient_drops_retry_to_exact_results(self, net, batches, fault_free):
+        plan = FaultPlan(drop_rate=0.2, corrupt_rate=0.1, delay_rate=0.1, seed=3)
+        with SplitPipeline.from_net(
+            net, get_channel("wifi_5"), input_size=32,
+            faults=plan, fallback="edge", max_retries=4,
+        ) as pipe:
+            results, report = pipe.infer_stream(batches)
+            assert report.retries > 0
+            assert report.shed == 0
+            # Corruption is CRC-detected and retried — never a wrong
+            # answer, which is exactly why results stay exact.
+            _assert_matches(fault_free, results)
+
+    def test_server_crash_window_served_locally(self, net, batches, fault_free):
+        plan = FaultPlan(server_crash=((2, 4),), seed=0)
+        with SplitPipeline.from_net(
+            net, get_channel("wifi_5"), input_size=32, faults=plan,
+        ) as pipe:
+            results, report = pipe.infer_stream(batches)
+            assert report.server_crashes == 2
+            assert report.fallback_batches == 2
+            assert report.shed == 0
+            _assert_matches(fault_free, results)
+
+    def test_replay_is_deterministic(self, net, batches):
+        plan = FaultPlan(
+            drop_rate=0.15, delay_rate=0.1, link_down=((6, 8),), seed=21
+        )
+
+        def run():
+            with SplitPipeline.from_net(
+                net, get_channel("wifi_5"), input_size=32,
+                faults=plan, fallback="edge", probe_every=2,
+            ) as pipe:
+                _, report = pipe.infer_stream(batches)
+                return (
+                    report.shed, report.retries, report.fallback_batches,
+                    report.link_down_events, report.recoveries,
+                    report.server_crashes,
+                )
+
+        assert run() == run()
+
+    def test_fault_free_plan_keeps_overlapped_path(self, net, batches):
+        # A null plan must not force the serial robust path: the
+        # overlapped stream is the fault-free performance story.
+        with SplitPipeline.from_net(
+            net, get_channel("wifi_5"), input_size=32, faults=FaultPlan(),
+        ) as pipe:
+            results, report = pipe.infer_stream(batches[:4])
+            assert all(r is not None for r in results)
+            assert report.link_down_events == 0
+            assert report.fallback_batches == 0
+
+    def test_invalid_knobs_rejected(self, net):
+        with pytest.raises(ValueError, match="fallback"):
+            SplitPipeline.from_net(
+                net, get_channel("wifi_5"), input_size=32, fallback="moon"
+            )
+        with pytest.raises(ValueError, match="probe_every"):
+            SplitPipeline.from_net(
+                net, get_channel("wifi_5"), input_size=32, probe_every=0
+            )

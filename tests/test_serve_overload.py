@@ -1,0 +1,257 @@
+"""Overload semantics: admission control, deadlines, conservation.
+
+The batcher owns the deployment's overload policy (bounded queue +
+deadlines, ``docs/robustness.md``).  These tests pin the three promises
+that policy makes:
+
+* a full queue sheds *at the door* with :class:`RejectedError` — the
+  backlog never grows past ``max_queue_depth``;
+* a request that out-waits its deadline fails with
+  :class:`DeadlineExceededError` and frees its batch slot;
+* nothing is ever silently lost — the conservation law
+  ``submitted == shed + requests`` and
+  ``requests == completed + expired + failed + cancelled`` holds at
+  quiescence under arbitrary burst patterns (hypothesis property).
+"""
+
+import threading
+from concurrent.futures import wait
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import (
+    DeadlineExceededError,
+    DeploymentSpec,
+    DynamicBatcher,
+    RejectedError,
+    deploy,
+)
+
+
+def _identity_model(images):
+    return {"logits": images.sum(axis=tuple(range(1, images.ndim)))[:, None]}
+
+
+class _GatedModel:
+    """Model that blocks until released — lets tests build real backlogs."""
+
+    def __init__(self):
+        self.gate = threading.Event()
+        self.entered = threading.Event()
+
+    def __call__(self, images):
+        self.entered.set()
+        assert self.gate.wait(timeout=30), "test never released the gate"
+        return _identity_model(images)
+
+
+class TestAdmissionControl:
+    def test_full_queue_sheds_with_rejected_error(self):
+        model = _GatedModel()
+        batcher = DynamicBatcher(
+            model, max_batch_size=1, max_queue_delay_ms=0.0, max_queue_depth=2
+        )
+        try:
+            first = batcher.submit(np.ones((2,)))
+            assert model.entered.wait(timeout=10)  # dispatcher busy on `first`
+            queued = [batcher.submit(np.ones((2,))) for _ in range(2)]
+            with pytest.raises(RejectedError, match="max_queue_depth=2"):
+                batcher.submit(np.ones((2,)))
+            assert batcher.stats.shed == 1
+            assert batcher.stats.submitted == 4
+            assert batcher.queue_depth == 2  # the bound really bounds
+            model.gate.set()
+            wait([first, *queued], timeout=30)
+            for future in (first, *queued):
+                np.testing.assert_allclose(future.result()["logits"], [2.0])
+        finally:
+            model.gate.set()
+            batcher.close()
+        # Shedding is backpressure, not loss: everything accepted completed.
+        assert batcher.stats.completed == 3
+
+    def test_unbounded_queue_never_sheds(self):
+        with DynamicBatcher(
+            _identity_model, max_batch_size=4, max_queue_delay_ms=0.0
+        ) as batcher:
+            futures = [batcher.submit(np.ones((2,))) for _ in range(32)]
+            wait(futures, timeout=30)
+        assert batcher.stats.shed == 0
+        assert batcher.stats.completed == 32
+
+
+class TestDeadlines:
+    def test_expired_request_fails_and_frees_its_slot(self):
+        model = _GatedModel()
+        batcher = DynamicBatcher(
+            model, max_batch_size=1, max_queue_delay_ms=0.0,
+            default_deadline_ms=30.0,
+        )
+        try:
+            first = batcher.submit(np.ones((2,)), deadline_ms=10_000.0)
+            assert model.entered.wait(timeout=10)
+            doomed = batcher.submit(np.ones((2,)))   # 30 ms default deadline
+            patient = batcher.submit(np.ones((2,)), deadline_ms=10_000.0)
+            import time
+            time.sleep(0.1)                          # let `doomed` expire
+            model.gate.set()
+            with pytest.raises(DeadlineExceededError, match="expired in queue"):
+                doomed.result(timeout=10)
+            np.testing.assert_allclose(
+                patient.result(timeout=10)["logits"], [2.0]
+            )
+            np.testing.assert_allclose(first.result(timeout=10)["logits"], [2.0])
+        finally:
+            model.gate.set()
+            batcher.close()
+        assert batcher.stats.expired == 1
+        assert batcher.stats.completed == 2
+
+    def test_earliest_deadline_dispatched_first(self):
+        model = _GatedModel()
+        order = []
+        batcher = DynamicBatcher(
+            model, max_batch_size=1, max_queue_delay_ms=0.0
+        )
+        try:
+            first = batcher.submit(np.ones((2,)))
+            assert model.entered.wait(timeout=10)
+            relaxed = batcher.submit(np.full((2,), 2.0), deadline_ms=60_000.0)
+            urgent = batcher.submit(np.full((2,), 3.0), deadline_ms=5_000.0)
+            relaxed.add_done_callback(lambda f: order.append("relaxed"))
+            urgent.add_done_callback(lambda f: order.append("urgent"))
+            model.gate.set()
+            wait([first, relaxed, urgent], timeout=30)
+            assert order == ["urgent", "relaxed"]
+        finally:
+            model.gate.set()
+            batcher.close()
+
+    def test_degenerate_deadline_rejected(self):
+        with DynamicBatcher(_identity_model) as batcher:
+            with pytest.raises(ValueError, match="deadline_ms"):
+                batcher.submit(np.ones((2,)), deadline_ms=0.0)
+        with pytest.raises(ValueError, match="default_deadline_ms"):
+            DynamicBatcher(_identity_model, default_deadline_ms=-5.0)
+        with pytest.raises(ValueError, match="max_queue_depth"):
+            DynamicBatcher(_identity_model, max_queue_depth=0)
+
+
+class TestCloseUnderLoad:
+    def test_close_fails_stranded_futures_instead_of_hanging(self):
+        # If the dispatcher cannot drain within close()'s timeout, the
+        # leftovers must fail loudly — a future that never resolves is
+        # the one overload outcome the policy forbids.
+        model = _GatedModel()
+        batcher = DynamicBatcher(model, max_batch_size=1, max_queue_delay_ms=0.0)
+        inflight = batcher.submit(np.ones((2,)))
+        assert model.entered.wait(timeout=10)
+        stranded = [batcher.submit(np.ones((2,))) for _ in range(3)]
+        batcher.close(timeout=0.2)  # dispatcher still blocked in the model
+        for future in stranded:
+            with pytest.raises(RuntimeError, match="still queued"):
+                future.result(timeout=10)
+        assert batcher.stats.failed == 3
+        model.gate.set()  # release the daemon thread
+        np.testing.assert_allclose(
+            inflight.result(timeout=10)["logits"], [2.0]
+        )
+
+
+class TestConservation:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        queue_depth=st.one_of(st.none(), st.integers(min_value=1, max_value=4)),
+        deadline_ms=st.one_of(st.none(), st.floats(min_value=1.0, max_value=50.0)),
+        bursts=st.lists(
+            st.integers(min_value=1, max_value=12), min_size=1, max_size=4
+        ),
+        delay_steps=st.integers(min_value=0, max_value=3),
+    )
+    def test_submitted_equals_shed_plus_resolved(
+        self, queue_depth, deadline_ms, bursts, delay_steps
+    ):
+        """ISSUE property: shed + completed + expired (+failed+cancelled)
+        == submitted, under random burst patterns and random knobs."""
+        import time
+
+        model = _GatedModel()
+        batcher = DynamicBatcher(
+            model,
+            max_batch_size=2,
+            max_queue_delay_ms=0.0,
+            max_queue_depth=queue_depth,
+            default_deadline_ms=deadline_ms,
+        )
+        futures = []
+        attempts = 0
+        try:
+            for burst in bursts:
+                for _ in range(burst):
+                    attempts += 1
+                    try:
+                        futures.append(batcher.submit(np.ones((2,))))
+                    except RejectedError:
+                        pass
+                time.sleep(delay_steps * 0.005)
+            model.gate.set()
+            done, not_done = wait(futures, timeout=30)
+            assert not not_done
+        finally:
+            model.gate.set()
+            batcher.close()
+
+        stats = batcher.stats
+        assert stats.submitted == attempts
+        assert stats.submitted == stats.shed + stats.requests
+        assert stats.requests == (
+            stats.completed + stats.expired + stats.failed + stats.cancelled
+        )
+        # Every accepted future resolved: a result or a typed exception.
+        for future in futures:
+            assert future.done()
+            error = future.exception(timeout=0)
+            assert error is None or isinstance(error, DeadlineExceededError)
+
+
+# ---------------------------------------------------------------------------
+# Deployment-level wiring of the overload knobs
+# ---------------------------------------------------------------------------
+class TestDeploymentOverload:
+    def test_closed_deployment_names_itself(self, tiny_trained_net):
+        # Regression (ISSUE satellite): the error must say *which*
+        # deployment refused, not just "closed".
+        deployment = deploy(DeploymentSpec(model=tiny_trained_net))
+        deployment.close()
+        with pytest.raises(RuntimeError) as excinfo:
+            deployment.submit(np.zeros((3, 32, 32), dtype=np.float32))
+        message = str(excinfo.value)
+        assert deployment.spec.describe() in message
+        assert "repro.deploy" in message  # tells the caller the fix
+
+    def test_spec_knobs_reach_the_batcher(self, tiny_trained_net):
+        spec = DeploymentSpec(
+            model=tiny_trained_net,
+            max_queue_depth=7,
+            deadline_ms=1234.0,
+        )
+        with deploy(spec) as deployment:
+            deployment.submit(
+                np.zeros((3, 32, 32), dtype=np.float32)
+            ).result(timeout=30)
+            batcher = deployment._batcher
+            assert batcher.max_queue_depth == 7
+            assert batcher.default_deadline_ms == 1234.0
+
+    def test_submit_deadline_expires_behind_slow_traffic(self, tiny_trained_net):
+        spec = DeploymentSpec(model=tiny_trained_net, max_queue_delay_ms=200.0)
+        with deploy(spec) as deployment:
+            # A 1 ms deadline cannot survive a 200 ms collection window.
+            future = deployment.submit(
+                np.zeros((3, 32, 32), dtype=np.float32), deadline_ms=1.0
+            )
+            with pytest.raises(DeadlineExceededError):
+                future.result(timeout=30)

@@ -1,0 +1,219 @@
+"""Open-loop arrival processes: determinism, stationarity, round-trips.
+
+The traffic half of the robustness layer: every schedule an
+:class:`~repro.data.streams.ArrivalSpec` emits must be reproducible from
+its seed (the overload bench's load points are comparable only because
+of this), strictly ordered, and serialisable through dict/JSON/compact
+string without loss.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.streams import (
+    ARRIVAL_KINDS,
+    ArrivalSpec,
+    Request,
+    make_image_batches,
+    make_request_stream,
+)
+from repro.scenarios import Scenario, ScenarioError
+
+
+class TestArrivalSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            ArrivalSpec(kind="constant")
+
+    @pytest.mark.parametrize("field, value", [
+        ("rate_rps", 0.0),
+        ("rate_rps", -5.0),
+        ("burst_factor", 0.5),
+        ("burst_fraction", 0.0),
+        ("burst_fraction", 1.0),
+        ("dwell_s", 0.0),
+        ("period_s", 0.0),
+        ("amplitude", 1.5),
+        ("amplitude", -0.1),
+    ])
+    def test_bad_parameters_rejected(self, field, value):
+        with pytest.raises(ValueError, match=field):
+            ArrivalSpec(**{field: value})
+
+    def test_kinds_constant_is_exhaustive(self):
+        for kind in ARRIVAL_KINDS:
+            ArrivalSpec(kind=kind).sample(8)
+
+
+class TestArrivalSampling:
+    @pytest.mark.parametrize("kind", ARRIVAL_KINDS)
+    def test_strictly_increasing_and_deterministic(self, kind):
+        spec = ArrivalSpec(kind=kind, rate_rps=200.0, seed=7)
+        a = spec.sample(500)
+        b = spec.sample(500)
+        assert a.shape == (500,)
+        np.testing.assert_array_equal(a, b)
+        assert np.all(np.diff(a) > 0)
+        assert a[0] > 0
+
+    @pytest.mark.parametrize("kind", ARRIVAL_KINDS)
+    def test_different_seeds_differ(self, kind):
+        a = ArrivalSpec(kind=kind, seed=0).sample(100)
+        b = ArrivalSpec(kind=kind, seed=1).sample(100)
+        assert not np.array_equal(a, b)
+
+    def test_poisson_mean_rate_converges(self):
+        spec = ArrivalSpec(kind="poisson", rate_rps=250.0, seed=0)
+        times = spec.sample(20_000)
+        empirical = len(times) / times[-1]
+        assert empirical == pytest.approx(250.0, rel=0.05)
+
+    @pytest.mark.slow
+    def test_bursty_mean_rate_converges(self):
+        # MMPP-2 needs many burst/base cycles before the time average
+        # approaches the nominal rate; short windows are (correctly)
+        # dominated by whichever phase they landed in.
+        spec = ArrivalSpec(kind="bursty", rate_rps=200.0, seed=1)
+        times = spec.sample(100_000)
+        empirical = len(times) / times[-1]
+        assert empirical == pytest.approx(200.0, rel=0.1)
+
+    def test_bursty_is_burstier_than_poisson(self):
+        # Squared coefficient of variation of inter-arrival gaps: 1 for
+        # Poisson, > 1 for the modulated process.
+        gaps_p = np.diff(ArrivalSpec(kind="poisson", rate_rps=200, seed=3).sample(5000))
+        gaps_b = np.diff(ArrivalSpec(kind="bursty", rate_rps=200, seed=3).sample(5000))
+        cv2 = lambda g: float(np.var(g) / np.mean(g) ** 2)  # noqa: E731
+        assert cv2(gaps_b) > cv2(gaps_p) * 1.5
+
+    def test_diurnal_rate_oscillates(self):
+        spec = ArrivalSpec(
+            kind="diurnal", rate_rps=200.0, period_s=2.0, amplitude=0.9, seed=0
+        )
+        times = spec.sample(4000)
+        # Peak-phase windows must hold more arrivals than trough-phase
+        # windows of the same width.
+        phase = (times % 2.0) / 2.0
+        peak = np.sum((phase > 0.125) & (phase < 0.375))    # around sin max
+        trough = np.sum((phase > 0.625) & (phase < 0.875))  # around sin min
+        assert peak > trough * 2
+
+    def test_scaled_multiplies_rate(self):
+        spec = ArrivalSpec(kind="poisson", rate_rps=100.0, seed=0)
+        assert spec.scaled(3.0).rate_rps == 300.0
+        assert spec.scaled(3.0).kind == spec.kind
+        assert spec.mean_rate() == 100.0
+
+
+class TestArrivalSerialisation:
+    @pytest.mark.parametrize("spec", [
+        ArrivalSpec(),
+        ArrivalSpec(kind="bursty", rate_rps=50.0, burst_factor=4.0,
+                    burst_fraction=0.2, dwell_s=0.5, seed=9),
+        ArrivalSpec(kind="diurnal", rate_rps=10.0, period_s=60.0,
+                    amplitude=0.3, seed=2),
+    ])
+    def test_dict_json_string_round_trips(self, spec):
+        assert ArrivalSpec.from_dict(spec.to_dict()) == spec
+        assert ArrivalSpec.from_json(spec.to_json()) == spec
+        assert ArrivalSpec.from_string(spec.to_string()) == spec
+        json.loads(spec.to_json())  # valid JSON, not just repr
+
+    def test_unknown_keys_rejected(self):
+        data = ArrivalSpec().to_dict()
+        data["jitter"] = 1.0
+        with pytest.raises(ValueError, match="jitter"):
+            ArrivalSpec.from_dict(data)
+
+    def test_from_string_shorthand(self):
+        spec = ArrivalSpec.from_string("poisson:rate=200,seed=4")
+        assert spec.kind == "poisson"
+        assert spec.rate_rps == 200.0
+        assert spec.seed == 4
+
+    def test_from_string_rejects_garbage(self):
+        for text in ("poisson:rate=", "tsunami:rate=1", "poisson:bogus=2"):
+            with pytest.raises(ValueError):
+                ArrivalSpec.from_string(text)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        kind=st.sampled_from(ARRIVAL_KINDS),
+        rate=st.floats(min_value=0.1, max_value=1e4),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_string_round_trip_property(self, kind, rate, seed):
+        spec = ArrivalSpec(kind=kind, rate_rps=rate, seed=seed)
+        assert ArrivalSpec.from_string(spec.to_string()) == spec
+
+
+class TestRequestStream:
+    def _sources(self):
+        return {
+            "cam_a": make_image_batches(1, 4, image_size=16, seed=0),
+            "cam_b": make_image_batches(1, 4, image_size=16, seed=1),
+        }
+
+    def test_deterministic_and_ordered(self):
+        arrival = ArrivalSpec(kind="poisson", rate_rps=50.0, seed=5)
+        a = make_request_stream(arrival, self._sources(), count=40)
+        b = make_request_stream(arrival, self._sources(), count=40)
+        assert len(a) == 40
+        assert all(isinstance(r, Request) for r in a)
+        assert [r.source for r in a] == [r.source for r in b]
+        assert [r.arrival_s for r in a] == [r.arrival_s for r in b]
+        arrivals = [r.arrival_s for r in a]
+        assert arrivals == sorted(arrivals)
+
+    def test_weights_bias_the_blend(self):
+        arrival = ArrivalSpec(kind="poisson", rate_rps=50.0, seed=5)
+        stream = make_request_stream(
+            arrival, self._sources(), count=300,
+            weights={"cam_a": 9.0, "cam_b": 1.0},
+        )
+        from_a = sum(1 for r in stream if r.source == "cam_a")
+        assert from_a > 200
+
+    def test_bad_weights_rejected(self):
+        arrival = ArrivalSpec()
+        with pytest.raises(ValueError):
+            make_request_stream(arrival, self._sources(), count=4,
+                                weights={"cam_a": 1.0, "ghost": 1.0})
+
+
+class TestScenarioArrival:
+    def test_arrival_round_trips_through_scenario(self):
+        scenario = Scenario(
+            name="overload-probe",
+            backbone="mobilenet_v3_tiny",
+            arrival="poisson:rate=150,seed=3",
+        )
+        data = scenario.to_dict()
+        assert data["arrival"] == scenario.arrival
+        again = Scenario.from_dict(data)
+        assert again == scenario
+        parsed = again.arrival_spec()
+        assert parsed.kind == "poisson" and parsed.rate_rps == 150.0
+
+    def test_arrival_is_canonicalised(self):
+        scenario = Scenario(
+            name="canon", backbone="mobilenet_v3_tiny",
+            arrival="bursty:rate=100.0",
+        )
+        assert scenario.arrival == ArrivalSpec.from_string(
+            scenario.arrival
+        ).to_string()
+
+    def test_bad_arrival_rejected_eagerly(self):
+        with pytest.raises(ScenarioError, match="arrival"):
+            Scenario(name="bad", backbone="mobilenet_v3_tiny",
+                     arrival="tsunami:rate=1")
+
+    def test_none_arrival_means_closed_loop(self):
+        scenario = Scenario(name="plain", backbone="mobilenet_v3_tiny")
+        assert scenario.arrival is None
+        assert scenario.arrival_spec() is None
