@@ -1,0 +1,159 @@
+"""Replica-cluster benchmark: fan-out overhead and chaos-run accounting.
+
+Three runs of the same deployment on the same host, same session:
+
+* ``baseline`` — a 1-replica cluster (one worker process).  This is the
+  honest baseline for process fan-out: it pays the same pipe/codec tax
+  as the real cluster, so the replicas=2 delta isolates the *extra
+  replica*, not the IPC machinery.
+* ``cluster`` — replicas=2, fault-free.  On the 1-core CI host this is
+  expected to be *overhead*, not speedup (two processes share one
+  core); the artifact records the ratio rather than gating on it.
+* ``chaos`` — replicas=2 with a seeded, digest-stamped
+  :class:`WorkerFaultPlan` that SIGKILLs the serving replica at two
+  scheduled dispatch indices.  The gates are the robustness invariants:
+  every kill delivered, detected and restarted; every request completes
+  anyway (failover); the conservation ledger balances; the plan digest
+  is stamped into the artifact.
+
+CI gates on invariants only — never on absolute latency or throughput
+(host speed drifts 2-7x between sessions; see ``_bench_utils``).
+
+Artifacts: ``serve_cluster.txt`` and ``BENCH_serve_cluster.json``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.serve import (
+    ClusterSpec,
+    DeploymentSpec,
+    WorkerFaultPlan,
+    render_cluster_bench,
+    run_cluster_bench,
+)
+
+from _bench_utils import emit
+
+_REQUESTS = 48
+_MAX_BATCH_SIZE = 4
+_KILL_INDICES = (1, 3)
+_FAULT_SEED = 7
+
+
+def _deployment_spec() -> DeploymentSpec:
+    return DeploymentSpec(
+        model="mobilenet_v3_tiny",
+        tasks=(("scale", 8), ("shape", 4)),
+        input_size=32,
+        max_batch_size=_MAX_BATCH_SIZE,
+        max_queue_delay_ms=1.0,
+        seed=41,
+    )
+
+
+def _assert_conservation(result: dict) -> None:
+    totals = result["batcher_conservation"]
+    assert totals["submitted"] == totals["shed"] + totals["requests"]
+    assert totals["requests"] == (
+        totals["completed"] + totals["expired"] + totals["failed"]
+        + totals["cancelled"]
+    )
+
+
+def test_serve_cluster(benchmark, results_dir):
+    dspec = _deployment_spec()
+    plan = WorkerFaultPlan(kill_indices=_KILL_INDICES, seed=_FAULT_SEED)
+
+    def run_all():
+        baseline = run_cluster_bench(
+            ClusterSpec(deployment=dspec, replicas=1), requests=_REQUESTS,
+            seed=41,
+        )
+        cluster = run_cluster_bench(
+            ClusterSpec(deployment=dspec, replicas=2), requests=_REQUESTS,
+            seed=41,
+        )
+        chaos = run_cluster_bench(
+            ClusterSpec(deployment=dspec, replicas=2, worker_faults=plan),
+            requests=_REQUESTS,
+            seed=41,
+        )
+        return baseline, cluster, chaos
+
+    baseline, cluster, chaos = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
+
+    # -- fault-free invariants: nothing shed, nothing lost -------------
+    for result in (baseline, cluster):
+        assert result["completed"] == _REQUESTS, render_cluster_bench(result)
+        assert result["failed"] == 0
+        assert result["shed"] == 0 and result["expired"] == 0
+        assert result["report"]["kills_injected"] == 0
+        assert result["report"]["state"] == "HEALTHY"
+        _assert_conservation(result)
+    assert baseline["replicas"] == 1
+    assert cluster["replicas"] == 2
+    assert len(cluster["report"]["per_replica"]) == 2
+
+    # -- chaos invariants: the acceptance gate -------------------------
+    # Both scheduled kills were actually delivered (SIGKILL mid-request),
+    # detected by the supervisor, and the slots restarted; every request
+    # still completed via failover, and the ledger balances.
+    assert chaos["report"]["kills_injected"] == len(_KILL_INDICES), (
+        render_cluster_bench(chaos)
+    )
+    supervisor = chaos["report"]["supervisor"]
+    assert supervisor["crashes_detected"] >= len(_KILL_INDICES)
+    assert supervisor["restarts"] >= 1
+    aggregate = chaos["report"]["aggregate"]
+    assert aggregate["failovers"] >= len(_KILL_INDICES)
+    assert any(
+        step["to"] == "DEGRADED" for step in chaos["report"]["state_history"]
+    ), "chaos run never observed DEGRADED"
+    assert chaos["completed"] == _REQUESTS, render_cluster_bench(chaos)
+    assert chaos["failed"] == 0
+    _assert_conservation(chaos)
+
+    # -- provenance: the kill schedule is stamped, replayably ----------
+    assert chaos["worker_fault_digest"] == plan.digest()
+    assert plan.schedule(64) == _KILL_INDICES
+    assert baseline["worker_fault_digest"] is None
+
+    # Honest overhead on this host — recorded, never gated (replicas
+    # share the core count they get; on 1 core, 2 replicas cost, not pay).
+    overhead = (
+        baseline["throughput_rps"] / cluster["throughput_rps"]
+        if cluster["throughput_rps"] else float("inf")
+    )
+
+    text = (
+        f"mobilenet_v3_tiny @32px, max_batch_size={_MAX_BATCH_SIZE}, "
+        f"{_REQUESTS} requests/run, {os.cpu_count()} cpu core(s) on this "
+        "host\n\n"
+        f"-- baseline (1 replica) --\n{render_cluster_bench(baseline)}\n\n"
+        f"-- cluster (2 replicas) --\n{render_cluster_bench(cluster)}\n\n"
+        f"-- chaos (2 replicas, kills at {list(_KILL_INDICES)}, "
+        f"seed={_FAULT_SEED}) --\n{render_cluster_bench(chaos)}\n\n"
+        f"replicas=1 vs replicas=2 throughput ratio on this host: "
+        f"{overhead:.2f}x (recorded, not gated)"
+    )
+    emit(
+        results_dir,
+        "serve_cluster",
+        text,
+        data={
+            "host_cpu_cores": os.cpu_count(),
+            "requests_per_run": _REQUESTS,
+            "max_batch_size": _MAX_BATCH_SIZE,
+            "worker_fault_plan": plan.to_dict(),
+            "worker_fault_digest": plan.digest(),
+            "kill_schedule": list(plan.schedule(64)),
+            "throughput_ratio_1v2": overhead,
+            "baseline": baseline,
+            "cluster": cluster,
+            "chaos": chaos,
+        },
+    )

@@ -34,7 +34,14 @@ Sub-packages
 
 from . import core, data, deployment, models, nn, scenarios, serve
 from .scenarios import Scenario
-from .serve import Deployment, DeploymentSpec, deploy
+from .serve import (
+    ClusterDeployment,
+    ClusterSpec,
+    Deployment,
+    DeploymentSpec,
+    deploy,
+    deploy_cluster,
+)
 
 __version__ = "1.0.0"
 
@@ -46,9 +53,12 @@ __all__ = [
     "deployment",
     "scenarios",
     "serve",
+    "ClusterDeployment",
+    "ClusterSpec",
     "Deployment",
     "DeploymentSpec",
     "Scenario",
     "deploy",
+    "deploy_cluster",
     "__version__",
 ]

@@ -317,16 +317,49 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _install_drain_handlers():
+    """Route SIGTERM/SIGINT into a KeyboardInterrupt for graceful drain.
+
+    The interrupt unwinds through the deployment's context manager, whose
+    ``close()`` stops admissions, flushes the queue, and fails anything
+    stranded with the named :class:`~repro.serve.batching.ShutdownError`
+    — so a signalled ``repro serve`` drains and exits 0 instead of
+    leaking futures or worker processes.  Returns an undo callable.
+    """
+    import signal as _signal
+
+    def _raise_interrupt(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        previous = {
+            _signal.SIGTERM: _signal.signal(_signal.SIGTERM, _raise_interrupt),
+            _signal.SIGINT: _signal.signal(_signal.SIGINT, _raise_interrupt),
+        }
+    except ValueError:  # not the main thread: keep default delivery
+        return lambda: None
+
+    def _restore():
+        for signum, handler in previous.items():
+            _signal.signal(signum, handler)
+
+    return _restore
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import json
 
     from .data.streams import ArrivalSpec
     from .deployment import GIGABIT_ETHERNET
     from .serve import (
+        ClusterSpec,
         DeploymentSpec,
         SpecError,
+        WorkerFaultPlan,
+        render_cluster_bench,
         render_overload_bench,
         render_serve_bench,
+        run_cluster_bench,
         run_overload_bench,
         run_serve_bench,
     )
@@ -377,6 +410,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"--split-index must be an int or 'auto', got {split_index!r}",
                   file=sys.stderr)
             return 2
+    if args.replicas < 1:
+        print("serve needs --replicas >= 1", file=sys.stderr)
+        return 2
+    worker_faults = None
+    if args.worker_faults is not None:
+        try:
+            worker_faults = WorkerFaultPlan.from_string(args.worker_faults)
+        except ValueError as error:
+            print(f"bad --worker-faults spec: {error}", file=sys.stderr)
+            return 2
     try:
         spec = DeploymentSpec(
             model=args.backbone,
@@ -390,32 +433,63 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_queue_delay_ms=args.max_delay_ms,
             max_queue_depth=args.queue_depth,
             deadline_ms=args.deadline_ms,
+            replicas=args.replicas,
             seed=args.seed,
         )
     except SpecError as error:
         print(f"bad deployment spec: {error}", file=sys.stderr)
         return 2
-    if arrival is not None:
-        # Open-loop overload sweep: requests arrive on the schedule
-        # whether or not the server keeps up; admission control sheds.
-        print(f"overload bench ({arrival.to_string()}): {spec.describe()}")
-        result = run_overload_bench(
-            spec,
-            load_factors=load_factors,
-            requests_per_point=args.requests * max(client_counts),
-            arrival=arrival,
-            seed=args.seed,
-        )
-        print(render_overload_bench(result))
-    else:
-        print(f"serving bench: {spec.describe()}")
-        result = run_serve_bench(
-            spec,
-            client_counts=client_counts,
-            requests_per_client=args.requests,
-            seed=args.seed,
-        )
-        print(render_serve_bench(result))
+    restore_signals = _install_drain_handlers()
+    try:
+        if args.replicas > 1 or worker_faults is not None:
+            # Replica-cluster burst: N supervised worker processes, with
+            # optional scheduled SIGKILL chaos (--worker-faults).
+            try:
+                cluster_spec = ClusterSpec(
+                    deployment=spec, worker_faults=worker_faults
+                )
+            except SpecError as error:
+                print(f"bad cluster spec: {error}", file=sys.stderr)
+                return 2
+            print(f"cluster bench: {cluster_spec.describe()}")
+            result = run_cluster_bench(
+                cluster_spec,
+                requests=args.requests * max(client_counts),
+                seed=args.seed,
+            )
+            print(render_cluster_bench(result))
+        elif arrival is not None:
+            # Open-loop overload sweep: requests arrive on the schedule
+            # whether or not the server keeps up; admission control sheds.
+            print(f"overload bench ({arrival.to_string()}): {spec.describe()}")
+            result = run_overload_bench(
+                spec,
+                load_factors=load_factors,
+                requests_per_point=args.requests * max(client_counts),
+                arrival=arrival,
+                seed=args.seed,
+            )
+            print(render_overload_bench(result))
+        else:
+            print(f"serving bench: {spec.describe()}")
+            result = run_serve_bench(
+                spec,
+                client_counts=client_counts,
+                requests_per_client=args.requests,
+                seed=args.seed,
+            )
+            print(render_serve_bench(result))
+    except KeyboardInterrupt:
+        # The context managers inside the bench runners already drained:
+        # admissions stopped, queued futures flushed, stragglers failed
+        # with ShutdownError, workers joined.  A signalled serve is a
+        # clean exit, not a crash.
+        print("\ninterrupted: graceful drain complete "
+              "(admissions stopped, queue flushed, stranded futures "
+              "failed with ShutdownError)")
+        return 0
+    finally:
+        restore_signals()
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(result, handle, indent=2, sort_keys=True)
@@ -563,6 +637,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--deadline-ms", type=float, default=None,
                    help="per-request queue deadline; late requests fail "
                         "with DeadlineExceededError")
+    p.add_argument("--replicas", type=int, default=1,
+                   help="worker processes; > 1 serves through the "
+                        "supervised replica cluster (repro.serve.cluster)")
+    p.add_argument("--worker-faults", default=None, metavar="K=V[,...]",
+                   help="seeded SIGKILL schedule for replica chaos, e.g. "
+                        "'at=2+5,seed=7' or 'rate=0.05,max=3,seed=1' "
+                        "(see repro.serve.WorkerFaultPlan.from_string)")
     p.add_argument("--json", default=None, help="also write the result dict here")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_serve)

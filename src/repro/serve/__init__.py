@@ -29,8 +29,12 @@ robustness layer (see ``docs/robustness.md``) lives in
 :mod:`repro.serve.faults` (deterministic :class:`FaultPlan` wire-fault
 injection, the retrying/degrading :class:`ResilientLink`) and in the
 batcher's overload semantics (:class:`RejectedError` admission control,
-:class:`DeadlineExceededError` queue deadlines).  The pre-``serve``
-classes under ``repro.deployment``
+:class:`DeadlineExceededError` queue deadlines).  Scale-out and process
+fault-tolerance live in :mod:`repro.serve.cluster`: ``replicas > 1`` on
+the spec (or :func:`deploy_cluster`) runs N supervised worker processes
+behind the same ``submit`` surface, with seeded SIGKILL chaos
+(:class:`WorkerFaultPlan`), in-flight failover and graceful drain.  The
+pre-``serve`` classes under ``repro.deployment``
 (``EdgeRuntime``/``ServerRuntime``/``SplitPipeline``) remain as
 deprecated wrappers over this package.
 """
@@ -40,14 +44,25 @@ from .batching import (
     DeadlineExceededError,
     DynamicBatcher,
     RejectedError,
+    ShutdownError,
 )
 from .bench import (
     ClientLoadResult,
     OverloadPoint,
+    render_cluster_bench,
     render_overload_bench,
     render_serve_bench,
+    run_cluster_bench,
     run_overload_bench,
     run_serve_bench,
+)
+from .cluster import (
+    ClusterDeployment,
+    ClusterReport,
+    ClusterSpec,
+    NoHealthyReplicaError,
+    ReplicaManager,
+    deploy_cluster,
 )
 from .deployment import Deployment, deploy
 from .faults import (
@@ -58,7 +73,10 @@ from .faults import (
     FaultStats,
     ResilientLink,
     ServerCrashError,
+    WorkerFaultPlan,
 )
+from .supervise import CLUSTER_STATES, ClusterStateMachine, Supervisor
+from .workers import WorkerDiedError
 from .runtime import (
     EdgeRuntime,
     InferenceTrace,
@@ -70,11 +88,16 @@ from .runtime import (
 from .spec import DeploymentSpec, SpecError
 
 __all__ = [
+    "CLUSTER_STATES",
     "FALLBACK_MODES",
     "BatchingStats",
     "ChannelDownError",
     "ChannelFaultError",
     "ClientLoadResult",
+    "ClusterDeployment",
+    "ClusterReport",
+    "ClusterSpec",
+    "ClusterStateMachine",
     "DeadlineExceededError",
     "Deployment",
     "DeploymentSpec",
@@ -83,18 +106,27 @@ __all__ = [
     "FaultPlan",
     "FaultStats",
     "InferenceTrace",
+    "NoHealthyReplicaError",
     "OverloadPoint",
     "RejectedError",
+    "ReplicaManager",
     "ResilientLink",
     "ServerCrashError",
     "ServerRuntime",
+    "ShutdownError",
     "SimulatedLink",
     "SpecError",
     "SplitPipeline",
+    "Supervisor",
     "ThroughputReport",
+    "WorkerDiedError",
+    "WorkerFaultPlan",
     "deploy",
+    "deploy_cluster",
+    "render_cluster_bench",
     "render_overload_bench",
     "render_serve_bench",
+    "run_cluster_bench",
     "run_overload_bench",
     "run_serve_bench",
 ]

@@ -55,6 +55,7 @@ __all__ = [
     "DeadlineExceededError",
     "DynamicBatcher",
     "RejectedError",
+    "ShutdownError",
 ]
 
 
@@ -68,6 +69,17 @@ class RejectedError(RuntimeError):
 
 class DeadlineExceededError(RuntimeError):
     """Request dropped because its deadline passed while still queued."""
+
+
+class ShutdownError(RuntimeError):
+    """Request failed because the batcher shut down while it was queued.
+
+    The *named* drain error: a graceful shutdown (``close()``, or the
+    CLI's SIGTERM/SIGINT handler) stops admissions, flushes what it can,
+    and fails anything still stranded with this — never a silent hang.
+    Subclasses ``RuntimeError`` so pre-existing ``except RuntimeError``
+    call sites keep working.
+    """
 
 
 @dataclass
@@ -154,6 +166,12 @@ class DynamicBatcher:
     default_deadline_ms:
         Deadline applied to every request that does not pass its own
         ``deadline_ms`` to :meth:`submit`; ``None`` means no deadline.
+    dispatchers:
+        Number of dispatcher threads cutting and running micro-batches
+        concurrently.  ``1`` (the default) is the single-process serving
+        path — one deployment can only run one batch at a time anyway;
+        the replica cluster passes its replica count so each replica can
+        have a batch in flight.
     name:
         Thread-name prefix, visible in debuggers and the leak tests.
     """
@@ -165,6 +183,7 @@ class DynamicBatcher:
         max_queue_delay_ms: float = 2.0,
         max_queue_depth: Optional[int] = None,
         default_deadline_ms: Optional[float] = None,
+        dispatchers: int = 1,
         name: str = "repro-serve-batcher",
     ):
         if max_batch_size < 1:
@@ -181,6 +200,8 @@ class DynamicBatcher:
             raise ValueError(
                 f"default_deadline_ms must be > 0 or None, got {default_deadline_ms}"
             )
+        if not isinstance(dispatchers, int) or dispatchers < 1:
+            raise ValueError(f"dispatchers must be a positive int, got {dispatchers!r}")
         self._infer_batch = infer_batch
         self.max_batch_size = int(max_batch_size)
         self.max_queue_delay = float(max_queue_delay_ms) / 1e3
@@ -192,13 +213,23 @@ class DynamicBatcher:
         # way that strands a request (the race the old queue.Queue
         # implementation had between close()'s drain and a late put).
         self._cond = threading.Condition()
+        # close() must be idempotent *and* safe under concurrent callers:
+        # the second closer blocks on this lock until the first finishes
+        # draining, so both return only once every future is resolved.
+        self._close_lock = threading.Lock()
         self._pending: List[_Pending] = []
         self._sequence = 0
         self._closed = False
-        self._thread = threading.Thread(
-            target=self._dispatch_loop, name=name, daemon=True
-        )
-        self._thread.start()
+        self._threads = [
+            threading.Thread(
+                target=self._dispatch_loop,
+                name=name if dispatchers == 1 else f"{name} #{index}",
+                daemon=True,
+            )
+            for index in range(dispatchers)
+        ]
+        for thread in self._threads:
+            thread.start()
 
     # ------------------------------------------------------------------
     # Client side
@@ -361,33 +392,40 @@ class DynamicBatcher:
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self, timeout: Optional[float] = 5.0) -> None:
-        """Stop accepting requests, flush the queue, stop the thread.
+        """Stop accepting requests, flush the queue, stop the threads.
 
-        Requests already submitted are still dispatched (the dispatcher
-        drains the pending list before exiting); if the dispatcher fails
-        to drain within ``timeout`` — or anything is somehow left behind
-        — the leftovers are *failed* with ``RuntimeError``, never
-        silently dropped, so no future hangs forever.  Idempotent.
+        Requests already submitted are still dispatched (the dispatchers
+        drain the pending list before exiting); if they fail to drain
+        within ``timeout`` — or anything is somehow left behind — the
+        leftovers are *failed* with the named :class:`ShutdownError`,
+        never silently dropped, so no future hangs forever.
+
+        Idempotent and safe under concurrent callers: every caller
+        returns only after the drain has completed (the second closer
+        blocks until the first finishes, rather than returning while
+        futures are still being resolved).
         """
-        with self._cond:
-            self._closed = True
-            self._cond.notify_all()
-        self._thread.join(timeout=timeout)
-        with self._cond:  # fail leftovers rather than strand their futures
-            leftovers = self._pending
-            self._pending = []
-        for item in leftovers:
-            if item.future.set_running_or_notify_cancel():
-                item.future.set_exception(
-                    RuntimeError(
-                        "DynamicBatcher closed with the request still queued"
+        with self._close_lock:
+            with self._cond:
+                self._closed = True
+                self._cond.notify_all()
+            for thread in self._threads:
+                thread.join(timeout=timeout)
+            with self._cond:  # fail leftovers rather than strand their futures
+                leftovers = self._pending
+                self._pending = []
+            for item in leftovers:
+                if item.future.set_running_or_notify_cancel():
+                    item.future.set_exception(
+                        ShutdownError(
+                            "DynamicBatcher closed with the request still queued"
+                        )
                     )
-                )
-                with self._cond:
-                    self.stats.failed += 1
-            else:
-                with self._cond:
-                    self.stats.cancelled += 1
+                    with self._cond:
+                        self.stats.failed += 1
+                else:
+                    with self._cond:
+                        self.stats.cancelled += 1
 
     @property
     def closed(self) -> bool:

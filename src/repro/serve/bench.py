@@ -43,7 +43,9 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from ..data.streams import ArrivalSpec
+from ..models.registry import get_spec
 from .batching import DeadlineExceededError, RejectedError
+from .cluster import ClusterSpec, deploy_cluster
 from .deployment import Deployment, deploy
 from .spec import DeploymentSpec
 
@@ -54,6 +56,8 @@ __all__ = [
     "render_serve_bench",
     "run_overload_bench",
     "render_overload_bench",
+    "run_cluster_bench",
+    "render_cluster_bench",
 ]
 
 
@@ -391,6 +395,128 @@ def run_overload_bench(
         "points": [point.to_dict() for point in points],
         "batcher_conservation": conservation,
     }
+
+
+def run_cluster_bench(
+    spec: Union[ClusterSpec, DeploymentSpec],
+    requests: int = 64,
+    seed: int = 0,
+    timeout: float = 120.0,
+) -> Dict:
+    """Drive one replica cluster with a burst of ``submit`` requests.
+
+    Builds the cluster (forking its worker processes), warms every
+    replica, offers ``requests`` single-image submissions as fast as the
+    admission policy allows, awaits every accepted future, and returns a
+    JSON-ready dict: throughput, client-observed p50/p95, the per-request
+    outcome split, the cluster report (per-replica stats, supervisor
+    counters, state history) and the ``WorkerFaultPlan`` digest if chaos
+    was scheduled.  Run it at ``replicas=1`` and ``replicas=N`` to
+    measure the honest process-fan-out overhead on one host.
+    """
+    cluster_spec = (
+        spec if isinstance(spec, ClusterSpec) else ClusterSpec(deployment=spec)
+    )
+    dspec = cluster_spec.deployment
+    channels = get_spec(dspec.model).input_channels
+    rng = np.random.default_rng(seed)
+    images = rng.standard_normal(
+        (max(requests, 1), channels, dspec.input_size, dspec.input_size),
+        dtype=np.float32,
+    )
+    with deploy_cluster(cluster_spec) as cluster:
+        cluster.warmup(
+            sorted({1, dspec.max_batch_size, max(dspec.max_batch_size // 2, 1)})
+        )
+        outstanding: List["tuple"] = []
+        shed = 0
+        start = time.perf_counter()
+        for index in range(requests):
+            t0 = time.perf_counter()
+            try:
+                future = cluster.submit(images[index % len(images)])
+            except RejectedError:
+                shed += 1
+                continue
+            outstanding.append((t0, future))
+        completed = expired = failed = 0
+        latencies: List[float] = []
+        for t0, future in outstanding:
+            try:
+                future.result(timeout=timeout)
+            except DeadlineExceededError:
+                expired += 1
+            except Exception:
+                failed += 1
+            else:
+                completed += 1
+                latencies.append(time.perf_counter() - t0)
+        wall = time.perf_counter() - start
+        report = cluster.report()
+        stats = cluster.batching_stats
+        conservation = {
+            "submitted": stats.submitted,
+            "shed": stats.shed,
+            "requests": stats.requests,
+            "completed": stats.completed,
+            "expired": stats.expired,
+            "failed": stats.failed,
+            "cancelled": stats.cancelled,
+        }
+    return {
+        "cluster_spec": cluster_spec.to_dict(),
+        "replicas": cluster_spec.replicas,
+        "requests": requests,
+        "completed": completed,
+        "shed": shed,
+        "expired": expired,
+        "failed": failed,
+        "wall_seconds": wall,
+        "throughput_rps": completed / wall if wall else 0.0,
+        "p50_ms": _percentile_ms(latencies, 50),
+        "p95_ms": _percentile_ms(latencies, 95),
+        "worker_fault_digest": (
+            cluster_spec.worker_faults.digest()
+            if cluster_spec.worker_faults is not None
+            else None
+        ),
+        "report": report.to_dict(),
+        "batcher_conservation": conservation,
+    }
+
+
+def render_cluster_bench(result: Dict) -> str:
+    """Human-readable summary for one :func:`run_cluster_bench` result."""
+    report = result["report"]
+    agg = report["aggregate"]
+    lines = [
+        f"{result['replicas']} replica(s): {result['throughput_rps']:.1f} req/s, "
+        f"p50 {result['p50_ms']:.2f} ms, p95 {result['p95_ms']:.2f} ms "
+        f"({result['completed']} done, {result['shed']} shed, "
+        f"{result['expired']} expired, {result['failed']} failed)",
+        f"supervision: {agg['worker_crashes']} crash(es), "
+        f"{agg['worker_restarts']} restart(s), {agg['failovers']} failover(s), "
+        f"{report['kills_injected']} kill(s) injected; "
+        f"final state {report['state']}",
+    ]
+    for entry in report["per_replica"]:
+        p50 = f"{entry['p50_ms']:.2f}" if entry["p50_ms"] is not None else "-"
+        p95 = f"{entry['p95_ms']:.2f}" if entry["p95_ms"] is not None else "-"
+        lines.append(
+            f"  slot {entry['slot']}: "
+            f"{'up' if entry['alive'] else 'DOWN'}, "
+            f"{entry['dispatches']} batch(es), p50 {p50} ms, p95 {p95} ms"
+        )
+    for change in report["state_history"]:
+        lines.append(
+            f"  t+{change['t_s']:.3f}s {change['from']} -> {change['to']} "
+            f"({change['reason']})"
+        )
+    digest = result.get("worker_fault_digest")
+    lines.append(
+        "worker fault plan: " + (f"sha256:{digest[:16]}…" if digest else "none")
+    )
+    return "\n".join(lines)
 
 
 def render_overload_bench(result: Dict) -> str:

@@ -125,6 +125,11 @@ class Deployment:
         self._pipeline_lock = threading.Lock()
         self._batcher: Optional[DynamicBatcher] = None
         self._batcher_lock = threading.Lock()
+        # Serialises close() end-to-end: a second concurrent closer
+        # blocks here until the first finished draining, so *every*
+        # close() caller returns only once the futures are resolved and
+        # the executors are down.
+        self._close_lock = threading.Lock()
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -262,17 +267,21 @@ class Deployment:
     def close(self) -> None:
         """Drain the batcher, then release executor worker threads.
 
-        Idempotent; outstanding ``submit`` futures are completed (the
-        batcher flushes its queue) before the engine resources go away.
+        Idempotent *and* safe under concurrent callers: every caller
+        returns only after the drain completed — outstanding ``submit``
+        futures are resolved (the batcher flushes its queue, stranding
+        none) before the engine resources go away.
         """
-        with self._batcher_lock:
-            if self._closed:
+        with self._close_lock:
+            with self._batcher_lock:
+                already = self._closed
+                self._closed = True
+                batcher = self._batcher
+            if already:
                 return
-            self._closed = True
-            batcher = self._batcher
-        if batcher is not None:
-            batcher.close()
-        self.pipeline.close()
+            if batcher is not None:
+                batcher.close()
+            self.pipeline.close()
 
     def __enter__(self) -> "Deployment":
         return self
@@ -285,8 +294,8 @@ class Deployment:
         return f"Deployment({self.describe()}, {state})"
 
 
-def deploy(spec: Optional[DeploymentSpec] = None, **overrides) -> Deployment:
-    """Build a live :class:`Deployment` from a spec (the public API).
+def deploy(spec: Optional[DeploymentSpec] = None, **overrides):
+    """Build a live deployment from a spec (the public API).
 
     Call with a ready spec, keyword overrides on top of one, or pure
     keywords (which construct the spec in place)::
@@ -295,9 +304,19 @@ def deploy(spec: Optional[DeploymentSpec] = None, **overrides) -> Deployment:
                            tasks=(("scale", 8), ("shape", 4)))
         dep = repro.deploy(spec)                      # as declared
         dep = repro.deploy(spec, num_workers=4)       # spec + override
+
+    Returns a :class:`Deployment` for ``replicas == 1`` (the default),
+    or a fault-tolerant multi-process
+    :class:`~repro.serve.cluster.ClusterDeployment` for ``replicas > 1``
+    — same serving surface (``submit``/``infer``/``close``), plus
+    supervision (see :mod:`repro.serve.cluster`).
     """
     if spec is None:
         spec = DeploymentSpec(**overrides)
     elif overrides:
         spec = spec.replace(**overrides)
+    if spec.replicas > 1:
+        from .cluster import ClusterDeployment, ClusterSpec
+
+        return ClusterDeployment(ClusterSpec(deployment=spec))
     return Deployment(spec)

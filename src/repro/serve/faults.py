@@ -49,6 +49,7 @@ __all__ = [
     "FaultStats",
     "ResilientLink",
     "ServerCrashError",
+    "WorkerFaultPlan",
 ]
 
 #: Fallback modes for a degraded split channel (see ``docs/robustness.md``):
@@ -359,3 +360,184 @@ class ResilientLink:
             self._down = False
             return True
         return False
+
+
+# ---------------------------------------------------------------------------
+# Worker (process-level) fault plans
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkerFaultPlan:
+    """Frozen, seeded schedule of replica *process* kills.
+
+    Where :class:`FaultPlan` injects faults on the wire, this plan kills
+    whole worker processes: the cluster router consults it at dispatch
+    time and SIGKILLs the replica that just received the request when the
+    plan fires — the hardest fault a supervisor has to survive (no
+    goodbye message, no flushed state, an in-flight request lost).
+
+    Like :class:`FaultPlan`, every decision is a pure function of
+    ``(seed, request_index)`` over the router's global dispatch index, so
+    a chaos run replays bit-identically, and :meth:`digest` stamps the
+    schedule into benchmark artifacts.
+
+    Parameters
+    ----------
+    kill_indices:
+        Explicit dispatch indices at which to kill the serving replica.
+    kill_rate:
+        Additional per-index Bernoulli kill probability (decided
+        independently per index from ``seed``).
+    max_kills:
+        Hard cap on total kills a run may inject; ``None`` is unlimited.
+        The cap is applied by the consumer (kills beyond it are ignored),
+        which keeps :meth:`fires_at` itself pure.
+    seed:
+        Seed for the Bernoulli decisions.
+    """
+
+    kill_indices: Tuple[int, ...] = field(default_factory=tuple)
+    kill_rate: float = 0.0
+    max_kills: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self):
+        set_ = object.__setattr__
+        try:
+            indices = tuple(sorted(int(i) for i in self.kill_indices))
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"kill_indices must be ints, got {self.kill_indices!r}"
+            ) from None
+        if any(i < 0 for i in indices):
+            raise ValueError(f"kill_indices must be >= 0, got {indices}")
+        set_(self, "kill_indices", indices)
+        rate = float(self.kill_rate)
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"kill_rate must be in [0, 1], got {rate}")
+        set_(self, "kill_rate", rate)
+        if self.max_kills is not None:
+            if (
+                not isinstance(self.max_kills, int)
+                or isinstance(self.max_kills, bool)
+                or self.max_kills < 0
+            ):
+                raise ValueError(
+                    f"max_kills must be an int >= 0 or None, got {self.max_kills!r}"
+                )
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ValueError(f"seed must be an int, got {self.seed!r}")
+
+    # -- deterministic decisions ---------------------------------------
+    def fires_at(self, request_index: int) -> bool:
+        """Whether the plan kills the serving replica at this dispatch
+        index — a pure function of ``(seed, request_index)``."""
+        if request_index in self.kill_indices:
+            return True
+        if not self.kill_rate:
+            return False
+        draw = float(
+            np.random.default_rng((self.seed, 0xC1, request_index)).random()
+        )
+        return draw < self.kill_rate
+
+    def schedule(self, count: int) -> Tuple[int, ...]:
+        """The kill indices the plan would fire over ``count`` dispatch
+        indices (before the ``max_kills`` cap) — the replayable schedule
+        the determinism tests compare."""
+        fired = tuple(i for i in range(count) if self.fires_at(i))
+        if self.max_kills is not None:
+            fired = fired[: self.max_kills]
+        return fired
+
+    @property
+    def is_null(self) -> bool:
+        """True when the plan can never kill anything."""
+        return not self.kill_indices and not self.kill_rate or self.max_kills == 0
+
+    # -- serialisation + provenance ------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kill_indices": list(self.kill_indices),
+            "kill_rate": self.kill_rate,
+            "max_kills": self.max_kills,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkerFaultPlan":
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown WorkerFaultPlan keys {unknown}; known keys: {sorted(known)}"
+            )
+        return cls(**dict(data))
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "WorkerFaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical JSON — the provenance stamp
+        ``BENCH_serve_cluster.json`` records so a chaos run names its
+        kill schedule."""
+        return hashlib.sha256(self.to_json().encode()).hexdigest()
+
+    # -- CLI string form -----------------------------------------------
+    def to_string(self) -> str:
+        """Compact ``key=value,...`` form (inverse of :meth:`from_string`);
+        kill indices join with ``+``: ``"at=8+24,rate=0.01,seed=3"``."""
+        parts = []
+        if self.kill_indices:
+            parts.append("at=" + "+".join(str(i) for i in self.kill_indices))
+        if self.kill_rate:
+            parts.append(f"rate={self.kill_rate!r}")
+        if self.max_kills is not None:
+            parts.append(f"max={self.max_kills}")
+        if self.seed:
+            parts.append(f"seed={self.seed}")
+        return ",".join(parts) or "at="
+
+    @classmethod
+    def from_string(cls, text: str) -> "WorkerFaultPlan":
+        """Parse ``"at=8+24"`` / ``"rate=0.02,max=3,seed=5"`` (what
+        ``repro serve --worker-faults`` takes)."""
+        if not isinstance(text, str) or not text.strip():
+            raise ValueError(
+                f"worker fault plan must be a non-empty string, got {text!r}"
+            )
+        payload: Dict[str, Any] = {}
+        for part in filter(None, (p.strip() for p in text.strip().split(","))):
+            key, sep, value = part.partition("=")
+            if not sep:
+                raise ValueError(
+                    f"worker fault plan parts must be key=value, got {part!r}"
+                )
+            key = key.strip()
+            value = value.strip()
+            try:
+                if key == "at":
+                    payload["kill_indices"] = tuple(
+                        int(v) for v in value.split("+") if v
+                    )
+                elif key == "rate":
+                    payload["kill_rate"] = float(value)
+                elif key == "max":
+                    payload["max_kills"] = int(value)
+                elif key == "seed":
+                    payload["seed"] = int(value)
+                else:
+                    raise ValueError(
+                        f"unknown worker fault plan key {key!r} "
+                        "(known: at, rate, max, seed)"
+                    )
+            except ValueError as error:
+                if "unknown worker fault plan" in str(error):
+                    raise
+                raise ValueError(
+                    f"bad worker fault plan value for {key!r}: {value!r}"
+                ) from None
+        return cls(**payload)

@@ -295,6 +295,13 @@ class ThroughputReport:
     link_down_events: int = 0
     recoveries: int = 0
     server_crashes: int = 0
+    # Cluster accounting (all zero for single-process deployments; see
+    # repro.serve.cluster): how many worker processes served the run and
+    # what the supervisor had to absorb while it ran.
+    replicas: int = 1
+    worker_crashes: int = 0
+    worker_restarts: int = 0
+    failovers: int = 0
 
     @property
     def serial_seconds(self) -> float:
@@ -404,6 +411,52 @@ class ThroughputReport:
             recoveries=recoveries,
             server_crashes=server_crashes,
         )
+
+    @classmethod
+    def aggregate(
+        cls,
+        per_replica: Sequence["ThroughputReport"],
+        wall_seconds: float,
+        **overrides,
+    ) -> "ThroughputReport":
+        """Merge per-replica reports into one cluster-wide report.
+
+        Counts and busy seconds sum across replicas; the cluster's
+        ``pipelined_seconds`` is the shared wall clock (replicas run
+        concurrently, so summing their makespans would be dishonest).
+        ``overrides`` patch cluster-level fields (``replicas``,
+        ``worker_crashes``, ``shed``, ...) the workers cannot see.
+        """
+        merged = cls(
+            batches=sum(r.batches for r in per_replica),
+            images=sum(r.images for r in per_replica),
+            wall_seconds=wall_seconds,
+            edge_seconds=sum(r.edge_seconds for r in per_replica),
+            transfer_seconds=sum(r.transfer_seconds for r in per_replica),
+            server_seconds=sum(r.server_seconds for r in per_replica),
+            pipelined_seconds=wall_seconds,
+            num_workers=max((r.num_workers for r in per_replica), default=1),
+            arena_bytes=sum(r.arena_bytes for r in per_replica),
+            steady_state_allocs=sum(r.steady_state_allocs for r in per_replica),
+            fused_steps=sum(r.fused_steps for r in per_replica),
+            elided_copies=sum(r.elided_copies for r in per_replica),
+            aliased_views=sum(r.aliased_views for r in per_replica),
+            spmm_row_blocks=sum(r.spmm_row_blocks for r in per_replica),
+            shed=sum(r.shed for r in per_replica),
+            deadline_misses=sum(r.deadline_misses for r in per_replica),
+            retries=sum(r.retries for r in per_replica),
+            fallback_batches=sum(r.fallback_batches for r in per_replica),
+            fallback_seconds=sum(r.fallback_seconds for r in per_replica),
+            link_down_events=sum(r.link_down_events for r in per_replica),
+            recoveries=sum(r.recoveries for r in per_replica),
+            server_crashes=sum(r.server_crashes for r in per_replica),
+            replicas=len(per_replica),
+        )
+        for name, value in overrides.items():
+            if not hasattr(merged, name):
+                raise TypeError(f"ThroughputReport has no field {name!r}")
+            setattr(merged, name, value)
+        return merged
 
 
 class SplitPipeline:

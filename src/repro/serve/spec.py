@@ -132,6 +132,14 @@ class DeploymentSpec:
     probe_every:
         While degraded, attempt one link-recovery probe every this many
         requests; a successful probe restores split execution.
+    replicas:
+        Worker *processes* serving this deployment.  ``1`` (the default)
+        keeps everything in-process; ``> 1`` makes :func:`repro.deploy`
+        build a fault-tolerant :class:`~repro.serve.cluster
+        .ClusterDeployment` — N forked workers, each owning its own
+        plan cache and arena, behind a supervised front-end router (see
+        :mod:`repro.serve.cluster`).  Multi-replica specs must use a
+        registry-named model (workers rebuild the net from the spec).
     seed:
         RNG seed used when ``model`` is a registry name and the net is
         built (untrained) from scratch.
@@ -159,6 +167,7 @@ class DeploymentSpec:
     max_retries: int = 2
     retry_backoff_ms: float = 10.0
     probe_every: int = 8
+    replicas: int = 1
     seed: int = 0
 
     # ------------------------------------------------------------------
@@ -317,6 +326,19 @@ class DeploymentSpec:
             and self.probe_every >= 1,
             f"probe_every must be a positive int, got {self.probe_every!r}",
         )
+        _check(
+            isinstance(self.replicas, int)
+            and not isinstance(self.replicas, bool)
+            and self.replicas >= 1,
+            f"replicas must be a positive int, got {self.replicas!r}",
+        )
+        if self.replicas > 1:
+            _check(
+                isinstance(self.model, str),
+                "replicas > 1 needs a registry-named model (worker "
+                "processes rebuild the net from the serialised spec); "
+                "an in-memory net cannot cross the process boundary",
+            )
 
     # ------------------------------------------------------------------
     # Resolution helpers (used by Deployment; cheap, allocate nothing big)
@@ -386,6 +408,7 @@ class DeploymentSpec:
             "max_retries": self.max_retries,
             "retry_backoff_ms": self.retry_backoff_ms,
             "probe_every": self.probe_every,
+            "replicas": self.replicas,
             "seed": self.seed,
         }
         return data
@@ -451,8 +474,10 @@ class DeploymentSpec:
         channel = (
             self.channel if isinstance(self.channel, str) else self.channel.name
         )
+        cluster = f", replicas={self.replicas}" if self.replicas > 1 else ""
         return (
             f"{model} @{self.input_size}px, split={cut}, wire={self.wire}, "
             f"channel={channel}, workers={self.num_workers}, "
             f"batch<= {self.max_batch_size} within {self.max_queue_delay_ms:g} ms"
+            f"{cluster}"
         )

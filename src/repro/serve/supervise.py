@@ -1,0 +1,306 @@
+"""Supervision for the replica cluster: heartbeats, restarts, health.
+
+Production DAQ/serving systems survive dead workers because something is
+*watching*: a supervisor that detects a silent readout unit and recovers
+it without corrupting event accounting.  This module is that something
+for :mod:`repro.serve.cluster`:
+
+* :class:`ClusterStateMachine` — the SPLIT-style health automaton::
+
+      HEALTHY --(replica dies)--> DEGRADED --(all restarted)--> HEALTHY
+                                      |
+                          (every replica permanently dead)
+                                      v
+                                    DEAD
+
+  Every transition is recorded with a monotonic timestamp and a reason,
+  so a chaos run can *prove* it degraded and recovered rather than
+  asserting it vaguely.
+
+* :class:`Supervisor` — a daemon thread that learns about dead replicas
+  two ways: **immediately**, when a dispatcher's in-flight request hits
+  a broken pipe and calls :meth:`Supervisor.notify_crash`; and **within
+  one heartbeat interval**, when the periodic sweep finds a replica
+  process no longer alive (the idle-kill case — nobody was talking to
+  it when it died).  Detected deaths are restarted under exponential
+  backoff (``backoff_base * 2**(restarts_of_this_slot - 1)``, capped),
+  up to ``max_restarts`` per slot; a slot that exhausts its budget is
+  abandoned and the cluster serves on with n-1 replicas.
+
+The supervisor never touches request futures — conservation of the
+request ledger is the router/batcher's job; the supervisor's contract is
+narrower and stronger: every dead process is either restarted or
+deliberately abandoned, and every transition is visible.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "CLUSTER_STATES",
+    "ClusterStateMachine",
+    "Supervisor",
+    "SupervisorStats",
+]
+
+#: The health automaton's states: all replicas up / some down (serving
+#: on the survivors) / none left (every slot dead or abandoned).
+CLUSTER_STATES: Tuple[str, ...] = ("HEALTHY", "DEGRADED", "DEAD")
+
+
+class ClusterStateMachine:
+    """HEALTHY / DEGRADED / DEAD with a recorded transition history.
+
+    Thread-safe; :meth:`observe` is called by the supervisor after every
+    sweep and by the router after a crash notification, with the current
+    (alive, total) replica census.
+    """
+
+    def __init__(self, replicas: int):
+        self._lock = threading.Lock()
+        self.replicas = replicas
+        self.state = "HEALTHY"
+        #: (monotonic seconds, from-state, to-state, reason) — the proof
+        #: trail the chaos tests and the bench artifact read.
+        self.transitions: List[Tuple[float, str, str, str]] = []
+
+    def observe(self, alive: int, reason: str) -> Optional[Tuple[str, str]]:
+        """Fold one census into the automaton.
+
+        Returns ``(from, to)`` when the state changed, else ``None``.
+        """
+        if alive == self.replicas:
+            target = "HEALTHY"
+        elif alive > 0:
+            target = "DEGRADED"
+        else:
+            target = "DEAD"
+        with self._lock:
+            if target == self.state:
+                return None
+            change = (self.state, target)
+            self.transitions.append(
+                (time.monotonic(), self.state, target, reason)
+            )
+            self.state = target
+            return change
+
+    @property
+    def degraded_events(self) -> int:
+        """Transitions out of HEALTHY (into DEGRADED or DEAD)."""
+        with self._lock:
+            return sum(1 for _, src, _dst, _ in self.transitions if src == "HEALTHY")
+
+    @property
+    def recoveries(self) -> int:
+        """Transitions back to HEALTHY."""
+        with self._lock:
+            return sum(1 for _, _src, dst, _ in self.transitions if dst == "HEALTHY")
+
+    def history(self) -> List[Dict[str, object]]:
+        """JSON-ready transition log (relative timestamps)."""
+        with self._lock:
+            if not self.transitions:
+                return []
+            t0 = self.transitions[0][0]
+            return [
+                {
+                    "t_s": round(ts - t0, 6),
+                    "from": src,
+                    "to": dst,
+                    "reason": reason,
+                }
+                for ts, src, dst, reason in self.transitions
+            ]
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterStateMachine({self.state}, "
+            f"{len(self.transitions)} transition(s))"
+        )
+
+
+@dataclass
+class SupervisorStats:
+    """Counters for one supervisor's lifetime."""
+
+    heartbeats: int = 0           # periodic sweeps completed
+    crashes_detected: int = 0     # dead replicas noticed (either path)
+    crashes_by_heartbeat: int = 0  # ... found by the periodic sweep
+    crashes_by_notification: int = 0  # ... reported by an in-flight failure
+    restarts: int = 0             # replacements actually spawned
+    slots_abandoned: int = 0      # slots past max_restarts, left down
+    backoff_seconds: float = 0.0  # total restart delay charged
+    restarts_per_slot: Dict[int, int] = field(default_factory=dict)
+
+
+class Supervisor:
+    """Watches replica processes; restarts the dead under backoff.
+
+    Parameters
+    ----------
+    census:
+        ``() -> List[Optional[WorkerHandle]]`` — slot-indexed snapshot of
+        the cluster's replica pool (``None`` for a slot currently down).
+    restart:
+        ``(slot) -> bool`` — spawn and publish a replacement replica for
+        ``slot``; returns False if the cluster is closing and the restart
+        should be abandoned.  Called only from the supervisor thread.
+    on_census:
+        ``(alive_count, reason) -> None`` — state-machine hook invoked
+        after every sweep and restart.
+    heartbeat_s:
+        Sweep period; an idle-killed replica is detected within one.
+    backoff_base_s / backoff_cap_s:
+        Exponential restart backoff: slot's ``k``-th restart waits
+        ``min(base * 2**(k-1), cap)`` seconds before respawning.
+    max_restarts:
+        Per-slot restart budget; ``None`` is unlimited.
+    """
+
+    def __init__(
+        self,
+        census: Callable[[], List[Optional[object]]],
+        restart: Callable[[int], bool],
+        on_census: Callable[[int, str], None],
+        heartbeat_s: float = 0.05,
+        backoff_base_s: float = 0.01,
+        backoff_cap_s: float = 1.0,
+        max_restarts: Optional[int] = 5,
+    ):
+        if heartbeat_s <= 0:
+            raise ValueError(f"heartbeat_s must be > 0, got {heartbeat_s}")
+        if backoff_base_s < 0 or backoff_cap_s < 0:
+            raise ValueError("backoff seconds must be >= 0")
+        if max_restarts is not None and max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0 or None, got {max_restarts}")
+        self._census = census
+        self._restart = restart
+        self._on_census = on_census
+        self.heartbeat_s = float(heartbeat_s)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        self.max_restarts = max_restarts
+        self.stats = SupervisorStats()
+        self._cond = threading.Condition()
+        self._notified: set = set()   # slots reported dead by dispatchers
+        self._known_dead: set = set()  # slots currently down (deduplicates)
+        self._abandoned: set = set()   # slots past their restart budget
+        self._stop = False
+        self._thread = threading.Thread(
+            target=self._watch_loop, name="repro-serve-supervisor", daemon=True
+        )
+        self._thread.start()
+
+    # -- dispatcher-facing ---------------------------------------------
+    def notify_crash(self, slot: int) -> None:
+        """Report a replica found dead by an in-flight request.
+
+        Wakes the supervisor immediately — failover must not wait for
+        the next heartbeat.
+        """
+        with self._cond:
+            self._notified.add(slot)
+            self._cond.notify_all()
+
+    @property
+    def abandoned_slots(self) -> Tuple[int, ...]:
+        with self._cond:
+            return tuple(sorted(self._abandoned))
+
+    # -- the watch loop ------------------------------------------------
+    def _backoff_for(self, slot: int) -> float:
+        count = self.stats.restarts_per_slot.get(slot, 0)
+        if count == 0:
+            return 0.0
+        return min(self.backoff_base_s * (2 ** (count - 1)), self.backoff_cap_s)
+
+    def _sweep(self) -> None:
+        """One detection + recovery pass."""
+        with self._cond:
+            notified = set(self._notified)
+            self._notified.clear()
+        handles = self._census()
+        dead: List[int] = []
+        for slot, handle in enumerate(handles):
+            if slot in self._abandoned:
+                continue
+            if handle is None or not handle.is_alive():
+                if slot not in self._known_dead:
+                    dead.append(slot)
+        for slot in dead:
+            self._known_dead.add(slot)
+            self.stats.crashes_detected += 1
+            if slot in notified:
+                self.stats.crashes_by_notification += 1
+            else:
+                self.stats.crashes_by_heartbeat += 1
+        if dead:
+            alive = sum(
+                1 for s, h in enumerate(self._census())
+                if h is not None and s not in self._known_dead and h.is_alive()
+            )
+            self._on_census(alive, f"replica(s) {sorted(dead)} dead")
+        # Recover: restart every known-dead slot, oldest first, under
+        # backoff.  Serialised in this thread — concurrent restarts of
+        # different slots would just contend for the same single core.
+        for slot in sorted(self._known_dead):
+            if self._stop:
+                return
+            budget = self.max_restarts
+            used = self.stats.restarts_per_slot.get(slot, 0)
+            if budget is not None and used >= budget:
+                self._abandoned.add(slot)
+                self._known_dead.discard(slot)
+                self.stats.slots_abandoned += 1
+                self._on_census(self._alive_count(), f"slot {slot} abandoned")
+                continue
+            delay = self._backoff_for(slot)
+            if delay > 0:
+                self.stats.backoff_seconds += delay
+                with self._cond:
+                    self._cond.wait(timeout=delay)
+                if self._stop:
+                    return
+            if not self._restart(slot):
+                return  # cluster is closing; leave the slot down
+            self.stats.restarts += 1
+            self.stats.restarts_per_slot[slot] = used + 1
+            self._known_dead.discard(slot)
+            self._on_census(self._alive_count(), f"slot {slot} restarted")
+
+    def _alive_count(self) -> int:
+        return sum(
+            1 for s, h in enumerate(self._census())
+            if h is not None and h.is_alive() and s not in self._known_dead
+        )
+
+    def _watch_loop(self) -> None:
+        while True:
+            with self._cond:
+                if not self._stop and not self._notified:
+                    self._cond.wait(timeout=self.heartbeat_s)
+                if self._stop:
+                    return
+            self._sweep()
+            self.stats.heartbeats += 1
+
+    # -- lifecycle -----------------------------------------------------
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop watching (idempotent).  Does not touch the replicas —
+        the cluster's drain owns their shutdown order."""
+        with self._cond:
+            self._stop = True
+            self._cond.notify_all()
+        self._thread.join(timeout=timeout)
+
+    def __repr__(self) -> str:
+        return (
+            f"Supervisor(heartbeat={self.heartbeat_s * 1e3:g} ms, "
+            f"crashes={self.stats.crashes_detected}, "
+            f"restarts={self.stats.restarts})"
+        )

@@ -114,6 +114,35 @@ class TestDynamicBatcher:
             for t in threading.enumerate()
         )
 
+    def test_close_safe_under_concurrent_callers(self):
+        """N racing close() calls: one drain, no exception, no stranded
+        future, and every caller returns only after the drain is done."""
+        model = _RecordingModel(delay_seconds=0.01)
+        b = DynamicBatcher(model, max_batch_size=2, max_queue_delay_ms=0.0)
+        futures = [b.submit(np.ones((2,))) for _ in range(8)]
+        errors = []
+
+        def closer():
+            try:
+                b.close()
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=closer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not any(t.is_alive() for t in threads)
+        assert not errors
+        for future in futures:
+            assert future.done(), "racing close() stranded a future"
+        stats = b.stats
+        assert stats.submitted == stats.shed + stats.requests
+        assert stats.requests == (
+            stats.completed + stats.expired + stats.failed + stats.cancelled
+        )
+
     def test_non_dict_outputs_supported(self):
         with DynamicBatcher(
             lambda images: images * 2.0, max_batch_size=4, max_queue_delay_ms=0.0

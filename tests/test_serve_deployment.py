@@ -193,6 +193,36 @@ class TestLifecycle:
                 tiny_trained_net.task_names
             )
 
+    def test_close_safe_under_concurrent_callers(self, tiny_trained_net):
+        """Racing close() callers all block until the one drain finishes;
+        pending submits resolve, threads are reclaimed exactly once."""
+        deployment = deploy(
+            DeploymentSpec(model=tiny_trained_net, max_queue_delay_ms=20.0)
+        )
+        futures = [
+            deployment.submit(np.zeros((3, 32, 32), dtype=np.float32))
+            for _ in range(5)
+        ]
+        errors = []
+
+        def closer():
+            try:
+                deployment.close()
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=closer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not any(t.is_alive() for t in threads)
+        assert not errors
+        assert deployment.closed
+        for future in futures:
+            assert future.done(), "racing close() stranded a future"
+        assert not _batcher_threads(), "batcher thread leaked past close()"
+
     def test_trace_history_is_bounded(self, tiny_trained_net):
         with deploy(DeploymentSpec(model=tiny_trained_net)) as deployment:
             deployment.pipeline.MAX_TRACES = 5  # instance override
@@ -292,6 +322,80 @@ class TestServeCli:
         assert main(["serve", "--requests", "0"]) == 2
         assert main(["serve", "--split-index", "nope"]) == 2
         assert main(["serve", "--backbone", "resnet50"]) == 2
+        assert main(["serve", "--replicas", "0"]) == 2
+        assert main(["serve", "--worker-faults", "boom=1"]) == 2
+
+    def test_serve_replica_cluster_with_chaos(self, tmp_path, capsys):
+        """--replicas spins up the cluster bench; --worker-faults injects
+        a real SIGKILL and the JSON artifact carries the plan digest."""
+        path = tmp_path / "cluster.json"
+        assert main([
+            "serve", "--backbone", "mobilenet_v3_tiny", "--clients", "1",
+            "--requests", "8", "--max-batch-size", "2", "--max-delay-ms", "1",
+            "--replicas", "2", "--worker-faults", "at=1,seed=3",
+            "--json", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cluster bench" in out
+        assert "replica" in out
+        import json
+
+        from repro.serve import WorkerFaultPlan
+
+        data = json.loads(path.read_text())
+        assert data["replicas"] == 2
+        assert data["completed"] == 8
+        assert data["worker_fault_digest"] == WorkerFaultPlan.from_string(
+            "at=1,seed=3"
+        ).digest()
+        assert data["report"]["kills_injected"] == 1
+        batching = data["report"]["batching"]
+        assert batching["submitted"] == batching["shed"] + batching["requests"]
+
+    def test_serve_sigterm_drains_and_exits_zero(self, tmp_path):
+        """The drain satellite, end to end: SIGTERM mid-run stops
+        admissions, flushes the queue, and exits 0 with the drain notice
+        — not a traceback, not a non-zero exit."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+        proc = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro.cli", "serve",
+             "--backbone", "mobilenet_v3_tiny", "--clients", "1",
+             "--requests", "100000", "--max-batch-size", "2",
+             "--max-delay-ms", "1"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=env,
+            text=True,
+        )
+        try:
+            # Wait for the bench banner so the drain handlers are
+            # installed before the signal lands.
+            deadline = time.monotonic() + 60
+            banner = ""
+            while time.monotonic() < deadline:
+                line = proc.stdout.readline()
+                banner += line
+                if "serving bench" in line:
+                    break
+            assert "serving bench" in banner, banner
+            time.sleep(1.0)  # let some requests get in flight
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, out
+        assert "graceful drain complete" in out
 
     def test_parser_knows_serve(self):
         from repro.cli import build_parser

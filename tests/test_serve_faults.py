@@ -26,6 +26,7 @@ from repro.serve import (
     FaultPlan,
     ResilientLink,
     SplitPipeline,
+    WorkerFaultPlan,
 )
 
 # ---------------------------------------------------------------------------
@@ -103,6 +104,98 @@ class TestFaultPlan:
         assert [plan.decision(i) for i in range(100)] == [
             clone.decision(i) for i in range(100)
         ]
+
+
+# ---------------------------------------------------------------------------
+# WorkerFaultPlan: the process-kill sibling (cluster chaos schedule)
+# ---------------------------------------------------------------------------
+class TestWorkerFaultPlan:
+    def test_knobs_validated(self):
+        with pytest.raises(ValueError, match="kill_indices"):
+            WorkerFaultPlan(kill_indices=(-1,))
+        with pytest.raises(ValueError, match="kill_rate"):
+            WorkerFaultPlan(kill_rate=1.5)
+        with pytest.raises(ValueError, match="max_kills"):
+            WorkerFaultPlan(max_kills=-2)
+        with pytest.raises(ValueError, match="seed"):
+            WorkerFaultPlan(seed="7")
+
+    def test_explicit_indices_always_fire(self):
+        plan = WorkerFaultPlan(kill_indices=(3, 11))
+        assert plan.schedule(20) == (3, 11)
+        assert plan.fires_at(3) and plan.fires_at(11)
+        assert not plan.fires_at(4)
+
+    def test_max_kills_caps_schedule_but_not_fires_at(self):
+        plan = WorkerFaultPlan(kill_indices=(1, 5, 9), max_kills=2)
+        assert plan.schedule(20) == (1, 5)   # consumer-side cap
+        assert plan.fires_at(9)              # fires_at stays pure
+        assert WorkerFaultPlan(kill_indices=(1,), max_kills=0).is_null
+        assert WorkerFaultPlan().is_null
+        assert not plan.is_null
+
+    def test_unknown_keys_rejected(self):
+        data = WorkerFaultPlan().to_dict()
+        data["kill_signal"] = 9
+        with pytest.raises(ValueError, match="kill_signal"):
+            WorkerFaultPlan.from_dict(data)
+        with pytest.raises(ValueError, match="unknown worker fault plan"):
+            WorkerFaultPlan.from_string("at=1,signal=9")
+        with pytest.raises(ValueError, match="bad worker fault plan"):
+            WorkerFaultPlan.from_string("rate=lots")
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        indices=st.lists(
+            st.integers(min_value=0, max_value=500), max_size=6
+        ),
+        rate=st.floats(min_value=0, max_value=0.5),
+        max_kills=st.one_of(
+            st.none(), st.integers(min_value=0, max_value=8)
+        ),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_replay_determinism_and_digest(self, indices, rate, max_kills, seed):
+        # The ISSUE's replay property for *process* kills: the same seed
+        # reproduces the identical kill schedule and the identical
+        # digest across every serialised form — what stamps a chaos run
+        # into BENCH_serve_cluster.json.
+        plan = WorkerFaultPlan(
+            kill_indices=tuple(indices),
+            kill_rate=rate,
+            max_kills=max_kills,
+            seed=seed,
+        )
+        clones = (
+            WorkerFaultPlan.from_dict(plan.to_dict()),
+            WorkerFaultPlan.from_json(plan.to_json()),
+            WorkerFaultPlan.from_string(plan.to_string()),
+        )
+        schedule = plan.schedule(120)
+        for clone in clones:
+            assert clone == plan
+            assert clone.schedule(120) == schedule
+            assert clone.digest() == plan.digest()
+        assert len(plan.digest()) == 64  # sha256 hex
+        # A different seed means a different Bernoulli stream (only
+        # observable when the rate actually fires something).
+        if rate and schedule != tuple(sorted(set(indices))):
+            other = WorkerFaultPlan(
+                kill_indices=tuple(indices),
+                kill_rate=rate,
+                max_kills=max_kills,
+                seed=seed + 1,
+            )
+            assert other.digest() != plan.digest()
+
+    def test_compact_string_round_trip(self):
+        plan = WorkerFaultPlan(
+            kill_indices=(8, 24), kill_rate=0.01, max_kills=3, seed=5
+        )
+        assert plan.to_string() == "at=8+24,rate=0.01,max=3,seed=5"
+        assert WorkerFaultPlan.from_string(plan.to_string()) == plan
+        assert WorkerFaultPlan.from_string("at=") == WorkerFaultPlan()
+        assert WorkerFaultPlan().to_string() == "at="
 
 
 # ---------------------------------------------------------------------------
