@@ -1,0 +1,147 @@
+"""Duplicate-fraction sweep for the content-addressed serve cache.
+
+Real serving traffic repeats itself — stuck cameras, viral items,
+polling dashboards — and the response/feature cache tiers
+(:mod:`repro.serve.cache`) exist to exploit exactly that.  This
+benchmark quantifies the claim honestly: per duplicate-rate point
+(0% / 50% / 90% ``repeat`` streams plus one small-universe Zipf point
+at ≥90% duplicates), a cache-off and a cache-on deployment of the same
+spec are driven back-to-back on the *identical* seeded open-loop
+request stream at several multiples of calibrated capacity — the
+interleaved-baseline discipline applied across the cache axis.
+
+What CI gates on is equivalence and accounting, never speed:
+
+* zero-duplicate traffic must record **zero** response-tier activity
+  (no hits, no single-flight joins) — caching nothing costs nothing;
+* every cache-on result matches the cache-off result for the same
+  request within 1e-6, and every repeated image inside the cache-on
+  run returns bytes identical to its first occurrence;
+* the extended admission ledger balances:
+  ``submitted == shed + cache_hits + requests``.
+
+The throughput ratios (cache-on vs cache-off per point, ≥2x expected at
+the 90%-duplicate Zipf point on an unloaded host) are *recorded* in the
+artifact for human reading, like every absolute number in this suite.
+
+Artifacts: ``serve_cache.txt`` and ``BENCH_serve_cache.json``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.serve import DeploymentSpec, render_cache_bench, run_cache_bench
+
+from _bench_utils import emit
+
+_DUPLICATE_RATES = (0.0, 0.5, 0.9)
+_REQUESTS_PER_POINT = 64
+_LOAD_FACTOR = 8.0
+_INPUT_SIZE = 96  # heavy enough per request that hits visibly pay off
+_MAX_BATCH_SIZE = 8
+_MAX_QUEUE_DEPTH = 512
+
+
+def test_serve_cache(benchmark, results_dir):
+    spec = DeploymentSpec(
+        model="mobilenet_v3_tiny",
+        tasks=(("scale", 8), ("shape", 4)),
+        input_size=_INPUT_SIZE,
+        max_batch_size=_MAX_BATCH_SIZE,
+        max_queue_delay_ms=1.0,
+        max_queue_depth=_MAX_QUEUE_DEPTH,
+        cache="both",
+        seed=43,
+    )
+
+    result = benchmark.pedantic(
+        lambda: run_cache_bench(
+            spec,
+            duplicate_rates=_DUPLICATE_RATES,
+            requests_per_point=_REQUESTS_PER_POINT,
+            load_factor=_LOAD_FACTOR,
+            seed=43,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [*result["points"], result["zipf_point"]]
+
+    # Gate 1: caching nothing costs nothing.  The 0%-duplicate point may
+    # record no response-tier activity at all — no stored hit could
+    # exist and no in-flight computation may be joined.
+    zero = result["points"][0]
+    assert zero["offered_duplicate_rate"] == 0.0, render_cache_bench(result)
+    assert zero["cache"].get("response_hits", 0) == 0, (
+        "response hits on unique-only traffic:\n" + render_cache_bench(result)
+    )
+    assert zero["cache"].get("response_coalesced", 0) == 0, (
+        "single-flight joins on unique-only traffic:\n"
+        + render_cache_bench(result)
+    )
+
+    # Gate 2: cache-on is numerically the cache-off path.  Every request
+    # completed by both runs agrees within 1e-6, and every duplicate in
+    # the cache-on run is bit-identical to its first occurrence.
+    for row in rows:
+        assert row["compared"] > 0, (
+            f"nothing comparable at {row['label']!r}:\n"
+            + render_cache_bench(result)
+        )
+        assert row["max_abs_diff"] <= 1e-6, (
+            f"cache-on diverged from cache-off at {row['label']!r} "
+            f"(max |diff| {row['max_abs_diff']:.3e}):\n"
+            + render_cache_bench(result)
+        )
+        assert row["duplicates_bit_identical"], (
+            f"a cached repeat was not byte-identical at {row['label']!r}:\n"
+            + render_cache_bench(result)
+        )
+
+    # Gate 3: the high-duplicate points actually exercised the cache —
+    # hits or single-flight joins, depending on arrival spacing.
+    for row in rows:
+        if row["offered_duplicate_rate"] >= 0.5:
+            served_cheap = row["cache"].get("response_hits", 0) + row[
+                "cache"
+            ].get("response_coalesced", 0)
+            assert served_cheap > 0, (
+                f"no cache activity at {row['label']!r} despite "
+                f"{row['offered_duplicate_rate']:.0%} duplicates:\n"
+                + render_cache_bench(result)
+            )
+
+    # Gate 4: the extended conservation ledger balances on both sides.
+    for side, ledger in result["batcher_conservation"].items():
+        assert ledger["submitted"] == (
+            ledger["shed"] + ledger["cache_hits"] + ledger["requests"]
+        ), (side, ledger)
+        assert ledger["requests"] == (
+            ledger["completed"] + ledger["expired"] + ledger["failed"]
+            + ledger["cancelled"]
+        ), (side, ledger)
+    assert result["batcher_conservation"]["off"]["cache_hits"] == 0
+
+    text = (
+        f"mobilenet_v3_tiny @{_INPUT_SIZE}px, planned engine, "
+        f"max_batch_size={_MAX_BATCH_SIZE}, "
+        f"max_queue_depth={_MAX_QUEUE_DEPTH}, "
+        f"{os.cpu_count()} cpu core(s) on this host\n"
+        + render_cache_bench(result)
+    )
+    emit(
+        results_dir,
+        "serve_cache",
+        text,
+        data={
+            "host_cpu_cores": os.cpu_count(),
+            "input_size": _INPUT_SIZE,
+            "max_batch_size": _MAX_BATCH_SIZE,
+            "max_queue_depth": _MAX_QUEUE_DEPTH,
+            "requests_per_point": _REQUESTS_PER_POINT,
+            "duplicate_rates": list(_DUPLICATE_RATES),
+            **result,
+        },
+    )

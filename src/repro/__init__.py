@@ -35,6 +35,7 @@ Sub-packages
 from . import core, data, deployment, models, nn, scenarios, serve
 from .scenarios import Scenario
 from .serve import (
+    CachePolicy,
     ClusterDeployment,
     ClusterSpec,
     Deployment,
@@ -53,6 +54,7 @@ __all__ = [
     "deployment",
     "scenarios",
     "serve",
+    "CachePolicy",
     "ClusterDeployment",
     "ClusterSpec",
     "Deployment",

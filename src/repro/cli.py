@@ -352,13 +352,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .data.streams import ArrivalSpec
     from .deployment import GIGABIT_ETHERNET
     from .serve import (
+        CachePolicy,
         ClusterSpec,
         DeploymentSpec,
         SpecError,
         WorkerFaultPlan,
+        render_cache_bench,
         render_cluster_bench,
         render_overload_bench,
         render_serve_bench,
+        run_cache_bench,
         run_cluster_bench,
         run_overload_bench,
         run_serve_bench,
@@ -420,6 +423,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         except ValueError as error:
             print(f"bad --worker-faults spec: {error}", file=sys.stderr)
             return 2
+    cache_policy = None
+    if args.cache is not None:
+        try:
+            cache_policy = CachePolicy.from_string(args.cache)
+        except ValueError as error:
+            print(f"bad --cache spec: {error}", file=sys.stderr)
+            return 2
+    duplicate_rates = None
+    if args.duplicate_rates is not None:
+        try:
+            duplicate_rates = [
+                float(part)
+                for part in args.duplicate_rates.split(",")
+                if part
+            ]
+        except ValueError:
+            print(f"--duplicate-rates must be comma-separated floats, got "
+                  f"{args.duplicate_rates!r}", file=sys.stderr)
+            return 2
+        if not duplicate_rates or not all(
+            0.0 <= rate <= 1.0 for rate in duplicate_rates
+        ):
+            print("serve needs --duplicate-rates with values in [0, 1]",
+                  file=sys.stderr)
+            return 2
     try:
         spec = DeploymentSpec(
             model=args.backbone,
@@ -433,6 +461,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_queue_delay_ms=args.max_delay_ms,
             max_queue_depth=args.queue_depth,
             deadline_ms=args.deadline_ms,
+            cache=cache_policy,
             replicas=args.replicas,
             seed=args.seed,
         )
@@ -458,6 +487,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 seed=args.seed,
             )
             print(render_cluster_bench(result))
+        elif duplicate_rates is not None:
+            # Duplicate-fraction sweep: cache-off vs cache-on deployments
+            # driven back-to-back on identical popularity-shaped streams.
+            print(f"cache bench: {spec.describe()}")
+            result = run_cache_bench(
+                spec,
+                duplicate_rates=duplicate_rates,
+                requests_per_point=args.requests * max(client_counts),
+                seed=args.seed,
+            )
+            print(render_cache_bench(result))
         elif arrival is not None:
             # Open-loop overload sweep: requests arrive on the schedule
             # whether or not the server keeps up; admission control sheds.
@@ -644,6 +684,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seeded SIGKILL schedule for replica chaos, e.g. "
                         "'at=2+5,seed=7' or 'rate=0.05,max=3,seed=1' "
                         "(see repro.serve.WorkerFaultPlan.from_string)")
+    p.add_argument("--cache", default=None, metavar="TIER[:K=V,...]",
+                   help="content-addressed serve cache policy, e.g. 'both', "
+                        "'response:capacity=16777216,ttl=30', or 'off' "
+                        "(see repro.serve.CachePolicy.from_string)")
+    p.add_argument("--duplicate-rates", default=None,
+                   help="switch to the cache bench: comma-separated "
+                        "duplicate fractions in [0, 1] swept with "
+                        "interleaved cache-off baselines, e.g. '0,0.5,0.9'")
     p.add_argument("--json", default=None, help="also write the result dict here")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_serve)

@@ -20,7 +20,13 @@ from .shapes3d import (
     make_shapes3d,
     make_shapes3d_detection,
 )
-from .streams import iter_image_batches, make_image_batches
+from .streams import (
+    ArrivalSpec,
+    PopularitySpec,
+    iter_image_batches,
+    make_image_batches,
+    make_request_stream,
+)
 from .transforms import (
     compute_mean_std,
     denormalize,
@@ -38,8 +44,11 @@ __all__ = [
     "make_shapes3d",
     "make_shapes3d_detection",
     "SHAPES3D_TASKS",
+    "ArrivalSpec",
+    "PopularitySpec",
     "iter_image_batches",
     "make_image_batches",
+    "make_request_stream",
     "MedicSceneGenerator",
     "make_medic",
     "MEDIC_TASKS",

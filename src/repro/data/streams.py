@@ -24,13 +24,35 @@ Markov-modulated, or diurnal rate-modulated arrivals), deterministically
 seeded like every other generator here, and
 :func:`make_request_stream` blends traffic from several image sources
 into one timestamped request sequence.
+
+Real traffic is not just clocked — it *repeats*.  The same image (a
+stuck camera frame, a viral item, a dashboard polling one asset) shows
+up again and again, which is exactly what the serve-side response and
+feature caches exploit.  :class:`PopularitySpec` models *which* image a
+request picks: ``uniform`` (the legacy draw), ``zipf`` (heavy-tailed
+rank popularity, ``p(r) ∝ 1/r^s`` over a ``universe`` of ranks), and
+``repeat`` (each draw duplicates an earlier one with probability
+``rate`` — an exact dial for duplicate fraction).  Like
+:class:`ArrivalSpec` it is frozen, deterministic and round-trips
+exactly through ``to_string``/``from_string`` and dict/JSON forms, so a
+bench artifact can name its traffic shape in one string, e.g.
+``"zipf:s=1.1,universe=64"``.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, fields, replace
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
 
 import numpy as np
 
@@ -38,7 +60,10 @@ from .noise import salt_and_pepper
 from .shapes3d import Shapes3DGenerator
 
 __all__ = [
+    "ARRIVAL_KINDS",
+    "POPULARITY_KINDS",
     "ArrivalSpec",
+    "PopularitySpec",
     "Request",
     "iter_image_batches",
     "make_image_batches",
@@ -313,6 +338,172 @@ class ArrivalSpec:
 
 
 # ---------------------------------------------------------------------------
+# Which image a request picks: popularity models
+# ---------------------------------------------------------------------------
+
+#: Image-popularity kinds :class:`PopularitySpec` understands.
+POPULARITY_KINDS = ("uniform", "zipf", "repeat")
+
+
+@dataclass(frozen=True)
+class PopularitySpec:
+    """How requests choose images from a pool — the duplicate dial.
+
+    The arrival process says *when* requests fire;  this spec says
+    *which* image each one carries, which decides how much a
+    content-addressed cache can possibly help.  Three kinds:
+
+    ``"uniform"``
+        Every draw is independent and uniform over the pool — the
+        legacy :func:`make_request_stream` behaviour (and its exact RNG
+        sequence).
+    ``"zipf"``
+        Heavy-tailed rank popularity: rank ``r`` in ``1..universe`` is
+        drawn with probability proportional to ``1 / r**s``, then mapped
+        onto the pool by ``(r - 1) % pool_size``.  A small ``universe``
+        against a large pool concentrates traffic on a few images — the
+        classic web/CDN regime caches are built for.
+    ``"repeat"``
+        Each draw repeats a uniformly chosen *earlier* draw with
+        probability ``rate``; otherwise it takes the next not-yet-seen
+        pool image (sequentially).  ``rate`` is therefore an exact
+        expected duplicate fraction — ``rate=0`` yields zero duplicates
+        while the pool lasts, ``rate=0.9`` yields ~90% cache-hittable
+        traffic.
+
+    Draws are stateful per source pool (``repeat`` needs its history),
+    so :func:`make_request_stream` holds one ``state`` dict per source
+    and calls :meth:`draw`.  Fully deterministic given the stream's RNG.
+    """
+
+    kind: str = "uniform"
+    s: float = 1.1
+    universe: int = 64
+    rate: float = 0.5
+
+    def __post_init__(self):
+        if self.kind not in POPULARITY_KINDS:
+            raise ValueError(
+                f"popularity kind must be one of {POPULARITY_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        object.__setattr__(self, "s", float(self.s))
+        object.__setattr__(self, "universe", int(self.universe))
+        object.__setattr__(self, "rate", float(self.rate))
+        if self.s <= 0:
+            raise ValueError(f"s must be > 0, got {self.s}")
+        if self.universe < 1:
+            raise ValueError(f"universe must be >= 1, got {self.universe}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+
+    # -- sampling ------------------------------------------------------
+    def _zipf_probabilities(self) -> np.ndarray:
+        ranks = np.arange(1, self.universe + 1, dtype=np.float64)
+        raw = ranks ** -self.s
+        return raw / raw.sum()
+
+    def draw(self, rng: np.random.Generator, pool_size: int,
+             state: Dict[str, Any]) -> int:
+        """The next image index for a pool of ``pool_size`` images.
+
+        ``state`` is an initially-empty dict the caller keeps per pool;
+        ``repeat`` stores its draw history there, ``zipf`` caches its
+        probability vector.
+        """
+        if pool_size < 1:
+            raise ValueError(f"pool_size must be >= 1, got {pool_size}")
+        if self.kind == "uniform":
+            return int(rng.integers(pool_size))
+        if self.kind == "zipf":
+            probabilities = state.get("p")
+            if probabilities is None:
+                probabilities = state["p"] = self._zipf_probabilities()
+            rank = int(rng.choice(self.universe, p=probabilities))
+            return rank % pool_size
+        # repeat: duplicate an earlier draw with probability `rate`,
+        # otherwise take the next not-yet-seen pool image.  Fresh draws
+        # are sequential (not uniform) so rate=0 really means 0%
+        # duplicates until the pool is exhausted.
+        history: List[int] = state.setdefault("history", [])
+        if history and float(rng.random()) < self.rate:
+            index = history[int(rng.integers(len(history)))]
+        else:
+            fresh = state.get("next_fresh", 0)
+            index = fresh % pool_size
+            state["next_fresh"] = fresh + 1
+        history.append(index)
+        return index
+
+    # -- serialisation -------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PopularitySpec":
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown PopularitySpec keys {unknown}; "
+                f"known keys: {sorted(known)}"
+            )
+        return cls(**dict(data))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "PopularitySpec":
+        return cls.from_dict(json.loads(text))
+
+    # -- CLI / scenario string form ------------------------------------
+    def to_string(self) -> str:
+        """Compact ``kind:key=value,...`` form (inverse of
+        :meth:`from_string`); only non-default fields are listed."""
+        default = PopularitySpec(kind=self.kind)
+        parts = []
+        for f in fields(self):
+            if f.name == "kind":
+                continue
+            value = getattr(self, f.name)
+            if value != getattr(default, f.name):
+                # repr() floats round-trip exactly (same contract as
+                # ArrivalSpec.to_string).
+                parts.append(f"{f.name}={value!r}")
+        return self.kind + (":" + ",".join(parts) if parts else "")
+
+    @classmethod
+    def from_string(cls, text: str) -> "PopularitySpec":
+        """Parse ``"zipf:s=1.1,universe=64"`` / ``"repeat:rate=0.9"``."""
+        if not isinstance(text, str) or not text.strip():
+            raise ValueError(
+                f"popularity spec must be a non-empty string, got {text!r}"
+            )
+        head, _, tail = text.strip().partition(":")
+        payload: Dict[str, Any] = {"kind": head.strip()}
+        int_fields = {"universe"}
+        for part in filter(None, (p.strip() for p in tail.split(","))):
+            key, sep, value = part.partition("=")
+            if not sep:
+                raise ValueError(
+                    f"popularity spec parts must be key=value, "
+                    f"got {part!r} in {text!r}"
+                )
+            key = key.strip()
+            try:
+                payload[key] = (
+                    int(value) if key in int_fields else float(value)
+                )
+            except ValueError:
+                raise ValueError(
+                    f"popularity spec value for {key!r} must be numeric, "
+                    f"got {value!r}"
+                ) from None
+        return cls.from_dict(payload)
+
+
+# ---------------------------------------------------------------------------
 # Mixed-source open-loop request streams
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -330,15 +521,19 @@ def make_request_stream(
     count: int,
     weights: Optional[Mapping[str, float]] = None,
     seed: Optional[int] = None,
+    popularity: Union[str, Mapping[str, Any], "PopularitySpec", None] = None,
 ) -> List[Request]:
     """Blend several image sources into one timestamped request stream.
 
     ``sources`` maps a name to a pool of single images (no batch axis);
     each request draws its source by ``weights`` (uniform over sources
-    when omitted) and an image uniformly from that source's pool —
-    all deterministically from ``seed`` (default: the arrival spec's
-    seed), so the blend replays exactly.  Sources may have different
-    image shapes; downstream shape-grouped batching handles the mix.
+    when omitted) and an image from that source's pool according to
+    ``popularity`` (a :class:`PopularitySpec`, its string or dict form,
+    or ``None`` for the legacy uniform draw — bit-for-bit the same
+    stream as before this knob existed) — all deterministically from
+    ``seed`` (default: the arrival spec's seed), so the blend replays
+    exactly.  Sources may have different image shapes; downstream
+    shape-grouped batching handles the mix.
     """
     if not sources:
         raise ValueError("sources must be non-empty")
@@ -356,13 +551,25 @@ def make_request_stream(
         if (raw < 0).any() or raw.sum() <= 0:
             raise ValueError(f"weights must be non-negative and sum > 0, got {weights}")
         probabilities = raw / raw.sum()
+    if popularity is None:
+        popularity = PopularitySpec()  # uniform: the exact legacy draws
+    elif isinstance(popularity, str):
+        popularity = PopularitySpec.from_string(popularity)
+    elif isinstance(popularity, Mapping):
+        popularity = PopularitySpec.from_dict(popularity)
+    elif not isinstance(popularity, PopularitySpec):
+        raise TypeError(
+            "popularity must be a PopularitySpec, its string/dict form, "
+            f"or None, got {type(popularity).__name__}"
+        )
     times = arrival.sample(count)
     rng = np.random.default_rng(arrival.seed if seed is None else seed)
     choices = rng.choice(len(names), size=count, p=probabilities)
+    states: Dict[str, Dict[str, Any]] = {name: {} for name in names}
     requests = []
     for arrival_s, choice in zip(times, choices):
         name = names[int(choice)]
         pool = sources[name]
-        image = pool[int(rng.integers(len(pool)))]
+        image = pool[popularity.draw(rng, len(pool), states[name])]
         requests.append(Request(float(arrival_s), image, name))
     return requests

@@ -33,8 +33,14 @@ batcher's overload semantics (:class:`RejectedError` admission control,
 fault-tolerance live in :mod:`repro.serve.cluster`: ``replicas > 1`` on
 the spec (or :func:`deploy_cluster`) runs N supervised worker processes
 behind the same ``submit`` surface, with seeded SIGKILL chaos
-(:class:`WorkerFaultPlan`), in-flight failover and graceful drain.  The
-pre-``serve`` classes under ``repro.deployment``
+(:class:`WorkerFaultPlan`), in-flight failover and graceful drain.
+Content-addressed caching lives in :mod:`repro.serve.cache`: a
+``cache=`` policy on the spec adds a response tier (input digest →
+final output, resolved at admission before any queueing) and a
+split-point feature tier (input digest → edge activation at the cut),
+both keyed under a provenance digest of the spec + optimized plan IR —
+see ``docs/caching.md``.  The pre-``serve`` classes under
+``repro.deployment``
 (``EdgeRuntime``/``ServerRuntime``/``SplitPipeline``) remain as
 deprecated wrappers over this package.
 """
@@ -49,12 +55,23 @@ from .batching import (
 from .bench import (
     ClientLoadResult,
     OverloadPoint,
+    render_cache_bench,
     render_cluster_bench,
     render_overload_bench,
     render_serve_bench,
+    run_cache_bench,
     run_cluster_bench,
     run_overload_bench,
     run_serve_bench,
+)
+from .cache import (
+    ByteLRUStore,
+    CachePolicy,
+    CacheStats,
+    FeatureCache,
+    ResponseCache,
+    ServeCache,
+    tensor_digest,
 )
 from .cluster import (
     ClusterDeployment,
@@ -91,6 +108,9 @@ __all__ = [
     "CLUSTER_STATES",
     "FALLBACK_MODES",
     "BatchingStats",
+    "ByteLRUStore",
+    "CachePolicy",
+    "CacheStats",
     "ChannelDownError",
     "ChannelFaultError",
     "ClientLoadResult",
@@ -105,12 +125,15 @@ __all__ = [
     "EdgeRuntime",
     "FaultPlan",
     "FaultStats",
+    "FeatureCache",
     "InferenceTrace",
     "NoHealthyReplicaError",
     "OverloadPoint",
     "RejectedError",
     "ReplicaManager",
     "ResilientLink",
+    "ResponseCache",
+    "ServeCache",
     "ServerCrashError",
     "ServerRuntime",
     "ShutdownError",
@@ -123,10 +146,13 @@ __all__ = [
     "WorkerFaultPlan",
     "deploy",
     "deploy_cluster",
+    "render_cache_bench",
     "render_cluster_bench",
     "render_overload_bench",
     "render_serve_bench",
+    "run_cache_bench",
     "run_cluster_bench",
     "run_overload_bench",
     "run_serve_bench",
+    "tensor_digest",
 ]

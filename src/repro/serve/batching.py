@@ -38,6 +38,15 @@ results are bit-for-bit within 1e-6 of sequential batch-1 calls (the
 property the concurrency tests assert); the ``quant8`` wire format
 quantises per batch, so there results can differ at quantisation
 granularity.
+
+When a :class:`~repro.serve.cache.ResponseCache` is attached (see
+``docs/caching.md``), ``submit`` resolves **cache hits at admission** —
+before the request ever occupies queue depth, so a hit can neither be
+shed nor expire — and runs **single-flight** coalescing: concurrent
+submits of an input already being computed attach to the in-flight
+request's future instead of queueing duplicate edge work.  Both paths
+count in ``stats.cache_hits``, extending the conservation ledger to
+``submitted == shed + cache_hits + requests``.
 """
 
 from __future__ import annotations
@@ -92,15 +101,19 @@ class BatchingStats:
     through one by one.
 
     The overload counters partition every ``submit`` attempt:
-    ``submitted == shed + requests`` (rejected at the door vs accepted),
-    and every accepted request ends exactly one way, so at quiescence
+    ``submitted == shed + cache_hits + requests`` (rejected at the door
+    vs answered from cache at the door vs accepted into the queue), and
+    every accepted request ends exactly one way, so at quiescence
     ``requests == completed + expired + failed + cancelled`` — the
-    conservation law the overload property tests assert.
+    conservation law the overload property tests assert.  Without a
+    response cache ``cache_hits`` stays 0 and the ledger reads exactly
+    as it did pre-cache.
     """
 
     requests: int = 0        # accepted submissions
-    submitted: int = 0       # all submit attempts (accepted + shed)
+    submitted: int = 0       # all submit attempts (accepted + hits + shed)
     shed: int = 0            # rejected by admission control (queue full)
+    cache_hits: int = 0      # answered at admission (stored hit or coalesced)
     expired: int = 0         # dropped in queue past their deadline
     completed: int = 0       # futures resolved with a result
     failed: int = 0          # futures failed by an infer error
@@ -174,6 +187,15 @@ class DynamicBatcher:
         have a batch in flight.
     name:
         Thread-name prefix, visible in debuggers and the leak tests.
+    response_cache:
+        Optional :class:`~repro.serve.cache.ResponseCache`.  When given,
+        every submit is first looked up by content digest: a stored hit
+        resolves immediately at admission (no queue slot, no deadline,
+        counted in ``stats.cache_hits``); a miss whose key is already
+        being computed joins that in-flight request (single-flight — no
+        duplicate edge compute; followers share the primary's outcome,
+        including its deadline fate); a cold miss queues normally and
+        populates the cache when it completes.
     """
 
     def __init__(
@@ -185,6 +207,7 @@ class DynamicBatcher:
         default_deadline_ms: Optional[float] = None,
         dispatchers: int = 1,
         name: str = "repro-serve-batcher",
+        response_cache: Optional[object] = None,
     ):
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -220,6 +243,12 @@ class DynamicBatcher:
         self._pending: List[_Pending] = []
         self._sequence = 0
         self._closed = False
+        self._response_cache = response_cache
+        # Single-flight bookkeeping: key -> (primary future, followers).
+        # Guarded by its own plain lock, never held while resolving a
+        # future (client done-callbacks must not run under our locks).
+        self._inflight: Dict[str, Tuple["Future", List["Future"]]] = {}
+        self._inflight_lock = threading.Lock()
         self._threads = [
             threading.Thread(
                 target=self._dispatch_loop,
@@ -254,11 +283,33 @@ class DynamicBatcher:
         if deadline_ms is not None and deadline_ms <= 0:
             raise ValueError(f"deadline_ms must be > 0 or None, got {deadline_ms}")
         array = np.asarray(image, dtype=np.float32)
+        # Content-digest lookup happens before taking the condition lock
+        # (hashing is pure CPU; no reason to serialise submitters on it).
+        key: Optional[str] = None
+        hit = None
+        if self._response_cache is not None:
+            key = self._response_cache.key_for(array)
+            hit = self._response_cache.get(key)
         now = time.monotonic()
         with self._cond:
             if self._closed:
                 raise RuntimeError("DynamicBatcher is closed; no new submissions")
             self.stats.submitted += 1
+            if hit is not None:
+                # Resolved at admission: a hit never occupies queue
+                # depth, so it can neither be shed nor expire.
+                self.stats.cache_hits += 1
+                future: "Future" = Future()
+                future.set_result(hit)
+                return future
+            if key is not None:
+                follower = self._join_inflight(key)
+                if follower is not None:
+                    # Single-flight: the same input is already being
+                    # computed; share its outcome instead of queueing a
+                    # duplicate.  No queue slot, so no shed/deadline.
+                    self.stats.cache_hits += 1
+                    return follower
             if (
                 self.max_queue_depth is not None
                 and len(self._pending) >= self.max_queue_depth
@@ -269,7 +320,7 @@ class DynamicBatcher:
                     f"max_queue_depth={self.max_queue_depth})"
                 )
             self.stats.requests += 1
-            future: "Future" = Future()
+            future = Future()
             self._pending.append(
                 _Pending(
                     image=array,
@@ -282,8 +333,62 @@ class DynamicBatcher:
                 )
             )
             self._sequence += 1
+            if key is not None:
+                with self._inflight_lock:
+                    self._inflight[key] = (future, [])
+                # Fires on *any* resolution — result, infer error,
+                # deadline expiry, cancellation, shutdown drain — so the
+                # in-flight entry can never leak.
+                future.add_done_callback(
+                    lambda done, key=key: self._finish_inflight(key, done)
+                )
             self._cond.notify_all()
         return future
+
+    def _join_inflight(self, key: str) -> Optional["Future"]:
+        """Attach a follower future to an in-flight computation of
+        ``key``, or return None when none is in flight."""
+        with self._inflight_lock:
+            entry = self._inflight.get(key)
+            if entry is None:
+                return None
+            follower: "Future" = Future()
+            entry[1].append(follower)
+        if self._response_cache is not None:
+            self._response_cache.note_coalesced()
+        return follower
+
+    def _finish_inflight(self, key: str, primary: "Future") -> None:
+        """Primary resolved: store its result, settle the followers."""
+        with self._inflight_lock:
+            entry = self._inflight.pop(key, None)
+        if entry is None:
+            return
+        followers = entry[1]
+        stored = None
+        error: Optional[BaseException] = None
+        if primary.cancelled():
+            error = None  # followers are cancelled below
+        else:
+            error = primary.exception()
+            if error is None and self._response_cache is not None:
+                # Store the frozen copy; followers share it so no client
+                # can mutate another's result through the cache.
+                stored = self._response_cache.put(key, primary.result())
+        for follower in followers:
+            if not follower.set_running_or_notify_cancel():
+                continue
+            if primary.cancelled():
+                follower.set_exception(
+                    ShutdownError("in-flight request this submit had joined "
+                                  "was cancelled")
+                )
+            elif error is not None:
+                follower.set_exception(error)
+            elif stored is not None:
+                follower.set_result(dict(stored) if isinstance(stored, dict) else stored)
+            else:
+                follower.set_result(primary.result())
 
     @property
     def queue_depth(self) -> int:

@@ -31,6 +31,17 @@ latency percentiles and the overload outcome split
 *before and after* the sweep on the same deployment (the interleaved
 same-run baseline discipline), so thermal or cache drift shows up as a
 stamped ``drift`` number instead of silently skewing the load factors.
+
+:func:`run_cache_bench` measures what the content-addressed serve cache
+(:mod:`repro.serve.cache`) buys under *repetitive* traffic: it sweeps
+duplicate fraction (seeded ``repeat``/``zipf`` popularity streams from
+:mod:`repro.data.streams`) and, per point, drives a cache-off and a
+cache-on deployment back-to-back on the *same* request stream — the
+interleaved-baseline discipline again, now across the cache axis.  Each
+point also cross-checks equivalence: every cache-on result must match
+the cache-off result for the same image within 1e-6, and every repeat
+of an image within the cache-on run must be bit-identical to its first
+occurrence.
 """
 
 from __future__ import annotations
@@ -42,9 +53,10 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from ..data.streams import ArrivalSpec
+from ..data.streams import ArrivalSpec, PopularitySpec, make_request_stream
 from ..models.registry import get_spec
 from .batching import DeadlineExceededError, RejectedError
+from .cache import CachePolicy
 from .cluster import ClusterSpec, deploy_cluster
 from .deployment import Deployment, deploy
 from .spec import DeploymentSpec
@@ -58,6 +70,8 @@ __all__ = [
     "render_overload_bench",
     "run_cluster_bench",
     "render_cluster_bench",
+    "run_cache_bench",
+    "render_cache_bench",
 ]
 
 
@@ -540,6 +554,294 @@ def render_overload_bench(result: Dict) -> str:
     lines.append(
         f"arrival: {result['arrival_kind']}; fault plan: "
         + (f"sha256:{digest[:16]}…" if digest else "none")
+    )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Content-addressed cache benchmark
+# ---------------------------------------------------------------------------
+def _result_rows(result) -> Dict[str, np.ndarray]:
+    """Normalise a ``submit()`` result to a ``{name: array}`` mapping."""
+    if isinstance(result, dict):
+        return {name: np.asarray(row) for name, row in result.items()}
+    return {"output": np.asarray(result)}
+
+
+def _max_abs_diff(a, b) -> float:
+    """Largest elementwise difference between two results (inf on
+    mismatched task sets)."""
+    rows_a, rows_b = _result_rows(a), _result_rows(b)
+    if sorted(rows_a) != sorted(rows_b):
+        return float("inf")
+    worst = 0.0
+    for name, row in rows_a.items():
+        other = rows_b[name]
+        if row.shape != other.shape:
+            return float("inf")
+        if row.size:
+            delta = np.abs(
+                row.astype(np.float64) - other.astype(np.float64)
+            )
+            worst = max(worst, float(delta.max()))
+    return worst
+
+
+def _bitwise_equal(a, b) -> bool:
+    rows_a, rows_b = _result_rows(a), _result_rows(b)
+    return sorted(rows_a) == sorted(rows_b) and all(
+        rows_a[name].dtype == rows_b[name].dtype
+        and rows_a[name].shape == rows_b[name].shape
+        and rows_a[name].tobytes() == rows_b[name].tobytes()
+        for name in rows_a
+    )
+
+
+def _offer_stream(
+    deployment, stream, timeout: float = 120.0
+) -> "tuple[Dict, List[Optional[object]]]":
+    """Open-loop offer of a request stream, keeping per-request results.
+
+    Same discipline as :func:`_run_open_loop`, but the stream carries
+    its own images and arrival times, and every completed result is
+    returned by request index so the caller can cross-check cache-on
+    against cache-off numerics.
+    """
+    results: List[Optional[object]] = [None] * len(stream)
+    counts = {"completed": 0, "shed": 0, "expired": 0, "failed": 0}
+    latencies: List[float] = []
+    outstanding: List["tuple"] = []
+    start = time.perf_counter()
+    for index, request in enumerate(stream):
+        behind = request.arrival_s - (time.perf_counter() - start)
+        if behind > 0:
+            time.sleep(behind)
+        t0 = time.perf_counter()
+        try:
+            future = deployment.submit(request.image)
+        except RejectedError:
+            counts["shed"] += 1
+            continue
+        outstanding.append((index, t0, future))
+    for index, t0, future in outstanding:
+        try:
+            results[index] = future.result(timeout=timeout)
+        except DeadlineExceededError:
+            counts["expired"] += 1
+        except Exception:
+            counts["failed"] += 1
+        else:
+            counts["completed"] += 1
+            latencies.append(time.perf_counter() - t0)
+    wall = time.perf_counter() - start
+    point = dict(
+        counts,
+        requests=len(stream),
+        wall_seconds=wall,
+        throughput_rps=counts["completed"] / wall if wall else 0.0,
+        p50_ms=_percentile_ms(latencies, 50),
+        p95_ms=_percentile_ms(latencies, 95),
+    )
+    return point, results
+
+
+def _cache_counters(deployment: Deployment) -> Dict[str, int]:
+    """Flattened cumulative cache counters (``{tier}_{counter}``)."""
+    flat: Dict[str, int] = {}
+    for tier, snapshot in deployment.cache_stats().items():
+        for counter in ("hits", "misses", "stores", "evictions",
+                        "coalesced"):
+            flat[f"{tier}_{counter}"] = int(snapshot.get(counter, 0))
+    return flat
+
+
+def run_cache_bench(
+    spec: DeploymentSpec,
+    duplicate_rates: Sequence[float] = (0.0, 0.5, 0.9),
+    requests_per_point: int = 48,
+    load_factor: float = 4.0,
+    arrival: Union[str, ArrivalSpec] = "poisson",
+    zipf: Union[str, PopularitySpec, None] = None,
+    calibration_requests: int = 16,
+    seed: int = 0,
+    timeout: float = 120.0,
+) -> Dict:
+    """Measure the serve cache across a duplicate-fraction sweep.
+
+    Two deployments of the same spec — one with ``spec.cache`` (default
+    policy if the spec leaves it unset), one with caching stripped — are
+    driven back-to-back on the *same* open-loop request stream at
+    ``load_factor``x the calibrated closed-loop capacity, once per
+    duplicate rate (``repeat:rate=...`` popularity) plus one Zipf point
+    whose default universe (``requests_per_point // 10``) concentrates
+    ≥90% of traffic on a few images.  Every point uses a fresh image
+    pool, so per-point cache counter deltas are exact.
+
+    Per point the result records throughput off/on (``speedup``), the
+    cache counter deltas, and two equivalence checks the CI gates on:
+    ``max_abs_diff`` between cache-on and cache-off results for the same
+    request (must be ≤ 1e-6) and ``duplicates_bit_identical`` (every
+    repeat of an image inside the cache-on run returns bytes identical
+    to its first occurrence).
+    """
+    policy = spec.cache if spec.cache is not None else CachePolicy()
+    on_spec = replace(spec, cache=policy)
+    off_spec = replace(spec, cache=None)
+    template = (
+        ArrivalSpec(kind=arrival, seed=seed)
+        if isinstance(arrival, str)
+        else arrival
+    )
+    if zipf is None:
+        zipf = PopularitySpec(
+            kind="zipf", s=1.1, universe=max(requests_per_point // 10, 1)
+        )
+    elif isinstance(zipf, str):
+        zipf = PopularitySpec.from_string(zipf)
+
+    with deploy(off_spec) as off, deploy(on_spec) as on:
+        warm = sorted(
+            {1, spec.max_batch_size, max(spec.max_batch_size // 2, 1)}
+        )
+        off.warmup(warm)
+        on.warmup(warm)
+        calibration = _synthetic_images(
+            off, count=calibration_requests, seed=seed
+        )
+        capacity = _run_sequential(off, calibration).throughput_rps
+        offered = max(capacity * load_factor, 1e-3)
+
+        def run_point(label: str, popularity, pool_seed: int) -> Dict:
+            pool = _synthetic_images(
+                off, count=requests_per_point, seed=pool_seed
+            )
+            stream = make_request_stream(
+                replace(template, rate_rps=offered),
+                {"bench": list(pool)},
+                requests_per_point,
+                popularity=popularity,
+            )
+            off_point, off_results = _offer_stream(off, stream, timeout)
+            before = _cache_counters(on)
+            on_point, on_results = _offer_stream(on, stream, timeout)
+            cache_delta = {
+                key: value - before.get(key, 0)
+                for key, value in _cache_counters(on).items()
+            }
+            compared = 0
+            max_diff = 0.0
+            for a, b in zip(off_results, on_results):
+                if a is not None and b is not None:
+                    compared += 1
+                    max_diff = max(max_diff, _max_abs_diff(a, b))
+            first_seen: Dict[bytes, object] = {}
+            duplicates_compared = 0
+            identical = True
+            for request, result in zip(stream, on_results):
+                if result is None:
+                    continue
+                key = request.image.tobytes()
+                if key in first_seen:
+                    duplicates_compared += 1
+                    identical = identical and _bitwise_equal(
+                        first_seen[key], result
+                    )
+                else:
+                    first_seen[key] = result
+            unique = len({r.image.tobytes() for r in stream})
+            return {
+                "label": label,
+                "popularity": (
+                    popularity
+                    if isinstance(popularity, str)
+                    else popularity.to_string()
+                ),
+                "offered_duplicate_rate": (
+                    (len(stream) - unique) / len(stream) if stream else 0.0
+                ),
+                "off": off_point,
+                "on": on_point,
+                "speedup": (
+                    on_point["throughput_rps"] / off_point["throughput_rps"]
+                    if off_point["throughput_rps"]
+                    else 0.0
+                ),
+                "cache": cache_delta,
+                "compared": compared,
+                "max_abs_diff": max_diff,
+                "duplicates_compared": duplicates_compared,
+                "duplicates_bit_identical": identical,
+            }
+
+        points = [
+            run_point(
+                f"repeat {float(rate):.0%}",
+                f"repeat:rate={float(rate)!r}",
+                pool_seed=seed + 1 + index,
+            )
+            for index, rate in enumerate(duplicate_rates)
+        ]
+        zipf_point = run_point(
+            f"zipf s={zipf.s:g} universe={zipf.universe}",
+            zipf,
+            pool_seed=seed + 1 + len(points),
+        )
+
+        def conservation(deployment: Deployment) -> Dict[str, int]:
+            stats = deployment.batching_stats
+            return {
+                "submitted": stats.submitted,
+                "shed": stats.shed,
+                "cache_hits": stats.cache_hits,
+                "requests": stats.requests,
+                "completed": stats.completed,
+                "expired": stats.expired,
+                "failed": stats.failed,
+                "cancelled": stats.cancelled,
+            }
+
+        ledgers = {"off": conservation(off), "on": conservation(on)}
+    return {
+        "spec": (
+            spec.to_dict() if isinstance(spec.model, str) else spec.describe()
+        ),
+        "cache_policy": policy.to_string(),
+        "arrival_template": template.to_string(),
+        "capacity_rps": capacity,
+        "offered_rps": offered,
+        "load_factor": load_factor,
+        "requests_per_point": requests_per_point,
+        "points": points,
+        "zipf_point": zipf_point,
+        "batcher_conservation": ledgers,
+    }
+
+
+def render_cache_bench(result: Dict) -> str:
+    """Human-readable table for one :func:`run_cache_bench` result."""
+    lines = [
+        f"cache policy: {result['cache_policy']}; offered "
+        f"{result['offered_rps']:.1f} req/s "
+        f"({result['load_factor']:g}x capacity "
+        f"{result['capacity_rps']:.1f} req/s)",
+        f"{'point':<24}{'dup%':>6}{'off/s':>9}{'on/s':>9}{'speedup':>9}"
+        f"{'hits':>6}{'maxdiff':>10}{'bitwise':>9}",
+    ]
+    for row in [*result["points"], result["zipf_point"]]:
+        hits = row["cache"].get("response_hits", 0)
+        lines.append(
+            f"{row['label']:<24}{row['offered_duplicate_rate']:>6.0%}"
+            f"{row['off']['throughput_rps']:>9.1f}"
+            f"{row['on']['throughput_rps']:>9.1f}{row['speedup']:>8.2f}x"
+            f"{hits:>6}{row['max_abs_diff']:>10.1e}"
+            f"{'yes' if row['duplicates_bit_identical'] else 'NO':>9}"
+        )
+    ledger = result["batcher_conservation"]["on"]
+    lines.append(
+        "cache-on ledger: "
+        f"submitted {ledger['submitted']} == shed {ledger['shed']} "
+        f"+ cache_hits {ledger['cache_hits']} "
+        f"+ requests {ledger['requests']}"
     )
     return "\n".join(lines)
 

@@ -1,0 +1,35 @@
+"""``repro.serve.cache`` — content-addressed serving caches.
+
+Production traffic is repetitive; this package converts that repetition
+into near-zero edge cost with two cooperating tiers (see
+``docs/caching.md``):
+
+* a **response cache** returning final task outputs straight from the
+  batcher's admission path (a hit never occupies queue depth), and
+* a **split-point feature cache** memoizing the edge activation at the
+  cut, so a hit pays only wire codec + server head.
+
+Keys are SHA-256 digests of the canonicalized input tensor, prefixed by
+a provenance digest of the deployment spec + optimized plan IR — an
+optimizer change or respec can never serve stale numerics.  Configure
+via :class:`CachePolicy` on the ``DeploymentSpec`` (``cache=...``) or
+``repro serve --cache both:ttl=30``.
+"""
+
+from .keys import combine_digests, provenance_digest, tensor_digest
+from .policy import CACHE_TIERS, CachePolicy
+from .store import ByteLRUStore, CacheStats
+from .tiers import FeatureCache, ResponseCache, ServeCache
+
+__all__ = [
+    "CACHE_TIERS",
+    "ByteLRUStore",
+    "CachePolicy",
+    "CacheStats",
+    "FeatureCache",
+    "ResponseCache",
+    "ServeCache",
+    "combine_digests",
+    "provenance_digest",
+    "tensor_digest",
+]

@@ -1,0 +1,77 @@
+"""Content-addressed cache keys with plan/spec provenance.
+
+Two deployments must never share a cache line unless they are guaranteed
+to produce the same numerics.  Keys therefore have two halves:
+
+* a **provenance digest** — SHA-256 over the deployment's serialised
+  :class:`~repro.serve.spec.DeploymentSpec` *and* the optimized plan-IR
+  description of the edge half, so an optimizer-pass change, a respec,
+  or a different split point all key into disjoint namespaces; and
+* a **tensor digest** — SHA-256 over the *canonicalized* input tensor:
+  dtype tag + shape tag + C-contiguous bytes.
+
+Canonicalization is what makes the tensor digest an equivalence class
+over values rather than memory layouts: a Fortran-ordered copy, a
+negative-stride view and a freshly materialised C array of the same
+values hash identically, while arrays that merely share raw bytes but
+differ in dtype or shape (``float32`` vs ``int32``, ``(2, 3)`` vs
+``(3, 2)``) can never collide — the header is part of the hash, with an
+unambiguous separator so no (header, payload) pair aliases another.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["combine_digests", "provenance_digest", "tensor_digest"]
+
+
+def tensor_digest(array: np.ndarray) -> str:
+    """SHA-256 hex digest of a canonicalized tensor.
+
+    The hash covers ``dtype.str`` (which pins byte order: ``'<f4'``),
+    the shape tuple, and the element bytes in C order.  Non-contiguous
+    inputs (F-ordered, negative-stride, sliced views) are materialised
+    with :func:`np.ascontiguousarray` first, so equal-valued arrays
+    produce equal digests regardless of memory layout.
+    """
+    array = np.asarray(array)
+    if not array.flags.c_contiguous:
+        array = np.ascontiguousarray(array)
+    hasher = hashlib.sha256()
+    # Self-delimiting header: dtype and shape cannot bleed into the
+    # payload bytes, so (dtype, shape, bytes) triples never alias.
+    header = f"{array.dtype.str}|{array.shape!r}|".encode("ascii")
+    hasher.update(len(header).to_bytes(4, "little"))
+    hasher.update(header)
+    hasher.update(array.tobytes())
+    return hasher.hexdigest()
+
+
+def provenance_digest(parts: Iterable[str]) -> str:
+    """SHA-256 over an ordered sequence of provenance strings.
+
+    Callers pass the serialised spec, the optimized plan-IR description
+    and any extra discriminators (e.g. a per-process token for in-memory
+    models that have no stable serialised form).  Each part is length-
+    prefixed so concatenation ambiguity cannot produce collisions.
+    """
+    hasher = hashlib.sha256()
+    for part in parts:
+        data = part.encode("utf-8")
+        hasher.update(len(data).to_bytes(8, "little"))
+        hasher.update(data)
+    return hasher.hexdigest()
+
+
+def combine_digests(provenance: str, tensor: str) -> str:
+    """One cache key: provenance namespace + content address.
+
+    The full provenance digest is folded to 16 hex chars (64 bits) —
+    enough to keep namespaces disjoint — and kept visible in the key so
+    tests and logs can see *why* two keys differ.
+    """
+    return f"{provenance[:16]}:{tensor}"

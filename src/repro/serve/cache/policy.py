@@ -1,0 +1,176 @@
+"""Frozen, JSON-round-tripped cache configuration (:class:`CachePolicy`).
+
+The policy rides on :class:`~repro.serve.spec.DeploymentSpec` the same
+way :class:`~repro.data.streams.ArrivalSpec` rides on scenarios: a
+frozen dataclass with eager validation, exact ``dict``/JSON round-trips
+that reject unknown keys, and a compact ``tier:key=value,...`` string
+form for the CLI (``repro serve --cache both:ttl=30``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = ["CACHE_TIERS", "CachePolicy"]
+
+#: Tier selections :class:`CachePolicy` understands.  ``response``
+#: caches final task outputs keyed on the input image; ``feature``
+#: memoizes the edge activation at the split point; ``both`` runs the
+#: two tiers stacked.
+CACHE_TIERS = ("response", "feature", "both")
+
+# Compact-string aliases: field name <-> short CLI key.
+_SHORT = {
+    "capacity_bytes": "capacity",
+    "max_entries": "entries",
+    "ttl_s": "ttl",
+    "sweep_interval_s": "sweep",
+    "enabled": "enabled",
+}
+_LONG = {short: name for name, short in _SHORT.items()}
+
+
+@dataclass(frozen=True)
+class CachePolicy:
+    """Configuration for the serve-side cache tiers.
+
+    Parameters
+    ----------
+    tier:
+        Which tier(s) to run — ``"response"``, ``"feature"`` or
+        ``"both"``.
+    enabled:
+        Master switch; a disabled policy behaves exactly like
+        ``cache=None`` (useful for flipping caching off in a respec
+        without losing the tuned budgets).
+    capacity_bytes:
+        Byte budget **per tier** for cached values (LRU evicts from the
+        cold end when exceeded).
+    max_entries:
+        Entry-count budget per tier.
+    ttl_s:
+        Optional time-to-live in seconds.  Entries older than this are
+        misses, and a background sweeper thread (named
+        ``repro-serve-cache-*``, reclaimed by ``close()``) reaps them
+        so expired bytes do not linger against the budget.
+    sweep_interval_s:
+        How often the sweeper wakes when ``ttl_s`` is set.
+    """
+
+    tier: str = "both"
+    enabled: bool = True
+    capacity_bytes: int = 64 * 1024 * 1024
+    max_entries: int = 4096
+    ttl_s: Optional[float] = None
+    sweep_interval_s: float = 0.5
+
+    def __post_init__(self):
+        if self.tier not in CACHE_TIERS:
+            raise ValueError(
+                f"cache tier must be one of {CACHE_TIERS}, got {self.tier!r}"
+            )
+        object.__setattr__(self, "enabled", bool(self.enabled))
+        object.__setattr__(self, "capacity_bytes", int(self.capacity_bytes))
+        object.__setattr__(self, "max_entries", int(self.max_entries))
+        if self.capacity_bytes < 1:
+            raise ValueError(
+                f"capacity_bytes must be >= 1, got {self.capacity_bytes}"
+            )
+        if self.max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {self.max_entries}")
+        if self.ttl_s is not None:
+            object.__setattr__(self, "ttl_s", float(self.ttl_s))
+            if not self.ttl_s > 0:
+                raise ValueError(f"ttl_s must be > 0 or None, got {self.ttl_s}")
+        object.__setattr__(self, "sweep_interval_s", float(self.sweep_interval_s))
+        if not self.sweep_interval_s > 0:
+            raise ValueError(
+                f"sweep_interval_s must be > 0, got {self.sweep_interval_s}"
+            )
+
+    @property
+    def response_enabled(self) -> bool:
+        return self.enabled and self.tier in ("response", "both")
+
+    @property
+    def feature_enabled(self) -> bool:
+        return self.enabled and self.tier in ("feature", "both")
+
+    # -- serialisation -------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CachePolicy":
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown CachePolicy keys {unknown}; known keys: {sorted(known)}"
+            )
+        return cls(**dict(data))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CachePolicy":
+        return cls.from_dict(json.loads(text))
+
+    # -- CLI string form -----------------------------------------------
+    def to_string(self) -> str:
+        """Compact ``tier:key=value,...`` form (inverse of
+        :meth:`from_string`); only non-default fields are listed."""
+        default = CachePolicy(tier=self.tier)
+        parts = []
+        for f in fields(self):
+            if f.name == "tier":
+                continue
+            value = getattr(self, f.name)
+            if value != getattr(default, f.name):
+                if f.name == "enabled":
+                    rendered = str(int(value))
+                else:
+                    # repr() round-trips floats exactly (ArrivalSpec rule).
+                    rendered = repr(value)
+                parts.append(f"{_SHORT[f.name]}={rendered}")
+        return self.tier + (":" + ",".join(parts) if parts else "")
+
+    @classmethod
+    def from_string(cls, text: str) -> "CachePolicy":
+        """Parse ``"both"`` / ``"response:ttl=30,entries=512"``.
+
+        The part before ``:`` is the tier; the rest is comma-separated
+        ``key=value`` pairs using the short keys ``capacity`` (bytes),
+        ``entries``, ``ttl`` (seconds), ``sweep`` and ``enabled`` (0/1).
+        ``off`` is accepted as shorthand for a disabled default policy.
+        """
+        if not isinstance(text, str) or not text.strip():
+            raise ValueError(f"cache policy must be a non-empty string, got {text!r}")
+        text = text.strip()
+        if text == "off":
+            return cls(enabled=False)
+        head, _, tail = text.partition(":")
+        payload: Dict[str, Any] = {"tier": head.strip()}
+        int_fields = {"capacity_bytes", "max_entries"}
+        for part in filter(None, (p.strip() for p in tail.split(","))):
+            key, sep, value = part.partition("=")
+            if not sep:
+                raise ValueError(
+                    f"cache policy parts must be key=value, got {part!r} in {text!r}"
+                )
+            key = _LONG.get(key.strip(), key.strip())
+            try:
+                if key == "enabled":
+                    payload[key] = bool(int(value))
+                elif key in int_fields:
+                    payload[key] = int(value)
+                else:
+                    payload[key] = float(value)
+            except ValueError:
+                raise ValueError(
+                    f"cache policy value for {key!r} must be numeric, got {value!r}"
+                ) from None
+        return cls.from_dict(payload)

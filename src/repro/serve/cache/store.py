@@ -1,0 +1,208 @@
+"""Thread-safe byte-accounted LRU + TTL store for cached tensors.
+
+The eviction discipline reuses the engine's ``max_cached_plans``
+pattern (:class:`~repro.nn.engine.executor.PlannedExecutor`): an
+``OrderedDict`` where a hit is ``move_to_end`` and eviction is
+``popitem(last=False)`` — but accounts **bytes**, not just entries,
+because cached responses vary in size with the task-head fan-out and
+cached split-point activations with the cut position.
+
+Time never comes from ``time.time()`` directly: the store takes an
+injectable monotonic ``clock`` so TTL tests drive expiry with a fake
+clock instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field, fields
+from typing import Any, Callable, Dict, Optional
+
+__all__ = ["ByteLRUStore", "CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache tier.  All monotonic except the gauges
+    ``entries`` / ``bytes_used``, which track current occupancy."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    #: Requests that joined an in-flight computation of the same key
+    #: (single-flight followers) — counted separately from plain hits
+    #: because no stored value existed yet when they were admitted.
+    coalesced: int = 0
+    lru_evictions: int = 0
+    ttl_evictions: int = 0
+    #: Values larger than the whole byte budget, never admitted.
+    oversize_rejections: int = 0
+    entries: int = 0
+    bytes_used: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    @property
+    def evictions(self) -> int:
+        return self.lru_evictions + self.ttl_evictions
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def snapshot(self) -> Dict[str, int]:
+        """A plain-dict copy (safe to serialise / diff across a run)."""
+        with self._lock:
+            data = {
+                f.name: getattr(self, f.name)
+                for f in fields(self)
+                if not f.name.startswith("_")
+            }
+        data["evictions"] = data["lru_evictions"] + data["ttl_evictions"]
+        return data
+
+
+class _Entry:
+    __slots__ = ("value", "nbytes", "expires_at")
+
+    def __init__(self, value: Any, nbytes: int, expires_at: Optional[float]):
+        self.value = value
+        self.nbytes = nbytes
+        self.expires_at = expires_at
+
+
+class ByteLRUStore:
+    """An LRU mapping of ``key -> value`` under byte and entry budgets.
+
+    ``get``/``put``/``sweep`` are safe to call from any thread (the
+    batcher's dispatchers, the split pipeline and the TTL sweeper all
+    touch the same store).  Values are opaque here; the tier wrappers in
+    :mod:`repro.serve.cache.tiers` decide how to copy and size them.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        max_entries: int,
+        ttl_s: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if capacity_bytes < 1:
+            raise ValueError(f"capacity_bytes must be >= 1, got {capacity_bytes}")
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.capacity_bytes = int(capacity_bytes)
+        self.max_entries = int(max_entries)
+        self.ttl_s = ttl_s
+        self.clock = clock
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self._bytes = 0
+
+    # -- internal (lock held) ------------------------------------------
+    def _drop(self, key: str, entry: _Entry, *, reason: str) -> None:
+        del self._entries[key]
+        self._bytes -= entry.nbytes
+        if reason == "ttl":
+            self.stats.ttl_evictions += 1
+        elif reason == "lru":
+            self.stats.lru_evictions += 1
+        self._sync_gauges()
+
+    def _sync_gauges(self) -> None:
+        self.stats.entries = len(self._entries)
+        self.stats.bytes_used = self._bytes
+
+    # -- public API ----------------------------------------------------
+    def get(self, key: str) -> Optional[Any]:
+        """The cached value, or ``None`` on miss/expiry.  A hit promotes
+        the entry to most-recently-used."""
+        now = self.clock()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            if entry.expires_at is not None and now >= entry.expires_at:
+                self._drop(key, entry, reason="ttl")
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry.value
+
+    def peek(self, key: str) -> Optional[Any]:
+        """Like :meth:`get` but with no stats or LRU side effects (used
+        when handing a just-stored value to single-flight followers)."""
+        now = self.clock()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            if entry.expires_at is not None and now >= entry.expires_at:
+                return None
+            return entry.value
+
+    def put(self, key: str, value: Any, nbytes: int) -> bool:
+        """Insert (or refresh) ``key``; returns False if the value alone
+        exceeds the byte budget and was rejected outright."""
+        nbytes = int(nbytes)
+        now = self.clock()
+        expires_at = None if self.ttl_s is None else now + self.ttl_s
+        with self._lock:
+            if nbytes > self.capacity_bytes:
+                self.stats.oversize_rejections += 1
+                return False
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old.nbytes
+            self._entries[key] = _Entry(value, nbytes, expires_at)
+            self._bytes += nbytes
+            self.stats.stores += 1
+            while self._bytes > self.capacity_bytes or (
+                len(self._entries) > self.max_entries
+            ):
+                cold_key, cold = next(iter(self._entries.items()))
+                self._drop(cold_key, cold, reason="lru")
+            self._sync_gauges()
+        return True
+
+    def sweep(self) -> int:
+        """Evict every expired entry; returns how many were reaped."""
+        if self.ttl_s is None:
+            return 0
+        now = self.clock()
+        reaped = 0
+        with self._lock:
+            for key in [
+                k
+                for k, e in self._entries.items()
+                if e.expires_at is not None and now >= e.expires_at
+            ]:
+                self._drop(key, self._entries[key], reason="ttl")
+                reaped += 1
+        return reaped
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+            self._sync_gauges()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def bytes_used(self) -> int:
+        with self._lock:
+            return self._bytes

@@ -1,0 +1,200 @@
+"""The two serve-side cache tiers and their owning :class:`ServeCache`.
+
+* :class:`ResponseCache` — keyed on the canonicalized *input image*,
+  stores the final per-task output dict.  A hit skips the entire
+  pipeline: no queue depth, no edge compute, no wire, no server.
+* :class:`FeatureCache` — keyed on the same input digest, stores the
+  raw float32 edge activation **at the split point** (pre-codec).  A
+  hit skips edge compute but still pays the wire codec + server head —
+  exactly the cut the paper's split placement optimises around.
+
+Both tiers prefix keys with the deployment's provenance digest
+(serialised spec + optimized plan-IR description), so optimizer changes
+or respecs land in fresh namespaces instead of serving stale numerics.
+
+Stored arrays are **defensive copies marked read-only**: engine buffers
+are reused across runs, and clients must not be able to poison cached
+values by mutating a returned array.  Consequently cache hits hand back
+read-only views (zero-copy on the hot path).
+
+When the policy sets a TTL, :class:`ServeCache` runs one daemon sweeper
+thread (named ``repro-serve-cache-sweeper``) over both tiers so expired
+entries stop holding bytes against the budget between lookups;
+``close()`` reclaims it, and the serve-suite thread-leak checks assert
+no ``repro-serve-cache-*`` thread survives a closed deployment.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Mapping, Optional
+
+import numpy as np
+
+from .keys import combine_digests, tensor_digest
+from .policy import CachePolicy
+from .store import ByteLRUStore, CacheStats
+
+__all__ = ["FeatureCache", "ResponseCache", "ServeCache"]
+
+#: Rough per-entry bookkeeping charge (key string + OrderedDict slot),
+#: so byte accounting cannot be gamed to zero by many tiny entries.
+_ENTRY_OVERHEAD_BYTES = 128
+
+
+def _freeze(array: np.ndarray) -> np.ndarray:
+    """A contiguous, read-only copy safe to share across clients."""
+    frozen = np.ascontiguousarray(array).copy()
+    frozen.setflags(write=False)
+    return frozen
+
+
+class _TierCache:
+    """Shared plumbing: provenance-prefixed keys over a byte-LRU store."""
+
+    def __init__(
+        self,
+        policy: CachePolicy,
+        provenance: str,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.policy = policy
+        self.provenance = provenance
+        self.store = ByteLRUStore(
+            capacity_bytes=policy.capacity_bytes,
+            max_entries=policy.max_entries,
+            ttl_s=policy.ttl_s,
+            clock=clock,
+        )
+
+    @property
+    def stats(self) -> CacheStats:
+        return self.store.stats
+
+    def key_for(self, array: np.ndarray) -> str:
+        return combine_digests(self.provenance, tensor_digest(array))
+
+    def sweep(self) -> int:
+        return self.store.sweep()
+
+    def clear(self) -> None:
+        self.store.clear()
+
+
+class ResponseCache(_TierCache):
+    """input-image digest -> final result (``{task: output_row}`` dict
+    for multi-task deployments, a bare output row otherwise)."""
+
+    @staticmethod
+    def _copy_out(value):
+        # Shallow-copy dicts so callers can add/remove keys freely; the
+        # arrays themselves stay shared and read-only.
+        return dict(value) if isinstance(value, dict) else value
+
+    def get(self, key: str):
+        value = self.store.get(key)
+        return self._copy_out(value) if value is not None else None
+
+    def peek(self, key: str):
+        value = self.store.peek(key)
+        return self._copy_out(value) if value is not None else None
+
+    def put(self, key: str, result):
+        """Store a defensive read-only copy; returns the frozen value
+        (for handing to single-flight followers), or ``None`` if the
+        store rejected it as oversize."""
+        if isinstance(result, Mapping):
+            frozen: object = {
+                name: _freeze(np.asarray(row)) for name, row in result.items()
+            }
+            payload_bytes = sum(a.nbytes for a in frozen.values())
+        else:
+            frozen = _freeze(np.asarray(result))
+            payload_bytes = frozen.nbytes
+        nbytes = _ENTRY_OVERHEAD_BYTES + payload_bytes
+        if not self.store.put(key, frozen, nbytes):
+            return None
+        return self._copy_out(frozen)
+
+    def note_coalesced(self) -> None:
+        with self.stats._lock:
+            self.stats.coalesced += 1
+
+
+class FeatureCache(_TierCache):
+    """input-image digest -> raw float32 edge activation at the cut."""
+
+    def get(self, key: str) -> Optional[np.ndarray]:
+        return self.store.get(key)
+
+    def put(self, key: str, row: np.ndarray) -> Optional[np.ndarray]:
+        frozen = _freeze(np.asarray(row, dtype=np.float32))
+        nbytes = _ENTRY_OVERHEAD_BYTES + frozen.nbytes
+        if not self.store.put(key, frozen, nbytes):
+            return frozen  # too big to cache, but still usable this once
+        return frozen
+
+
+class ServeCache:
+    """Owns the configured tier(s), their budgets and the TTL sweeper."""
+
+    def __init__(
+        self,
+        policy: CachePolicy,
+        provenance: str,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.policy = policy
+        self.provenance = provenance
+        self.response: Optional[ResponseCache] = (
+            ResponseCache(policy, provenance, clock)
+            if policy.response_enabled
+            else None
+        )
+        self.feature: Optional[FeatureCache] = (
+            FeatureCache(policy, provenance, clock)
+            if policy.feature_enabled
+            else None
+        )
+        self._closed = threading.Event()
+        self._sweeper: Optional[threading.Thread] = None
+        if policy.ttl_s is not None and (self.response or self.feature):
+            self._sweeper = threading.Thread(
+                target=self._sweep_loop,
+                name="repro-serve-cache-sweeper",
+                daemon=True,
+            )
+            self._sweeper.start()
+
+    def _sweep_loop(self) -> None:
+        while not self._closed.wait(self.policy.sweep_interval_s):
+            for tier in (self.response, self.feature):
+                if tier is not None:
+                    tier.sweep()
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """``{"response": {...}, "feature": {...}}`` counter snapshots
+        (only the tiers the policy enables appear)."""
+        out: Dict[str, Dict[str, int]] = {}
+        if self.response is not None:
+            out["response"] = self.response.stats.snapshot()
+        if self.feature is not None:
+            out["feature"] = self.feature.stats.snapshot()
+        return out
+
+    def close(self) -> None:
+        """Idempotent: stop the sweeper thread and drop every entry."""
+        self._closed.set()
+        if self._sweeper is not None:
+            self._sweeper.join(timeout=10.0)
+            self._sweeper = None
+        for tier in (self.response, self.feature):
+            if tier is not None:
+                tier.clear()
+
+    def __enter__(self) -> "ServeCache":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

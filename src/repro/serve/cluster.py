@@ -36,9 +36,12 @@ paper's DAQ setting cares about, survives its own workers dying:
   no orphan process.
 
 The conservation law survives all of it: ``submitted == shed +
-requests`` and ``requests == completed + expired + failed + cancelled``
-hold across crashes and restarts because futures only ever resolve
-through the batcher.
+cache_hits + requests`` and ``requests == completed + expired + failed
++ cancelled`` hold across crashes and restarts because futures only
+ever resolve through the batcher.  When the deployment spec enables a
+response cache the router owns it (one shared hit set across every
+replica); the feature tier, if enabled, lives inside each worker's own
+pipeline.
 
 Entry points: ``repro.deploy(spec)`` with ``spec.replicas > 1``,
 :func:`deploy_cluster`, or ``repro serve --replicas N`` on the CLI.
@@ -50,11 +53,13 @@ import json
 import threading
 import time
 from dataclasses import dataclass, field, fields
+from dataclasses import replace as replace_dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from .batching import BatchingStats, DynamicBatcher, ShutdownError
+from .cache import ServeCache, provenance_digest
 from .faults import WorkerFaultPlan
 from .runtime import ThroughputReport
 from .spec import DeploymentSpec, SpecError
@@ -333,6 +338,21 @@ class ClusterDeployment:
             max_restarts=spec.max_restarts,
         )
         dspec = spec.deployment
+        # The response cache lives ROUTER-side, in front of the batcher,
+        # so all replicas share one hit set (a duplicate served by
+        # replica 0 is a hit even when replica 1 would have computed it).
+        # The split-point feature tier cannot be shared across process
+        # boundaries; each worker's own Deployment builds it from the
+        # same spec'd policy.  Provenance here is the spec digest (every
+        # replica rebuilds the identical net/plan from it).
+        self.cache: Optional[ServeCache] = None
+        if dspec.cache is not None and dspec.cache.response_enabled:
+            self.cache = ServeCache(
+                replace_dataclass(dspec.cache, tier="response"),
+                provenance_digest(
+                    [f"spec:{dspec.digest()}", "cluster-router"]
+                ),
+            )
         self._batcher = DynamicBatcher(
             self._route_batch,
             max_batch_size=dspec.max_batch_size,
@@ -341,6 +361,9 @@ class ClusterDeployment:
             default_deadline_ms=dspec.deadline_ms,
             dispatchers=spec.replicas,
             name=f"repro-serve-batcher [cluster {dspec.describe()}]",
+            response_cache=(
+                self.cache.response if self.cache is not None else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -675,6 +698,19 @@ class ClusterDeployment:
         bstats = self._batcher.stats
         sup = self.supervisor.stats
         wall = time.perf_counter() - self._started_at
+        cache_overrides: Dict[str, Any] = {}
+        if self.cache is not None and self.cache.response is not None:
+            # The response tier lives router-side (shared across all
+            # replicas), so its counters override whatever the workers
+            # summed up (always zero — workers never see the router
+            # cache).
+            cs = self.cache.response.stats
+            cache_overrides = {
+                "response_hits": cs.hits,
+                "response_misses": cs.misses,
+                "response_evictions": cs.lru_evictions + cs.ttl_evictions,
+                "response_bytes": cs.bytes_used,
+            }
         aggregate = ThroughputReport.aggregate(
             worker_reports,
             wall_seconds=wall,
@@ -684,6 +720,7 @@ class ClusterDeployment:
             worker_crashes=sup.crashes_detected,
             worker_restarts=sup.restarts,
             failovers=self.stats.failovers,
+            **cache_overrides,
         )
         plan = self.spec.worker_faults
         return ClusterReport(
@@ -705,6 +742,7 @@ class ClusterDeployment:
                 "submitted": bstats.submitted,
                 "requests": bstats.requests,
                 "shed": bstats.shed,
+                "cache_hits": bstats.cache_hits,
                 "expired": bstats.expired,
                 "completed": bstats.completed,
                 "failed": bstats.failed,
@@ -748,6 +786,8 @@ class ClusterDeployment:
                 self._stopping = True
                 self._pool.notify_all()
             self._batcher.close(timeout=self.spec.drain_timeout_s)
+            if self.cache is not None:
+                self.cache.close()
             self.supervisor.stop()
             with self._pool:
                 handles = list(self._handles)

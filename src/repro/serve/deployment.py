@@ -28,6 +28,7 @@ reclaims the planned executors' worker threads.
 from __future__ import annotations
 
 import threading
+import uuid
 from concurrent.futures import Future
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -38,6 +39,7 @@ from ..data.base import TaskInfo
 from ..deployment.optimizer import optimal_split_index
 from ..models.registry import get_spec
 from .batching import BatchingStats, DynamicBatcher
+from .cache import ServeCache, provenance_digest
 from .faults import FaultStats
 from .runtime import SplitPipeline, ThroughputReport
 from .spec import DeploymentSpec, SpecError
@@ -122,6 +124,9 @@ class Deployment:
             retry_backoff_s=spec.retry_backoff_ms / 1000.0,
             probe_every=spec.probe_every,
         )
+        self.cache: Optional[ServeCache] = self._build_cache()
+        if self.cache is not None and self.cache.feature is not None:
+            self.pipeline.feature_cache = self.cache.feature
         self._pipeline_lock = threading.Lock()
         self._batcher: Optional[DynamicBatcher] = None
         self._batcher_lock = threading.Lock()
@@ -131,6 +136,31 @@ class Deployment:
         # the executors are down.
         self._close_lock = threading.Lock()
         self._closed = False
+
+    def _build_cache(self) -> Optional[ServeCache]:
+        """Construct the serve cache the spec's policy asks for.
+
+        The provenance digest binds every cache key to (a) the exact
+        spec — serialised for registry-named models, a per-deployment
+        unique token for in-memory nets, which therefore never share
+        entries across deployments — (b) the resolved split index, and
+        (c) the optimized edge plan-IR description, so an optimizer or
+        topology change can never serve stale numerics.
+        """
+        policy = self.spec.cache
+        if policy is None or not policy.enabled:
+            return None
+        if isinstance(self.spec.model, str):
+            spec_part = f"spec:{self.spec.digest()}"
+        else:
+            spec_part = f"in-memory:{uuid.uuid4().hex}"
+        channels = self.net.backbone.spec.input_channels
+        size = self.spec.input_size
+        plan_part = self.pipeline.edge.plan_provenance((1, channels, size, size))
+        provenance = provenance_digest(
+            [spec_part, f"split:{self.split_index}", plan_part]
+        )
+        return ServeCache(policy, provenance)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -158,6 +188,10 @@ class Deployment:
     def fault_stats(self) -> FaultStats:
         """The resilient link's lifetime fault/degradation counters."""
         return self.pipeline.fault_stats
+
+    def cache_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-tier cache counter snapshots (empty without a policy)."""
+        return self.cache.stats() if self.cache is not None else {}
 
     @property
     def degraded(self) -> bool:
@@ -258,6 +292,9 @@ class Deployment:
                         # Keep the repro-serve-batcher prefix: the thread
                         # leak tests (and debugger filtering) key on it.
                         name=f"repro-serve-batcher [{self.spec.describe()}]",
+                        response_cache=(
+                            self.cache.response if self.cache is not None else None
+                        ),
                     )
         return self._batcher.submit(image, deadline_ms=deadline_ms)
 
@@ -282,6 +319,8 @@ class Deployment:
             if batcher is not None:
                 batcher.close()
             self.pipeline.close()
+            if self.cache is not None:
+                self.cache.close()
 
     def __enter__(self) -> "Deployment":
         return self

@@ -46,7 +46,7 @@ from .. import nn
 from ..core.architecture import EdgeModel, MTLSplitNet, ServerModel
 from ..deployment.channel import NetworkChannel
 from ..deployment.wire import WireFormat, decode_tensor, encode_tensor
-from ..nn.engine import PlanStats, PlannedExecutor
+from ..nn.engine import PlanStats, PlannedExecutor, Unplannable, lower_session, run_passes
 from ..nn.tensor import Tensor
 from .faults import (
     FALLBACK_MODES,
@@ -165,16 +165,59 @@ class EdgeRuntime(_RuntimeBase):
             optimize=optimize, max_cached_plans=max_cached_plans,
         )
 
-    def infer(self, images: np.ndarray) -> Tuple[bytes, float]:
-        """Return ``(payload, edge_compute_seconds)`` for a batch."""
+    def forward(self, images: np.ndarray) -> Tuple[np.ndarray, float]:
+        """Return ``(Z_b, edge_compute_seconds)`` — the raw activation
+        at the cut, *before* wire encoding.
+
+        The returned array may be an executor-owned buffer that the next
+        ``forward`` overwrites; callers that keep rows (the split-point
+        feature cache) must copy them out before the next batch runs.
+        """
         start = time.perf_counter()
         if self.session is not None:
             z_b = self.session.run(images)
         else:
             with nn.no_grad():
                 z_b = self.model(Tensor(images)).data
-        payload = encode_tensor(z_b, self.wire_format)
+        return z_b, time.perf_counter() - start
+
+    def encode(self, z_b: np.ndarray) -> bytes:
+        """Serialise an activation for the wire (the codec half of
+        :meth:`infer`)."""
+        return encode_tensor(z_b, self.wire_format)
+
+    def infer(self, images: np.ndarray) -> Tuple[bytes, float]:
+        """Return ``(payload, edge_compute_seconds)`` for a batch."""
+        start = time.perf_counter()
+        z_b, _ = self.forward(images)
+        payload = self.encode(z_b)
         return payload, time.perf_counter() - start
+
+    def plan_provenance(self, batch_shape: Optional[Tuple[int, ...]] = None) -> str:
+        """Deterministic text describing exactly how this half computes.
+
+        The plan half of the serve-cache provenance digest (see
+        :mod:`repro.serve.cache`): for the planned engine this is the
+        *optimized plan IR* lowered for ``batch_shape`` — so an optimizer
+        pass change or an ``optimize`` flag flip changes the digest and
+        retires every cached entry — and for the un-planned modes it is
+        the fused session description / an eval-mode marker.  No arena is
+        allocated: lowering + passes are pure IR work.
+        """
+        if isinstance(self.session, PlannedExecutor):
+            header = f"planned optimize={self.session.optimize}"
+            if batch_shape is not None:
+                try:
+                    ir = lower_session(self.session.session, tuple(batch_shape))
+                    if self.session.optimize:
+                        run_passes(ir, PlanStats())
+                    return f"{header}\n{ir.describe()}"
+                except Unplannable:
+                    pass
+            return f"{header}\n{self.session.session.describe()}"
+        if self.session is not None:
+            return f"compiled\n{self.session.describe()}"
+        return "eval-mode"
 
 
 class ServerRuntime(_RuntimeBase):
@@ -295,6 +338,18 @@ class ThroughputReport:
     link_down_events: int = 0
     recoveries: int = 0
     server_crashes: int = 0
+    # Serve-cache accounting, per tier (all zero without a CachePolicy;
+    # see repro.serve.cache and docs/caching.md).  Hits/misses/evictions
+    # are deltas for the run that produced this report; *_bytes is the
+    # tier's occupancy gauge when the report was cut.
+    response_hits: int = 0
+    response_misses: int = 0
+    response_evictions: int = 0
+    response_bytes: int = 0
+    feature_hits: int = 0
+    feature_misses: int = 0
+    feature_evictions: int = 0
+    feature_bytes: int = 0
     # Cluster accounting (all zero for single-process deployments; see
     # repro.serve.cluster): how many worker processes served the run and
     # what the supervisor had to absorb while it ran.
@@ -375,12 +430,15 @@ class ThroughputReport:
         link_down_events: int = 0,
         recoveries: int = 0,
         server_crashes: int = 0,
+        **counters: object,
     ) -> "ThroughputReport":
         """Build a report, scheduling the three stages as a pipeline.
 
         Each stage processes batches in order and holds one batch at a
         time; batch *i* enters a stage once both the previous stage has
-        produced it and the stage finished batch *i−1*.
+        produced it and the stage finished batch *i−1*.  Extra keyword
+        ``counters`` set further report fields by name (e.g. the
+        per-tier cache counters).
         """
         edge_done = transfer_done = server_done = 0.0
         for e, t, s in zip(edge, transfer, server):
@@ -410,6 +468,7 @@ class ThroughputReport:
             link_down_events=link_down_events,
             recoveries=recoveries,
             server_crashes=server_crashes,
+            **counters,
         )
 
     @classmethod
@@ -450,6 +509,14 @@ class ThroughputReport:
             link_down_events=sum(r.link_down_events for r in per_replica),
             recoveries=sum(r.recoveries for r in per_replica),
             server_crashes=sum(r.server_crashes for r in per_replica),
+            response_hits=sum(r.response_hits for r in per_replica),
+            response_misses=sum(r.response_misses for r in per_replica),
+            response_evictions=sum(r.response_evictions for r in per_replica),
+            response_bytes=sum(r.response_bytes for r in per_replica),
+            feature_hits=sum(r.feature_hits for r in per_replica),
+            feature_misses=sum(r.feature_misses for r in per_replica),
+            feature_evictions=sum(r.feature_evictions for r in per_replica),
+            feature_bytes=sum(r.feature_bytes for r in per_replica),
             replicas=len(per_replica),
         )
         for name, value in overrides.items():
@@ -514,6 +581,11 @@ class SplitPipeline:
         )
         self.fallback = fallback
         self.probe_every = probe_every
+        # Optional split-point FeatureCache (repro.serve.cache), attached
+        # by the Deployment after it computes the provenance digest.  Set,
+        # the split path memoizes per-row edge activations at the cut;
+        # None keeps the pre-cache behaviour byte-for-byte.
+        self.feature_cache = None
         self.fallback_batches = 0
         self.fallback_seconds = 0.0
         self._down_requests = 0  # requests seen since the last probe
@@ -628,6 +700,62 @@ class SplitPipeline:
         self.server.infer(payload)
         return self
 
+    def _edge_payload(self, images: np.ndarray) -> Tuple[bytes, float]:
+        """The edge stage, through the split-point feature cache if one
+        is attached.
+
+        Per-row memoization at the cut: each image row is digested, hit
+        rows reuse their cached activation, miss rows run the edge half
+        as one sub-batch and populate the cache, and the reassembled
+        ``Z_b`` (original row order) is encoded **once** as a whole
+        batch — so the wire codec sees exactly the array a cache-less
+        run would encode, and ``quant8``'s per-batch quantisation stays
+        consistent.  A fully-hit batch skips edge compute entirely and
+        pays only the codec here (+ wire + server head downstream).
+        """
+        cache = self.feature_cache
+        if cache is None:
+            return self.edge.infer(images)
+        start = time.perf_counter()
+        keys = [cache.key_for(row) for row in images]
+        rows = [cache.get(key) for key in keys]
+        miss = [index for index, row in enumerate(rows) if row is None]
+        if miss:
+            sub_batch = np.ascontiguousarray(images[np.asarray(miss)])
+            z_miss, _ = self.edge.forward(sub_batch)
+            for sub_row, index in enumerate(miss):
+                # put() returns the frozen copy — essential here, since
+                # z_miss is an executor-owned buffer the next forward()
+                # overwrites.
+                rows[index] = cache.put(keys[index], z_miss[sub_row])
+        z_b = np.stack(rows)
+        payload = self.edge.encode(z_b)
+        return payload, time.perf_counter() - start
+
+    def _feature_counters(self) -> Optional[Tuple[int, int, int]]:
+        """Snapshot (hits, misses, evictions) for per-run report deltas."""
+        cache = self.feature_cache
+        if cache is None:
+            return None
+        stats = cache.stats
+        return (stats.hits, stats.misses, stats.lru_evictions + stats.ttl_evictions)
+
+    def _feature_accounting(
+        self, before: Optional[Tuple[int, int, int]]
+    ) -> Dict[str, int]:
+        """Report fields for the feature tier since ``before``."""
+        if before is None:
+            return {}
+        stats = self.feature_cache.stats
+        return {
+            "feature_hits": stats.hits - before[0],
+            "feature_misses": stats.misses - before[1],
+            "feature_evictions": (
+                stats.lru_evictions + stats.ttl_evictions - before[2]
+            ),
+            "feature_bytes": stats.bytes_used,
+        }
+
     def infer(self, images: np.ndarray) -> Dict[str, np.ndarray]:
         """Run one batch through the full deployment and record a trace.
 
@@ -643,7 +771,7 @@ class SplitPipeline:
                 self.resilient.probe()
             if self.resilient.is_down:
                 return self._infer_fallback(images)
-        payload, edge_s = self.edge.infer(images)
+        payload, edge_s = self._edge_payload(images)
         try:
             transfer_s = self.resilient.send(payload)
         except ChannelDownError:
@@ -766,11 +894,12 @@ class SplitPipeline:
         edge_times: List[float] = []
         transfer_times: List[float] = []
         payload_sizes: List[int] = []
+        cache_before = self._feature_counters()
         start = time.perf_counter()
         worker.start()
         try:
             for index, images in enumerate(batch_list):
-                payload, edge_s = self.edge.infer(images)
+                payload, edge_s = self._edge_payload(images)
                 edge_times.append(edge_s)
                 transfer_times.append(self.link.send(payload))
                 payload_sizes.append(len(payload))
@@ -796,6 +925,7 @@ class SplitPipeline:
         report = ThroughputReport.from_stage_times(
             batch_sizes, edge_times, transfer_times, server_times, wall,
             **self._plan_accounting(),
+            **self._feature_accounting(cache_before),
         )
         return list(results), report  # type: ignore[arg-type]
 
@@ -814,6 +944,7 @@ class SplitPipeline:
         retries0, downs0 = stats.retries, stats.down_events
         recoveries0, crashes0 = stats.recoveries, stats.server_crashes
         fb_batches0, fb_seconds0 = self.fallback_batches, self.fallback_seconds
+        cache_before = self._feature_counters()
 
         results: List[Optional[Dict[str, np.ndarray]]] = []
         batch_sizes: List[int] = []
@@ -839,6 +970,7 @@ class SplitPipeline:
         report = ThroughputReport.from_stage_times(
             batch_sizes, edge_times, transfer_times, server_times, wall,
             **self._plan_accounting(),
+            **self._feature_accounting(cache_before),
             shed=shed_images,
             retries=stats.retries - retries0,
             fallback_batches=self.fallback_batches - fb_batches0,

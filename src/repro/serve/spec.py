@@ -20,6 +20,7 @@ files::
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Any, Dict, Optional, Tuple, Union
@@ -28,6 +29,7 @@ from ..deployment.channel import NetworkChannel, get_channel
 from ..deployment.device import Device, get_device
 from ..deployment.wire import WireFormat
 from ..models.registry import available_backbones
+from .cache.policy import CachePolicy
 from .faults import FALLBACK_MODES, FaultPlan
 
 __all__ = ["DeploymentSpec", "SpecError"]
@@ -132,6 +134,16 @@ class DeploymentSpec:
     probe_every:
         While degraded, attempt one link-recovery probe every this many
         requests; a successful probe restores split execution.
+    cache:
+        Optional :class:`~repro.serve.cache.CachePolicy` (or its dict /
+        ``"tier:key=value,..."`` string form) enabling the serve-side
+        caches: a content-addressed **response cache** answered at
+        batcher admission, and/or a **split-point feature cache** that
+        memoizes the edge activation at the cut (see
+        ``docs/caching.md``).  Keys carry the spec + optimized-plan
+        digests, so a respec or optimizer change never serves stale
+        numerics.  ``None`` (the default) serves every request through
+        the full pipeline, byte-for-byte the pre-cache behavior.
     replicas:
         Worker *processes* serving this deployment.  ``1`` (the default)
         keeps everything in-process; ``> 1`` makes :func:`repro.deploy`
@@ -167,6 +179,7 @@ class DeploymentSpec:
     max_retries: int = 2
     retry_backoff_ms: float = 10.0
     probe_every: int = 8
+    cache: Optional[CachePolicy] = None
     replicas: int = 1
     seed: int = 0
 
@@ -326,6 +339,22 @@ class DeploymentSpec:
             and self.probe_every >= 1,
             f"probe_every must be a positive int, got {self.probe_every!r}",
         )
+        if isinstance(self.cache, dict):
+            try:
+                set_(self, "cache", CachePolicy.from_dict(self.cache))
+            except (TypeError, ValueError) as error:
+                raise SpecError(f"bad cache policy: {error}") from None
+        elif isinstance(self.cache, str):
+            try:
+                set_(self, "cache", CachePolicy.from_string(self.cache))
+            except ValueError as error:
+                raise SpecError(f"bad cache policy: {error}") from None
+        elif self.cache is not None:
+            _check(
+                isinstance(self.cache, CachePolicy),
+                f"cache must be a CachePolicy, dict, string or None, "
+                f"got {type(self.cache).__name__}",
+            )
         _check(
             isinstance(self.replicas, int)
             and not isinstance(self.replicas, bool)
@@ -408,6 +437,7 @@ class DeploymentSpec:
             "max_retries": self.max_retries,
             "retry_backoff_ms": self.retry_backoff_ms,
             "probe_every": self.probe_every,
+            "cache": self.cache.to_dict() if self.cache is not None else None,
             "replicas": self.replicas,
             "seed": self.seed,
         }
@@ -465,6 +495,17 @@ class DeploymentSpec:
             raise SpecError(f"invalid DeploymentSpec JSON: {error}") from None
         _check(isinstance(data, dict), "DeploymentSpec JSON must be an object")
         return cls.from_dict(data)
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical (sorted-key) JSON serialisation.
+
+        The spec half of the cache provenance key (the other half is the
+        optimized plan-IR digest — see :mod:`repro.serve.cache`), and
+        the same digest bench artifacts stamp for run provenance.  Only
+        registry-named specs have one; in-memory models raise
+        :class:`SpecError` like :meth:`to_dict` does.
+        """
+        return hashlib.sha256(self.to_json(indent=None).encode()).hexdigest()
 
     # ------------------------------------------------------------------
     def describe(self) -> str:

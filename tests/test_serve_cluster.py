@@ -519,6 +519,7 @@ class TestDrainAndClose:
             and (
                 t.name.startswith("repro-serve-supervisor")
                 or t.name.startswith("repro-serve-batcher")
+                or t.name.startswith("repro-serve-cache")
             )
         }
         assert leftover == set()

@@ -16,7 +16,9 @@ from hypothesis import strategies as st
 
 from repro.data.streams import (
     ARRIVAL_KINDS,
+    POPULARITY_KINDS,
     ArrivalSpec,
+    PopularitySpec,
     Request,
     make_image_batches,
     make_request_stream,
@@ -183,6 +185,138 @@ class TestRequestStream:
         with pytest.raises(ValueError):
             make_request_stream(arrival, self._sources(), count=4,
                                 weights={"cam_a": 1.0, "ghost": 1.0})
+
+
+class TestPopularitySpec:
+    def _pool(self, count=32):
+        rng = np.random.default_rng(0)
+        return [
+            rng.standard_normal((3, 8, 8)).astype(np.float32)
+            for _ in range(count)
+        ]
+
+    @staticmethod
+    def _duplicate_rate(stream):
+        seen, duplicates = set(), 0
+        for request in stream:
+            key = request.image.tobytes()
+            if key in seen:
+                duplicates += 1
+            seen.add(key)
+        return duplicates / len(stream)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            PopularitySpec(kind="pareto")
+
+    @pytest.mark.parametrize("field, value", [
+        ("s", 0.0),
+        ("s", -1.0),
+        ("universe", 0),
+        ("rate", -0.1),
+        ("rate", 1.5),
+    ])
+    def test_bad_parameters_rejected(self, field, value):
+        with pytest.raises(ValueError, match=field):
+            PopularitySpec(kind="zipf", **{field: value})
+
+    def test_kinds_constant_is_exhaustive(self):
+        rng = np.random.default_rng(0)
+        for kind in POPULARITY_KINDS:
+            spec = PopularitySpec(kind=kind)
+            state = {}
+            indices = [spec.draw(rng, 8, state) for _ in range(20)]
+            assert all(0 <= index < 8 for index in indices)
+
+    @pytest.mark.parametrize("text", [
+        "uniform",
+        "zipf:s=1.1,universe=64",
+        "zipf:s=1.5",
+        "repeat:rate=0.9",
+        "repeat",
+    ])
+    def test_string_round_trip(self, text):
+        spec = PopularitySpec.from_string(text)
+        assert PopularitySpec.from_string(spec.to_string()) == spec
+        assert PopularitySpec.from_dict(spec.to_dict()) == spec
+        assert PopularitySpec.from_json(spec.to_json()) == spec
+
+    @given(
+        st.sampled_from(POPULARITY_KINDS),
+        st.floats(0.1, 4.0),
+        st.integers(1, 512),
+        st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_property(self, kind, s, universe, rate):
+        spec = PopularitySpec(kind=kind, s=s, universe=universe, rate=rate)
+        assert PopularitySpec.from_string(spec.to_string()) == spec
+        assert PopularitySpec.from_json(spec.to_json()) == spec
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            PopularitySpec.from_dict({"kind": "zipf", "exponent": 1.1})
+        with pytest.raises(ValueError, match="key"):
+            PopularitySpec.from_string("zipf:exponent=1.1")
+
+    def test_none_popularity_is_bitwise_legacy(self):
+        # The popularity knob must not perturb existing seeded streams:
+        # None and explicit "uniform" replay the pre-knob RNG sequence.
+        arrival = ArrivalSpec(kind="poisson", rate_rps=80.0, seed=11)
+        sources = {"cam": self._pool()}
+        legacy = make_request_stream(arrival, sources, count=64)
+        uniform = make_request_stream(
+            arrival, sources, count=64, popularity="uniform"
+        )
+        for a, b in zip(legacy, uniform):
+            assert a.source == b.source
+            np.testing.assert_array_equal(a.image, b.image)
+
+    def test_repeat_rate_zero_has_no_duplicates(self):
+        arrival = ArrivalSpec(kind="poisson", rate_rps=80.0, seed=2)
+        stream = make_request_stream(
+            arrival, {"cam": self._pool(64)}, count=48,
+            popularity="repeat:rate=0.0",
+        )
+        assert self._duplicate_rate(stream) == 0.0
+
+    def test_repeat_rate_dials_duplicates(self):
+        arrival = ArrivalSpec(kind="poisson", rate_rps=80.0, seed=2)
+        stream = make_request_stream(
+            arrival, {"cam": self._pool(256)}, count=200,
+            popularity="repeat:rate=0.9",
+        )
+        assert self._duplicate_rate(stream) > 0.75
+
+    def test_zipf_small_universe_concentrates(self):
+        arrival = ArrivalSpec(kind="poisson", rate_rps=80.0, seed=2)
+        stream = make_request_stream(
+            arrival, {"cam": self._pool(256)}, count=200,
+            popularity="zipf:s=1.1,universe=8",
+        )
+        assert self._duplicate_rate(stream) > 0.9
+        unique = len({r.image.tobytes() for r in stream})
+        assert unique <= 8
+
+    def test_popularity_streams_replay_exactly(self):
+        arrival = ArrivalSpec(kind="poisson", rate_rps=80.0, seed=4)
+        sources = {"cam": self._pool()}
+        for popularity in ("zipf:universe=8", "repeat:rate=0.5"):
+            a = make_request_stream(
+                arrival, sources, count=64, popularity=popularity
+            )
+            b = make_request_stream(
+                arrival, sources, count=64, popularity=popularity
+            )
+            for x, y in zip(a, b):
+                np.testing.assert_array_equal(x.image, y.image)
+
+    def test_bad_popularity_type_rejected(self):
+        with pytest.raises(TypeError, match="popularity"):
+            make_request_stream(
+                ArrivalSpec(), {"cam": self._pool(4)}, count=4,
+                popularity=3.14,
+            )
 
 
 class TestScenarioArrival:
