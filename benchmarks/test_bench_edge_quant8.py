@@ -1,0 +1,122 @@
+"""Quant8 compute tier: accuracy-vs-latency, every hires scenario.
+
+The quant8 tier trades numerical exactness for int8 operands; whether it
+also trades *latency* depends on the host (int32 matmul has no BLAS fast
+path, so on BLAS-rich hosts float32 usually wins — an honest loser this
+artifact records rather than hides).  Policy (docs/benchmarking.md): the
+accuracy deltas are recorded and bounded; the latency ratio is recorded
+but never gated — host speed varies run to run, and the per-scenario
+float32 baseline is re-measured interleaved in the same process.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import data
+from repro.core import MTLSplitNet
+from repro.nn.engine import ExecutionPlan, QuantizedPlan
+from repro.scenarios import scenario_matrix
+
+from _bench_utils import emit
+
+_ROUNDS = 5
+_BATCHES = 2
+_DELTA_BOUND = 0.5  # sanity ceiling on |quant8 - float32| edge features
+
+
+def _measure_scenario(scenario):
+    tasks = data.make_shapes3d(4, tasks=("scale", "shape"), seed=7).tasks
+    net = MTLSplitNet.from_tasks(
+        scenario.backbone, list(tasks), scenario.input_size, seed=31
+    )
+    net.eval()
+    n_stages = len(list(net.backbone.stages))
+    edge, _ = net.split(n_stages, input_size=scenario.input_size)
+    session = edge.compile_for_inference()
+
+    shape = (scenario.batch_size, 3, scenario.input_size, scenario.input_size)
+    rng = np.random.default_rng(23)
+    xs = [rng.standard_normal(shape).astype(np.float32) for _ in range(_BATCHES)]
+
+    float_plan = ExecutionPlan(session, shape)
+    qplan = QuantizedPlan(ExecutionPlan(session, shape))
+    qplan.run(xs[0])  # calibration batch (runs the float plan, bit-exact)
+
+    # Accuracy: max |quant8 - float32| over the edge feature map, with
+    # the float reference's own magnitude alongside for scale.
+    max_delta = absmax = 0.0
+    for x in xs:
+        reference = np.asarray(float_plan.run(x))
+        quant = np.asarray(qplan.run(x))
+        max_delta = max(max_delta, float(np.max(np.abs(quant - reference))))
+        absmax = max(absmax, float(np.max(np.abs(reference))))
+
+    def timed(p):
+        t0 = time.perf_counter()
+        for x in xs:
+            p.run(x)
+        return time.perf_counter() - t0
+
+    timed(float_plan), timed(qplan)  # warmup
+    float_best = quant_best = None
+    for round_index in range(_ROUNDS):
+        order = (
+            (float_plan, qplan) if round_index % 2 == 0 else (qplan, float_plan)
+        )
+        for p in order:
+            t = timed(p)
+            if p is float_plan:
+                float_best = t if float_best is None else min(float_best, t)
+            else:
+                quant_best = t if quant_best is None else min(quant_best, t)
+
+    return {
+        "backbone": scenario.backbone,
+        "input_size": scenario.input_size,
+        "batch_size": scenario.batch_size,
+        "float32_ms": float_best * 1e3,
+        "quant8_ms": quant_best * 1e3,
+        "latency_ratio_quant8_vs_float32": quant_best / float_best,
+        "max_abs_delta": max_delta,
+        "float32_absmax": absmax,
+        "quant_steps": qplan.stats.quant_steps,
+        "quant_chains": qplan.stats.quant_chains,
+    }
+
+
+def test_edge_quant8(benchmark, results_dir):
+    scenarios = [
+        s for s in scenario_matrix("hires") if s.compute == "quant8"
+    ]
+    assert scenarios, "quant8 hires scenarios must be registered"
+
+    def run():
+        return {s.name: _measure_scenario(s) for s in scenarios}
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        f"{'scenario':<34}{'float32 ms':>12}{'quant8 ms':>12}"
+        f"{'ratio':>8}{'max |delta|':>13}{'|ref| max':>11}"
+    ]
+    for name, row in rows.items():
+        lines.append(
+            f"{name:<34}{row['float32_ms']:>12.2f}{row['quant8_ms']:>12.2f}"
+            f"{row['latency_ratio_quant8_vs_float32']:>8.2f}"
+            f"{row['max_abs_delta']:>13.2e}{row['float32_absmax']:>11.2e}"
+        )
+    lines.append(
+        "policy: accuracy deltas are bounded; the latency ratio is recorded, "
+        "never gated (see docs/benchmarking.md)"
+    )
+    emit(results_dir, "edge_quant8", "\n".join(lines), data={"scenarios": rows})
+
+    for name, row in rows.items():
+        # The accuracy gate: quant8 must stay a faithful approximation of
+        # the float edge features on every hires scenario.
+        assert np.isfinite(row["max_abs_delta"]), name
+        assert row["max_abs_delta"] < _DELTA_BOUND, (name, row["max_abs_delta"])
+        assert row["quant_steps"] > 0, name

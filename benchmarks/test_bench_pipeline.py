@@ -11,9 +11,12 @@ from __future__ import annotations
 
 import numpy as np
 
+import time
+
 from repro import data, nn
 from repro.core import MTLSplitNet, MultiTaskTrainer, TrainConfig
 from repro.deployment import GIGABIT_ETHERNET, LTE_UPLINK, WireFormat
+from repro.nn.engine import ExecutionPlan
 from repro.serve import SplitPipeline
 from repro.nn.tensor import Tensor
 
@@ -21,6 +24,12 @@ from _bench_utils import emit
 
 _BATCHES = 8
 _BATCH_SIZE = 16
+
+# The hires scenario point the depthwise rewrites target: whole backbone
+# on the edge at 224px, batch 2 (the mobilenetv3_hires_224px config).
+_HIRES_PX = 224
+_HIRES_BATCH = 2
+_HIRES_BACKBONE = "mobilenet_v3_tiny"
 
 
 def build_net():
@@ -78,6 +87,73 @@ def _stream_interleaved(net, batches, rounds=9):
     return pipeline, outputs, report, edge, base_edge, base_outputs
 
 
+def _hires_depthwise_ab(rounds=9, batches=3):
+    """Interleaved A/B of the depthwise-blocked plan at the hires tier.
+
+    The 32px quick tier never triggers the depthwise probe (its matrices
+    sit below DW_PROBE_MIN_BYTES), so the pipeline measurement above
+    cannot see the rewrite.  This measures the edge half (the whole
+    backbone — where every depthwise conv lives) at the hires scenario
+    point against a same-run baseline compiled with the *pre-PR* pass
+    pipeline (layout repacking and depthwise rewriting disabled), with
+    the same round-interleaved, min-of-rounds discipline as the quick
+    tier: host drift must not be able to invert the comparison.
+    """
+    tasks = data.make_shapes3d(4, tasks=("scale", "shape"), seed=7).tasks
+    net = MTLSplitNet.from_tasks(_HIRES_BACKBONE, list(tasks), _HIRES_PX, seed=31)
+    net.eval()
+    n_stages = len(list(net.backbone.stages))
+    edge, _ = net.split(n_stages, input_size=_HIRES_PX)
+    session = edge.compile_for_inference()
+
+    shape = (_HIRES_BATCH, 3, _HIRES_PX, _HIRES_PX)
+    rng = np.random.default_rng(17)
+    xs = [rng.standard_normal(shape).astype(np.float32) for _ in range(batches)]
+
+    plan = ExecutionPlan(session, shape)
+    baseline = ExecutionPlan(
+        session, shape, disabled_passes=("repack_layouts", "block_depthwise")
+    )
+    # Bit-identity gate for the depthwise rewrite alone: against a plan
+    # differing *only* in block_depthwise (layout repacking changes GEMM
+    # summation order, so the pre-PR baseline is compared with allclose).
+    dw_off = ExecutionPlan(session, shape, disabled_passes=("block_depthwise",))
+    for x in xs:
+        np.testing.assert_array_equal(plan.run(x).copy(), dw_off.run(x))
+        np.testing.assert_allclose(plan.run(x), baseline.run(x), atol=1e-4)
+
+    def timed(p):
+        t0 = time.perf_counter()
+        for x in xs:
+            p.run(x)
+        return time.perf_counter() - t0
+
+    timed(plan), timed(baseline)  # warmup
+    best = base_best = None
+    for round_index in range(rounds):
+        order = (plan, baseline) if round_index % 2 == 0 else (baseline, plan)
+        for p in order:
+            t = timed(p)
+            if p is plan:
+                best = t if best is None else min(best, t)
+            else:
+                base_best = t if base_best is None else min(base_best, t)
+
+    stats = plan.stats
+    return {
+        "hires_backbone": _HIRES_BACKBONE,
+        "hires_input_size": _HIRES_PX,
+        "hires_batch_size": _HIRES_BATCH,
+        "hires_edge_ms": best * 1e3,
+        "hires_edge_ms_baseline_pre_pr": base_best * 1e3,
+        "hires_edge_speedup_vs_pre_pr": base_best / best if best else 0.0,
+        "hires_depthwise_probes": stats.depthwise_probes,
+        "hires_depthwise_grouped_ops": stats.depthwise_grouped_ops,
+        "hires_depthwise_stencil_ops": stats.depthwise_stencil_ops,
+        "hires_layout_repacks": stats.layout_repacks,
+    }
+
+
 def test_pipeline_end_to_end(benchmark, results_dir):
     net, dataset = build_net()
     images = dataset.images[: _BATCHES * _BATCH_SIZE]
@@ -115,6 +191,9 @@ def test_pipeline_end_to_end(benchmark, results_dir):
     # aliases in the baseline too, so they are reported separately.
     assert report.elided_copies + report.aliased_views > 0
 
+    # Hires tier: the depthwise rewrites only engage on 224px matrices.
+    hires = _hires_depthwise_ab()
+
     transfer = pipeline.total_transfer_seconds()
     server = sum(t.server_seconds for t in pipeline.traces)
     speedup = base_edge / edge if edge else 0.0
@@ -136,7 +215,14 @@ def test_pipeline_end_to_end(benchmark, results_dir):
         f"  pipelined:      {report.pipelined_seconds * 1e3:8.2f} ms "
         f"({report.overlap_speedup:.2f}x overlap, "
         f"{report.batches_per_second:.1f} batches/s, "
-        f"critical stage: {report.critical_stage})"
+        f"critical stage: {report.critical_stage})\n"
+        f"  hires edge ({hires['hires_backbone']} @{_HIRES_PX}px b{_HIRES_BATCH}, "
+        f"depthwise-blocked float32): {hires['hires_edge_ms']:.2f} ms "
+        f"(pre-PR same-run baseline {hires['hires_edge_ms_baseline_pre_pr']:.2f} ms "
+        f"-> {hires['hires_edge_speedup_vs_pre_pr']:.2f}x; "
+        f"{hires['hires_depthwise_grouped_ops']} grouped / "
+        f"{hires['hires_depthwise_stencil_ops']} stencil rewrite(s) of "
+        f"{hires['hires_depthwise_probes']} probed)"
     )
     emit(
         results_dir,
@@ -161,6 +247,7 @@ def test_pipeline_end_to_end(benchmark, results_dir):
             "elided_copies": report.elided_copies,
             "aliased_views": report.aliased_views,
             "spmm_row_blocks": report.spmm_row_blocks,
+            **hires,
         },
     )
     assert pipeline.link.messages_sent == _BATCHES * 9  # 9 timed rounds; warmup is not charged

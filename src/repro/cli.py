@@ -237,8 +237,13 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         server_model.compile_for_inference(), z_shape, optimize=optimize
     )
     print(f"# edge half ({args.backbone} @{args.input_size}px, "
-          f"batch {args.batch_size})")
-    print(edge_plan.describe())
+          f"batch {args.batch_size}, compute {args.compute})")
+    if args.compute == "quant8":
+        from .nn.engine.quant import QuantizedPlan
+
+        print(QuantizedPlan(edge_plan).describe())
+    else:
+        print(edge_plan.describe())
     print()
     print("# server half")
     print(server_plan.describe())
@@ -612,6 +617,11 @@ def build_parser() -> argparse.ArgumentParser:
     pd.add_argument("--no-optimize", action="store_true",
                     help="show the straight-line lowering instead of the "
                          "optimized plan")
+    pd.add_argument("--compute", choices=("float32", "quant8"),
+                    default="float32",
+                    help="numeric tier for the edge half (quant8 shows the "
+                         "int8 overlay: quantized steps + fused requant "
+                         "chains; scales calibrate on the first batch)")
     pd.add_argument("--seed", type=int, default=0)
     pd.set_defaults(func=_cmd_plan)
 

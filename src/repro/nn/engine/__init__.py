@@ -17,8 +17,14 @@ optimizes what is left.  Compilation is a three-phase pipeline:
    GEMM/SpMM step (folding affines into the bias where exact), *copy
    elision* turns flatten/reshape views and sole-reader activations into
    storage aliases, *kernel selection* flips reductions to GEMM form and
-   pre-fills SpMM outputs with the bias, and *SpMM row blocking*
-   partitions large CSR matrices into pre-packed, L2-sized row blocks;
+   pre-fills SpMM outputs with the bias, *layout repacking* canonicalises
+   every GEMM operand to C-contiguous float32 at plan time (transpose
+   folded into the stored weight, so sgemm always takes the BLAS fast
+   path with zero runtime copies), *depthwise rewriting* probes
+   group-blocked CSR and a padded-slab stencil against per-plane CSR and
+   keeps the measured winner (bit-identical results required), and *SpMM
+   row blocking* partitions large CSR matrices into pre-packed, L2-sized
+   row blocks;
 3. **binding** (:mod:`~repro.nn.engine.executor`) — liveness analysis on
    the *optimized* graph assigns every value to a
    :class:`BufferArena` block, so steady-state inference reuses a small
@@ -35,6 +41,13 @@ same pool for lone-request latency.
 Optimized plans match the unoptimized plan and the unplanned compiled
 forward within 1e-6 — the property the engine tests assert across
 backbones, split indices, batch sizes and worker counts.
+
+A fourth, optional phase is the **quant8 compute tier**
+(:mod:`~repro.nn.engine.quant`): ``plan_session(..., compute="quant8")``
+overlays the bound float plan with int8 operands and exact int32
+accumulation (per-channel weight scales at plan time, activation scales
+calibrated on the first batch, fused int8→int8 requantization between
+adjacent quantized steps).
 """
 
 from .executor import (
@@ -44,9 +57,10 @@ from .executor import (
     PlannedExecutor,
     plan_session,
 )
-from .ir import PlanIR, Step, Unplannable, lower_session
+from .ir import PlanIR, Step, Unplannable, estimate_step_cost, lower_session
 from .kernels import HAVE_SPARSE
 from .passes import L2_BUDGET_BYTES, run_passes
+from .quant import QuantizationError, QuantizedPlan
 
 # Backwards-compatible aliases (the pre-package module exposed these).
 _Unplannable = Unplannable
@@ -64,4 +78,7 @@ __all__ = [
     "run_passes",
     "L2_BUDGET_BYTES",
     "plan_session",
+    "estimate_step_cost",
+    "QuantizationError",
+    "QuantizedPlan",
 ]

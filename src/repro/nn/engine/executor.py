@@ -22,7 +22,7 @@ import numpy as np
 
 from ..fuse import InferenceSession
 from . import kernels
-from .ir import PlanIR, Step, Unplannable, lower_session
+from .ir import PlanIR, Step, Unplannable, estimate_step_cost, lower_session
 from .kernels import apply_act, mean_weights, spmm, spmm_blocks
 from .passes import L2_BUDGET_BYTES, run_passes
 
@@ -109,6 +109,14 @@ class PlanStats:
     folded_affines: int = 0  # affines folded exactly into producer bias
     blocked_spmm_ops: int = 0  # SpMM steps running as L2-sized row blocks
     spmm_row_blocks: int = 0  # total row blocks across blocked SpMMs
+    layout_repacks: int = 0  # operands canonicalized at plan time (repack pass)
+    bind_repacks: int = 0  # operands the *binder* still had to copy (0 when optimized)
+    depthwise_probes: int = 0  # depthwise steps micro-probed at plan time
+    depthwise_grouped_ops: int = 0  # depthwise steps running as block-diagonal groups
+    depthwise_groups: int = 0  # total plane groups across grouped depthwise steps
+    depthwise_stencil_ops: int = 0  # depthwise steps running as padded-slab stencils
+    quant_steps: int = 0  # steps executing with int32 accumulation (quant8)
+    quant_chains: int = 0  # int8->int8 fused requantization hand-offs (quant8)
 
     @property
     def reuse_ratio(self) -> float:
@@ -135,6 +143,16 @@ class PlanStats:
             folded_affines=self.folded_affines + other.folded_affines,
             blocked_spmm_ops=self.blocked_spmm_ops + other.blocked_spmm_ops,
             spmm_row_blocks=self.spmm_row_blocks + other.spmm_row_blocks,
+            layout_repacks=self.layout_repacks + other.layout_repacks,
+            bind_repacks=self.bind_repacks + other.bind_repacks,
+            depthwise_probes=self.depthwise_probes + other.depthwise_probes,
+            depthwise_grouped_ops=self.depthwise_grouped_ops
+            + other.depthwise_grouped_ops,
+            depthwise_groups=self.depthwise_groups + other.depthwise_groups,
+            depthwise_stencil_ops=self.depthwise_stencil_ops
+            + other.depthwise_stencil_ops,
+            quant_steps=self.quant_steps + other.quant_steps,
+            quant_chains=self.quant_chains + other.quant_chains,
         )
 
 
@@ -233,6 +251,10 @@ class _Binder:
         self.batch = ir.batch
         self.bindings: Dict[int, _Value] = {}
         self.steps: List[Tuple[str, Callable[[], None]]] = []
+        # Per-step records of the quantizable producers (step, operand
+        # views, full epilogue with resolved skip arrays) — the quant8
+        # overlay compiles replacement closures from these.
+        self.records: Dict[int, Dict] = {}
         self.last_read: Dict[int, int] = {}
         self.protected = {ir.root(ir.input)}
         for vid in ir.outputs.values():
@@ -260,6 +282,30 @@ class _Binder:
 
     def scratch(self, shape: Tuple[int, ...]) -> Tuple[int, np.ndarray]:
         return self.arena.acquire(shape)
+
+    def _canon(self, arr: Optional[np.ndarray]) -> Optional[np.ndarray]:
+        """C-contiguous float32 view of a weight-like operand.
+
+        After the repack_layouts pass this is a no-op; when it still has
+        to copy (unoptimized plans, or a pass regression) the copy is
+        plan-time-only but counted as a ``bind_repack`` so tests can
+        assert optimized plans never need one.
+        """
+        if arr is None or (arr.flags.c_contiguous and arr.dtype == np.float32):
+            return arr
+        self.stats.bind_repacks += 1
+        return np.ascontiguousarray(arr, dtype=np.float32)
+
+    def _record(self, step: Step, **payload) -> None:
+        epi = [
+            ("add", self.resolve(entry[1])) if entry[0] == "add" else entry
+            for entry in step.epilogue
+        ]
+        payload["step"] = step
+        payload["epi"] = epi
+        payload["ir_index"] = self._index
+        payload["fn_index"] = len(self.steps) - 1  # emit precedes _record
+        self.records[self._index] = payload
 
     def emit(self, label: str, fn: Callable[[], None]) -> None:
         self.steps.append((label, fn))
@@ -368,7 +414,7 @@ class _Binder:
     def _bind_conv_gemm(self, step: Step) -> None:
         x = self.resolve(step.inputs[0])
         out = self.define(step.output)
-        weight = step.attrs["weight"]
+        weight = self._canon(step.attrs["weight"])
         c_out, c_in = weight.shape
         x2 = x.reshape(c_in, -1)
         y2 = out.reshape(c_out, -1)
@@ -430,6 +476,7 @@ class _Binder:
                 ),
             ),
         )
+        self._record(step, kind="gemm", x2=x2, y2=y2, out=out, weight=weight)
         self.stats.gemm_ops += 1
 
     _bind_gemm = _bind_conv_gemm  # linear layers bind identically
@@ -456,7 +503,28 @@ class _Binder:
             def fill(y=y2):
                 y.fill(0.0)
 
-        if blocks is None:
+        dw_kernel = step.attrs.get("dw_kernel")
+        if dw_kernel == "group_csr":
+            groups_dw = tuple(step.attrs["dw_groups"])
+
+            def main(g=groups_dw, x=x2, y=y2, fill=fill):
+                fill()
+                for block in g:
+                    block.run(x, y)
+
+        elif dw_kernel == "stencil":
+            stencil = step.attrs["dw_stencil"]
+            pad_shape, mul_shape = stencil.scratch_shapes(n)
+            pad_id, pad = self.scratch(pad_shape)
+            mul_id, mul = self.scratch(mul_shape)
+
+            def main(st=stencil, x=x, y=out, pad=pad, mul=mul, fill=fill):
+                fill()
+                st.run(x, y, pad, mul)
+
+            self.arena.release(pad_id)
+            self.arena.release(mul_id)
+        elif blocks is None:
 
             def main(m=matrix, x=x2, y=y2, fill=fill):
                 fill()
@@ -490,6 +558,10 @@ class _Binder:
                 main, self._bind_epilogue(step, out, skip_first=1 if prefill else 0)
             ),
         )
+        self._record(
+            step, kind="spmm", x2=x2, y2=y2, out=out, matrix=matrix,
+            c_out=step.op.c_out,
+        )
         self.stats.sparse_ops += 1
 
     def _bind_conv_gather_gemm(self, step: Step) -> None:
@@ -497,7 +569,7 @@ class _Binder:
         out = self.define(step.output)
         n = self.batch
         gather = step.attrs["gather"]
-        weight = step.attrs["weight"]
+        weight = self._canon(step.attrs["weight"])
         c_out, ckk = weight.shape
         plane = gather.shape[0] // ckk
         x2 = x.reshape(-1, n)
@@ -533,6 +605,10 @@ class _Binder:
                 main, self._bind_epilogue(step, out, skip_first=1 if beta else 0)
             ),
         )
+        self._record(
+            step, kind="gather_gemm", x2=x2, y2=y2, out=out,
+            gather=gather, weight=weight, ckk=ckk, plane=plane,
+        )
         self.stats.sparse_ops += 1
         self.stats.gemm_ops += 1
         self.arena.release(cid)
@@ -555,14 +631,15 @@ class _Binder:
 
     def _bind_bias(self, step: Step) -> None:
         out = self.define(step.output)
-        bias = step.attrs["bias"]
+        bias = self._canon(step.attrs["bias"])
         y2 = out.reshape(bias.shape[0], -1)
         self.emit(step.describe(), lambda y=y2, b=bias: np.add(y, b, out=y))
 
     def _bind_affine(self, step: Step) -> None:
         x = self.resolve(step.inputs[0])
         out = self.define(step.output)
-        scale, shift = step.attrs["scale"], step.attrs["shift"]
+        scale = self._canon(step.attrs["scale"])
+        shift = self._canon(step.attrs["shift"])
         channels = scale.shape[0]
         x2 = x.reshape(channels, -1)
         y2 = out.reshape(channels, -1)
@@ -673,10 +750,18 @@ class _Binder:
         out = self.define(step.output)
         c, h, w = self.ir.values[step.inputs[0]].row_shape[1:]
         n = self.batch
-        reduce_w = np.ascontiguousarray(op.reduce_wt.T)  # (reduced, c)
-        expand_w = np.ascontiguousarray(op.expand_wt.T)  # (c, reduced)
-        reduce_b = np.ascontiguousarray(op.reduce_b.reshape(-1, 1))
-        expand_b = np.ascontiguousarray(op.expand_b.reshape(-1, 1))
+        # The repack pass stages the transposed weights C-contiguously on
+        # the step; unoptimized plans canonicalize here (counted).
+        reduce_w = step.attrs.get("reduce_w")
+        if reduce_w is None:
+            reduce_w = self._canon(op.reduce_wt.T)  # (reduced, c)
+            expand_w = self._canon(op.expand_wt.T)  # (c, reduced)
+            reduce_b = self._canon(op.reduce_b.reshape(-1, 1))
+            expand_b = self._canon(op.expand_b.reshape(-1, 1))
+        else:
+            expand_w = step.attrs["expand_w"]
+            reduce_b = step.attrs["reduce_b"]
+            expand_b = step.attrs["expand_b"]
         reduced = reduce_w.shape[0]
         pid, pooled = self.scratch((c, n))
         hid, hidden = self.scratch((reduced, n))
@@ -807,6 +892,8 @@ class ExecutionPlan:
         pool: Optional[_WorkerPool] = None,
         intra_op_workers: int = 1,
         l2_bytes: int = L2_BUDGET_BYTES,
+        probe: bool = True,
+        disabled_passes: Tuple[str, ...] = (),
     ):
         self.session = session
         self.batch_shape = tuple(int(s) for s in batch_shape)
@@ -819,6 +906,7 @@ class ExecutionPlan:
             run_passes(
                 self.ir, self.stats, l2_bytes=l2_bytes,
                 intra_op_workers=intra_op_workers,
+                probe=probe, disabled=tuple(disabled_passes),
             )
 
         binder = _Binder(
@@ -829,6 +917,7 @@ class ExecutionPlan:
         binder.bind()
         self._steps = binder.steps
         self._step_fns = [fn for _, fn in binder.steps]
+        self._records = binder.records  # quant8 overlay inputs
         self._in_view = np.moveaxis(in_array, -1, 0)  # row-shaped strided view
 
         self._outputs: Dict[Optional[str], _Value] = {}
@@ -859,6 +948,15 @@ class ExecutionPlan:
         np.copyto(self._in_view, x)
         for fn in self._step_fns:
             fn()
+        return self._collect(out)
+
+    __call__ = run
+
+    def _collect(self, out):
+        """Copy arena output views into ``out`` (or cached result arrays).
+
+        Shared with the quant8 overlay, which runs its own step list but
+        reuses the plan's arena, views and output buffers."""
         if out is None:
             if self._results is None:
                 self._results = {
@@ -875,8 +973,6 @@ class ExecutionPlan:
             outputs[name] = out[name]
         return outputs
 
-    __call__ = run
-
     def describe(self) -> str:
         stats = self.stats
         lines = [
@@ -888,16 +984,36 @@ class ExecutionPlan:
             f"{stats.elided_copies} copy(ies) elided (in-place acts), "
             f"{stats.aliased_views} view(s) aliased, "
             f"{stats.folded_affines} affine(s) folded exactly, "
+            f"{stats.layout_repacks} operand(s) repacked, "
+            f"{stats.depthwise_grouped_ops + stats.depthwise_stencil_ops} "
+            f"depthwise rewrite(s) ({stats.depthwise_probes} probed), "
             f"{stats.blocked_spmm_ops} blocked SpMM(s) "
             f"({stats.spmm_row_blocks} row blocks)",
         ]
         for step in self.ir.steps:
+            label = step.describe()
             if step.kind == "view":
-                lines.append(f"{step.describe()} (zero-copy alias)")
-            elif step.attrs.get("elided"):
-                lines.append(f"{step.describe()} (copy elided, in place)")
-            else:
-                lines.append(step.describe())
+                lines.append(f"{label} (zero-copy alias)")
+                continue
+            flops, nbytes = estimate_step_cost(self.ir, step)
+            passes = step.attrs.get("passes") or []
+            provenance = ",".join(passes) if passes else "lower"
+            dw = step.attrs.get("dw_kernel")
+            if dw:
+                provenance += f"->{dw}"
+            probe = step.attrs.get("dw_probe")
+            if probe and not dw:
+                provenance += "->csr(probed)"
+            note = " (copy elided, in place)" if step.attrs.get("elided") else ""
+            lines.append(
+                f"{label}{note}  "
+                f"[~{flops / 1e6:.1f} MFLOP, {nbytes / 2**20:.2f} MiB | {provenance}]"
+            )
+            if probe:
+                times = ", ".join(
+                    f"{name}={ms:.2f}ms" for name, ms in probe["times_ms"].items()
+                )
+                lines.append(f"    probe: winner={probe['winner']} ({times})")
         return "\n".join(lines)
 
     def __repr__(self) -> str:
@@ -947,22 +1063,36 @@ class PlannedExecutor:
         max_plans: int = 8,
         optimize: bool = True,
         intra_op: bool = False,
+        compute: str = "float32",
     ):
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         if max_plans < 1:
             raise ValueError(f"max_plans must be >= 1, got {max_plans}")
+        if compute not in ("float32", "quant8"):
+            raise ValueError(
+                f"compute must be 'float32' or 'quant8', got {compute!r}"
+            )
         self.session = session
         self.num_workers = int(num_workers)
         self.copy_outputs = copy_outputs
         self.max_plans = int(max_plans)
         self.optimize = bool(optimize)
         self.intra_op = bool(intra_op)
+        self.compute = compute
         self._prepared: "OrderedDict[Tuple[int, ...], _PreparedBatch]" = OrderedDict()
         self._pool = _WorkerPool(self.num_workers) if self.num_workers > 1 else None
         self._unplannable = False
 
     # -- plan management ------------------------------------------------
+    def _wrap(self, plan: ExecutionPlan):
+        """Overlay the quant8 compute tier on a float plan when selected."""
+        if self.compute != "quant8":
+            return plan
+        from .quant import QuantizedPlan
+
+        return QuantizedPlan(plan)
+
     def _prepare(self, shape: Tuple[int, ...]) -> _PreparedBatch:
         prepared = self._prepared.get(shape)
         if prepared is not None:
@@ -972,10 +1102,10 @@ class PlannedExecutor:
         if self.intra_op and self.num_workers > 1:
             if self._pool is None:  # closed earlier: rebuild on demand
                 self._pool = _WorkerPool(self.num_workers)
-            plan = ExecutionPlan(
+            plan = self._wrap(ExecutionPlan(
                 self.session, shape, optimize=self.optimize,
                 pool=self._pool, intra_op_workers=self.num_workers,
-            )
+            ))
             parts = [(slice(0, n), plan)]
         else:
             workers = max(1, min(self.num_workers, n))
@@ -988,9 +1118,9 @@ class PlannedExecutor:
                     parts.append(
                         (
                             slice(lo, hi),
-                            ExecutionPlan(
+                            self._wrap(ExecutionPlan(
                                 self.session, shard_shape, optimize=self.optimize
-                            ),
+                            )),
                         )
                     )
         sample = parts[0][1]
@@ -1013,7 +1143,11 @@ class PlannedExecutor:
 
     # -- execution ------------------------------------------------------
     def run(self, x: np.ndarray):
-        x = np.ascontiguousarray(np.asarray(x, dtype=np.float32))
+        # No ascontiguousarray here: it silently re-copied every strided
+        # input batch in steady state (an allocation the counter never
+        # saw).  The plans copy into their arena input views with
+        # np.copyto, which handles any stride layout.
+        x = np.asarray(x, dtype=np.float32)
         if self._unplannable or (x.ndim and x.shape[0] == 0):
             return self.session.run(x)
         try:
@@ -1085,7 +1219,8 @@ class PlannedExecutor:
         header = (
             f"PlannedExecutor(workers={self.num_workers}, "
             f"plans={sum(len(p.parts) for p in self._prepared.values())}, "
-            f"optimize={self.optimize}, intra_op={self.intra_op})"
+            f"optimize={self.optimize}, intra_op={self.intra_op}, "
+            f"compute={self.compute})"
         )
         return "\n".join([header, self.session.describe()])
 
@@ -1103,6 +1238,7 @@ def plan_session(
     max_plans: int = 8,
     optimize: bool = True,
     intra_op: bool = False,
+    compute: str = "float32",
 ) -> PlannedExecutor:
     """Wrap a compiled session in a lazily-planning, batch-sharded executor."""
     return PlannedExecutor(
@@ -1112,4 +1248,5 @@ def plan_session(
         max_plans=max_plans,
         optimize=optimize,
         intra_op=intra_op,
+        compute=compute,
     )

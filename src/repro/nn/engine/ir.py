@@ -68,6 +68,7 @@ __all__ = [
     "Unplannable",
     "lower_session",
     "trace_shapes",
+    "estimate_step_cost",
 ]
 
 
@@ -176,6 +177,67 @@ class PlanIR:
             alias = " (aliased)" if out.alias_of is not None else ""
             lines.append(f"{step.describe()}{alias}")
         return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Per-step cost estimates (for plan describe; not used for any decision)
+# ---------------------------------------------------------------------------
+def _elems(row_shape: Tuple[int, ...], batch: int) -> int:
+    n = batch
+    for s in row_shape[1:]:
+        n *= s
+    return n
+
+
+def estimate_step_cost(ir: "PlanIR", step: "Step") -> Tuple[int, int]:
+    """Rough (flops, bytes-moved) estimate for one bound step.
+
+    Estimates only — multiply-add counted as 2 flops, epilogue entries
+    as one pass over the output each, sparse matrices charged their CSR
+    byte size.  Good enough to rank steps in ``repro plan describe``;
+    never used to pick kernels (the probe measures instead).
+    """
+    n = ir.batch
+    out_e = _elems(ir.values[step.output].row_shape, n)
+    in_e = (
+        _elems(ir.values[step.inputs[0]].row_shape, n) if step.inputs else 0
+    )
+    flops = 0
+    nbytes = (in_e + out_e) * 4
+    kind = step.kind
+    if kind in ("conv_gemm", "gemm"):
+        weight = step.attrs["weight"]
+        flops = 2 * weight.shape[0] * weight.shape[1] * (out_e // weight.shape[0])
+        nbytes += weight.nbytes
+    elif kind == "conv_spmm":
+        matrix = step.attrs["matrix"]
+        flops = 2 * matrix.nnz * n
+        nbytes += matrix.data.nbytes + matrix.indices.nbytes + matrix.indptr.nbytes
+    elif kind == "conv_gather_gemm":
+        gather = step.attrs["gather"]
+        weight = step.attrs["weight"]
+        cols_e = gather.shape[0] * n
+        flops = 2 * gather.nnz * n + 2 * weight.shape[0] * weight.shape[1] * (
+            out_e // weight.shape[0]
+        )
+        nbytes += gather.data.nbytes + gather.indices.nbytes + 2 * cols_e * 4
+    elif kind in ("max_pool", "avg_pool"):
+        flops = out_e * step.attrs["kh"] * step.attrs["kw"]
+    elif kind == "global_avg_pool":
+        flops = in_e
+    elif kind == "squeeze_excite":
+        op = step.op
+        c = op.reduce_wt.shape[0]
+        reduced = op.reduce_wt.shape[1]
+        flops = in_e + 2 * 2 * c * reduced * n + in_e
+    elif kind in ("bias", "act", "affine", "residual_add", "copy"):
+        flops = out_e
+    elif kind == "view":
+        nbytes = 0
+    for entry in step.epilogue:
+        flops += out_e
+        nbytes += out_e * 4
+    return flops, nbytes
 
 
 # ---------------------------------------------------------------------------
@@ -302,7 +364,11 @@ def _lower_conv(ir: PlanIR, op: ConvOp, value: int, out_row) -> int:
 
 def _lower_linear(ir: PlanIR, op: LinearOp, value: int, out_row) -> int:
     out = ir.new_value(out_row)
-    weight = np.ascontiguousarray(op.wt.T)  # (f_out, f_in)
+    # Natural layout: the transposed (f_out, f_in) *view* of the stored
+    # weight.  The repack_layouts pass folds the transpose into a
+    # C-contiguous stored weight at plan time; unoptimized plans pay one
+    # bind-time copy (counted as a bind_repack), never a runtime one.
+    weight = op.wt.T  # (f_out, f_in)
     ir.emit(
         Step("gemm", op, (value,), out, attrs={"weight": weight, "label": "linear:gemm"})
     )

@@ -55,6 +55,10 @@ __all__ = [
     "beta_gemm",
     "apply_act",
     "SCRATCH_ACTS",
+    "DepthwiseGroup",
+    "DepthwiseStencil",
+    "pack_depthwise_groups",
+    "spmm_depthwise_groups",
 ]
 
 
@@ -156,6 +160,151 @@ def spmm_blocks(
     x_flat = x2d.reshape(-1)
     for block in blocks:
         block.run(x_flat, out2d)
+
+
+# ---------------------------------------------------------------------------
+# Depthwise-specific kernels: block-diagonal plane groups + padded-slab
+# stencil (plan-time constructions; runtime is allocation-free)
+# ---------------------------------------------------------------------------
+class DepthwiseGroup:
+    """A block-diagonal slice of a depthwise CSR covering planes [p0, p1).
+
+    A depthwise conv's CSR is block diagonal: output plane ``p`` only
+    reads input plane ``p``.  Slicing a plane *group* out of the cached
+    full matrix and rebasing its column indices yields a small standalone
+    CSR whose input slice, output slice and matrix slice are sized to
+    stay L2-resident together — the same amortisation the row-blocked
+    SpMM pass applies, but cutting the *input* working set too.
+
+    ``indptr``/``indices`` are small rebased copies made at plan time;
+    ``data`` is a zero-copy view, so the entries (values *and* their
+    order) are exactly the full matrix's — ``csr_matvecs`` therefore
+    produces bit-identical sums to the unsliced call.
+    """
+
+    __slots__ = ("indptr", "indices", "data", "row_lo", "row_hi", "col_lo", "col_hi")
+
+    def __init__(self, matrix, p0: int, p1: int, plane_out: int, plane_in: int):
+        self.row_lo, self.row_hi = p0 * plane_out, p1 * plane_out
+        self.col_lo, self.col_hi = p0 * plane_in, p1 * plane_in
+        start = int(matrix.indptr[self.row_lo])
+        end = int(matrix.indptr[self.row_hi])
+        self.indptr = np.ascontiguousarray(
+            matrix.indptr[self.row_lo : self.row_hi + 1] - start
+        )
+        self.indices = np.ascontiguousarray(matrix.indices[start:end] - self.col_lo)
+        self.data = matrix.data[start:end]
+
+    def run(self, x2d: np.ndarray, out2d: np.ndarray) -> None:
+        """Accumulate this group's planes into ``out2d`` (pre-filled)."""
+        _sparsetools.csr_matvecs(
+            self.row_hi - self.row_lo,
+            self.col_hi - self.col_lo,
+            out2d.shape[1],
+            self.indptr,
+            self.indices,
+            self.data,
+            x2d[self.col_lo : self.col_hi].reshape(-1),
+            out2d[self.row_lo : self.row_hi].reshape(-1),
+        )
+
+
+def pack_depthwise_groups(
+    matrix, channels: int, plane_in: int, plane_out: int, planes_per_group: int
+) -> List[DepthwiseGroup]:
+    """Split a depthwise CSR into block-diagonal groups of whole planes."""
+    step = max(1, planes_per_group)
+    return [
+        DepthwiseGroup(matrix, p0, min(channels, p0 + step), plane_out, plane_in)
+        for p0 in range(0, channels, step)
+    ]
+
+
+def spmm_depthwise_groups(
+    groups: List[DepthwiseGroup], x2d: np.ndarray, out2d: np.ndarray
+) -> None:
+    """Group-blocked ``out2d += A @ x2d`` (``out2d`` already pre-filled)."""
+    for group in groups:
+        group.run(x2d, out2d)
+
+
+class DepthwiseStencil:
+    """Depthwise conv as per-tap multiply-accumulate over a padded slab.
+
+    For a group of planes the input is copied once into a zero-padded
+    contiguous scratch ``(g, h+2ph, w+2pw, n)``; each of the ``kh*kw``
+    taps is then one uniform strided ``multiply`` + one contiguous
+    ``add`` over the whole group — ``2*kh*kw`` numpy calls per group
+    instead of one ``csr_matvecs`` row walk, which measures ~2x faster
+    on large stride-1 planes and *slower* on strided/small ones (the
+    plan-time probe in :func:`passes.block_depthwise` decides per step).
+
+    Tap order ``(ki, kj)`` matches the CSR's sorted column order, so the
+    accumulation sequence is the same as ``csr_matvecs``; padded taps
+    add exact zeros the CSR drops.  The result is observed bit-identical
+    on probe inputs (the pass requires exact equality before selecting
+    this kernel) but not structurally guaranteed, unlike
+    :class:`DepthwiseGroup`.
+    """
+
+    __slots__ = (
+        "channels", "h", "w", "ho", "wo", "kh", "kw", "sh", "sw", "ph", "pw",
+        "hp", "wp", "eh", "ew", "group", "weight",
+    )
+
+    def __init__(self, op, h: int, w: int, ho: int, wo: int, group: int):
+        self.channels = op.c_out
+        self.h, self.w, self.ho, self.wo = h, w, ho, wo
+        self.kh, self.kw, self.sh, self.sw = op.kh, op.kw, op.sh, op.sw
+        self.ph, self.pw = op.ph, op.pw
+        self.hp, self.wp = h + 2 * op.ph, w + 2 * op.pw
+        self.eh = (ho - 1) * op.sh + 1
+        self.ew = (wo - 1) * op.sw + 1
+        self.group = max(1, min(self.channels, group))
+        self.weight = np.ascontiguousarray(
+            op.weight.reshape(self.channels, op.kh, op.kw), dtype=np.float32
+        )
+
+    def scratch_shapes(self, batch: int):
+        """(padded-slab shape, multiply-scratch shape) for one group."""
+        return (
+            (self.group, self.hp, self.wp, batch),
+            (self.group, self.ho, self.wo, batch),
+        )
+
+    def run(self, x: np.ndarray, y: np.ndarray, pad: np.ndarray, mul: np.ndarray) -> None:
+        """``y += conv(x)`` per plane; ``y`` arrives pre-filled (bias/zero).
+
+        ``x`` is ``(c, h, w, n)``, ``y`` is ``(c, ho, wo, n)``; ``pad`` and
+        ``mul`` are caller-owned scratch of :meth:`scratch_shapes` — their
+        borders may hold garbage from arena reuse, so the pad border is
+        re-zeroed here (four thin slabs, negligible next to the taps).
+        """
+        if self.ph:
+            pad[:, : self.ph].fill(0.0)
+            pad[:, self.hp - self.ph :].fill(0.0)
+        if self.pw:
+            pad[:, :, : self.pw].fill(0.0)
+            pad[:, :, self.wp - self.pw :].fill(0.0)
+        interior = pad[:, self.ph : self.ph + self.h, self.pw : self.pw + self.w, :]
+        for p0 in range(0, self.channels, self.group):
+            p1 = min(self.channels, p0 + self.group)
+            g = p1 - p0
+            np.copyto(interior[:g], x[p0:p1])
+            xg = pad[:g]
+            yg = y[p0:p1]
+            sc = mul[:g]
+            for ki in range(self.kh):
+                for kj in range(self.kw):
+                    xs = xg[
+                        :,
+                        ki : ki + self.eh : self.sh,
+                        kj : kj + self.ew : self.sw,
+                        :,
+                    ]
+                    wv = self.weight[p0:p1, ki, kj].reshape(-1, 1, 1, 1)
+                    np.multiply(xs, wv, out=sc)
+                    np.add(yg, sc, out=yg)
 
 
 # ---------------------------------------------------------------------------

@@ -24,25 +24,50 @@ pipeline (:func:`run_passes`) is:
    ``csr_matvecs`` call streams a bounded working set, and pre-packs the
    block index structures at plan time.
 
-Passes mutate the IR in place and record what they did on the stats
+Between kernel selection and SpMM blocking two further passes run:
+:func:`repack_layouts` canonicalizes every weight-like operand to
+C-contiguous float32 at plan time (folding lowering's transposed views
+into the stored weight) so GEMMs always hit the BLAS fast path without
+bind- or run-time ``ascontiguousarray`` copies, and
+:func:`block_depthwise` rewrites large depthwise SpMMs to the faster of
+three candidate kernels — per-plane CSR, block-diagonal plane groups, or
+a padded-slab stencil — decided by a plan-time micro-probe on the real
+shapes (measured winners only; losing candidates and their timings stay
+recorded on the step for audit).
+
+Passes mutate the IR in place, record what they did on the stats
 object (``fused_steps``, ``elided_copies``, ``folded_affines``,
-``blocked_spmm_ops``, ``spmm_row_blocks``).
+``layout_repacks``, ``depthwise_*``, ``blocked_spmm_ops``,
+``spmm_row_blocks``) and append their name to the rewritten step's
+``attrs["passes"]`` so ``repro plan describe`` can attribute every
+kernel decision.
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 
 from . import kernels
 from .ir import PlanIR
-from .kernels import pack_row_blocks
+from .kernels import (
+    DepthwiseStencil,
+    pack_depthwise_groups,
+    pack_row_blocks,
+    spmm_depthwise_groups,
+)
 
 __all__ = [
     "L2_BUDGET_BYTES",
+    "DW_PROBE_MIN_BYTES",
+    "DW_WIN_MARGIN",
     "run_passes",
     "elide_copies",
     "fuse_epilogues",
     "select_kernels",
+    "repack_layouts",
+    "block_depthwise",
     "block_spmm",
 ]
 
@@ -50,6 +75,26 @@ __all__ = [
 #: typical 1–2 MiB L2 so block output + matrix slice + touched input
 #: planes stay resident while ``csr_matvecs`` streams the rows.
 L2_BUDGET_BYTES = 1 << 20
+
+#: Depthwise steps whose CSR is smaller than this skip the plan-time
+#: kernel probe and keep per-plane CSR: below it the candidates measure
+#: within noise of each other and probing every tiny plan (the test
+#: suite builds hundreds) would cost more than it could ever win.
+DW_PROBE_MIN_BYTES = 1 << 21
+
+#: A candidate must beat per-plane CSR by this factor on the probe to be
+#: selected — within the margin the incumbent wins (probe noise).
+DW_WIN_MARGIN = 1.10
+
+#: Probe repetitions per candidate (min-of-reps is the score).
+DW_PROBE_REPS = 3
+
+
+def _mark(step, name: str) -> None:
+    """Record that pass ``name`` rewrote ``step`` (for plan describe)."""
+    passes = step.attrs.setdefault("passes", [])
+    if name not in passes:
+        passes.append(name)
 
 #: Step kinds that may start an epilogue chain (they own their output
 #: buffer and write it exactly once).
@@ -104,6 +149,7 @@ def elide_copies(ir: PlanIR, stats) -> None:
             step.attrs["elided"] = True
             ir.realias(step.output, step.inputs[0])
             stats.elided_copies += 1
+            _mark(step, "elide_copies")
 
 
 # ---------------------------------------------------------------------------
@@ -155,6 +201,7 @@ def fuse_epilogues(ir: PlanIR, stats) -> None:
                 break
             current = nxt.output
             stats.fused_steps += 1
+            _mark(step, "fuse_epilogues")
             index += 1
     ir.steps = new_steps
 
@@ -170,6 +217,7 @@ def select_kernels(ir: PlanIR, stats) -> None:
             # column tensor is a strided reduction that runs an order of
             # magnitude below BLAS on the bench hosts.
             step.attrs["mean_gemm"] = True
+            _mark(step, "select_kernels")
         if (
             step.kind in ("conv_gemm", "gemm", "conv_gather_gemm")
             and kernels.HAVE_BLAS
@@ -180,6 +228,7 @@ def select_kernels(ir: PlanIR, stats) -> None:
             # the bias add happens inside the GEMM accumulator —
             # bit-identical to matmul + add, minus a whole-tensor pass.
             step.attrs["beta_gemm"] = True
+            _mark(step, "select_kernels")
         if (
             step.kind == "conv_spmm"
             and step.epilogue
@@ -188,10 +237,206 @@ def select_kernels(ir: PlanIR, stats) -> None:
             # csr_matvecs accumulates: pre-filling the output with the
             # bias folds the bias pass into the SpMM for free.
             step.attrs["bias_prefill"] = True
+            _mark(step, "select_kernels")
 
 
 # ---------------------------------------------------------------------------
-# Pass 4: cache-blocked SpMM
+# Pass 4: plan-time weight-layout repacks
+# ---------------------------------------------------------------------------
+#: Step attrs holding weight-like operand arrays the binder feeds to
+#: GEMM/bias/affine kernels.
+_REPACK_ATTRS = ("weight", "bias", "scale", "shift")
+
+
+def _needs_repack(arr) -> bool:
+    return isinstance(arr, np.ndarray) and not (
+        arr.flags.c_contiguous and arr.dtype == np.float32
+    )
+
+
+def repack_layouts(ir: PlanIR, stats) -> None:
+    """Canonicalize weight-like operands to C-contiguous float32.
+
+    Lowering stores operands in their *natural* layout — e.g. a linear
+    layer's weight is the transposed view ``op.wt.T`` (Fortran-
+    contiguous).  ``sgemm``'s fast path and ``beta_gemm``'s in-place
+    transpose trick both need C-contiguity, so without this pass the
+    binder has to ``ascontiguousarray``-copy on every bind (and the
+    squeeze-excite binder used to re-copy its four weights per plan).
+    Repacking once at plan time folds the transpose into the stored
+    weight; the binder counts any copy it still has to make as a
+    ``bind_repack`` — optimized plans assert that count is zero.
+    """
+    for step in ir.steps:
+        repacked = []
+        for name in _REPACK_ATTRS:
+            arr = step.attrs.get(name)
+            if _needs_repack(arr):
+                step.attrs[name] = np.ascontiguousarray(arr, dtype=np.float32)
+                repacked.append(name)
+        for index, entry in enumerate(step.epilogue):
+            if entry[0] == "bias" and _needs_repack(entry[1]):
+                step.epilogue[index] = (
+                    "bias", np.ascontiguousarray(entry[1], dtype=np.float32)
+                )
+                repacked.append("epilogue.bias")
+            elif entry[0] == "affine" and (
+                _needs_repack(entry[1]) or _needs_repack(entry[2])
+            ):
+                step.epilogue[index] = (
+                    "affine",
+                    np.ascontiguousarray(entry[1], dtype=np.float32),
+                    np.ascontiguousarray(entry[2], dtype=np.float32),
+                )
+                repacked.append("epilogue.affine")
+        if step.kind == "squeeze_excite" and "reduce_w" not in step.attrs:
+            op = step.op
+            step.attrs["reduce_w"] = np.ascontiguousarray(
+                op.reduce_wt.T, dtype=np.float32
+            )
+            step.attrs["expand_w"] = np.ascontiguousarray(
+                op.expand_wt.T, dtype=np.float32
+            )
+            step.attrs["reduce_b"] = np.ascontiguousarray(
+                op.reduce_b.reshape(-1, 1), dtype=np.float32
+            )
+            step.attrs["expand_b"] = np.ascontiguousarray(
+                op.expand_b.reshape(-1, 1), dtype=np.float32
+            )
+            repacked.append("se_weights")
+        if repacked:
+            step.attrs["repacked"] = repacked
+            stats.layout_repacks += len(repacked)
+            _mark(step, "repack_layouts")
+
+
+# ---------------------------------------------------------------------------
+# Pass 5: group-blocked / stencil depthwise (measured winner)
+# ---------------------------------------------------------------------------
+def _depthwise_planes_per_group(
+    per_plane_bytes: int, channels: int, l2_bytes: int
+) -> int:
+    """Planes per group so one group's working set stays L2-resident."""
+    return max(1, min(channels, l2_bytes // max(1, per_plane_bytes)))
+
+
+def block_depthwise(
+    ir: PlanIR,
+    stats,
+    batch: int,
+    l2_bytes: int = L2_BUDGET_BYTES,
+    probe: bool = True,
+) -> None:
+    """Rewrite large depthwise SpMMs to the measured-fastest kernel.
+
+    Runs before :func:`block_spmm`; steps this pass rewrites are skipped
+    there (the group/stencil kernels already bound their working sets).
+    With ``probe=False`` (e.g. provenance digests, which must not depend
+    on timing noise) every step keeps per-plane CSR.
+    """
+    for step in ir.steps:
+        if step.kind != "conv_spmm":
+            continue
+        op = step.op
+        if op.c_in_g != 1 or op.groups != op.c_out:
+            continue  # grouped but not depthwise
+        matrix = step.attrs["matrix"]
+        matrix_bytes = matrix.data.nbytes + matrix.indices.nbytes
+        if not probe or matrix_bytes < DW_PROBE_MIN_BYTES:
+            continue
+        channels = op.c_out
+        rows, cols = matrix.shape
+        plane_out, plane_in = rows // channels, cols // channels
+        stats.depthwise_probes += 1
+
+        rng = np.random.default_rng(0xD3)
+        x2 = rng.standard_normal((cols, batch)).astype(np.float32)
+        y_ref = np.empty((rows, batch), dtype=np.float32)
+        y_try = np.empty((rows, batch), dtype=np.float32)
+
+        g_csr = _depthwise_planes_per_group(
+            (plane_in + plane_out) * batch * 4 + matrix_bytes // channels,
+            channels, l2_bytes,
+        )
+        groups = pack_depthwise_groups(matrix, channels, plane_in, plane_out, g_csr)
+
+        # Geometry for the stencil comes from the IR's value shapes.
+        in_row = ir.values[step.inputs[0]].row_shape
+        out_row = ir.values[step.output].row_shape
+        _, h, w = in_row[1:]
+        _, ho, wo = out_row[1:]
+        hp, wp = h + 2 * op.ph, w + 2 * op.pw
+        g_st = _depthwise_planes_per_group(
+            (hp * wp + 2 * ho * wo) * batch * 4, channels, l2_bytes
+        )
+        stencil = DepthwiseStencil(op, h, w, ho, wo, g_st)
+        pad_shape, mul_shape = stencil.scratch_shapes(batch)
+        pad = np.zeros(pad_shape, dtype=np.float32)
+        mul = np.empty(mul_shape, dtype=np.float32)
+        x4 = x2.reshape(channels, h, w, batch)
+        y4_try = y_try.reshape(channels, ho, wo, batch)
+
+        def run_csr():
+            y_ref.fill(0.0)
+            kernels.spmm_accumulate(matrix, x2, y_ref)
+
+        def run_groups():
+            y_try.fill(0.0)
+            spmm_depthwise_groups(groups, x2, y_try)
+
+        def run_stencil():
+            y_try.fill(0.0)
+            stencil.run(x4, y4_try, pad, mul)
+
+        run_csr()
+        ref = y_ref.copy()
+        run_groups()
+        groups_exact = bool(np.array_equal(y_try, ref))
+        run_stencil()
+        stencil_exact = bool(np.array_equal(y_try, ref))
+
+        times = {}
+        for name, fn in (
+            ("csr", run_csr), ("group_csr", run_groups), ("stencil", run_stencil)
+        ):
+            best = float("inf")
+            for _ in range(DW_PROBE_REPS):
+                t0 = time.perf_counter()
+                fn()
+                best = min(best, time.perf_counter() - t0)
+            times[name] = best * 1000.0
+
+        eligible = {"csr": times["csr"]}
+        if groups_exact:  # structurally guaranteed; belt and braces
+            eligible["group_csr"] = times["group_csr"]
+        if stencil_exact:
+            eligible["stencil"] = times["stencil"]
+        winner = min(eligible, key=eligible.get)
+        if winner != "csr" and times["csr"] < eligible[winner] * DW_WIN_MARGIN:
+            winner = "csr"  # within noise margin: the incumbent stays
+
+        step.attrs["dw_probe"] = {
+            "times_ms": {k: round(v, 4) for k, v in times.items()},
+            "winner": winner,
+            "stencil_exact": stencil_exact,
+            "group_csr_exact": groups_exact,
+            "planes_per_group": {"group_csr": g_csr, "stencil": g_st},
+        }
+        if winner == "group_csr":
+            step.attrs["dw_kernel"] = "group_csr"
+            step.attrs["dw_groups"] = groups
+            stats.depthwise_grouped_ops += 1
+            stats.depthwise_groups += len(groups)
+            _mark(step, "block_depthwise")
+        elif winner == "stencil":
+            step.attrs["dw_kernel"] = "stencil"
+            step.attrs["dw_stencil"] = stencil
+            stats.depthwise_stencil_ops += 1
+            _mark(step, "block_depthwise")
+
+
+# ---------------------------------------------------------------------------
+# Pass 6: cache-blocked SpMM
 # ---------------------------------------------------------------------------
 def block_spmm(
     ir: PlanIR,
@@ -209,6 +454,8 @@ def block_spmm(
     """
     for step in ir.steps:
         if step.kind == "conv_spmm":
+            if step.attrs.get("dw_kernel") in ("group_csr", "stencil"):
+                continue  # block_depthwise already bounded the working set
             matrix = step.attrs["matrix"]
             align = max(1, matrix.shape[0] // step.op.c_out)
         elif step.kind == "conv_gather_gemm":
@@ -232,6 +479,7 @@ def block_spmm(
         step.attrs["row_blocks"] = blocks
         stats.blocked_spmm_ops += 1
         stats.spmm_row_blocks += len(blocks)
+        _mark(step, "block_spmm")
 
 
 # ---------------------------------------------------------------------------
@@ -242,16 +490,39 @@ def run_passes(
     stats,
     l2_bytes: int = L2_BUDGET_BYTES,
     intra_op_workers: int = 1,
+    probe: bool = True,
+    disabled: tuple = (),
 ) -> PlanIR:
-    """Run the full pass pipeline in order; returns the (mutated) IR."""
-    elide_copies(ir, stats)
-    fuse_epilogues(ir, stats)
-    select_kernels(ir, stats)
-    block_spmm(
-        ir,
-        stats,
-        ir.batch,
-        l2_bytes=l2_bytes,
-        min_blocks=intra_op_workers if intra_op_workers > 1 else 1,
+    """Run the full pass pipeline in order; returns the (mutated) IR.
+
+    ``probe=False`` keeps the pipeline fully deterministic (no timing-
+    based kernel selection) — provenance digests use it.  ``disabled``
+    names passes to skip by function name; benchmarks use it to build
+    honest "this pass off" baselines in the same process.
+    """
+    pipeline = (
+        (elide_copies, lambda: elide_copies(ir, stats)),
+        (fuse_epilogues, lambda: fuse_epilogues(ir, stats)),
+        (select_kernels, lambda: select_kernels(ir, stats)),
+        (repack_layouts, lambda: repack_layouts(ir, stats)),
+        (
+            block_depthwise,
+            lambda: block_depthwise(
+                ir, stats, ir.batch, l2_bytes=l2_bytes, probe=probe
+            ),
+        ),
+        (
+            block_spmm,
+            lambda: block_spmm(
+                ir,
+                stats,
+                ir.batch,
+                l2_bytes=l2_bytes,
+                min_blocks=intra_op_workers if intra_op_workers > 1 else 1,
+            ),
+        ),
     )
+    for fn, thunk in pipeline:
+        if fn.__name__ not in disabled:
+            thunk()
     return ir

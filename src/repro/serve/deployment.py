@@ -123,6 +123,7 @@ class Deployment:
             max_retries=spec.max_retries,
             retry_backoff_s=spec.retry_backoff_ms / 1000.0,
             probe_every=spec.probe_every,
+            compute=spec.compute,
         )
         self.cache: Optional[ServeCache] = self._build_cache()
         if self.cache is not None and self.cache.feature is not None:
@@ -202,7 +203,8 @@ class Deployment:
     def execution_mode(self) -> str:
         """How the halves execute: planned engine / fused/compiled / eval-mode."""
         if self.pipeline.edge.planned:
-            return f"planned engine ({self.spec.num_workers} worker(s))"
+            tier = "" if self.spec.compute == "float32" else f", edge {self.spec.compute}"
+            return f"planned engine ({self.spec.num_workers} worker(s){tier})"
         if self.pipeline.edge.compiled:
             return "fused/compiled"
         return "eval-mode"

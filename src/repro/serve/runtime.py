@@ -83,7 +83,7 @@ class InferenceTrace:
 
 def _build_session(
     model, compiled, planned, num_workers, copy_outputs, reuse_buffers,
-    optimize=True, max_cached_plans=8,
+    optimize=True, max_cached_plans=8, compute="float32",
 ):
     """Shared session-selection ladder for the two runtimes."""
     if not compiled:
@@ -91,7 +91,7 @@ def _build_session(
     if planned:  # planned=False wins even when num_workers was raised
         return model.compile_for_inference(
             plan=True, num_workers=num_workers, copy_outputs=copy_outputs,
-            optimize=optimize, max_plans=max_cached_plans,
+            optimize=optimize, max_plans=max_cached_plans, compute=compute,
         )
     session = model.compile_for_inference()
     return session.enable_buffer_reuse() if reuse_buffers else session
@@ -155,14 +155,17 @@ class EdgeRuntime(_RuntimeBase):
         num_workers: int = 1,
         optimize: bool = True,
         max_cached_plans: int = 8,
+        compute: str = "float32",
     ):
         self.model = model
         self.wire_format = wire_format
+        self.compute = compute
         self.model.eval()
         self.session = _build_session(
             model, compiled, planned, num_workers,
             copy_outputs=False, reuse_buffers=True,
             optimize=optimize, max_cached_plans=max_cached_plans,
+            compute=compute,
         )
 
     def forward(self, images: np.ndarray) -> Tuple[np.ndarray, float]:
@@ -205,12 +208,19 @@ class EdgeRuntime(_RuntimeBase):
         allocated: lowering + passes are pure IR work.
         """
         if isinstance(self.session, PlannedExecutor):
-            header = f"planned optimize={self.session.optimize}"
+            header = (
+                f"planned optimize={self.session.optimize} "
+                f"compute={self.session.compute}"
+            )
             if batch_shape is not None:
                 try:
                     ir = lower_session(self.session.session, tuple(batch_shape))
                     if self.session.optimize:
-                        run_passes(ir, PlanStats())
+                        # probe=False: the depthwise kernel probe picks
+                        # winners by *timing*, and a digest must never
+                        # depend on timing noise.  Provenance describes
+                        # the deterministic pass pipeline only.
+                        run_passes(ir, PlanStats(), probe=False)
                     return f"{header}\n{ir.describe()}"
                 except Unplannable:
                     pass
@@ -626,6 +636,7 @@ class SplitPipeline:
         max_retries: int = 2,
         retry_backoff_s: float = 0.01,
         probe_every: int = 8,
+        compute: str = "float32",
     ) -> "SplitPipeline":
         """Split ``net`` and wire the halves through a simulated channel.
 
@@ -637,6 +648,8 @@ class SplitPipeline:
         deterministic :class:`~repro.serve.faults.FaultPlan` to the wire;
         ``fallback``/``max_retries``/``retry_backoff_s``/``probe_every``
         configure the degradation state machine (class docstring).
+        ``compute="quant8"`` runs the *edge* half in the int8 tier (the
+        server half always stays float32 — see ``DeploymentSpec``).
         """
         edge_model, server_model = net.split(split_index, input_size=input_size)
         return cls(
@@ -644,6 +657,7 @@ class SplitPipeline:
                 edge_model, wire_format, compiled=compiled,
                 planned=planned, num_workers=num_workers,
                 optimize=optimize, max_cached_plans=max_cached_plans,
+                compute=compute,
             ),
             SimulatedLink(channel),
             ServerRuntime(

@@ -1,0 +1,199 @@
+"""Property + integration tests for the quant8 compute tier.
+
+Three layers of contract:
+
+1. the pure requantization helpers — round-trip error bounded by half a
+   quantization step, hard saturation at the int8 edges, and NaN/Inf
+   *rejected* rather than silently saturated (the same policy the PR 2
+   wire-codec fix established);
+2. the :class:`QuantizedPlan` overlay — the calibration batch runs the
+   float plan and is bit-exact, steady-state batches stay within the
+   documented accuracy envelope, and non-finite inputs raise;
+3. the tier wiring — ``compute="quant8"`` threads through
+   ``plan_session`` / ``compile_for_inference`` / ``DeploymentSpec`` /
+   the scenario registry with the planned-engine precondition enforced.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import data
+from repro.core import MTLSplitNet
+from repro.nn.engine import ExecutionPlan, QuantizationError, QuantizedPlan
+from repro.nn.engine.quant import (
+    QMAX,
+    dequantize,
+    quantize_int8,
+    requantize,
+    symmetric_scale,
+)
+from repro.scenarios import get_scenario
+from repro.serve import DeploymentSpec, SpecError
+
+_FINITE = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False,
+    width=32,
+)
+
+
+class TestRequantHelpers:
+    """Pure-function properties of the quantization arithmetic."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(values=st.lists(_FINITE, min_size=1, max_size=64))
+    def test_round_trip_error_bounded_by_half_step(self, values):
+        x = np.array(values, dtype=np.float32)
+        scale = symmetric_scale(float(np.max(np.abs(x))))
+        q = quantize_int8(x, scale)
+        err = np.abs(dequantize(q, scale) - x)
+        # scale derived from the actual amax: nothing saturates, so the
+        # reconstruction error is at most half a quantization step
+        assert np.all(err <= scale / 2 + 1e-7 * np.abs(x))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        magnitude=st.floats(min_value=1.0, max_value=1e4),
+        scale=st.floats(min_value=1e-6, max_value=1.0),
+    )
+    def test_saturation_at_int8_edges(self, magnitude, scale):
+        edge = QMAX * scale
+        x = np.array(
+            [edge * (1 + magnitude), -edge * (1 + magnitude)], dtype=np.float32
+        )
+        q = quantize_int8(x, scale)
+        assert q.tolist() == [QMAX, -QMAX]
+
+    def test_nan_inf_rejected_not_saturated(self):
+        for bad in (np.nan, np.inf, -np.inf):
+            with pytest.raises(QuantizationError):
+                quantize_int8(np.array([1.0, bad], dtype=np.float32), 0.1)
+
+    def test_bad_scales_rejected(self):
+        x = np.ones(3, dtype=np.float32)
+        for scale in (0.0, -1.0, np.nan, np.inf):
+            with pytest.raises(QuantizationError):
+                quantize_int8(x, scale)
+
+    def test_symmetric_scale_rejects_and_floors(self):
+        for amax in (-1.0, np.nan, np.inf):
+            with pytest.raises(QuantizationError):
+                symmetric_scale(amax)
+        # all-zero tensors get a floored scale, not a division by zero
+        assert symmetric_scale(0.0) == pytest.approx(1e-12 / QMAX)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        acc=st.lists(
+            st.integers(-(2**30), 2**30), min_size=1, max_size=32
+        ),
+        multiplier=st.floats(min_value=1e-9, max_value=10.0),
+    )
+    def test_requantize_saturates_into_int8_range(self, acc, multiplier):
+        out = requantize(np.array(acc, dtype=np.int32), multiplier)
+        assert out.dtype == np.int32
+        assert np.all(out >= -QMAX) and np.all(out <= QMAX)
+
+
+@pytest.fixture(scope="module")
+def quant_setup():
+    tasks = data.make_shapes3d(4, tasks=("scale", "shape"), seed=7).tasks
+    net = MTLSplitNet.from_tasks("mobilenet_v3_tiny", list(tasks), 32, seed=31)
+    net.eval()
+    session = net.compile_for_inference()
+    images = data.make_shapes3d(16, tasks=("scale", "shape"), seed=11).images
+    return session, images
+
+
+class TestQuantizedPlan:
+    """The overlay's accuracy and failure contracts on a real backbone."""
+
+    def test_calibration_batch_is_bit_exact_float(self, quant_setup):
+        session, images = quant_setup
+        x = images[:4]
+        float_plan = ExecutionPlan(session, x.shape)
+        qplan = QuantizedPlan(ExecutionPlan(session, x.shape))
+        reference = float_plan.run(x)
+        first = qplan.run(x)
+        for name in reference:
+            np.testing.assert_array_equal(first[name], reference[name])
+        assert qplan.calibrated
+
+    def test_steady_state_accuracy_envelope(self, quant_setup):
+        session, images = quant_setup
+        x = images[:4]
+        float_plan = ExecutionPlan(session, x.shape)
+        qplan = QuantizedPlan(ExecutionPlan(session, x.shape))
+        qplan.run(x)  # calibration
+        reference = float_plan.run(images[4:8])
+        quant = qplan.run(images[4:8])
+        for name in reference:
+            delta = float(np.max(np.abs(quant[name] - reference[name])))
+            assert delta < 1e-2, (name, delta)
+
+    def test_nonfinite_input_raises(self, quant_setup):
+        session, images = quant_setup
+        x = images[:4]
+        qplan = QuantizedPlan(ExecutionPlan(session, x.shape))
+        qplan.run(x)
+        bad = x.copy()
+        bad[0, 0, 0, 0] = np.nan
+        with pytest.raises(QuantizationError):
+            qplan.run(bad)
+
+    def test_describe_and_stats(self, quant_setup):
+        session, images = quant_setup
+        x = images[:4]
+        qplan = QuantizedPlan(ExecutionPlan(session, x.shape))
+        assert qplan.stats.quant_steps > 0
+        text = qplan.describe()
+        assert "quant8 overlay" in text
+        assert "pending first batch" in text
+        qplan.run(x)
+        assert "calibrated" in qplan.describe()
+
+
+class TestTierWiring:
+    """compute='quant8' threads through every serving layer correctly."""
+
+    def test_plan_session_compute_quant8(self, quant_setup):
+        session, images = quant_setup
+        from repro.nn.engine import plan_session
+
+        executor = plan_session(session, compute="quant8")
+        x = images[:4]
+        first = executor.run(x)
+        reference = ExecutionPlan(session, x.shape).run(x)
+        for name in reference:
+            np.testing.assert_array_equal(first[name], reference[name])
+
+    def test_compile_for_inference_requires_planned_engine(self):
+        tasks = data.make_shapes3d(4, tasks=("scale", "shape"), seed=7).tasks
+        net = MTLSplitNet.from_tasks("vgg_tiny", list(tasks), 32, seed=31)
+        net.eval()
+        with pytest.raises(ValueError, match="quant8"):
+            net.compile_for_inference(plan=False, compute="quant8")
+
+    def test_deployment_spec_validates_compute(self):
+        tasks = (("a", 2),)
+        with pytest.raises(SpecError, match="compute"):
+            DeploymentSpec(model="vgg_tiny", tasks=tasks, compute="int4")
+        with pytest.raises(SpecError, match="planned"):
+            DeploymentSpec(
+                model="vgg_tiny", tasks=tasks, planned=False, compute="quant8"
+            )
+        spec = DeploymentSpec(model="vgg_tiny", tasks=tasks, compute="quant8")
+        assert spec.to_dict()["compute"] == "quant8"
+        assert "compute=quant8" in spec.describe()
+        assert DeploymentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_quant8_scenarios_registered(self):
+        for family in ("mobilenetv3", "efficientnet", "vgg"):
+            scenario = get_scenario(f"{family}_hires_224px_quant8")
+            assert scenario.compute == "quant8"
+            assert scenario.input_size == 224
+            assert scenario.tier == "hires"
+            # the float32 hires reference row still exists alongside
+            reference = get_scenario(f"{family}_hires_224px")
+            assert reference.compute == "float32"
