@@ -63,6 +63,71 @@ def current_scale() -> BenchScale:
     return SCALES[name]
 
 
+def provenance_stamp(deployment) -> dict:
+    """``spec_digest``/``plan_digest`` of a live deployment, as the two
+    payload keys every ``BENCH_*.json`` must carry (docs/benchmarking.md:
+    a latency number without the digests of the program that produced it
+    is not reproducible evidence)."""
+    spec_digest, plan_digest = deployment.provenance()
+    return {"spec_digest": spec_digest, "plan_digest": plan_digest}
+
+
+def spec_stamp(spec) -> dict:
+    """Stamp for benches that hand their :class:`DeploymentSpec` to a
+    driver and never hold the deployment themselves: a throwaway
+    deployment computes the provenance (seeded model build + pure IR
+    work, no traffic)."""
+    from repro.serve import deploy
+
+    with deploy(spec) as deployment:
+        return provenance_stamp(deployment)
+
+
+def pipeline_stamp(pipeline, batch_shape, split_index=None) -> dict:
+    """Stamp for a raw :class:`SplitPipeline` built from an in-memory
+    (trained) net.  No ``DeploymentSpec`` exists behind these benches, so
+    ``spec_digest`` is empty by contract; the plan digest still covers
+    both halves' optimized plan IR for ``batch_shape``."""
+    from repro.serve.cache.keys import provenance_digest
+
+    edge_text = pipeline.edge.plan_provenance(tuple(batch_shape))
+    z_shape = pipeline.edge.output_shape(tuple(batch_shape))
+    server_text = pipeline.server.plan_provenance(z_shape)
+    parts = [f"split:{split_index}", edge_text, server_text]
+    return {"spec_digest": "", "plan_digest": provenance_digest(parts)}
+
+
+def session_stamp(session, batch_shape, header: str = "") -> dict:
+    """Plan digest for a bare fused engine session (benches below the
+    serve layer entirely, e.g. the quant8 edge sweep).  ``spec_digest``
+    is empty by contract; the plan IR is lowered with ``probe=False`` so
+    the digest never depends on depthwise-probe timings."""
+    from repro.nn.engine import PlanStats, Unplannable, lower_session, run_passes
+    from repro.serve.cache.keys import provenance_digest
+
+    try:
+        ir = lower_session(session, tuple(batch_shape))
+        run_passes(ir, PlanStats(), probe=False)
+        text = ir.describe()
+    except Unplannable:
+        text = session.describe()
+    return {"spec_digest": "", "plan_digest": provenance_digest([header, text])}
+
+
+def combined_stamp(stamps: dict) -> dict:
+    """Fold per-row stamps into one top-level digest pair for matrix
+    benches (scenario sweeps): any row's program changing changes the
+    artifact's headline digests."""
+    from repro.serve.cache.keys import provenance_digest
+
+    spec_parts = [f"{name}:{stamps[name]['spec_digest']}" for name in sorted(stamps)]
+    plan_parts = [f"{name}:{stamps[name]['plan_digest']}" for name in sorted(stamps)]
+    return {
+        "spec_digest": provenance_digest(spec_parts),
+        "plan_digest": provenance_digest(plan_parts),
+    }
+
+
 def emit(results_dir: Path, name: str, text: str, data: Optional[dict] = None) -> None:
     """Print a result block and persist it under benchmarks/results/.
 

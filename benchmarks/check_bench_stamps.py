@@ -1,0 +1,47 @@
+"""Assert every ``BENCH_*.json`` artifact carries its provenance stamp.
+
+The contract (docs/benchmarking.md): a benchmark artifact without the
+digests of the program that produced it is not reproducible evidence, so
+every machine-readable artifact must carry ``spec_digest`` and
+``plan_digest`` at the top level.  ``plan_digest`` must always be
+non-empty; ``spec_digest`` may be the empty string only for benches that
+run below the serve layer (an in-memory trained net or a bare engine
+session, where no :class:`DeploymentSpec` exists to digest).
+
+Run by the CI bench lanes after each benchmark smoke; also valid against
+the committed artifacts on a clean checkout:
+
+    python benchmarks/check_bench_stamps.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+RESULTS = Path(__file__).parent / "results"
+
+
+def main() -> int:
+    paths = sorted(RESULTS.glob("BENCH_*.json"))
+    if not paths:
+        print("no BENCH_*.json artifacts found under benchmarks/results/",
+              file=sys.stderr)
+        return 1
+    bad = []
+    for path in paths:
+        data = json.loads(path.read_text())
+        for key in ("spec_digest", "plan_digest"):
+            if key not in data:
+                bad.append(f"{path.name}: missing {key}")
+        if not data.get("plan_digest"):
+            bad.append(f"{path.name}: empty plan_digest")
+    for line in bad:
+        print(line, file=sys.stderr)
+    print(f"{len(paths)} artifact(s) checked, {len(bad)} stamp problem(s)")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,7 +33,7 @@ import os
 
 from repro.serve import DeploymentSpec, render_cache_bench, run_cache_bench
 
-from _bench_utils import emit
+from _bench_utils import emit, spec_stamp
 
 _DUPLICATE_RATES = (0.0, 0.5, 0.9)
 _REQUESTS_PER_POINT = 64
@@ -143,5 +143,6 @@ def test_serve_cache(benchmark, results_dir):
             "requests_per_point": _REQUESTS_PER_POINT,
             "duplicate_rates": list(_DUPLICATE_RATES),
             **result,
+            **spec_stamp(spec),
         },
     )

@@ -122,6 +122,19 @@ def test_serve_cluster(benchmark, results_dir):
     assert plan.schedule(64) == _KILL_INDICES
     assert baseline["worker_fault_digest"] is None
 
+    # Spec/plan digests travel from the worker processes through the
+    # aggregate report (repro.attest stamping): every run of the same
+    # spec must agree on them.
+    stamps = {
+        name: (r["report"]["aggregate"]["spec_digest"],
+               r["report"]["aggregate"]["plan_digest"])
+        for name, r in (("baseline", baseline), ("cluster", cluster),
+                        ("chaos", chaos))
+    }
+    for name, (spec_digest, plan_digest) in stamps.items():
+        assert spec_digest and plan_digest, f"{name} report lost its digests"
+    assert len(set(stamps.values())) == 1, stamps
+
     # Honest overhead on this host — recorded, never gated (replicas
     # share the core count they get; on 1 core, 2 replicas cost, not pay).
     overhead = (
@@ -152,6 +165,8 @@ def test_serve_cluster(benchmark, results_dir):
             "worker_fault_digest": plan.digest(),
             "kill_schedule": list(plan.schedule(64)),
             "throughput_ratio_1v2": overhead,
+            "spec_digest": stamps["chaos"][0],
+            "plan_digest": stamps["chaos"][1],
             "baseline": baseline,
             "cluster": cluster,
             "chaos": chaos,

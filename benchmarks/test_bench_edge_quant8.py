@@ -20,7 +20,7 @@ from repro.core import MTLSplitNet
 from repro.nn.engine import ExecutionPlan, QuantizedPlan
 from repro.scenarios import scenario_matrix
 
-from _bench_utils import emit
+from _bench_utils import combined_stamp, emit, session_stamp
 
 _ROUNDS = 5
 _BATCHES = 2
@@ -84,6 +84,15 @@ def _measure_scenario(scenario):
         "float32_absmax": absmax,
         "quant_steps": qplan.stats.quant_steps,
         "quant_chains": qplan.stats.quant_chains,
+        # Scenario spec digest + the float32 edge session's plan digest.
+        # quant8 outputs themselves are policy-excluded from exact
+        # attestation (calibration-dependent); the stamp identifies the
+        # program whose float reference this row is measured against.
+        "spec_digest": scenario.deployment_spec().digest(),
+        "plan_digest": session_stamp(
+            session, shape,
+            header=f"{scenario.backbone}@{scenario.input_size} edge-full",
+        )["plan_digest"],
     }
 
 
@@ -112,7 +121,12 @@ def test_edge_quant8(benchmark, results_dir):
         "policy: accuracy deltas are bounded; the latency ratio is recorded, "
         "never gated (see docs/benchmarking.md)"
     )
-    emit(results_dir, "edge_quant8", "\n".join(lines), data={"scenarios": rows})
+    emit(
+        results_dir,
+        "edge_quant8",
+        "\n".join(lines),
+        data={"scenarios": rows, **combined_stamp(rows)},
+    )
 
     for name, row in rows.items():
         # The accuracy gate: quant8 must stay a faithful approximation of

@@ -30,7 +30,7 @@ import os
 
 from repro.serve import DeploymentSpec, render_overload_bench, run_overload_bench
 
-from _bench_utils import emit
+from _bench_utils import emit, spec_stamp
 
 _LOAD_FACTORS = (0.25, 0.5, 1.0, 2.0, 4.0)
 _REQUESTS_PER_POINT = 48
@@ -117,5 +117,6 @@ def test_serve_overload(benchmark, results_dir):
             "deadline_ms": _DEADLINE_MS,
             "requests_per_point": _REQUESTS_PER_POINT,
             **result,
+            **spec_stamp(spec),
         },
     )

@@ -20,7 +20,7 @@ from repro.nn.engine import ExecutionPlan
 from repro.serve import SplitPipeline
 from repro.nn.tensor import Tensor
 
-from _bench_utils import emit
+from _bench_utils import emit, pipeline_stamp
 
 _BATCHES = 8
 _BATCH_SIZE = 16
@@ -248,6 +248,9 @@ def test_pipeline_end_to_end(benchmark, results_dir):
             "aliased_views": report.aliased_views,
             "spmm_row_blocks": report.spmm_row_blocks,
             **hires,
+            # In-memory trained net, so no DeploymentSpec: spec_digest is
+            # empty by contract (docs/benchmarking.md).
+            **pipeline_stamp(pipeline, (_BATCH_SIZE, 3, 32, 32)),
         },
     )
     assert pipeline.link.messages_sent == _BATCHES * 9  # 9 timed rounds; warmup is not charged

@@ -29,7 +29,7 @@ from repro.nn.engine.passes import L2_BUDGET_BYTES
 from repro.scenarios import scenario_matrix
 from repro.serve import deploy
 
-from _bench_utils import emit
+from _bench_utils import combined_stamp, emit, provenance_stamp
 
 _ROUNDS = 3  # interleaved A/B rounds per scenario (min-of-rounds kept)
 
@@ -116,6 +116,7 @@ def _measure_scenario(scenario):
             "elided_copies": report.elided_copies,
             "aliased_views": report.aliased_views,
             "spmm_row_blocks": report.spmm_row_blocks,
+            **provenance_stamp(optimized),
         }
         if report.spmm_row_blocks == 0:
             row["spmm_note"] = (
@@ -190,5 +191,8 @@ def test_scenario_matrix(benchmark, results_dir):
             "l2_budget_bytes": L2_BUDGET_BYTES,
             "rounds": _ROUNDS,
             "scenarios": rows,
+            # Matrix-wide fold of the per-row digests: any scenario's
+            # program changing changes the artifact's headline digests.
+            **combined_stamp(rows),
         },
     )

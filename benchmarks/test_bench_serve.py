@@ -18,7 +18,7 @@ import os
 
 from repro.serve import DeploymentSpec, render_serve_bench, run_serve_bench
 
-from _bench_utils import emit
+from _bench_utils import emit, spec_stamp
 
 _CLIENT_COUNTS = (1, 8, 64)
 _REQUESTS_PER_CLIENT = 12
@@ -77,5 +77,6 @@ def test_serve_dynamic_batching(benchmark, results_dir):
             "max_queue_delay_ms": _MAX_DELAY_MS,
             "requests_per_client": _REQUESTS_PER_CLIENT,
             **result,
+            **spec_stamp(spec),
         },
     )

@@ -20,7 +20,7 @@ from repro import data
 from repro.core import MTLSplitNet
 from repro.nn import engine
 
-from _bench_utils import emit
+from _bench_utils import emit, session_stamp
 
 _BATCH_SIZE = 16
 _WORKER_COUNTS = (1, 2, 4)
@@ -81,6 +81,9 @@ def test_edge_worker_scaling(benchmark, results_dir):
         f"  unplanned fused session: {unplanned_ms:8.3f} ms/batch",
     ]
     payload = {
+        # Bare engine session below the serve layer, so no DeploymentSpec:
+        # spec_digest is empty by contract (docs/benchmarking.md).
+        **session_stamp(session, x.shape, header="mobilenet_v3_tiny@32 edge"),
         "cpu_count": os.cpu_count(),
         "batch_size": _BATCH_SIZE,
         "unplanned_ms": unplanned_ms,

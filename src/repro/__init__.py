@@ -30,9 +30,14 @@ Sub-packages
     The declarative workload registry: named, JSON-round-tripped
     :class:`Scenario` specs spanning the 32px quick tier to the 224px
     high-resolution tier, compiling into deployment + traffic.
+``repro.attest``
+    Golden-digest attestation: SHA-256 provenance over specs, optimized
+    plan-IR text and every task output of the scenario matrix, verified
+    bit-for-bit against the committed goldens in CI.
 """
 
 from . import core, data, deployment, models, nn, scenarios, serve
+from . import attest
 from .scenarios import Scenario
 from .serve import (
     CachePolicy,
@@ -54,6 +59,7 @@ __all__ = [
     "deployment",
     "scenarios",
     "serve",
+    "attest",
     "CachePolicy",
     "ClusterDeployment",
     "ClusterSpec",

@@ -1,0 +1,71 @@
+"""``repro.attest`` — golden-digest attestation for the scenario matrix.
+
+Every quick-tier scenario has a committed **golden attestation**: the
+SHA-256 digests of its deployment spec, its timing-free optimized
+plan-IR text (both halves), and every task output of its deterministic
+synthetic traffic.  ``repro attest verify`` recomputes all of it on a
+clean checkout and must match bit-for-bit — any optimizer pass, kernel,
+weight-init or wire change that moves a single bit fails CI **naming
+the first divergent plan step**, instead of drifting quietly under a
+1e-6 tolerance.
+
+The three layers (see ``docs/benchmarking.md`` for the full policy):
+
+* :mod:`repro.attest.canonical` — the canonical tensor/JSON forms and
+  the informational (never digested) host stamp;
+* :mod:`repro.attest.attestation` — :func:`attest_scenario` and the
+  digest-by-digest :func:`first_divergence` diff;
+* :mod:`repro.attest.golden` — the checked-in registry at
+  ``src/repro/scenarios/golden/`` plus :func:`record_goldens` /
+  :func:`verify_goldens`, surfaced as ``repro attest record|verify``.
+"""
+
+from .attestation import (
+    Attestation,
+    AttestationError,
+    AttestationPolicyError,
+    attest_scenario,
+    check_attestable,
+    first_divergence,
+)
+from .canonical import (
+    canonical_bytes,
+    canonical_json,
+    env_stamp,
+    provenance_digest,
+    sha256_hex,
+    tensor_digest,
+)
+from .golden import (
+    GOLDEN_DIR,
+    VerifyResult,
+    golden_path,
+    list_goldens,
+    load_golden,
+    record_goldens,
+    save_golden,
+    verify_goldens,
+)
+
+__all__ = [
+    "GOLDEN_DIR",
+    "Attestation",
+    "AttestationError",
+    "AttestationPolicyError",
+    "VerifyResult",
+    "attest_scenario",
+    "canonical_bytes",
+    "canonical_json",
+    "check_attestable",
+    "env_stamp",
+    "first_divergence",
+    "golden_path",
+    "list_goldens",
+    "load_golden",
+    "provenance_digest",
+    "record_goldens",
+    "save_golden",
+    "sha256_hex",
+    "tensor_digest",
+    "verify_goldens",
+]

@@ -1,0 +1,85 @@
+"""Canonical serialization + digest primitives for attestation.
+
+One rule governs everything in :mod:`repro.attest`: **a digest is a pure
+function of numerics and structure, never of timing or environment**.
+This module collects the canonical forms that rule allows:
+
+* :func:`canonical_bytes` / :func:`tensor_digest` — the cache-key tensor
+  canonicalizer (dtype + shape header, C-contiguous payload), re-exported
+  from :mod:`repro.serve.cache.keys` so the serve cache and the golden
+  registry can never drift apart on what "the same tensor" means;
+* :func:`canonical_json` — sorted-key, minimal-separator JSON, the form
+  spec digests hash;
+* :func:`sha256_hex` — the one hash everything uses;
+* :func:`env_stamp` — the *informational* host record attached to every
+  attestation.  It is deliberately **excluded from all digests**: it
+  exists so a digest mismatch on another machine can be triaged (BLAS
+  kernel dispatch differs across microarchitectures), not so the goldens
+  encode the machine they were recorded on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import sys
+from typing import Any, Dict
+
+import numpy as np
+
+from ..serve.cache.keys import canonical_bytes, provenance_digest, tensor_digest
+
+__all__ = [
+    "canonical_bytes",
+    "canonical_json",
+    "env_stamp",
+    "provenance_digest",
+    "sha256_hex",
+    "tensor_digest",
+]
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, no NaN laundering.
+
+    The canonical text form for anything dict-shaped that gets digested
+    (deployment specs already serialise this way; the attestation files
+    themselves use it for their digestable sections).
+    """
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def sha256_hex(data: bytes) -> str:
+    """The registry's one hash function (hex-encoded SHA-256)."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def env_stamp() -> Dict[str, Any]:
+    """Informational host/toolchain record — **never digested**.
+
+    Records exactly the facts that can legitimately move a bit-exact
+    digest between machines: the Python/numpy/scipy versions, whether
+    the BLAS and sparse kernels are available (they change which plan
+    steps exist), the CPU architecture (BLAS kernel dispatch), and the
+    byte order (the canonical tensor header pins little-endian dtypes).
+    """
+    from ..nn.engine import kernels
+
+    try:
+        import scipy
+
+        scipy_version = scipy.__version__
+    except ImportError:  # pragma: no cover - image bakes scipy in
+        scipy_version = None
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "scipy": scipy_version,
+        "have_blas": bool(kernels.HAVE_BLAS),
+        "have_sparse": bool(kernels.HAVE_SPARSE),
+        "machine": platform.machine(),
+        "byteorder": sys.byteorder,
+    }

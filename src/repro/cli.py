@@ -351,6 +351,29 @@ def _install_drain_handlers():
     return _restore
 
 
+def _cmd_attest(args: argparse.Namespace) -> int:
+    """``repro attest record|verify`` — the golden-digest registry.
+
+    Exit codes are CI-shaped: 0 every attestation matched (or was
+    recorded), 1 at least one digest diverged or a golden is missing,
+    2 usage errors (unknown scenario).
+    """
+    from .attest import AttestationError, record_goldens, verify_goldens
+    from .scenarios import ScenarioError
+
+    names = [args.scenario] if args.scenario else None
+    try:
+        if args.attest_command == "record":
+            result = record_goldens(names=names, update=args.update)
+        else:
+            result = verify_goldens(names=names, host_gated=args.host_gated)
+    except (ScenarioError, AttestationError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(result.describe())
+    return 0 if result.ok else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import json
 
@@ -651,6 +674,31 @@ def build_parser() -> argparse.ArgumentParser:
                     help="bind the straight-line reference lowering instead "
                          "of the optimized plans")
     sr.set_defaults(func=_cmd_scenarios)
+
+    p = sub.add_parser(
+        "attest",
+        help="golden-digest attestation: record/verify scenario provenance",
+    )
+    att_sub = p.add_subparsers(dest="attest_command", required=True)
+    ar = att_sub.add_parser(
+        "record",
+        help="record golden attestations (default: quick + hires tiers)",
+    )
+    ar.add_argument("--scenario", default=None,
+                    help="record one scenario instead of the default set")
+    ar.add_argument("--update", action="store_true",
+                    help="overwrite existing goldens (a reviewed, deliberate "
+                         "act — see docs/benchmarking.md)")
+    ar.set_defaults(func=_cmd_attest)
+    av = att_sub.add_parser(
+        "verify",
+        help="recompute digests and diff them against the committed goldens",
+    )
+    av.add_argument("--scenario", default=None,
+                    help="verify one scenario instead of every golden")
+    av.add_argument("--host-gated", action="store_true",
+                    help="also verify host-gated (hires) goldens")
+    av.set_defaults(func=_cmd_attest)
 
     p = sub.add_parser(
         "serve",

@@ -733,13 +733,13 @@ class _Binder:
         c, h, w = self.ir.values[step.inputs[0]].row_shape[1:]
         n = self.batch
         x3 = x.reshape(c, h * w, n)
-        y2 = out.reshape(c, n)
-        if step.attrs.get("mean_gemm"):
-            weights = mean_weights(h * w)
-            y3 = out.reshape(c, 1, n)
-            main = lambda W=weights, x=x3, y=y3: np.matmul(W, x, out=y)  # noqa: E731
-        else:
-            main = lambda x=x3, y=y2: np.mean(x, axis=1, out=y)  # noqa: E731
+        # Canonical kernel: the axis mean as a GEMM.  Both the optimized
+        # and unoptimized binders take this path so plans stay bit-exact
+        # across the optimizer (np.mean over the middle axis of a column
+        # tensor is also an order of magnitude slower than BLAS here).
+        weights = mean_weights(h * w)
+        y3 = out.reshape(c, 1, n)
+        main = lambda W=weights, x=x3, y=y3: np.matmul(W, x, out=y)  # noqa: E731
         self.emit(
             step.describe(), self._chain(main, self._bind_epilogue(step, out))
         )
@@ -776,17 +776,16 @@ class _Binder:
         x3 = x.reshape(c, h * w, n)
         y3 = out.reshape(c, h * w, n)
         bottleneck, gate_name = op.bottleneck_name, op.gate_name
-        mean_gemm = bool(step.attrs.get("mean_gemm"))
-        weights = mean_weights(h * w) if mean_gemm else None
+        # Canonical GEMM mean (see _bind_global_avg_pool): keeping the
+        # kernel choice pass-independent keeps optimized and unoptimized
+        # plans bit-identical.
+        weights = mean_weights(h * w)
         pooled3 = pooled.reshape(c, 1, n)
 
         def main(
             x=x3, y=y3, pooled=pooled, hidden=hidden, gate=gate, scratch=scratch
         ):
-            if mean_gemm:
-                np.matmul(weights, x, out=pooled3)
-            else:
-                np.mean(x, axis=1, out=pooled)
+            np.matmul(weights, x, out=pooled3)
             np.matmul(reduce_w, pooled, out=hidden)
             hidden += reduce_b
             apply_act(

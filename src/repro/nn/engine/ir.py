@@ -102,6 +102,77 @@ class ValueInfo:
 Epilogue = List[Tuple]
 
 
+# ---------------------------------------------------------------------------
+# Byte-stable plan dump helpers (digest material — determinism rules apply)
+# ---------------------------------------------------------------------------
+#: Attr keys that must never reach the digested plan dump: ``dw_probe``
+#: holds *measured* timings (never deterministic), ``kernel`` is a bound
+#: callable with no stable repr, and ``label`` already heads the line.
+_DIGEST_SUPPRESSED_ATTRS = frozenset({"dw_probe", "kernel", "label"})
+
+
+def _content_digest(array: np.ndarray) -> str:
+    # Lazy import: repro.serve depends on repro.nn at import time, so the
+    # shared canonicalizer is pulled in at first call, never at import.
+    from ...serve.cache.keys import tensor_digest
+
+    return tensor_digest(array)[:12]
+
+
+def _array_summary(array: np.ndarray) -> str:
+    return f"{array.dtype.str}{list(array.shape)}#{_content_digest(array)}"
+
+
+def _csr_summary(matrix) -> str:
+    import hashlib
+
+    from ...serve.cache.keys import canonical_bytes
+
+    hasher = hashlib.sha256()
+    for part in (matrix.data, matrix.indices, matrix.indptr):
+        hasher.update(canonical_bytes(np.asarray(part)))
+    return (
+        f"csr{list(matrix.shape)}nnz={int(matrix.nnz)}#{hasher.hexdigest()[:12]}"
+    )
+
+
+def _attr_summary(value: Any) -> str:
+    """Render one attr value deterministically for the plan dump."""
+    if isinstance(value, np.ndarray):
+        return _array_summary(value)
+    if isinstance(value, np.generic):
+        return repr(value.item())
+    if hasattr(value, "indptr") and hasattr(value, "nnz"):
+        return _csr_summary(value)
+    if isinstance(value, dict):
+        items = sorted(value.items(), key=lambda kv: str(kv[0]))
+        return "{" + ",".join(f"{k}:{_attr_summary(v)}" for k, v in items) + "}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_attr_summary(v) for v in value) + "]"
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return repr(value)
+    row = getattr(value, "lo", getattr(value, "row_lo", None))
+    if row is not None:
+        hi = getattr(value, "hi", getattr(value, "row_hi", None))
+        return f"{type(value).__name__}[{int(row)}:{int(hi)}]"
+    if callable(value):
+        return "<fn>"
+    return f"<{type(value).__name__}>"
+
+
+def _epilogue_summary(entry: Tuple) -> str:
+    tag = entry[0]
+    if tag == "bias":
+        return f"bias#{_content_digest(entry[1])}"
+    if tag == "act":
+        return f"act:{entry[1]}:{entry[2]!r}"
+    if tag == "affine":
+        return f"affine#{_content_digest(entry[1])}#{_content_digest(entry[2])}"
+    if tag == "add":
+        return f"add:v{entry[1]}"
+    return tag
+
+
 @dataclass(eq=False)
 class Step:
     """One typed node of the step graph.
@@ -171,11 +242,46 @@ class PlanIR:
 
     # -- introspection -------------------------------------------------
     def describe(self) -> str:
-        lines = []
-        for step in self.steps:
+        """A byte-stable text dump of the plan.
+
+        This string is digest material: the serve cache's provenance
+        keys and the :mod:`repro.attest` golden registry both hash it,
+        so it must be a pure function of the plan's *structure and
+        weights* — attrs render in sorted key order, arrays render as
+        ``dtype[shape]#content-digest``, and anything measured rather
+        than derived (the ``dw_probe`` timing table, callables) is
+        suppressed.  Two processes lowering the same session must
+        produce identical bytes.
+        """
+        lines = [f"plan-ir batch={list(self.batch_shape)}"]
+        outs = " ".join(
+            f"{name if name is not None else '_'}=v{vid}"
+            for name, vid in sorted(
+                self.outputs.items(), key=lambda kv: (kv[0] is not None, kv[0] or "")
+            )
+        )
+        lines.append(f"outputs: {outs}")
+        for index, step in enumerate(self.steps):
             out = self.values[step.output]
-            alias = " (aliased)" if out.alias_of is not None else ""
-            lines.append(f"{step.describe()}{alias}")
+            alias = "~" if out.alias_of is not None else ""
+            ins = ",".join(f"v{vid}" for vid in step.inputs)
+            head = (
+                f"s{index:03d} {step.kind} {step.attrs.get('label', step.kind)} "
+                f"in={ins or '-'} out=v{step.output}{list(out.row_shape)}{alias}"
+            )
+            parts = [head]
+            if step.epilogue:
+                parts.append("epi=[" + ",".join(
+                    _epilogue_summary(entry) for entry in step.epilogue
+                ) + "]")
+            attrs = " ".join(
+                f"{key}={_attr_summary(value)}"
+                for key, value in sorted(step.attrs.items())
+                if key not in _DIGEST_SUPPRESSED_ATTRS
+            )
+            if attrs:
+                parts.append(attrs)
+            lines.append(" | ".join(parts))
         return "\n".join(lines)
 
 

@@ -212,12 +212,11 @@ def fuse_epilogues(ir: PlanIR, stats) -> None:
 def select_kernels(ir: PlanIR, stats) -> None:
     """Pick the kernel forms measured faster on slow-strided-numpy hosts."""
     for step in ir.steps:
-        if step.kind in ("squeeze_excite", "global_avg_pool"):
-            # Axis means as GEMMs: np.mean over the middle axis of a
-            # column tensor is a strided reduction that runs an order of
-            # magnitude below BLAS on the bench hosts.
-            step.attrs["mean_gemm"] = True
-            _mark(step, "select_kernels")
+        # Axis means as GEMMs used to be selected here for the pool /
+        # squeeze-excite kinds; the GEMM mean is now the canonical kernel
+        # in both binders (executor._bind_global_avg_pool) because the
+        # np.mean fallback was not bit-identical to the BLAS reduction
+        # and broke the optimized ≡ unoptimized attestation gate.
         if (
             step.kind in ("conv_gemm", "gemm", "conv_gather_gemm")
             and kernels.HAVE_BLAS

@@ -26,29 +26,39 @@ from typing import Iterable
 
 import numpy as np
 
-__all__ = ["combine_digests", "provenance_digest", "tensor_digest"]
+__all__ = [
+    "canonical_bytes",
+    "combine_digests",
+    "provenance_digest",
+    "tensor_digest",
+]
 
 
-def tensor_digest(array: np.ndarray) -> str:
-    """SHA-256 hex digest of a canonicalized tensor.
+def canonical_bytes(array: np.ndarray) -> bytes:
+    """The canonical byte serialization of a tensor.
 
-    The hash covers ``dtype.str`` (which pins byte order: ``'<f4'``),
-    the shape tuple, and the element bytes in C order.  Non-contiguous
-    inputs (F-ordered, negative-stride, sliced views) are materialised
-    with :func:`np.ascontiguousarray` first, so equal-valued arrays
-    produce equal digests regardless of memory layout.
+    A self-delimiting header — ``dtype.str`` (which pins byte order:
+    ``'<f4'``) plus the shape tuple, length-prefixed so dtype and shape
+    can never bleed into the payload — followed by the element bytes in
+    C order.  Non-contiguous inputs (F-ordered, negative-stride, sliced
+    views) are materialised with :func:`np.ascontiguousarray` first, so
+    equal-valued arrays serialize identically regardless of memory
+    layout, while arrays that merely share raw bytes but differ in dtype
+    or shape can never alias.
+
+    This is the single canonical form shared by the serve cache keys and
+    the :mod:`repro.attest` golden-digest registry.
     """
     array = np.asarray(array)
     if not array.flags.c_contiguous:
         array = np.ascontiguousarray(array)
-    hasher = hashlib.sha256()
-    # Self-delimiting header: dtype and shape cannot bleed into the
-    # payload bytes, so (dtype, shape, bytes) triples never alias.
     header = f"{array.dtype.str}|{array.shape!r}|".encode("ascii")
-    hasher.update(len(header).to_bytes(4, "little"))
-    hasher.update(header)
-    hasher.update(array.tobytes())
-    return hasher.hexdigest()
+    return len(header).to_bytes(4, "little") + header + array.tobytes()
+
+
+def tensor_digest(array: np.ndarray) -> str:
+    """SHA-256 hex digest of :func:`canonical_bytes` of a tensor."""
+    return hashlib.sha256(canonical_bytes(array)).hexdigest()
 
 
 def provenance_digest(parts: Iterable[str]) -> str:

@@ -623,10 +623,17 @@ class ClusterDeployment:
     # ------------------------------------------------------------------
     @staticmethod
     def _worker_report(ws: Dict[str, Any]) -> ThroughputReport:
-        """One worker's stats dict -> a per-replica ThroughputReport."""
+        """One worker's stats dict -> a per-replica ThroughputReport.
+
+        Known keys map explicitly below; any *other* worker key that
+        names a report field passes through unchanged, so counters added
+        worker-side (e.g. the ``spec_digest``/``plan_digest`` provenance
+        stamps) survive aggregation instead of being silently dropped by
+        a hand-maintained mapping.
+        """
         plan = ws["plan"]
         fs = ws["fault_stats"]
-        return ThroughputReport(
+        report = ThroughputReport(
             batches=ws["batches"],
             images=ws["images"],
             wall_seconds=0.0,
@@ -648,6 +655,15 @@ class ClusterDeployment:
             recoveries=fs["recoveries"],
             server_crashes=fs["server_crashes"],
         )
+        consumed = {
+            "pid", "batches", "images", "edge_seconds", "transfer_seconds",
+            "server_seconds", "plan", "fault_stats", "fallback_batches",
+            "fallback_seconds", "degraded",
+        }
+        for key, value in ws.items():
+            if key not in consumed and hasattr(report, key):
+                setattr(report, key, value)
+        return report
 
     def report(self) -> ClusterReport:
         """Aggregate per-replica accounting into one cluster report.

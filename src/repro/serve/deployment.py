@@ -137,6 +137,7 @@ class Deployment:
         # the executors are down.
         self._close_lock = threading.Lock()
         self._closed = False
+        self._provenance: Optional[Tuple[str, str]] = None
 
     def _build_cache(self) -> Optional[ServeCache]:
         """Construct the serve cache the spec's policy asks for.
@@ -213,6 +214,53 @@ class Deployment:
         cut = self.split_index if self.split_index is not None else "backbone/heads"
         return f"{self.spec.describe()} -> cut at {cut}, {self.execution_mode} halves"
 
+    def provenance(self) -> Tuple[str, str]:
+        """``(spec_digest, plan_digest)`` — this deployment's identity.
+
+        ``spec_digest`` is the SHA-256 of the serialised spec (``""``
+        for in-memory models, which have no stable serialised form);
+        ``plan_digest`` hashes the resolved split index plus the
+        *optimized plan-IR text of both halves* (timing-free — see
+        :meth:`~repro.serve.runtime._RuntimeBase.plan_provenance`), so
+        any optimizer-pass, weight, or topology change moves it.  Both
+        stamps ride on every :class:`ThroughputReport` this deployment
+        produces and on the :mod:`repro.attest` golden registry.
+
+        Computed lazily (lowering + passes on both halves, once per
+        deployment) and cached.
+        """
+        if self._provenance is None:
+            spec_digest = (
+                self.spec.digest() if isinstance(self.spec.model, str) else ""
+            )
+            channels = self.net.backbone.spec.input_channels
+            size = self.spec.input_size
+            batch_shape = (1, channels, size, size)
+            edge_text = self.pipeline.edge.plan_provenance(batch_shape)
+            z_shape = self.pipeline.edge.output_shape(batch_shape)
+            server_text = self.pipeline.server.plan_provenance(z_shape)
+            plan_digest = provenance_digest(
+                [f"split:{self.split_index}", edge_text, server_text]
+            )
+            plan_text = (
+                f"split:{self.split_index}\n"
+                f"--- edge ---\n{edge_text}\n"
+                f"--- server ---\n{server_text}"
+            )
+            self._provenance = (spec_digest, plan_digest, plan_text)
+        return self._provenance[:2]
+
+    def plan_text(self) -> str:
+        """The full timing-free plan-IR text behind the plan digest.
+
+        Both halves plus the split marker — the human-readable side of
+        :meth:`provenance`'s ``plan_digest``, stored verbatim in the
+        :mod:`repro.attest` goldens so a digest mismatch can be narrowed
+        to the first divergent step line.
+        """
+        self.provenance()
+        return self._provenance[2]
+
     # ------------------------------------------------------------------
     # Serving surfaces
     # ------------------------------------------------------------------
@@ -248,10 +296,17 @@ class Deployment:
     def stream(
         self, batches: Iterable[np.ndarray]
     ) -> Tuple[List[Dict[str, np.ndarray]], ThroughputReport]:
-        """Run many batches with edge/server execution overlapped."""
+        """Run many batches with edge/server execution overlapped.
+
+        The returned report carries this deployment's provenance stamps
+        (``spec_digest``/``plan_digest``, see :meth:`provenance`), so
+        artifacts built from it are traceable to exact numerics.
+        """
         self._require_open()
         with self._pipeline_lock:
-            return self.pipeline.infer_stream(batches)
+            outputs, report = self.pipeline.infer_stream(batches)
+        report.spec_digest, report.plan_digest = self.provenance()
+        return outputs, report
 
     def _infer_locked(self, images: np.ndarray) -> Dict[str, np.ndarray]:
         with self._pipeline_lock:

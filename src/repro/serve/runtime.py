@@ -34,6 +34,7 @@ runtimes by hand.
 
 from __future__ import annotations
 
+import dataclasses
 import queue
 import threading
 import time
@@ -47,6 +48,7 @@ from ..core.architecture import EdgeModel, MTLSplitNet, ServerModel
 from ..deployment.channel import NetworkChannel
 from ..deployment.wire import WireFormat, decode_tensor, encode_tensor
 from ..nn.engine import PlanStats, PlannedExecutor, Unplannable, lower_session, run_passes
+from ..nn.engine.ir import trace_shapes
 from ..nn.tensor import Tensor
 from .faults import (
     FALLBACK_MODES,
@@ -122,6 +124,39 @@ class _RuntimeBase:
             return self.session.stats
         return None
 
+    def plan_provenance(self, batch_shape: Optional[Tuple[int, ...]] = None) -> str:
+        """Deterministic text describing exactly how this half computes.
+
+        The plan half of the serve-cache provenance digest and the
+        :mod:`repro.attest` plan digest: for the planned engine this is
+        the *optimized plan IR* lowered for ``batch_shape`` — so an
+        optimizer pass change or an ``optimize`` flag flip changes the
+        digest and retires every cached entry — and for the un-planned
+        modes it is the fused session description / an eval-mode marker.
+        No arena is allocated: lowering + passes are pure IR work.
+        """
+        if isinstance(self.session, PlannedExecutor):
+            header = (
+                f"planned optimize={self.session.optimize} "
+                f"compute={self.session.compute}"
+            )
+            if batch_shape is not None:
+                try:
+                    ir = lower_session(self.session.session, tuple(batch_shape))
+                    if self.session.optimize:
+                        # probe=False: the depthwise kernel probe picks
+                        # winners by *timing*, and a digest must never
+                        # depend on timing noise.  Provenance describes
+                        # the deterministic pass pipeline only.
+                        run_passes(ir, PlanStats(), probe=False)
+                    return f"{header}\n{ir.describe()}"
+                except Unplannable:
+                    pass
+            return f"{header}\n{self.session.session.describe()}"
+        if self.session is not None:
+            return f"compiled\n{self.session.describe()}"
+        return "eval-mode"
+
     def close(self) -> None:
         """Release session resources (worker threads, cached plans)."""
         if self.session is not None:
@@ -189,6 +224,25 @@ class EdgeRuntime(_RuntimeBase):
         :meth:`infer`)."""
         return encode_tensor(z_b, self.wire_format)
 
+    def output_shape(self, batch_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        """The shape of ``Z_b`` for ``batch_shape`` inputs.
+
+        Pure shape work for planned/compiled sessions (a dry trace on
+        zeros, no arena); eval-mode falls back to one zeros forward.
+        Used to lower the *server* half's plan for provenance digests
+        without running real traffic.
+        """
+        if self.session is not None:
+            session = (
+                self.session.session
+                if isinstance(self.session, PlannedExecutor)
+                else self.session
+            )
+            _, out_shape = trace_shapes(session, tuple(batch_shape))
+            return out_shape
+        z_b, _ = self.forward(np.zeros(batch_shape, dtype=np.float32))
+        return tuple(z_b.shape)
+
     def infer(self, images: np.ndarray) -> Tuple[bytes, float]:
         """Return ``(payload, edge_compute_seconds)`` for a batch."""
         start = time.perf_counter()
@@ -196,38 +250,6 @@ class EdgeRuntime(_RuntimeBase):
         payload = self.encode(z_b)
         return payload, time.perf_counter() - start
 
-    def plan_provenance(self, batch_shape: Optional[Tuple[int, ...]] = None) -> str:
-        """Deterministic text describing exactly how this half computes.
-
-        The plan half of the serve-cache provenance digest (see
-        :mod:`repro.serve.cache`): for the planned engine this is the
-        *optimized plan IR* lowered for ``batch_shape`` — so an optimizer
-        pass change or an ``optimize`` flag flip changes the digest and
-        retires every cached entry — and for the un-planned modes it is
-        the fused session description / an eval-mode marker.  No arena is
-        allocated: lowering + passes are pure IR work.
-        """
-        if isinstance(self.session, PlannedExecutor):
-            header = (
-                f"planned optimize={self.session.optimize} "
-                f"compute={self.session.compute}"
-            )
-            if batch_shape is not None:
-                try:
-                    ir = lower_session(self.session.session, tuple(batch_shape))
-                    if self.session.optimize:
-                        # probe=False: the depthwise kernel probe picks
-                        # winners by *timing*, and a digest must never
-                        # depend on timing noise.  Provenance describes
-                        # the deterministic pass pipeline only.
-                        run_passes(ir, PlanStats(), probe=False)
-                    return f"{header}\n{ir.describe()}"
-                except Unplannable:
-                    pass
-            return f"{header}\n{self.session.session.describe()}"
-        if self.session is not None:
-            return f"compiled\n{self.session.describe()}"
-        return "eval-mode"
 
 
 class ServerRuntime(_RuntimeBase):
@@ -367,6 +389,13 @@ class ThroughputReport:
     worker_crashes: int = 0
     worker_restarts: int = 0
     failovers: int = 0
+    # Provenance stamps (see repro.attest and docs/benchmarking.md):
+    # SHA-256 of the deployment spec and of the optimized plan-IR text,
+    # so any perf artifact built from this report is traceable to exact
+    # numerics.  Empty when the deployment has no stable provenance
+    # (in-memory models) or the report predates stamping.
+    spec_digest: str = ""
+    plan_digest: str = ""
 
     @property
     def serial_seconds(self) -> float:
@@ -495,39 +524,35 @@ class ThroughputReport:
         concurrently, so summing their makespans would be dishonest).
         ``overrides`` patch cluster-level fields (``replicas``,
         ``worker_crashes``, ``shed``, ...) the workers cannot see.
+
+        The merge is *field-driven*, not a hand-maintained list: numeric
+        counters sum, string stamps (the spec/plan provenance digests)
+        keep their unanimous value and clear to ``""`` when replicas
+        disagree, and fields added later aggregate without edits here —
+        a worker's counter can never be silently dropped on the way up.
         """
+        special = {"wall_seconds", "pipelined_seconds", "num_workers", "replicas"}
+        merged_values = {}
+        for spec in dataclasses.fields(cls):
+            if spec.name in special:
+                continue
+            values = [getattr(r, spec.name) for r in per_replica]
+            if not values:
+                merged_values[spec.name] = (
+                    spec.default if spec.default is not dataclasses.MISSING else 0
+                )
+            elif isinstance(values[0], str):
+                merged_values[spec.name] = (
+                    values[0] if all(v == values[0] for v in values) else ""
+                )
+            else:
+                merged_values[spec.name] = sum(values)
         merged = cls(
-            batches=sum(r.batches for r in per_replica),
-            images=sum(r.images for r in per_replica),
             wall_seconds=wall_seconds,
-            edge_seconds=sum(r.edge_seconds for r in per_replica),
-            transfer_seconds=sum(r.transfer_seconds for r in per_replica),
-            server_seconds=sum(r.server_seconds for r in per_replica),
             pipelined_seconds=wall_seconds,
             num_workers=max((r.num_workers for r in per_replica), default=1),
-            arena_bytes=sum(r.arena_bytes for r in per_replica),
-            steady_state_allocs=sum(r.steady_state_allocs for r in per_replica),
-            fused_steps=sum(r.fused_steps for r in per_replica),
-            elided_copies=sum(r.elided_copies for r in per_replica),
-            aliased_views=sum(r.aliased_views for r in per_replica),
-            spmm_row_blocks=sum(r.spmm_row_blocks for r in per_replica),
-            shed=sum(r.shed for r in per_replica),
-            deadline_misses=sum(r.deadline_misses for r in per_replica),
-            retries=sum(r.retries for r in per_replica),
-            fallback_batches=sum(r.fallback_batches for r in per_replica),
-            fallback_seconds=sum(r.fallback_seconds for r in per_replica),
-            link_down_events=sum(r.link_down_events for r in per_replica),
-            recoveries=sum(r.recoveries for r in per_replica),
-            server_crashes=sum(r.server_crashes for r in per_replica),
-            response_hits=sum(r.response_hits for r in per_replica),
-            response_misses=sum(r.response_misses for r in per_replica),
-            response_evictions=sum(r.response_evictions for r in per_replica),
-            response_bytes=sum(r.response_bytes for r in per_replica),
-            feature_hits=sum(r.feature_hits for r in per_replica),
-            feature_misses=sum(r.feature_misses for r in per_replica),
-            feature_evictions=sum(r.feature_evictions for r in per_replica),
-            feature_bytes=sum(r.feature_bytes for r in per_replica),
             replicas=len(per_replica),
+            **merged_values,
         )
         for name, value in overrides.items():
             if not hasattr(merged, name):

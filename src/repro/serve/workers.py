@@ -122,8 +122,11 @@ def _deployment_stats(deployment) -> Dict[str, Any]:
     traces = deployment.traces
     fault = deployment.fault_stats
     plan = deployment.pipeline._plan_accounting()
+    spec_digest, plan_digest = deployment.provenance()
     return {
         "pid": os.getpid(),
+        "spec_digest": spec_digest,
+        "plan_digest": plan_digest,
         "batches": len(traces),
         "images": int(sum(t.batch_size for t in traces)),
         "edge_seconds": float(sum(t.edge_seconds for t in traces)),

@@ -118,3 +118,22 @@ class TestTrain:
                      "--samples", "90", "--epochs", "1"]) == 0
         out = capsys.readouterr().out
         assert "test scale" in out and "test shape" in out
+
+
+class TestAttest:
+    def test_verify_quick_tier_matches(self, capsys):
+        assert main(["attest", "verify"]) == 0
+        out = capsys.readouterr().out
+        assert "all attestations match" in out
+        assert "host-gated tier" in out  # hires goldens named as skipped
+
+    def test_verify_single_scenario(self, capsys):
+        assert main(["attest", "verify", "--scenario", "vgg_quick_32px"]) == 0
+        assert "ok       vgg_quick_32px" in capsys.readouterr().out
+
+    def test_record_refuses_overwrite_without_update(self, capsys):
+        assert main(["attest", "record", "--scenario", "vgg_quick_32px"]) == 0
+        assert "exists" in capsys.readouterr().out
+
+    def test_unknown_scenario_is_a_usage_error(self, capsys):
+        assert main(["attest", "verify", "--scenario", "no_such_scenario"]) == 2
